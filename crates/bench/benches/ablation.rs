@@ -1,0 +1,118 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! 1. the fail-first dynamic atom ordering in homomorphism search vs
+//!    static listing order;
+//! 2. iso-signature bucketing in isomorphism dedup vs pairwise checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex_core::{isomorphic, Atom, HomFinder, Instance, IsoDeduper, Value};
+use std::time::Duration;
+
+/// A hom-search instance where ordering matters: a long null chain whose
+/// *last* atom is the constrained one (static order explores blindly).
+fn chain_with_anchor(n: usize) -> (Instance, Instance) {
+    let mut from = Instance::new();
+    for i in 0..n {
+        from.insert(Atom::of(
+            "E",
+            vec![Value::null(i as u32), Value::null(i as u32 + 1)],
+        ));
+    }
+    // Anchor: the chain end must land on a specific constant.
+    from.insert(Atom::of("P", vec![Value::null(n as u32)]));
+    let mut to = Instance::new();
+    for i in 0..n {
+        to.insert(Atom::of(
+            "E",
+            vec![
+                Value::konst(&format!("v{i}")),
+                Value::konst(&format!("v{}", i + 1)),
+            ],
+        ));
+    }
+    to.insert(Atom::of("P", vec![Value::konst(&format!("v{n}"))]));
+    (from, to)
+}
+
+fn bench_hom_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/hom_ordering");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [6usize, 8, 10] {
+        let (from, to) = chain_with_anchor(n);
+        group.bench_with_input(
+            BenchmarkId::new("fail_first", n),
+            &(from.clone(), to.clone()),
+            |b, (f, t)| {
+                b.iter(|| assert!(HomFinder::new(f, t).find().is_some()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("static_order", n),
+            &(from, to),
+            |b, (f, t)| {
+                b.iter(|| assert!(HomFinder::new(f, t).static_order().find().is_some()));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A stream with many isomorphic duplicates across a few classes.
+fn iso_stream(classes: usize, copies: usize) -> Vec<Instance> {
+    let mut out = Vec::new();
+    for class in 0..classes {
+        for copy in 0..copies {
+            let shift = (copy * 100) as u32;
+            let mut inst = Instance::new();
+            // Class differs by chain length; copies differ by null labels.
+            for i in 0..(class + 2) as u32 {
+                inst.insert(Atom::of(
+                    "E",
+                    vec![Value::null(shift + i), Value::null(shift + i + 1)],
+                ));
+            }
+            out.push(inst);
+        }
+    }
+    out
+}
+
+fn bench_iso_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/iso_dedup");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for copies in [10usize, 20, 40] {
+        let stream = iso_stream(6, copies);
+        group.bench_with_input(
+            BenchmarkId::new("signature_buckets", copies),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let mut d = IsoDeduper::new();
+                    for i in stream {
+                        d.insert(i.clone());
+                    }
+                    assert_eq!(d.len(), 6);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pairwise", copies),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let mut kept: Vec<Instance> = Vec::new();
+                    for i in stream {
+                        if !kept.iter().any(|j| isomorphic(j, i)) {
+                            kept.push(i.clone());
+                        }
+                    }
+                    assert_eq!(kept.len(), 6);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hom_ordering, bench_iso_dedup);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Chase benchmarks (experiments E6 and E7 of EXPERIMENTS.md):
+//! standard-chase scaling on weakly acyclic settings, Example 2.1's
+//! family, path-system closures, and the D_halt Turing simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex_chase::{chase, ChaseBudget};
+use dex_datagen::{example_2_1_scaled, layered_setting, random_source, LayeredConfig, SourceConfig};
+use dex_logic::parse_setting;
+use dex_reductions::halting::{probe_halting, right_walker, HaltProbe};
+use dex_reductions::PathSystem;
+use std::time::Duration;
+
+fn example_2_1() -> dex_logic::Setting {
+    parse_setting(
+        "source { M/2, N/2 }
+         target { E/2, F/2, G/2 }
+         st {
+           d1: M(x1,x2) -> E(x1,x2);
+           d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+         }
+         t {
+           d3: F(y,x) -> exists z . G(x,z);
+           d4: F(x,y) & F(x,z) -> y = z;
+         }",
+    )
+    .unwrap()
+}
+
+fn bench_chase_example_2_1(c: &mut Criterion) {
+    let setting = example_2_1();
+    let budget = ChaseBudget::default();
+    let mut group = c.benchmark_group("chase/example_2_1_scaled");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 8, 16, 32] {
+        let s = example_2_1_scaled(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
+            b.iter(|| chase(&setting, s, &budget).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_chase_layered(c: &mut Criterion) {
+    let setting = layered_setting(&LayeredConfig {
+        with_egds: true,
+        seed: 5,
+        ..LayeredConfig::default()
+    });
+    let budget = ChaseBudget::default();
+    let mut group = c.benchmark_group("chase/layered_weakly_acyclic");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [8usize, 16, 32] {
+        let s = random_source(
+            &setting.source,
+            &SourceConfig {
+                num_constants: n,
+                tuples_per_relation: n,
+                seed: 5,
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
+            b.iter(|| {
+                // Key conflicts are possible on random data; both outcomes
+                // exercise the same machinery.
+                let _ = chase(&setting, s, &budget);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pathsys_closure(c: &mut Criterion) {
+    let setting = dex_reductions::pathsys_setting();
+    let budget = ChaseBudget::default();
+    let mut group = c.benchmark_group("chase/pathsys_chain");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [16usize, 32, 64] {
+        let s = PathSystem::chain(n).to_source();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
+            b.iter(|| chase(&setting, s, &budget).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_halting_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/d_halt_walker");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for steps in [2usize, 4, 6] {
+        let tm = right_walker(steps);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &tm, |b, tm| {
+            b.iter(|| {
+                let probe = probe_halting(tm, &ChaseBudget::default());
+                assert!(matches!(probe, HaltProbe::Halts { .. }));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chase_example_2_1,
+    bench_chase_layered,
+    bench_pathsys_closure,
+    bench_halting_simulation
+);
+criterion_main!(benches);

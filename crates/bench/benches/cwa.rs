@@ -1,0 +1,111 @@
+//! CWA-machinery benchmarks (experiments E2, E4, E5): core computation,
+//! CWA-presolution checking, homomorphism search, and the Example 5.3
+//! solution enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex_chase::{canonical_universal_solution, ChaseBudget};
+use dex_core::core;
+use dex_cwa::{enumerate_cwa_solutions, is_cwa_presolution, EnumLimits, SearchLimits};
+use dex_datagen::example_2_1_scaled;
+use dex_logic::{parse_instance, parse_setting, Setting};
+use std::time::Duration;
+
+fn example_2_1() -> Setting {
+    parse_setting(
+        "source { M/2, N/2 }
+         target { E/2, F/2, G/2 }
+         st {
+           d1: M(x1,x2) -> E(x1,x2);
+           d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+         }
+         t {
+           d3: F(y,x) -> exists z . G(x,z);
+           d4: F(x,y) & F(x,z) -> y = z;
+         }",
+    )
+    .unwrap()
+}
+
+fn bench_core_scaling(c: &mut Criterion) {
+    let setting = example_2_1();
+    let budget = ChaseBudget::default();
+    let mut group = c.benchmark_group("cwa/core_of_canonical_solution");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 8, 16] {
+        let s = example_2_1_scaled(n);
+        let canon = canonical_universal_solution(&setting, &s, &budget).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &canon, |b, canon| {
+            b.iter(|| core(canon));
+        });
+    }
+    group.finish();
+}
+
+fn bench_presolution_check(c: &mut Criterion) {
+    let setting = example_2_1();
+    let s = parse_instance("M(a,b). N(a,b). N(a,c).").unwrap();
+    let t2 = parse_instance("E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).").unwrap();
+    let limits = SearchLimits::default();
+    c.bench_function("cwa/is_cwa_presolution_t2", |b| {
+        b.iter(|| {
+            assert_eq!(is_cwa_presolution(&setting, &s, &t2, &limits), Some(true));
+        })
+    });
+}
+
+fn bench_enumeration_example_5_3(c: &mut Criterion) {
+    let setting = parse_setting(
+        "source { P/1 }
+         target { E/3, F/3 }
+         st { d1: P(x) -> exists z1,z2,z3,z4 . E(x,z1,z3) & E(x,z2,z4); }
+         t { d2: E(x,x1,y) & E(x,x2,y) -> F(x,x1,x2); }",
+    )
+    .unwrap();
+    let limits = EnumLimits {
+        nulls_only: true,
+        ..EnumLimits::default()
+    };
+    let mut group = c.benchmark_group("cwa/enumerate_example_5_3");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for n in [1usize, 2] {
+        let atoms: String = (1..=n).map(|i| format!("P({i}). ")).collect();
+        let s = parse_instance(&atoms).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
+            b.iter(|| {
+                let (sols, _) = enumerate_cwa_solutions(&setting, s, &limits);
+                assert_eq!(sols.len(), [4usize, 16][n - 1]);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_homomorphism_search(c: &mut Criterion) {
+    // Hom from a 2n-atom null chain into a 2-cycle (satisfiable) — the
+    // engine primitive behind universality and core computation.
+    let mut group = c.benchmark_group("cwa/hom_chain_into_cycle");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [8usize, 16, 32] {
+        let mut from = dex_core::Instance::new();
+        for i in 0..n {
+            from.insert(dex_core::Atom::of(
+                "E",
+                vec![dex_core::Value::null(i as u32), dex_core::Value::null(i as u32 + 1)],
+            ));
+        }
+        let to = parse_instance("E(u,v). E(v,u).").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(from, to), |b, (f, t)| {
+            b.iter(|| assert!(dex_core::has_homomorphism(f, t)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_core_scaling,
+    bench_presolution_check,
+    bench_enumeration_example_5_3,
+    bench_homomorphism_search
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Query-answering benchmarks (experiments E1, E3, E9, E10, E12):
+//! the Table 1 families — polynomial UCQ certain answers, the §3
+//! anomaly query, the co-NP 3-SAT family, and path-system certain
+//! answers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex_datagen::random_3cnf;
+use dex_logic::{parse_instance, parse_query};
+use dex_query::{answers, Semantics};
+use dex_reductions::{
+    copy_instance, copying_setting, section_3_anomaly, solvable_via_certain_answers,
+    two_cycles_with_p, unsat_via_certain_answers, PathSystem,
+};
+use std::time::Duration;
+
+fn bench_ucq_certain_pathsys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queries/pathsys_certain_ucq");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [16usize, 32, 64] {
+        let ps = PathSystem::chain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ps, |b, ps| {
+            b.iter(|| {
+                let solved = solvable_via_certain_answers(ps).unwrap();
+                assert_eq!(solved.len(), n + 2);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ucq_certain_keyed(c: &mut Criterion) {
+    let setting = dex_logic::parse_setting(
+        "source { P/1, Q/2 }
+         target { F/2 }
+         st {
+           d1: P(x) -> exists z . F(x,z);
+           d2: Q(x,y) -> F(x,y);
+         }
+         t { key: F(x,y) & F(x,z) -> y = z; }",
+    )
+    .unwrap();
+    let q = parse_query("Q(x,y) :- F(x,y)").unwrap();
+    let mut group = c.benchmark_group("queries/egds_certain_ucq");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [16usize, 32, 64] {
+        let mut text = String::new();
+        for i in 0..n {
+            text.push_str(&format!("P(a{i}). "));
+            if i % 2 == 0 {
+                text.push_str(&format!("Q(a{i},b{i}). "));
+            }
+        }
+        let s = parse_instance(&text).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
+            b.iter(|| answers(&setting, s, &q, Semantics::Certain).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sat_certain(c: &mut Criterion) {
+    // co-NP family: one size only in criterion (larger sizes live in the
+    // `table1` binary — each run is seconds).
+    let mut group = c.benchmark_group("queries/sat_certain_unsat_check");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let n = 3usize;
+    let cnf = random_3cnf(n, (n as f64 * 4.3) as usize, 11);
+    group.bench_with_input(BenchmarkId::from_parameter(n), &cnf, |b, cnf| {
+        b.iter(|| unsat_via_certain_answers(cnf).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_anomaly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queries/section3_anomaly");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [9usize, 15, 21] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let report = section_3_anomaly(n);
+                assert_eq!(report.cwa_certain.len(), 2 * n);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fo_eval_on_copy(c: &mut Criterion) {
+    // Naive FO evaluation scaling (the §3 query on growing cycles).
+    let schema = dex_core::Schema::of(&[("E", 2), ("P", 1)]);
+    let _setting = copying_setting(&schema);
+    let q = parse_query("Q(x) := Pp(x) | exists y,z . (Pp(y) & Ep(y,z) & !Pp(z))").unwrap();
+    let mut group = c.benchmark_group("queries/fo_naive_eval");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [6usize, 12, 24] {
+        let copy = copy_instance(&two_cycles_with_p(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &copy, |b, copy| {
+            b.iter(|| dex_query::eval_query(&q, copy));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ucq_certain_pathsys,
+    bench_ucq_certain_keyed,
+    bench_sat_certain,
+    bench_anomaly,
+    bench_fo_eval_on_copy
+);
+criterion_main!(benches);

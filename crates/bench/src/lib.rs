@@ -1,0 +1,96 @@
+//! # dex-bench
+//!
+//! The benchmark harness that regenerates the paper's evaluation
+//! artifacts: Table 1 (complexity of certain answers per setting/query
+//! class) via the `table1` binary, the experiment series of
+//! EXPERIMENTS.md via the `experiments` binary, and criterion
+//! micro-benchmarks for the chase, cores, enumeration and query
+//! answering (`cargo bench`).
+
+use std::time::Instant;
+
+/// Median wall-clock microseconds of `runs` executions of `f`.
+pub fn time_micros(runs: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..runs.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_micros()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// A measured scaling series: `(size, median µs)` pairs.
+#[derive(Clone, Debug)]
+pub struct Series {
+    pub points: Vec<(usize, u128)>,
+}
+
+impl Series {
+    /// Estimated polynomial degree from the last two points
+    /// (`log(t2/t1) / log(n2/n1)`); meaningful when sizes grow
+    /// geometrically.
+    pub fn poly_degree(&self) -> Option<f64> {
+        let [.., (n1, t1), (n2, t2)] = self.points[..] else {
+            return None;
+        };
+        if t1 == 0 || n1 == n2 {
+            return None;
+        }
+        Some(((t2 as f64) / (t1 as f64)).ln() / ((n2 as f64) / (n1 as f64)).ln())
+    }
+
+    /// Multiplicative growth per unit of size from the last two points
+    /// (`(t2/t1)^(1/(n2-n1))`); > ~2 indicates exponential behaviour on
+    /// unit-step series.
+    pub fn exp_rate(&self) -> Option<f64> {
+        let [.., (n1, t1), (n2, t2)] = self.points[..] else {
+            return None;
+        };
+        if t1 == 0 || n2 <= n1 {
+            return None;
+        }
+        Some(((t2 as f64) / (t1 as f64)).powf(1.0 / ((n2 - n1) as f64)))
+    }
+
+    pub fn render(&self) -> String {
+        self.points
+            .iter()
+            .map(|(n, t)| format!("n={n}:{t}µs"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_degree_estimates() {
+        let quadratic = Series {
+            points: vec![(10, 100), (20, 400), (40, 1600)],
+        };
+        let d = quadratic.poly_degree().unwrap();
+        assert!((d - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn series_exp_rate() {
+        let doubling = Series {
+            points: vec![(3, 100), (4, 200), (5, 400)],
+        };
+        let r = doubling.exp_rate().unwrap();
+        assert!((r - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn time_micros_measures_something() {
+        let t = time_micros(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        let _ = t;
+    }
+}

@@ -1,0 +1,539 @@
+//! The α-chase (Definitions 4.1 and 4.2) — the paper's controlled chase
+//! in which every value introduced for an existential variable is fixed by
+//! a *justification* `(d, ū, v̄, z)` through a mapping `α: J_D → Dom`.
+//!
+//! `J_D` is infinite, so `α` is represented lazily as an [`AlphaSource`]
+//! that is queried per encountered justification:
+//!
+//! - [`FreshAlpha`] memoizes a fresh null per justification — its
+//!   successful chases produce the *canonical CWA-presolution*;
+//! - [`TableAlpha`] consults an explicit finite table first (used to
+//!   replay the paper's α₁/α₂/α₃ of Example 4.4 verbatim) and falls back
+//!   to fresh nulls.
+//!
+//! By Lemma 4.5, for a fixed `α` either some (equivalently: every) α-chase
+//! of a ground instance succeeds with one common result, or some α-chase
+//! is failing or infinite. The driver below uses a deterministic strategy
+//! (egds eagerly, tgds in declaration order) and reports the three
+//! outcomes as success / failing / budget-exceeded.
+
+use crate::budget::ChaseBudget;
+use dex_core::{Atom, Instance, NullGen, Value};
+use dex_logic::{Setting, Tgd};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A potential justification `(d, ū, v̄, z)` for introducing a value:
+/// tgd index (in `Σ_st` then `Σ_t` order), the values `ū` of the frontier
+/// variables `x̄`, the values `v̄` of the remaining body variables `ȳ`, and
+/// the index of the existential variable `z` in `z̄`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Justification {
+    pub dep: usize,
+    pub frontier: Vec<Value>,
+    pub body_only: Vec<Value>,
+    pub z_index: usize,
+}
+
+impl fmt::Debug for Justification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(d#{}, {:?}, {:?}, z{})", self.dep, self.frontier, self.body_only, self.z_index + 1)
+    }
+}
+
+/// A lazily-evaluated `α: J_D → Dom`.
+pub trait AlphaSource {
+    /// The value `α(j)`. Must be deterministic per justification within a
+    /// chase run (requirement CWA2: one justification, one value). The
+    /// current chase instance is passed so that enumeration strategies can
+    /// offer "reuse an existing value" choices; plain sources ignore it.
+    fn value(&mut self, j: &Justification, inst: &Instance) -> Value;
+}
+
+/// Assigns a memoized fresh null per justification.
+pub struct FreshAlpha {
+    gen: NullGen,
+    memo: HashMap<Justification, Value>,
+}
+
+impl FreshAlpha {
+    pub fn new(gen: NullGen) -> FreshAlpha {
+        FreshAlpha {
+            gen,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Starts fresh nulls above everything in `inst`.
+    pub fn above(inst: &Instance) -> FreshAlpha {
+        FreshAlpha::new(NullGen::above(inst.active_domain().iter()))
+    }
+
+    /// Number of justifications assigned so far.
+    pub fn assigned(&self) -> usize {
+        self.memo.len()
+    }
+}
+
+impl AlphaSource for FreshAlpha {
+    fn value(&mut self, j: &Justification, _inst: &Instance) -> Value {
+        if let Some(&v) = self.memo.get(j) {
+            return v;
+        }
+        let v = self.gen.fresh_value();
+        self.memo.insert(j.clone(), v);
+        v
+    }
+}
+
+/// Consults an explicit table first, falling back to fresh nulls for
+/// justifications outside the table (the paper's `*` entries).
+pub struct TableAlpha {
+    table: HashMap<Justification, Value>,
+    fallback: FreshAlpha,
+}
+
+impl TableAlpha {
+    /// Builds a table α. Fresh fallback nulls are minted above every null
+    /// mentioned in the table so they never collide.
+    pub fn new(entries: impl IntoIterator<Item = (Justification, Value)>) -> TableAlpha {
+        let table: HashMap<Justification, Value> = entries.into_iter().collect();
+        let gen = NullGen::above(table.values());
+        TableAlpha {
+            table,
+            fallback: FreshAlpha::new(gen),
+        }
+    }
+}
+
+impl AlphaSource for TableAlpha {
+    fn value(&mut self, j: &Justification, inst: &Instance) -> Value {
+        if let Some(&v) = self.table.get(j) {
+            return v;
+        }
+        self.fallback.value(j, inst)
+    }
+}
+
+/// One recorded chase step, for displaying runs like Example 4.4's
+/// `I₀, I₁, …` sequences.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaseStep {
+    /// A tgd was α-applied, adding `added` (atoms not previously present).
+    TgdApplied { dep: String, added: Vec<Atom> },
+    /// An egd was applied, replacing `from` by `to` everywhere.
+    EgdApplied {
+        dep: String,
+        from: Value,
+        to: Value,
+    },
+}
+
+impl fmt::Display for ChaseStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseStep::TgdApplied { dep, added } => {
+                write!(f, "α-apply {dep}: +{{")?;
+                for (i, a) in added.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "}}")
+            }
+            ChaseStep::EgdApplied { dep, from, to } => {
+                write!(f, "apply {dep}: {from} ↦ {to}")
+            }
+        }
+    }
+}
+
+/// A successful α-chase.
+#[derive(Clone, Debug)]
+pub struct AlphaSuccess {
+    /// The result over `σ ∪ τ`.
+    pub result: Instance,
+    /// The target part: the CWA-presolution `T` with `S ∪ T` the result.
+    pub target: Instance,
+    pub steps: usize,
+    pub trace: Vec<ChaseStep>,
+}
+
+/// The three possible outcomes of a (budgeted) α-chase run.
+#[derive(Clone, Debug)]
+pub enum AlphaOutcome {
+    /// Definition 4.2(1): finite, result satisfies Σ, no tgd α-applicable.
+    Success(AlphaSuccess),
+    /// Definition 4.2(2): an egd tried to identify distinct constants.
+    Failing {
+        dep: String,
+        left: Value,
+        right: Value,
+        steps: usize,
+    },
+    /// Budget exhausted — with a correct budget for the setting class this
+    /// indicates an infinite α-chase (e.g. an ever-growing one).
+    BudgetExceeded { steps: usize, atoms: usize },
+    /// The chase revisited a previous instance state: under the
+    /// deterministic strategy it is provably infinite (e.g. Example 4.4's
+    /// α₃, which loops through egd-merge / re-apply forever).
+    CycleDetected { steps: usize },
+}
+
+impl AlphaOutcome {
+    pub fn success(self) -> Option<AlphaSuccess> {
+        match self {
+            AlphaOutcome::Success(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_success(&self) -> bool {
+        matches!(self, AlphaOutcome::Success(_))
+    }
+
+    pub fn is_failing(&self) -> bool {
+        matches!(self, AlphaOutcome::Failing { .. })
+    }
+}
+
+/// Runs an α-chase of the ground `source` with the dependencies of
+/// `setting` under the given `α`.
+pub fn alpha_chase(
+    setting: &Setting,
+    source: &Instance,
+    alpha: &mut dyn AlphaSource,
+    budget: &ChaseBudget,
+) -> AlphaOutcome {
+    debug_assert!(source.is_ground(), "α-chase starts from ground instances");
+    let sigma_part = source.clone();
+    let tgds: Vec<&Tgd> = setting.all_tgds().collect();
+    let st_count = setting.st_tgds.len();
+    let mut inst = source.clone();
+    let mut steps = 0usize;
+    let mut trace: Vec<ChaseStep> = Vec::new();
+    let mut seen_states: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    loop {
+        if steps >= budget.max_steps || inst.len() > budget.max_atoms {
+            return AlphaOutcome::BudgetExceeded {
+                steps,
+                atoms: inst.len(),
+            };
+        }
+        // Cycle detection: the chase is a deterministic function of the
+        // current instance (given α), so a repeated state proves it runs
+        // forever.
+        {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            inst.sorted_atoms().hash(&mut h);
+            if !seen_states.insert(h.finish()) {
+                return AlphaOutcome::CycleDetected { steps };
+            }
+        }
+        // Egd application (Definition 4.1). Applied eagerly; by Lemma 4.5
+        // the strategy does not affect the outcome.
+        match crate::standard::egd_step(setting, &inst) {
+            Err(crate::standard::ChaseError::EgdConflict { egd, left, right }) => {
+                return AlphaOutcome::Failing {
+                    dep: egd,
+                    left,
+                    right,
+                    steps,
+                };
+            }
+            Err(crate::standard::ChaseError::BudgetExceeded { .. }) => unreachable!(),
+            Ok(Some(repair)) => {
+                trace.push(ChaseStep::EgdApplied {
+                    dep: repair.egd,
+                    from: repair.from,
+                    to: repair.to,
+                });
+                inst = repair.instance;
+                steps += 1;
+                continue;
+            }
+            Ok(None) => {}
+        }
+        // Find an α-applicable tgd trigger (condition (1) of Def 4.1).
+        let mut fired: Option<(String, Vec<Atom>)> = None;
+        'search: for (idx, tgd) in tgds.iter().enumerate() {
+            let body_inst = if idx < st_count { &sigma_part } else { &inst };
+            for env in tgd.body.matches(body_inst) {
+                let frontier: Vec<Value> = tgd
+                    .frontier()
+                    .iter()
+                    .map(|&v| env.get(v).expect("body match binds frontier"))
+                    .collect();
+                let body_only: Vec<Value> = tgd
+                    .body_only_vars()
+                    .iter()
+                    .map(|&v| env.get(v).expect("body match binds body vars"))
+                    .collect();
+                let mut full = env.clone();
+                for (zi, &z) in tgd.exist_vars.iter().enumerate() {
+                    let j = Justification {
+                        dep: idx,
+                        frontier: frontier.clone(),
+                        body_only: body_only.clone(),
+                        z_index: zi,
+                    };
+                    full.bind(z, alpha.value(&j, &inst));
+                }
+                let head_atoms = tgd.instantiate_head(&full);
+                if head_atoms.iter().any(|a| !inst.contains(a)) {
+                    fired = Some((tgd.name.clone(), head_atoms));
+                    break 'search;
+                }
+            }
+        }
+        match fired {
+            Some((dep, atoms)) => {
+                let added: Vec<Atom> = atoms
+                    .iter()
+                    .filter(|a| !inst.contains(a))
+                    .cloned()
+                    .collect();
+                for a in atoms {
+                    inst.insert(a);
+                }
+                trace.push(ChaseStep::TgdApplied { dep, added });
+                steps += 1;
+            }
+            None => {
+                // No tgd α-applicable and egds hold: success. (Every body
+                // match has its ᾱ-head present, so all tgds are satisfied.)
+                let target = inst.difference(&sigma_part);
+                return AlphaOutcome::Success(AlphaSuccess {
+                    result: inst,
+                    target,
+                    steps,
+                    trace,
+                });
+            }
+        }
+    }
+}
+
+/// Runs the α-chase with memoized fresh nulls; a success yields the
+/// *canonical CWA-presolution* for `source` under `setting`.
+pub fn canonical_presolution(
+    setting: &Setting,
+    source: &Instance,
+    budget: &ChaseBudget,
+) -> AlphaOutcome {
+    let mut alpha = FreshAlpha::above(source);
+    alpha_chase(setting, source, &mut alpha, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_core::isomorphic;
+    use dex_logic::{parse_instance, parse_setting};
+
+    fn example_2_1() -> Setting {
+        parse_setting(
+            "source { M/2, N/2 }
+             target { E/2, F/2, G/2 }
+             st {
+               d1: M(x1,x2) -> E(x1,x2);
+               d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+             }
+             t {
+               d3: F(y,x) -> exists z . G(x,z);
+               d4: F(x,y) & F(x,z) -> y = z;
+             }",
+        )
+        .unwrap()
+    }
+
+    fn s_star() -> Instance {
+        parse_instance("M(a,b). N(a,b). N(a,c).").unwrap()
+    }
+
+    fn c(name: &str) -> Value {
+        Value::konst(name)
+    }
+
+    fn n(id: u32) -> Value {
+        Value::null(id)
+    }
+
+    /// Justification helper for the Example 2.1 setting:
+    /// dep indices are d1=0, d2=1 (s-t), d3=2 (target).
+    fn j(dep: usize, frontier: &[Value], body_only: &[Value], z: usize) -> Justification {
+        Justification {
+            dep,
+            frontier: frontier.to_vec(),
+            body_only: body_only.to_vec(),
+            z_index: z,
+        }
+    }
+
+    /// Example 4.4, α₁: a successful α-chase whose result is
+    /// S ∪ {E(a,b), E(a,_1), E(a,_2), F(a,_3), G(_3,_4)} = S ∪ T₂.
+    #[test]
+    fn example_4_4_alpha1_succeeds_with_t2() {
+        let d = example_2_1();
+        let mut alpha = TableAlpha::new([
+            (j(1, &[c("a")], &[c("b")], 0), n(1)),
+            (j(1, &[c("a")], &[c("b")], 1), n(3)),
+            (j(1, &[c("a")], &[c("c")], 0), n(2)),
+            (j(1, &[c("a")], &[c("c")], 1), n(3)),
+            (j(2, &[n(3)], &[c("a")], 0), n(4)),
+        ]);
+        let out = alpha_chase(&d, &s_star(), &mut alpha, &ChaseBudget::default());
+        let success = out.success().expect("α₁-chase succeeds");
+        let t2 = parse_instance("E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).").unwrap();
+        assert_eq!(success.target, t2);
+        assert!(d.is_solution(&s_star(), &success.target));
+    }
+
+    /// Example 4.4, α₂: a failing α-chase — F(a,c) and F(a,d) cannot be
+    /// identified by the egd d4.
+    #[test]
+    fn example_4_4_alpha2_fails() {
+        let d = example_2_1();
+        let mut alpha = TableAlpha::new([
+            (j(1, &[c("a")], &[c("b")], 0), c("b")),
+            (j(1, &[c("a")], &[c("b")], 1), c("c")),
+            (j(1, &[c("a")], &[c("c")], 0), c("b")),
+            (j(1, &[c("a")], &[c("c")], 1), c("d")),
+        ]);
+        let out = alpha_chase(&d, &s_star(), &mut alpha, &ChaseBudget::default());
+        match out {
+            AlphaOutcome::Failing { dep, left, right, .. } => {
+                assert_eq!(dep, "d4");
+                assert!(left.is_const() && right.is_const());
+            }
+            other => panic!("expected failing chase, got {other:?}"),
+        }
+    }
+
+    /// Example 4.4, α₃: every α₃-chase loops forever — the egd d4 keeps
+    /// merging the two F-nulls, which re-enables d2, and so on.
+    #[test]
+    fn example_4_4_alpha3_loops_forever() {
+        let d = example_2_1();
+        let mut alpha = TableAlpha::new([
+            (j(1, &[c("a")], &[c("b")], 0), c("b")),
+            (j(1, &[c("a")], &[c("b")], 1), n(3)),
+            (j(1, &[c("a")], &[c("c")], 0), c("b")),
+            (j(1, &[c("a")], &[c("c")], 1), n(4)),
+            (j(2, &[n(3)], &[c("a")], 0), n(1)),
+            (j(2, &[n(4)], &[c("a")], 0), n(2)),
+        ]);
+        let out = alpha_chase(&d, &s_star(), &mut alpha, &ChaseBudget::probe());
+        assert!(matches!(out, AlphaOutcome::CycleDetected { .. }));
+    }
+
+    /// The §7.2 remark in action: Example 2.1 is richly acyclic, yet the
+    /// *fresh-per-justification* α has no finite α-chase — d4 keeps
+    /// merging the two F-nulls, which re-enables d2's (a,c) trigger whose
+    /// fixed ᾱ-value was renamed away. Only an α that shares the value
+    /// across the two justifications (like the paper's α₁) succeeds.
+    #[test]
+    fn fresh_alpha_diverges_on_example_2_1_because_of_the_egd() {
+        let d = example_2_1();
+        let out = canonical_presolution(&d, &s_star(), &ChaseBudget::probe());
+        assert!(matches!(out, AlphaOutcome::CycleDetected { .. }));
+    }
+
+    /// Without the egd d4, the fresh-α chase is Libkin's canonical
+    /// CWA-presolution construction and succeeds.
+    #[test]
+    fn canonical_presolution_without_egd_succeeds() {
+        let d = parse_setting(
+            "source { M/2, N/2 }
+             target { E/2, F/2, G/2 }
+             st {
+               d1: M(x1,x2) -> E(x1,x2);
+               d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+             }
+             t {
+               d3: F(y,x) -> exists z . G(x,z);
+             }",
+        )
+        .unwrap();
+        let out = canonical_presolution(&d, &s_star(), &ChaseBudget::default());
+        let success = out.success().expect("fresh-α chase succeeds without egds");
+        assert!(d.is_solution(&s_star(), &success.target));
+        let expected = parse_instance(
+            "E(a,b). E(a,_1). F(a,_2). E(a,_3). F(a,_4). G(_2,_5). G(_4,_6).",
+        )
+        .unwrap();
+        assert!(isomorphic(&success.target, &expected));
+    }
+
+    #[test]
+    fn fresh_alpha_memoizes_per_justification() {
+        let mut alpha = FreshAlpha::new(NullGen::new());
+        let just = j(1, &[c("a")], &[c("b")], 0);
+        let empty = Instance::new();
+        let v1 = alpha.value(&just, &empty);
+        let v2 = alpha.value(&just, &empty);
+        assert_eq!(v1, v2);
+        let other = j(1, &[c("a")], &[c("b")], 1);
+        assert_ne!(alpha.value(&other, &empty), v1);
+        assert_eq!(alpha.assigned(), 2);
+    }
+
+    #[test]
+    fn trace_records_steps() {
+        // Replay α₁: the trace lists the tgd applications of Example 4.4's
+        // chase C (no egd ever fires because both F-values coincide).
+        let d = example_2_1();
+        let mut alpha = TableAlpha::new([
+            (j(1, &[c("a")], &[c("b")], 0), n(1)),
+            (j(1, &[c("a")], &[c("b")], 1), n(3)),
+            (j(1, &[c("a")], &[c("c")], 0), n(2)),
+            (j(1, &[c("a")], &[c("c")], 1), n(3)),
+            (j(2, &[n(3)], &[c("a")], 0), n(4)),
+        ]);
+        let out = alpha_chase(&d, &s_star(), &mut alpha, &ChaseBudget::default());
+        let success = out.success().unwrap();
+        assert_eq!(success.trace.len(), success.steps);
+        assert!(success
+            .trace
+            .iter()
+            .all(|s| matches!(s, ChaseStep::TgdApplied { .. })));
+        assert!(success
+            .trace
+            .iter()
+            .any(|s| matches!(s, ChaseStep::TgdApplied { dep, .. } if dep == "d3")));
+    }
+
+    #[test]
+    fn alpha_pointing_at_existing_atoms_blocks_firing() {
+        // If α sends d2's z1/z2 for (a,b) to values already forming the
+        // head, the trigger is never α-applicable, shrinking the result.
+        let d = parse_setting(
+            "source { M/2, N/2 }
+             target { E/2, F/2, G/2 }
+             st {
+               d1: M(x1,x2) -> E(x1,x2);
+               d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+             }",
+        )
+        .unwrap();
+        let s = parse_instance("M(a,b). N(a,b).").unwrap();
+        // α(d2,a,b,z1) = b: head E(a,b) present via d1; z2 fresh.
+        let mut alpha = TableAlpha::new([(j(1, &[c("a")], &[c("b")], 0), c("b"))]);
+        let out = alpha_chase(&d, &s, &mut alpha, &ChaseBudget::default());
+        let success = out.success().unwrap();
+        // Target: E(a,b) plus one F-atom; no E(a,null).
+        assert_eq!(success.target.rows_of_len("E".into()), 1);
+        assert_eq!(success.target.rows_of_len("F".into()), 1);
+    }
+
+    #[test]
+    fn empty_source_succeeds_immediately() {
+        let d = example_2_1();
+        let out = canonical_presolution(&d, &Instance::new(), &ChaseBudget::default());
+        let success = out.success().unwrap();
+        assert!(success.target.is_empty());
+        assert_eq!(success.steps, 0);
+    }
+}

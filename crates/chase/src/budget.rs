@@ -1,0 +1,52 @@
+//! Step/size budgets for chase procedures.
+//!
+//! General settings can make any chase run forever (the paper proves
+//! Existence-of-(CWA-)Solutions undecidable via exactly such settings,
+//! Theorem 6.2), so every chase here takes an explicit budget and reports
+//! exceeding it as a distinct outcome rather than diverging.
+
+/// Limits on a chase run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ChaseBudget {
+    /// Maximum number of chase steps (tgd applications + egd applications).
+    pub max_steps: usize,
+    /// Maximum number of atoms in the evolving instance.
+    pub max_atoms: usize,
+}
+
+impl ChaseBudget {
+    pub fn new(max_steps: usize, max_atoms: usize) -> ChaseBudget {
+        ChaseBudget {
+            max_steps,
+            max_atoms,
+        }
+    }
+
+    /// A small budget for quickly probing (non-)termination.
+    pub fn probe() -> ChaseBudget {
+        ChaseBudget::new(400, 8_000)
+    }
+}
+
+impl Default for ChaseBudget {
+    fn default() -> ChaseBudget {
+        ChaseBudget::new(100_000, 1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_generous() {
+        let b = ChaseBudget::default();
+        assert!(b.max_steps >= 10_000);
+        assert!(b.max_atoms >= b.max_steps);
+    }
+
+    #[test]
+    fn probe_is_small() {
+        assert!(ChaseBudget::probe().max_steps < ChaseBudget::default().max_steps);
+    }
+}

@@ -1,0 +1,26 @@
+//! # dex-chase
+//!
+//! Chase procedures for data exchange:
+//!
+//! - the classical restricted chase with tgds and egds ([`standard`]),
+//!   which computes canonical universal solutions and detects egd
+//!   failures (Section 2);
+//! - the α-chase of Hernich & Schweikardt (Definitions 4.1/4.2), in which
+//!   each existential value is fixed by a justification through a mapping
+//!   `α: J_D → Dom` ([`alpha`]) — the device defining CWA-presolutions.
+//!
+//! All chases are budgeted ([`budget`]) because general settings can make
+//! them run forever (Theorem 6.2).
+
+pub mod alpha;
+pub mod budget;
+pub mod standard;
+
+pub use alpha::{
+    alpha_chase, canonical_presolution, AlphaOutcome, AlphaSource, AlphaSuccess, ChaseStep,
+    FreshAlpha, Justification, TableAlpha,
+};
+pub use budget::ChaseBudget;
+pub use standard::{
+    canonical_universal_solution, chase, egd_step, ChaseError, ChaseSuccess, EgdRepair,
+};

@@ -1,0 +1,133 @@
+//! Ground atoms `R(ū)` — the building blocks of instances (Section 2).
+
+use crate::symbol::Symbol;
+use crate::value::{NullId, Value};
+use std::fmt;
+
+/// An atom `R(u₁, …, u_r)` over the value universe `Dom`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// The relation symbol `R`.
+    pub rel: Symbol,
+    /// The argument tuple `ū`.
+    pub args: Box<[Value]>,
+}
+
+impl Atom {
+    /// Builds an atom from a relation symbol and arguments.
+    pub fn new(rel: Symbol, args: impl Into<Box<[Value]>>) -> Atom {
+        Atom {
+            rel,
+            args: args.into(),
+        }
+    }
+
+    /// Convenience constructor interning the relation name.
+    pub fn of(rel: &str, args: impl Into<Box<[Value]>>) -> Atom {
+        Atom::new(Symbol::intern(rel), args)
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Iterates over the nulls occurring in the atom (with repetitions).
+    pub fn nulls(&self) -> impl Iterator<Item = NullId> + '_ {
+        self.args.iter().filter_map(|v| v.as_null())
+    }
+
+    /// True iff the atom contains no nulls.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Value::is_const)
+    }
+
+    /// The atom obtained by applying `f` to every argument.
+    pub fn map_values(&self, mut f: impl FnMut(Value) -> Value) -> Atom {
+        Atom {
+            rel: self.rel,
+            args: self.args.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, v) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Builds an atom tersely: `atom!("E", konst "a", null 3)` is verbose in
+/// plain Rust, so tests and examples use this helper instead.
+///
+/// Arguments are strings (constants) or `u32` wrapped in `Value::null`.
+#[macro_export]
+macro_rules! atom {
+    ($rel:expr $(, $arg:expr)* $(,)?) => {
+        $crate::atom::Atom::of($rel, vec![$($arg),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Value {
+        Value::konst("a")
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let at = Atom::of("E", vec![a(), Value::null(1)]);
+        assert_eq!(at.arity(), 2);
+        assert_eq!(at.rel.as_str(), "E");
+        assert!(!at.is_ground());
+        assert_eq!(at.nulls().collect::<Vec<_>>(), vec![NullId(1)]);
+    }
+
+    #[test]
+    fn ground_atom_has_no_nulls() {
+        let at = Atom::of("E", vec![a(), a()]);
+        assert!(at.is_ground());
+        assert_eq!(at.nulls().count(), 0);
+    }
+
+    #[test]
+    fn map_values_substitutes() {
+        let at = Atom::of("E", vec![a(), Value::null(1)]);
+        let bt = at.map_values(|v| if v.is_null() { Value::konst("b") } else { v });
+        assert_eq!(bt, Atom::of("E", vec![a(), Value::konst("b")]));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let at = Atom::of("F", vec![a(), Value::null(3)]);
+        assert_eq!(format!("{at}"), "F(a,_3)");
+    }
+
+    #[test]
+    fn atoms_are_comparable_for_canonical_ordering() {
+        let x = Atom::of("E", vec![a()]);
+        let y = Atom::of("E", vec![Value::konst("b")]);
+        assert!(x < y || y < x);
+    }
+
+    #[test]
+    fn atom_macro_builds_atoms() {
+        let at = atom!("E", a(), Value::null(0));
+        assert_eq!(at, Atom::of("E", vec![a(), Value::null(0)]));
+    }
+}

@@ -1,0 +1,298 @@
+//! Cores of instances (Section 2, [HN92], [FKP05]).
+//!
+//! A core of an instance `I` is a subinstance `J ⊆ I` such that there is a
+//! homomorphism from `I` to `J`, but none from `J` to a proper subinstance
+//! of `J`. Every finite instance has a core, unique up to renaming of nulls.
+//!
+//! The algorithm here is the classical retract iteration: repeatedly look
+//! for an atom `A` such that some homomorphism `h: I → I∖{A}` exists, and
+//! replace `I` by `h(I)`. We exploit the *block decomposition* used by
+//! Fagin, Kolaitis and Popa: nulls co-occurring in atoms form blocks, and a
+//! homomorphism into `I∖{A}` exists iff one exists that acts only on the
+//! connected component of atoms sharing `A`'s blocks and is the identity
+//! everywhere else — so each search is local to a component.
+
+use crate::atom::Atom;
+use crate::homomorphism::{HomFinder, Homomorphism};
+use crate::instance::Instance;
+use crate::value::NullId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Union-find over null ids.
+struct UnionFind {
+    parent: BTreeMap<NullId, NullId>,
+}
+
+impl UnionFind {
+    fn new() -> UnionFind {
+        UnionFind {
+            parent: BTreeMap::new(),
+        }
+    }
+
+    fn find(&mut self, x: NullId) -> NullId {
+        let p = *self.parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    fn union(&mut self, a: NullId, b: NullId) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// The blocks of `inst`: connected components of the graph on `Null(inst)`
+/// where two nulls are adjacent iff they co-occur in some atom.
+pub fn null_blocks(inst: &Instance) -> Vec<BTreeSet<NullId>> {
+    let mut uf = UnionFind::new();
+    for atom in inst.atoms() {
+        let nulls: Vec<NullId> = atom.nulls().collect();
+        for w in nulls.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+        if let Some(&first) = nulls.first() {
+            uf.find(first);
+        }
+    }
+    let mut blocks: BTreeMap<NullId, BTreeSet<NullId>> = BTreeMap::new();
+    let keys: Vec<NullId> = uf.parent.keys().copied().collect();
+    for n in keys {
+        let root = uf.find(n);
+        blocks.entry(root).or_default().insert(n);
+    }
+    blocks.into_values().collect()
+}
+
+/// Groups the non-ground atoms of `inst` into connected components of the
+/// "shares a null" graph. Ground atoms belong to no component.
+fn atom_components(inst: &Instance) -> Vec<Vec<Atom>> {
+    let blocks = null_blocks(inst);
+    let mut block_of: BTreeMap<NullId, usize> = BTreeMap::new();
+    for (i, b) in blocks.iter().enumerate() {
+        for &n in b {
+            block_of.insert(n, i);
+        }
+    }
+    let mut comps: Vec<Vec<Atom>> = vec![Vec::new(); blocks.len()];
+    for atom in inst.atoms() {
+        let first_null = atom.nulls().next();
+        if let Some(n) = first_null {
+            comps[block_of[&n]].push(atom);
+        }
+    }
+    comps.retain(|c| !c.is_empty());
+    comps
+}
+
+/// One retract step: tries to find an atom `A` and a homomorphism
+/// `inst → inst∖{A}` that is the identity outside `A`'s component.
+/// Returns the (strictly smaller) image instance if found.
+fn retract_step(inst: &Instance) -> Option<Instance> {
+    for comp in atom_components(inst) {
+        let comp_inst = Instance::from_atoms(comp.iter().cloned());
+        for atom in &comp {
+            if let Some(h) = HomFinder::new(&comp_inst, inst).forbid_atom(atom).find() {
+                debug_assert!(!h.is_identity() || comp.len() > 1);
+                // Build the image: remap the component, keep the rest.
+                let mut out = Instance::new();
+                for a in inst.atoms() {
+                    if comp_inst.contains(&a) {
+                        out.insert(h.apply_atom(&a));
+                    } else {
+                        out.insert(a);
+                    }
+                }
+                debug_assert!(out.len() < inst.len());
+                debug_assert!(out.is_subinstance_of(inst));
+                return Some(out);
+            }
+        }
+    }
+    None
+}
+
+/// Computes the core of `inst`.
+pub fn core(inst: &Instance) -> Instance {
+    let mut t = inst.clone();
+    while let Some(smaller) = retract_step(&t) {
+        t = smaller;
+    }
+    t
+}
+
+/// True iff `inst` is its own core (no proper retract exists).
+pub fn is_core(inst: &Instance) -> bool {
+    retract_step(inst).is_none()
+}
+
+/// Computes the core together with the homomorphism `inst → core`.
+pub fn core_with_hom(inst: &Instance) -> (Instance, Homomorphism) {
+    // Re-run the retraction, composing the per-step homomorphisms.
+    let mut t = inst.clone();
+    let mut acc = Homomorphism::identity();
+    loop {
+        let mut advanced = false;
+        'comp: for comp in atom_components(&t) {
+            let comp_inst = Instance::from_atoms(comp.iter().cloned());
+            for atom in &comp {
+                if let Some(h) = HomFinder::new(&comp_inst, &t).forbid_atom(atom).find() {
+                    let mut out = Instance::new();
+                    for a in t.atoms() {
+                        if comp_inst.contains(&a) {
+                            out.insert(h.apply_atom(&a));
+                        } else {
+                            out.insert(a);
+                        }
+                    }
+                    acc = acc.then(&h);
+                    t = out;
+                    advanced = true;
+                    break 'comp;
+                }
+            }
+        }
+        if !advanced {
+            return (t, acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homomorphism::hom_equivalent;
+    use crate::value::Value;
+
+    fn c(name: &str) -> Value {
+        Value::konst(name)
+    }
+
+    fn n(id: u32) -> Value {
+        Value::null(id)
+    }
+
+    #[test]
+    fn blocks_group_cooccurring_nulls() {
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![n(1), n(2)]),
+            Atom::of("E", vec![n(3), n(4)]),
+            Atom::of("F", vec![n(2), n(3)]),
+            Atom::of("G", vec![n(9)]),
+        ]);
+        let blocks = null_blocks(&i);
+        assert_eq!(blocks.len(), 2);
+        let sizes: Vec<usize> = blocks.iter().map(BTreeSet::len).collect();
+        assert!(sizes.contains(&4) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn ground_instance_is_its_own_core() {
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![c("a"), c("b")]),
+            Atom::of("E", vec![c("b"), c("a")]),
+        ]);
+        assert!(is_core(&i));
+        assert_eq!(core(&i), i);
+    }
+
+    #[test]
+    fn redundant_null_atom_is_folded_away() {
+        // E(a,b) ∧ E(a,_1): _1 folds onto b.
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![c("a"), c("b")]),
+            Atom::of("E", vec![c("a"), n(1)]),
+        ]);
+        let k = core(&i);
+        assert_eq!(k, Instance::from_atoms([Atom::of("E", vec![c("a"), c("b")])]));
+    }
+
+    #[test]
+    fn paper_example_2_1_core_is_t3() {
+        // Core of T2 = {E(a,b), E(a,_1), E(a,_2), F(a,_3), G(_3,_4)}
+        // is (up to renaming) T3 = {E(a,b), F(a,_1), G(_1,_2)}.
+        let t2 = Instance::from_atoms([
+            Atom::of("E", vec![c("a"), c("b")]),
+            Atom::of("E", vec![c("a"), n(1)]),
+            Atom::of("E", vec![c("a"), n(2)]),
+            Atom::of("F", vec![c("a"), n(3)]),
+            Atom::of("G", vec![n(3), n(4)]),
+        ]);
+        let k = core(&t2);
+        assert_eq!(k.len(), 3);
+        assert!(k.contains(&Atom::of("E", vec![c("a"), c("b")])));
+        assert_eq!(k.rows_of_len("F".into()), 1);
+        assert_eq!(k.rows_of_len("G".into()), 1);
+        assert!(hom_equivalent(&k, &t2));
+    }
+
+    #[test]
+    fn linked_nulls_are_not_folded() {
+        // F(a,_1) ∧ G(_1,_2): nothing redundant; already a core.
+        let i = Instance::from_atoms([
+            Atom::of("F", vec![c("a"), n(1)]),
+            Atom::of("G", vec![n(1), n(2)]),
+        ]);
+        assert!(is_core(&i));
+    }
+
+    #[test]
+    fn core_of_null_cycles_folds_to_shortest() {
+        // Two disjoint null 2-cycles fold into one.
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![n(1), n(2)]),
+            Atom::of("E", vec![n(2), n(1)]),
+            Atom::of("E", vec![n(3), n(4)]),
+            Atom::of("E", vec![n(4), n(3)]),
+        ]);
+        let k = core(&i);
+        assert_eq!(k.len(), 2);
+        assert!(hom_equivalent(&k, &i));
+    }
+
+    #[test]
+    fn core_is_hom_equivalent_and_subinstance() {
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![c("a"), n(1)]),
+            Atom::of("E", vec![c("a"), n(2)]),
+            Atom::of("F", vec![n(2), n(3)]),
+            Atom::of("E", vec![c("a"), c("b")]),
+            Atom::of("F", vec![c("b"), c("d")]),
+        ]);
+        let k = core(&i);
+        assert!(k.is_subinstance_of(&i));
+        assert!(hom_equivalent(&k, &i));
+        assert!(is_core(&k));
+        // E(a,_1) folds to E(a,b); F-linked _2,_3 fold to b,d.
+        assert_eq!(k.len(), 2);
+    }
+
+    #[test]
+    fn core_with_hom_maps_onto_core() {
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![c("a"), c("b")]),
+            Atom::of("E", vec![c("a"), n(1)]),
+            Atom::of("F", vec![n(1), n(2)]),
+            Atom::of("F", vec![c("b"), c("d")]),
+        ]);
+        let (k, h) = core_with_hom(&i);
+        assert_eq!(h.apply(&i), k);
+        assert!(is_core(&k));
+    }
+
+    #[test]
+    fn idempotent() {
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![c("a"), n(1)]),
+            Atom::of("E", vec![c("a"), n(2)]),
+        ]);
+        let k = core(&i);
+        assert_eq!(core(&k), k);
+    }
+}

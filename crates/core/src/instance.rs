@@ -1,0 +1,474 @@
+//! Relational instances: finite sets of atoms over `Const ∪ Null`
+//! (Section 2), with per-relation position indexes for fast trigger
+//! matching during chase and query evaluation.
+
+use crate::atom::Atom;
+use crate::schema::Schema;
+use crate::symbol::Symbol;
+use crate::value::{NullId, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// The tuples of one relation, with a hash set for O(1) membership and a
+/// per-(position, value) inverted index for pattern matching.
+#[derive(Clone, Default)]
+struct Relation {
+    arity: usize,
+    rows: Vec<Box<[Value]>>,
+    set: HashSet<Box<[Value]>>,
+    /// `(position, value) → indices into rows`.
+    index: HashMap<(u32, Value), Vec<u32>>,
+}
+
+impl Relation {
+    fn insert(&mut self, row: Box<[Value]>) -> bool {
+        if self.set.contains(&row) {
+            return false;
+        }
+        let idx = self.rows.len() as u32;
+        for (pos, &v) in row.iter().enumerate() {
+            self.index.entry((pos as u32, v)).or_default().push(idx);
+        }
+        self.set.insert(row.clone());
+        self.rows.push(row);
+        true
+    }
+
+    fn contains(&self, row: &[Value]) -> bool {
+        self.set.contains(row)
+    }
+
+    /// Iterates over rows matching `pattern` (a `None` entry is a wildcard).
+    /// Picks the most selective bound position's index bucket, then filters.
+    fn rows_matching<'a>(
+        &'a self,
+        pattern: &'a [Option<Value>],
+    ) -> Box<dyn Iterator<Item = &'a [Value]> + 'a> {
+        debug_assert_eq!(pattern.len(), self.arity);
+        let best = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, v)| v.map(|v| (pos as u32, v)))
+            .map(|key| (self.index.get(&key).map_or(0, Vec::len), key))
+            .min();
+        match best {
+            Some((_, key)) => {
+                let bucket = self.index.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                Box::new(
+                    bucket
+                        .iter()
+                        .map(move |&i| &*self.rows[i as usize])
+                        .filter(move |row| Self::row_matches(row, pattern)),
+                )
+            }
+            None => Box::new(self.rows.iter().map(|r| &**r)),
+        }
+    }
+
+    fn row_matches(row: &[Value], pattern: &[Option<Value>]) -> bool {
+        row.iter()
+            .zip(pattern)
+            .all(|(&v, p)| p.is_none_or(|pv| pv == v))
+    }
+}
+
+/// A relational instance: a finite set of atoms.
+///
+/// Instances are schema-free containers; validation against a [`Schema`]
+/// is explicit via [`Instance::check_against`]. Equality is set equality
+/// (insertion order does not matter).
+#[derive(Clone, Default)]
+pub struct Instance {
+    rels: BTreeMap<Symbol, Relation>,
+    atom_count: usize,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Builds an instance from atoms.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = Atom>) -> Instance {
+        let mut inst = Instance::new();
+        for a in atoms {
+            inst.insert(a);
+        }
+        inst
+    }
+
+    /// Inserts an atom; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    /// Panics if the relation already holds tuples of a different arity —
+    /// an instance cannot give one symbol two arities.
+    pub fn insert(&mut self, atom: Atom) -> bool {
+        let rel = self.rels.entry(atom.rel).or_insert_with(|| Relation {
+            arity: atom.args.len(),
+            ..Relation::default()
+        });
+        assert_eq!(
+            rel.arity,
+            atom.args.len(),
+            "relation {} used with two arities",
+            atom.rel
+        );
+        let added = rel.insert(atom.args);
+        if added {
+            self.atom_count += 1;
+        }
+        added
+    }
+
+    /// True iff the atom is present.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.rels
+            .get(&atom.rel)
+            .is_some_and(|r| r.arity == atom.args.len() && r.contains(&atom.args))
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atom_count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.atom_count == 0
+    }
+
+    /// Iterates over all atoms (relation symbol order, then insertion order).
+    pub fn atoms(&self) -> impl Iterator<Item = Atom> + '_ {
+        self.rels.iter().flat_map(|(&rel, r)| {
+            r.rows.iter().map(move |row| Atom::new(rel, row.clone()))
+        })
+    }
+
+    /// Iterates over the tuples of one relation.
+    pub fn rows_of(&self, rel: Symbol) -> impl Iterator<Item = &[Value]> + '_ {
+        self.rels
+            .get(&rel)
+            .into_iter()
+            .flat_map(|r| r.rows.iter().map(|row| &**row))
+    }
+
+    /// Number of tuples in one relation.
+    pub fn rows_of_len(&self, rel: Symbol) -> usize {
+        self.rels.get(&rel).map_or(0, |r| r.rows.len())
+    }
+
+    /// The relation symbols with at least one tuple.
+    pub fn relations(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.rels.keys().copied()
+    }
+
+    /// The arity under which `rel` is used, if it has tuples.
+    pub fn arity_of(&self, rel: Symbol) -> Option<usize> {
+        self.rels.get(&rel).map(|r| r.arity)
+    }
+
+    /// Iterates over tuples of `rel` matching `pattern` (`None` = wildcard).
+    pub fn rows_matching<'a>(
+        &'a self,
+        rel: Symbol,
+        pattern: &'a [Option<Value>],
+    ) -> Box<dyn Iterator<Item = &'a [Value]> + 'a> {
+        match self.rels.get(&rel) {
+            Some(r) if r.arity == pattern.len() => r.rows_matching(pattern),
+            _ => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// The active domain `Dom(I)`.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.values().collect()
+    }
+
+    /// Iterates over every value occurrence in the instance.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.rels
+            .values()
+            .flat_map(|r| r.rows.iter().flat_map(|row| row.iter().copied()))
+    }
+
+    /// `Const(I)`: the constants in the active domain.
+    pub fn constants(&self) -> BTreeSet<Symbol> {
+        self.values().filter_map(|v| v.as_const()).collect()
+    }
+
+    /// `Null(I)`: the nulls in the active domain.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        self.values().filter_map(|v| v.as_null()).collect()
+    }
+
+    /// True iff the instance contains no nulls (e.g. a source instance).
+    pub fn is_ground(&self) -> bool {
+        self.values().all(|v| v.is_const())
+    }
+
+    /// Validates every atom against `schema`.
+    pub fn check_against(&self, schema: &Schema) -> Result<(), crate::schema::SchemaError> {
+        for (&rel, r) in &self.rels {
+            match schema.arity(rel) {
+                None => return Err(crate::schema::SchemaError::UnknownRelation(rel)),
+                Some(a) if a != r.arity => {
+                    return Err(crate::schema::SchemaError::ArityMismatch {
+                        rel,
+                        expected: a,
+                        found: r.arity,
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The instance obtained by applying `f` to every value (e.g. the
+    /// homomorphic image `h(I)`). Merged duplicates collapse.
+    pub fn map_values(&self, mut f: impl FnMut(Value) -> Value) -> Instance {
+        let mut out = Instance::new();
+        for (&rel, r) in &self.rels {
+            for row in &r.rows {
+                out.insert(Atom::new(rel, row.iter().map(|&v| f(v)).collect::<Vec<_>>()));
+            }
+        }
+        out
+    }
+
+    /// Replaces every occurrence of `from` by `to` (egd application).
+    pub fn rename_value(&self, from: Value, to: Value) -> Instance {
+        self.map_values(|v| if v == from { to } else { v })
+    }
+
+    /// The union `I ∪ J`.
+    pub fn union(&self, other: &Instance) -> Instance {
+        let mut out = self.clone();
+        for a in other.atoms() {
+            out.insert(a);
+        }
+        out
+    }
+
+    /// The instance `I ∖ {atom}`.
+    pub fn without_atom(&self, atom: &Atom) -> Instance {
+        let mut out = Instance::new();
+        for a in self.atoms() {
+            if a != *atom {
+                out.insert(a);
+            }
+        }
+        out
+    }
+
+    /// The set difference `I ∖ J`.
+    pub fn difference(&self, other: &Instance) -> Instance {
+        Instance::from_atoms(self.atoms().filter(|a| !other.contains(a)))
+    }
+
+    /// The `σ`-reduct: atoms whose relation is in `schema`.
+    pub fn reduct(&self, schema: &Schema) -> Instance {
+        Instance::from_atoms(self.atoms().filter(|a| schema.contains(a.rel)))
+    }
+
+    /// True iff every atom of `self` occurs in `other`.
+    pub fn is_subinstance_of(&self, other: &Instance) -> bool {
+        self.atoms().all(|a| other.contains(&a))
+    }
+
+    /// All atoms, sorted — a canonical listing for display and comparison.
+    pub fn sorted_atoms(&self) -> Vec<Atom> {
+        let mut v: Vec<Atom> = self.atoms().collect();
+        v.sort();
+        v
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Instance) -> bool {
+        self.atom_count == other.atom_count && self.is_subinstance_of(other)
+    }
+}
+
+impl Eq for Instance {}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.sorted_atoms().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromIterator<Atom> for Instance {
+    fn from_iter<T: IntoIterator<Item = Atom>>(iter: T) -> Instance {
+        Instance::from_atoms(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Value {
+        Value::konst(name)
+    }
+
+    fn sample() -> Instance {
+        Instance::from_atoms([
+            Atom::of("E", vec![v("a"), v("b")]),
+            Atom::of("E", vec![v("a"), Value::null(1)]),
+            Atom::of("F", vec![v("a"), Value::null(2)]),
+        ])
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut i = Instance::new();
+        assert!(i.insert(Atom::of("E", vec![v("a"), v("b")])));
+        assert!(!i.insert(Atom::of("E", vec![v("a"), v("b")])));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two arities")]
+    fn insert_rejects_arity_conflicts() {
+        let mut i = Instance::new();
+        i.insert(Atom::of("E", vec![v("a")]));
+        i.insert(Atom::of("E", vec![v("a"), v("b")]));
+    }
+
+    #[test]
+    fn contains_and_len() {
+        let i = sample();
+        assert_eq!(i.len(), 3);
+        assert!(i.contains(&Atom::of("E", vec![v("a"), v("b")])));
+        assert!(!i.contains(&Atom::of("E", vec![v("b"), v("a")])));
+        assert!(!i.contains(&Atom::of("G", vec![v("a")])));
+    }
+
+    #[test]
+    fn domains() {
+        let i = sample();
+        assert_eq!(
+            i.constants().into_iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(
+            i.nulls().into_iter().collect::<Vec<_>>(),
+            vec![NullId(1), NullId(2)]
+        );
+        assert!(!i.is_ground());
+        assert_eq!(i.active_domain().len(), 4);
+    }
+
+    #[test]
+    fn pattern_matching_uses_bound_positions() {
+        let i = sample();
+        let pat = [Some(v("a")), None];
+        let rows: Vec<_> = i.rows_matching(Symbol::intern("E"), &pat).collect();
+        assert_eq!(rows.len(), 2);
+        let pat2 = [None, Some(v("b"))];
+        let rows2: Vec<_> = i.rows_matching(Symbol::intern("E"), &pat2).collect();
+        assert_eq!(rows2, vec![&[v("a"), v("b")][..]]);
+    }
+
+    #[test]
+    fn pattern_matching_unknown_relation_is_empty() {
+        let i = sample();
+        let pat = [None, None];
+        assert_eq!(i.rows_matching(Symbol::intern("Zzz"), &pat).count(), 0);
+    }
+
+    #[test]
+    fn pattern_matching_wrong_arity_is_empty() {
+        let i = sample();
+        let pat = [None];
+        assert_eq!(i.rows_matching(Symbol::intern("E"), &pat).count(), 0);
+    }
+
+    #[test]
+    fn map_values_collapses_duplicates() {
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![v("a"), Value::null(1)]),
+            Atom::of("E", vec![v("a"), Value::null(2)]),
+        ]);
+        let j = i.map_values(|val| if val.is_null() { v("b") } else { val });
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&Atom::of("E", vec![v("a"), v("b")])));
+    }
+
+    #[test]
+    fn rename_value_replaces_all_occurrences() {
+        let i = sample();
+        let j = i.rename_value(Value::null(1), v("b"));
+        assert!(j.contains(&Atom::of("E", vec![v("a"), v("b")])));
+        assert_eq!(j.len(), 2); // E(a,_1) collapsed into E(a,b)
+    }
+
+    #[test]
+    fn union_difference_without() {
+        let i = sample();
+        let extra = Instance::from_atoms([Atom::of("G", vec![v("c")])]);
+        let u = i.union(&extra);
+        assert_eq!(u.len(), 4);
+        let d = u.difference(&i);
+        assert_eq!(d, extra);
+        let w = i.without_atom(&Atom::of("F", vec![v("a"), Value::null(2)]));
+        assert_eq!(w.len(), 2);
+        assert!(w.is_subinstance_of(&i));
+    }
+
+    #[test]
+    fn reduct_keeps_only_schema_relations() {
+        let i = sample();
+        let sigma = Schema::of(&[("E", 2)]);
+        let r = i.reduct(&sigma);
+        assert_eq!(r.len(), 2);
+        assert!(r.relations().all(|s| s.as_str() == "E"));
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let a = Instance::from_atoms([
+            Atom::of("E", vec![v("a"), v("b")]),
+            Atom::of("F", vec![v("c")]),
+        ]);
+        let b = Instance::from_atoms([
+            Atom::of("F", vec![v("c")]),
+            Atom::of("E", vec![v("a"), v("b")]),
+        ]);
+        assert_eq!(a, b);
+        assert_ne!(a, Instance::new());
+    }
+
+    #[test]
+    fn check_against_schema() {
+        let i = sample();
+        assert!(i.check_against(&Schema::of(&[("E", 2), ("F", 2)])).is_ok());
+        assert!(i.check_against(&Schema::of(&[("E", 2)])).is_err());
+        assert!(i
+            .check_against(&Schema::of(&[("E", 3), ("F", 2)]))
+            .is_err());
+    }
+
+    #[test]
+    fn display_is_sorted_and_stable() {
+        let i = Instance::from_atoms([
+            Atom::of("F", vec![v("c")]),
+            Atom::of("E", vec![v("a"), v("b")]),
+        ]);
+        assert_eq!(format!("{i}"), "{E(a,b), F(c)}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # dex-core
+//!
+//! Foundations for relational data exchange with incomplete information,
+//! following Hernich & Schweikardt, *CWA-Solutions for Data Exchange
+//! Settings with Target Dependencies* (PODS 2007), Section 2:
+//!
+//! - the value universe `Dom = Const ∪ Null` ([`value`], [`symbol`]),
+//! - atoms, schemas and instances ([`atom`], [`schema`], [`instance`]),
+//! - homomorphisms and homomorphic equivalence ([`homomorphism`]),
+//! - cores of instances ([`core_of`]),
+//! - isomorphism up to renaming of nulls ([`isomorphism`]),
+//! - valuations and `Rep`-style enumeration ([`valuation`]).
+//!
+//! Higher layers (dependencies, the chase, CWA-solutions, query answering)
+//! live in the `dex-logic`, `dex-chase`, `dex-cwa` and `dex-query` crates.
+
+pub mod atom;
+pub mod core_of;
+pub mod homomorphism;
+pub mod instance;
+pub mod isomorphism;
+pub mod schema;
+pub mod symbol;
+pub mod valuation;
+pub mod value;
+
+pub use atom::Atom;
+pub use core_of::{core, core_with_hom, is_core, null_blocks};
+pub use homomorphism::{
+    find_homomorphism, has_homomorphism, hom_equivalent, HomFinder, Homomorphism,
+};
+pub use instance::Instance;
+pub use isomorphism::{dedup_up_to_iso, iso_signature, isomorphic, IsoDeduper};
+pub use schema::{Schema, SchemaError};
+pub use symbol::Symbol;
+pub use valuation::{fresh_constant_pool, standard_pool, Valuation, ValuationIter};
+pub use value::{NullGen, NullId, Value};

@@ -1,0 +1,223 @@
+//! Schemas: finite sets of relation symbols with fixed arities (Section 2).
+
+use crate::atom::Atom;
+use crate::symbol::Symbol;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A schema `σ`: a finite map from relation symbols to arities.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    rels: BTreeMap<Symbol, usize>,
+}
+
+/// Errors raised when validating atoms/instances against a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The relation does not occur in the schema.
+    UnknownRelation(Symbol),
+    /// The atom's arity differs from the schema's declared arity.
+    ArityMismatch {
+        rel: Symbol,
+        expected: usize,
+        found: usize,
+    },
+    /// Two schemas that must be disjoint share a relation symbol.
+    NotDisjoint(Symbol),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            SchemaError::ArityMismatch {
+                rel,
+                expected,
+                found,
+            } => write!(f, "relation {rel} has arity {expected}, found {found} arguments"),
+            SchemaError::NotDisjoint(r) => write!(f, "schemas share relation {r}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Builds a schema from `(name, arity)` pairs.
+    pub fn of(rels: &[(&str, usize)]) -> Schema {
+        let mut s = Schema::new();
+        for &(name, arity) in rels {
+            s.add(Symbol::intern(name), arity);
+        }
+        s
+    }
+
+    /// Adds (or overwrites) a relation.
+    pub fn add(&mut self, rel: Symbol, arity: usize) {
+        self.rels.insert(rel, arity);
+    }
+
+    /// The arity of `rel`, if declared.
+    pub fn arity(&self, rel: Symbol) -> Option<usize> {
+        self.rels.get(&rel).copied()
+    }
+
+    /// True iff `rel` is declared.
+    pub fn contains(&self, rel: Symbol) -> bool {
+        self.rels.contains_key(&rel)
+    }
+
+    /// Iterates over `(relation, arity)` pairs in symbol order.
+    pub fn relations(&self) -> impl Iterator<Item = (Symbol, usize)> + '_ {
+        self.rels.iter().map(|(&r, &a)| (r, a))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Validates a single atom against this schema.
+    pub fn check_atom(&self, atom: &Atom) -> Result<(), SchemaError> {
+        match self.arity(atom.rel) {
+            None => Err(SchemaError::UnknownRelation(atom.rel)),
+            Some(a) if a != atom.arity() => Err(SchemaError::ArityMismatch {
+                rel: atom.rel,
+                expected: a,
+                found: atom.arity(),
+            }),
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// The union `σ ∪ τ`. Fails if the schemas disagree on a shared symbol.
+    pub fn union(&self, other: &Schema) -> Result<Schema, SchemaError> {
+        let mut out = self.clone();
+        for (r, a) in other.relations() {
+            if let Some(existing) = out.arity(r) {
+                if existing != a {
+                    return Err(SchemaError::ArityMismatch {
+                        rel: r,
+                        expected: existing,
+                        found: a,
+                    });
+                }
+            }
+            out.add(r, a);
+        }
+        Ok(out)
+    }
+
+    /// Checks that the two schemas share no relation symbol (source and
+    /// target schemas of a data exchange setting must be disjoint).
+    pub fn check_disjoint(&self, other: &Schema) -> Result<(), SchemaError> {
+        for (r, _) in self.relations() {
+            if other.contains(r) {
+                return Err(SchemaError::NotDisjoint(r));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (r, a)) in self.relations().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}/{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn of_and_lookup() {
+        let s = Schema::of(&[("E", 2), ("P", 1)]);
+        assert_eq!(s.arity(Symbol::intern("E")), Some(2));
+        assert_eq!(s.arity(Symbol::intern("P")), Some(1));
+        assert_eq!(s.arity(Symbol::intern("Q")), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn check_atom_accepts_well_formed() {
+        let s = Schema::of(&[("E", 2)]);
+        let at = Atom::of("E", vec![Value::konst("a"), Value::null(0)]);
+        assert!(s.check_atom(&at).is_ok());
+    }
+
+    #[test]
+    fn check_atom_rejects_unknown_relation() {
+        let s = Schema::of(&[("E", 2)]);
+        let at = Atom::of("F", vec![Value::konst("a")]);
+        assert_eq!(
+            s.check_atom(&at),
+            Err(SchemaError::UnknownRelation(Symbol::intern("F")))
+        );
+    }
+
+    #[test]
+    fn check_atom_rejects_arity_mismatch() {
+        let s = Schema::of(&[("E", 2)]);
+        let at = Atom::of("E", vec![Value::konst("a")]);
+        assert!(matches!(
+            s.check_atom(&at),
+            Err(SchemaError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn union_merges_compatible_schemas() {
+        let s = Schema::of(&[("E", 2)]);
+        let t = Schema::of(&[("F", 3)]);
+        let u = s.union(&t).unwrap();
+        assert!(u.contains(Symbol::intern("E")) && u.contains(Symbol::intern("F")));
+    }
+
+    #[test]
+    fn union_rejects_conflicting_arity() {
+        let s = Schema::of(&[("E", 2)]);
+        let t = Schema::of(&[("E", 3)]);
+        assert!(s.union(&t).is_err());
+    }
+
+    #[test]
+    fn disjointness_check() {
+        let s = Schema::of(&[("E", 2)]);
+        let t = Schema::of(&[("E2", 2)]);
+        assert!(s.check_disjoint(&t).is_ok());
+        assert_eq!(
+            s.check_disjoint(&s),
+            Err(SchemaError::NotDisjoint(Symbol::intern("E")))
+        );
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let s = Schema::of(&[("E", 2), ("P", 1)]);
+        assert_eq!(format!("{s}"), "{E/2, P/1}");
+    }
+}

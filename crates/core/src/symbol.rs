@@ -1,0 +1,122 @@
+//! Global string interning for relation names and constants.
+//!
+//! Data exchange manipulates many small identifiers (relation symbols,
+//! constants from `Const`). Interning them into `u32`-backed [`Symbol`]s
+//! makes values `Copy`, comparisons O(1), and hash maps fast. The interner
+//! is global (rustc-style) so symbols can be freely passed between
+//! instances, settings, and chase runs without threading an arena around.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string. Two `Symbol`s are equal iff the strings they were
+/// interned from are equal.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<String>,
+    table: HashMap<String, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            table: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its symbol. Idempotent.
+    pub fn intern(name: &str) -> Symbol {
+        let lock = interner();
+        if let Some(&id) = lock.read().table.get(name) {
+            return Symbol(id);
+        }
+        let mut w = lock.write();
+        // Double-checked: another thread may have interned it meanwhile.
+        if let Some(&id) = w.table.get(name) {
+            return Symbol(id);
+        }
+        let id = w.names.len() as u32;
+        w.names.push(name.to_owned());
+        w.table.insert(name.to_owned(), id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string (clones out of the global table).
+    pub fn as_str(&self) -> String {
+        interner().read().names[self.0 as usize].clone()
+    }
+
+    /// Raw id, stable within a process. Useful for dense side tables.
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("R");
+        let b = Symbol::intern("R");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "R");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let a = Symbol::intern("alpha");
+        let b = Symbol::intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "alpha");
+        assert_eq!(b.as_str(), "beta");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Symbol::intern("Emp_42");
+        assert_eq!(format!("{s}"), "Emp_42");
+    }
+
+    #[test]
+    fn from_str_impl_interns() {
+        let s: Symbol = "zeta".into();
+        assert_eq!(s, Symbol::intern("zeta"));
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::intern("shared-name")))
+            .collect();
+        let ids: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,240 @@
+//! Valuations `v: Null(I) → Const` (Section 7.1).
+//!
+//! Under the CWA a solution `T` represents the set `Rep_D(T)` of complete
+//! instances `v(T)` for valuations `v` with `v(T) ⊨ Σ_t`. This module
+//! provides valuations and an exhaustive enumerator over a finite constant
+//! pool. By genericity, for deciding certain/maybe answers it suffices to
+//! consider valuations into the constants of the instance and query plus
+//! `|Null(T)|` fresh constants: every valuation is isomorphic — over those
+//! named constants — to one into that pool, and query answers are invariant
+//! under such isomorphisms.
+
+use crate::instance::Instance;
+use crate::symbol::Symbol;
+use crate::value::{NullId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A valuation: a total map from a finite set of nulls to constants.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Valuation {
+    map: BTreeMap<NullId, Symbol>,
+}
+
+impl Valuation {
+    pub fn new() -> Valuation {
+        Valuation::default()
+    }
+
+    pub fn from_bindings(map: impl IntoIterator<Item = (NullId, Symbol)>) -> Valuation {
+        Valuation {
+            map: map.into_iter().collect(),
+        }
+    }
+
+    pub fn bind(&mut self, n: NullId, c: Symbol) {
+        self.map.insert(n, c);
+    }
+
+    pub fn get(&self, n: NullId) -> Option<Symbol> {
+        self.map.get(&n).copied()
+    }
+
+    /// `v(u)`: constants map to themselves; unbound nulls are left alone
+    /// (callers enumerating `Rep` always bind every null of the instance).
+    pub fn apply_value(&self, v: Value) -> Value {
+        match v {
+            Value::Const(_) => v,
+            Value::Null(n) => self
+                .map
+                .get(&n)
+                .map(|&c| Value::Const(c))
+                .unwrap_or(v),
+        }
+    }
+
+    /// The (ground, if `v` is total on `Null(I)`) instance `v(I)`.
+    pub fn apply(&self, inst: &Instance) -> Instance {
+        inst.map_values(|v| self.apply_value(v))
+    }
+
+    /// True iff every null of `inst` is bound.
+    pub fn is_total_on(&self, inst: &Instance) -> bool {
+        inst.nulls().iter().all(|n| self.map.contains_key(n))
+    }
+
+    pub fn bindings(&self) -> impl Iterator<Item = (NullId, Symbol)> + '_ {
+        self.map.iter().map(|(&n, &c)| (n, c))
+    }
+}
+
+impl fmt::Debug for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (n, c)) in self.bindings().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}↦{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Exhaustive enumeration of all `|pool|^|nulls|` valuations of `nulls`
+/// into `pool`, in lexicographic (odometer) order.
+pub struct ValuationIter {
+    nulls: Vec<NullId>,
+    pool: Vec<Symbol>,
+    /// Odometer digits; `None` once exhausted.
+    digits: Option<Vec<usize>>,
+}
+
+impl ValuationIter {
+    pub fn new(nulls: impl IntoIterator<Item = NullId>, pool: Vec<Symbol>) -> ValuationIter {
+        let nulls: Vec<NullId> = nulls.into_iter().collect();
+        let digits = if pool.is_empty() && !nulls.is_empty() {
+            None
+        } else {
+            Some(vec![0; nulls.len()])
+        };
+        ValuationIter { nulls, pool, digits }
+    }
+
+    /// Total number of valuations this iterator yields (saturating).
+    pub fn total(&self) -> u128 {
+        (self.pool.len() as u128).saturating_pow(self.nulls.len() as u32)
+    }
+}
+
+impl Iterator for ValuationIter {
+    type Item = Valuation;
+
+    fn next(&mut self) -> Option<Valuation> {
+        let digits = self.digits.as_mut()?;
+        let val = Valuation::from_bindings(
+            self.nulls
+                .iter()
+                .zip(digits.iter())
+                .map(|(&n, &d)| (n, self.pool[d])),
+        );
+        // Advance the odometer.
+        let mut i = 0;
+        loop {
+            if i == digits.len() {
+                self.digits = None;
+                break;
+            }
+            digits[i] += 1;
+            if digits[i] < self.pool.len() {
+                break;
+            }
+            digits[i] = 0;
+            i += 1;
+        }
+        Some(val)
+    }
+}
+
+/// Mints `k` fresh constants not in `avoid` (named `⊥fresh_i`, a name that
+/// never collides with user constants from the parser, which rejects `⊥`).
+pub fn fresh_constant_pool(k: usize, avoid: &BTreeSet<Symbol>) -> Vec<Symbol> {
+    let mut out = Vec::with_capacity(k);
+    let mut i = 0usize;
+    while out.len() < k {
+        let s = Symbol::intern(&format!("fresh#{i}"));
+        if !avoid.contains(&s) {
+            out.push(s);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The standard pool for deciding query answers on `t`: the constants of
+/// `t`, the given extra constants (e.g. those mentioned in the query and
+/// source), and `|Null(t)|` fresh constants.
+pub fn standard_pool(t: &Instance, extra: impl IntoIterator<Item = Symbol>) -> Vec<Symbol> {
+    let mut avoid: BTreeSet<Symbol> = t.constants();
+    avoid.extend(extra);
+    let fresh = fresh_constant_pool(t.nulls().len(), &avoid);
+    avoid.into_iter().chain(fresh).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    fn c(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+
+    #[test]
+    fn apply_grounds_instance() {
+        let i = Instance::from_atoms([Atom::of("E", vec![Value::konst("a"), Value::null(1)])]);
+        let v = Valuation::from_bindings([(NullId(1), c("b"))]);
+        assert!(v.is_total_on(&i));
+        let g = v.apply(&i);
+        assert!(g.is_ground());
+        assert!(g.contains(&Atom::of("E", vec![Value::konst("a"), Value::konst("b")])));
+    }
+
+    #[test]
+    fn enumeration_counts_pool_pow_nulls() {
+        let it = ValuationIter::new([NullId(0), NullId(1)], vec![c("a"), c("b"), c("x")]);
+        assert_eq!(it.total(), 9);
+        assert_eq!(it.count(), 9);
+    }
+
+    #[test]
+    fn enumeration_is_exhaustive_and_distinct() {
+        let vals: Vec<Valuation> =
+            ValuationIter::new([NullId(0), NullId(1)], vec![c("a"), c("b")]).collect();
+        assert_eq!(vals.len(), 4);
+        for i in 0..vals.len() {
+            for j in i + 1..vals.len() {
+                assert_ne!(vals[i], vals[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn no_nulls_yields_single_empty_valuation() {
+        let vals: Vec<Valuation> = ValuationIter::new([], vec![c("a")]).collect();
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0], Valuation::new());
+    }
+
+    #[test]
+    fn empty_pool_with_nulls_yields_nothing() {
+        let vals: Vec<Valuation> = ValuationIter::new([NullId(0)], vec![]).collect();
+        assert!(vals.is_empty());
+    }
+
+    #[test]
+    fn fresh_pool_avoids_collisions() {
+        let avoid: BTreeSet<Symbol> = [c("fresh#0"), c("fresh#2")].into();
+        let pool = fresh_constant_pool(3, &avoid);
+        assert_eq!(pool.len(), 3);
+        assert!(pool.iter().all(|s| !avoid.contains(s)));
+    }
+
+    #[test]
+    fn standard_pool_has_consts_plus_fresh() {
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![Value::konst("a"), Value::null(1)]),
+            Atom::of("E", vec![Value::null(2), Value::konst("b")]),
+        ]);
+        let pool = standard_pool(&i, [c("q")]);
+        // a, b, q + 2 fresh.
+        assert_eq!(pool.len(), 5);
+    }
+
+    #[test]
+    fn unbound_null_is_left_alone() {
+        let v = Valuation::new();
+        assert_eq!(v.apply_value(Value::null(3)), Value::null(3));
+        assert_eq!(v.apply_value(Value::konst("a")), Value::konst("a"));
+    }
+}

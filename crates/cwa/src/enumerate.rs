@@ -1,0 +1,378 @@
+//! Exhaustive enumeration of CWA-(pre)solutions up to isomorphism, by
+//! systematic exploration of the α-choices (Section 5, Example 5.3).
+//!
+//! Every CWA-presolution is the result of a successful α-chase; under the
+//! deterministic chase strategy the run is a function of the sequence of
+//! values α returns for the justifications *in the order they are first
+//! queried*. Each query's meaningful choices, up to renaming of nulls,
+//! are: a fresh null, any value of the current instance, or a constant
+//! from the dependency vocabulary — choosing a null minted later is
+//! isomorphic to the later justification reusing this one's fresh null.
+//! The enumerator therefore DFS-explores *choice scripts*: it replays a
+//! script through the real α-chase, and whenever the chase asks for a
+//! choice beyond the script's end it forks one child script per menu
+//! entry. By Lemma 4.5 the result per α is strategy-independent, so
+//! enumerating scripts enumerates all CWA-presolutions (up to iso) within
+//! the limits.
+
+use dex_chase::{
+    alpha_chase, AlphaOutcome, AlphaSource, ChaseBudget, Justification,
+};
+use dex_core::{has_homomorphism, Instance, IsoDeduper, NullGen, Symbol, Value};
+use dex_logic::Setting;
+use std::collections::{BTreeSet, HashMap};
+
+/// Limits for the enumeration.
+#[derive(Clone, Debug)]
+pub struct EnumLimits {
+    /// Stop after this many distinct (up-to-iso) presolutions.
+    pub max_results: usize,
+    /// Stop after exploring this many scripts.
+    pub max_scripts: usize,
+    /// Budget per individual α-chase replay.
+    pub chase_budget: ChaseBudget,
+    /// Restrict choice menus to fresh/existing *nulls* (complete for
+    /// settings without egds, where no constant can be forced into an
+    /// existential position of a universal solution; much faster).
+    pub nulls_only: bool,
+}
+
+impl Default for EnumLimits {
+    fn default() -> EnumLimits {
+        EnumLimits {
+            max_results: 10_000,
+            max_scripts: 1_000_000,
+            chase_budget: ChaseBudget::probe(),
+            nulls_only: false,
+        }
+    }
+}
+
+/// An α driven by a finite choice script. Each *new* justification
+/// consumes one script entry indexing into the menu
+/// `[fresh, v₁, …, v_k, c₁, …]` (current domain values, then vocabulary
+/// constants not in the domain). When the script is exhausted, the first
+/// overrun records the menu size and falls back to fresh nulls.
+struct ScriptAlpha<'a> {
+    script: &'a [usize],
+    pos: usize,
+    memo: HashMap<Justification, Value>,
+    gen: NullGen,
+    pool: &'a [Symbol],
+    nulls_only: bool,
+    overrun_menu: Option<usize>,
+}
+
+impl ScriptAlpha<'_> {
+    fn menu(&self, inst: &Instance) -> Vec<Value> {
+        // Reusable values: the current active domain plus values already
+        // assigned to other justifications in this run (a tgd's head atoms
+        // are inserted only after *all* its existentials are assigned, so
+        // intra-trigger sharing — Example 5.3's z3 = z4 — must see them).
+        let mut domain: BTreeSet<Value> = inst.active_domain();
+        domain.extend(self.memo.values().copied());
+        let mut m: Vec<Value> = Vec::new();
+        if self.nulls_only {
+            m.extend(domain.iter().copied().filter(Value::is_null));
+        } else {
+            m.extend(domain.iter().copied());
+            for &c in self.pool {
+                if !domain.contains(&Value::Const(c)) {
+                    m.push(Value::Const(c));
+                }
+            }
+        }
+        m
+    }
+}
+
+impl AlphaSource for ScriptAlpha<'_> {
+    fn value(&mut self, j: &Justification, inst: &Instance) -> Value {
+        if let Some(&v) = self.memo.get(j) {
+            return v;
+        }
+        let menu = self.menu(inst);
+        let v = if self.pos < self.script.len() {
+            let choice = self.script[self.pos];
+            self.pos += 1;
+            if choice == 0 {
+                self.gen.fresh_value()
+            } else {
+                menu[choice - 1]
+            }
+        } else {
+            if self.overrun_menu.is_none() {
+                // Menu size + 1 for the "fresh" option at index 0.
+                self.overrun_menu = Some(menu.len() + 1);
+            }
+            self.gen.fresh_value()
+        };
+        self.memo.insert(j.clone(), v);
+        v
+    }
+}
+
+/// Constants of the dependency vocabulary (offered as α-choices even when
+/// not yet in the instance).
+fn vocabulary_constants(setting: &Setting) -> Vec<Symbol> {
+    let mut out: BTreeSet<Symbol> = BTreeSet::new();
+    for tgd in setting.all_tgds() {
+        for a in &tgd.head {
+            out.extend(a.constants());
+        }
+        if let dex_logic::Body::Conj(atoms) = &tgd.body {
+            for a in atoms {
+                out.extend(a.constants());
+            }
+        }
+    }
+    for egd in &setting.egds {
+        for a in &egd.body {
+            out.extend(a.constants());
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Statistics from an enumeration run.
+#[derive(Clone, Debug, Default)]
+pub struct EnumStats {
+    pub scripts_explored: usize,
+    pub chases_succeeded: usize,
+    pub chases_failed: usize,
+    pub truncated: bool,
+}
+
+/// Enumerates the CWA-presolutions for `source` under `setting`, up to
+/// isomorphism, within `limits`.
+pub fn enumerate_cwa_presolutions(
+    setting: &Setting,
+    source: &Instance,
+    limits: &EnumLimits,
+) -> (Vec<Instance>, EnumStats) {
+    let pool = vocabulary_constants(setting);
+    let fresh_base = NullGen::above(source.active_domain().iter()).peek();
+    let mut stats = EnumStats::default();
+    let mut results = IsoDeduper::new();
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    while let Some(script) = stack.pop() {
+        if stats.scripts_explored >= limits.max_scripts || results.len() >= limits.max_results
+        {
+            stats.truncated = true;
+            break;
+        }
+        stats.scripts_explored += 1;
+        // Fresh nulls must start above the source's values.
+        let mut gen = NullGen::new();
+        for _ in 0..fresh_base {
+            gen.fresh();
+        }
+        let mut alpha = ScriptAlpha {
+            script: &script,
+            pos: 0,
+            memo: HashMap::new(),
+            gen,
+            pool: &pool,
+            nulls_only: limits.nulls_only,
+            overrun_menu: None,
+        };
+        let outcome = alpha_chase(setting, source, &mut alpha, &limits.chase_budget);
+        if let Some(menu_size) = alpha.overrun_menu {
+            // The script was too short: fork one child per choice. Pushed
+            // in reverse so choice 0 (fresh) is explored first.
+            for choice in (0..menu_size).rev() {
+                let mut child = script.clone();
+                child.push(choice);
+                stack.push(child);
+            }
+            continue;
+        }
+        match outcome {
+            AlphaOutcome::Success(s) => {
+                stats.chases_succeeded += 1;
+                // Dedup up to isomorphism online: the raw result stream
+                // repeats each class many times (different scripts, same
+                // α up to renaming of nulls).
+                results.insert(s.target);
+            }
+            _ => stats.chases_failed += 1,
+        }
+    }
+    (results.into_representatives(), stats)
+}
+
+/// Enumerates the CWA-*solutions* (Theorem 4.8: the universal ones among
+/// the presolutions), up to isomorphism.
+pub fn enumerate_cwa_solutions(
+    setting: &Setting,
+    source: &Instance,
+    limits: &EnumLimits,
+) -> (Vec<Instance>, EnumStats) {
+    let (pres, stats) = enumerate_cwa_presolutions(setting, source, limits);
+    // Theorem 4.8: filter to the universal presolutions. The canonical
+    // universal solution is computed once; a presolution is universal iff
+    // it is a solution mapping homomorphically into it.
+    let Ok(canon) =
+        dex_chase::canonical_universal_solution(setting, source, &ChaseBudget::default())
+    else {
+        return (Vec::new(), stats);
+    };
+    let sols = pres
+        .into_iter()
+        .filter(|t| setting.is_solution(source, t) && has_homomorphism(t, &canon))
+        .collect();
+    (sols, stats)
+}
+
+/// The subsets of `solutions` that are *not* a homomorphic image of any
+/// other listed solution — the pairwise-incomparable witnesses of
+/// Example 5.3.
+pub fn maximal_under_image(solutions: &[Instance]) -> Vec<Instance> {
+    solutions
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| {
+            !solutions
+                .iter()
+                .enumerate()
+                .any(|(j, u)| j != *i && crate::solution::is_homomorphic_image_of(t, u))
+        })
+        .map(|(_, t)| t.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_core::isomorphic;
+    use dex_logic::{parse_instance, parse_setting};
+
+    /// The setting of Example 5.3.
+    fn example_5_3() -> Setting {
+        parse_setting(
+            "source { P/1 }
+             target { E/3, F/3 }
+             st {
+               d1: P(x) -> exists z1,z2,z3,z4 . E(x,z1,z3) & E(x,z2,z4);
+             }
+             t {
+               d2: E(x,x1,y) & E(x,x2,y) -> F(x,x1,x2);
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_5_3_has_the_papers_t_and_t_prime() {
+        let d = example_5_3();
+        let s = parse_instance("P(1).").unwrap();
+        let limits = EnumLimits {
+            nulls_only: true,
+            ..EnumLimits::default()
+        };
+        let (sols, stats) = enumerate_cwa_solutions(&d, &s, &limits);
+        assert!(!stats.truncated);
+        let t = parse_instance(
+            "E(1,_1,_3). E(1,_2,_4). F(1,_1,_1). F(1,_2,_2).",
+        )
+        .unwrap();
+        let t_prime = parse_instance(
+            "E(1,_1,_3). E(1,_2,_3). F(1,_1,_1). F(1,_2,_2). F(1,_1,_2). F(1,_2,_1).",
+        )
+        .unwrap();
+        assert!(sols.iter().any(|x| isomorphic(x, &t)), "T missing: {sols:?}");
+        assert!(sols.iter().any(|x| isomorphic(x, &t_prime)), "T' missing");
+        // Both are maximal under the image preorder — incomparable.
+        let maximal = maximal_under_image(&sols);
+        assert!(maximal.iter().any(|x| isomorphic(x, &t)));
+        assert!(maximal.iter().any(|x| isomorphic(x, &t_prime)));
+        assert!(maximal.len() >= 2, "at least 2 incomparable CWA-solutions");
+    }
+
+    /// For the Libkin fragment of Example 2.1 (no target dependencies) the
+    /// enumeration finds exactly the three CWA-solutions of Section 3, up
+    /// to isomorphism.
+    #[test]
+    fn libkin_fragment_has_exactly_three_cwa_solutions() {
+        let d = parse_setting(
+            "source { M/2, N/2 }
+             target { E/2, F/2, G/2 }
+             st {
+               d1: M(x1,x2) -> E(x1,x2);
+               d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+             }",
+        )
+        .unwrap();
+        let s = parse_instance("M(a,b). N(a,b). N(a,c).").unwrap();
+        let (sols, stats) = enumerate_cwa_solutions(&d, &s, &EnumLimits::default());
+        assert!(!stats.truncated);
+        // By Definitions 4.6/4.7 + Theorem 4.8 the CWA-solutions are the
+        // universal CWA-presolutions: E(a,b), plus 0-2 null E-successors
+        // of a, plus 1-2 null F-successors — six up to renaming of nulls.
+        // (The paper's Section 3 recap prints three of these shapes; the
+        // other three differ only in keeping the two triggers' F-nulls
+        // distinct, which the formal definitions clearly admit.)
+        let expected = [
+            "E(a,b). F(a,_1).",
+            "E(a,b). E(a,_1). F(a,_2).",
+            "E(a,b). E(a,_1). E(a,_2). F(a,_3).",
+            "E(a,b). F(a,_1). F(a,_2).",
+            "E(a,b). E(a,_1). F(a,_2). F(a,_3).",
+            "E(a,b). E(a,_1). E(a,_2). F(a,_3). F(a,_4).",
+        ];
+        assert_eq!(sols.len(), 6, "got {sols:?}");
+        for e in expected {
+            let e = parse_instance(e).unwrap();
+            assert!(sols.iter().any(|x| isomorphic(x, &e)), "missing {e}");
+        }
+    }
+
+    /// Example 2.1 in full: T₂ is the single ⊑-maximal CWA-solution shape
+    /// found, and the core T₃ is among the solutions.
+    #[test]
+    fn example_2_1_enumeration_contains_core_and_t2() {
+        let d = parse_setting(
+            "source { M/2, N/2 }
+             target { E/2, F/2, G/2 }
+             st {
+               d1: M(x1,x2) -> E(x1,x2);
+               d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+             }
+             t {
+               d3: F(y,x) -> exists z . G(x,z);
+               d4: F(x,y) & F(x,z) -> y = z;
+             }",
+        )
+        .unwrap();
+        let s = parse_instance("M(a,b). N(a,b). N(a,c).").unwrap();
+        // Full menus: T3 needs d2's z1 to reuse the *constant* b so that
+        // no extra E-atom is created.
+        let (sols, stats) = enumerate_cwa_solutions(&d, &s, &EnumLimits::default());
+        assert!(!stats.truncated);
+        let t2 = parse_instance("E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).").unwrap();
+        let t3 = parse_instance("E(a,b). F(a,_1). G(_1,_2).").unwrap();
+        assert!(sols.iter().any(|x| isomorphic(x, &t2)), "T2 missing");
+        assert!(sols.iter().any(|x| isomorphic(x, &t3)), "T3 missing");
+    }
+
+    #[test]
+    fn empty_source_has_single_empty_solution() {
+        let d = example_5_3();
+        let (sols, _) = enumerate_cwa_solutions(&d, &Instance::new(), &EnumLimits::default());
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].is_empty());
+    }
+
+    #[test]
+    fn limits_truncate_gracefully() {
+        let d = example_5_3();
+        let s = parse_instance("P(1). P(2). P(3).").unwrap();
+        let limits = EnumLimits {
+            max_scripts: 50,
+            nulls_only: true,
+            ..EnumLimits::default()
+        };
+        let (_, stats) = enumerate_cwa_presolutions(&d, &s, &limits);
+        assert!(stats.truncated);
+    }
+}

@@ -1,0 +1,16 @@
+//! # dex-datagen
+//!
+//! Deterministic (seeded) workload generators for tests, examples and the
+//! benchmark harness: random ground source instances, random layered
+//! weakly/richly acyclic settings, random 3-CNF formulas, and the scaling
+//! families behind every experiment in EXPERIMENTS.md.
+
+pub mod layered;
+pub mod scenarios;
+pub mod sources;
+pub mod workloads;
+
+pub use layered::{layered_setting, LayeredConfig};
+pub use scenarios::{mapping_scenario, ScenarioConfig};
+pub use sources::{random_source, SourceConfig};
+pub use workloads::{example_2_1_scaled, random_3cnf, random_path_system, sat_family};

@@ -1,0 +1,139 @@
+//! Named scaling families used by the benchmark harness (one per
+//! experiment in EXPERIMENTS.md).
+
+use dex_core::{Atom, Instance, Value};
+use dex_reductions::{Cnf, PathSystem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Example 2.1's source scaled up: `M(a, b)` plus `n` fan-out atoms
+/// `N(a, c_i)` — the chase output grows linearly and the egd `d4` merges
+/// all F-nulls.
+pub fn example_2_1_scaled(n: usize) -> Instance {
+    let mut s = Instance::new();
+    s.insert(Atom::of("M", vec![Value::konst("a"), Value::konst("b")]));
+    for i in 0..n {
+        s.insert(Atom::of(
+            "N",
+            vec![Value::konst("a"), Value::konst(&format!("c{i}"))],
+        ));
+    }
+    s
+}
+
+/// A random 3-CNF with `num_vars` variables and `num_clauses` clauses
+/// (distinct variables per clause, random signs).
+pub fn random_3cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
+    assert!(num_vars >= 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let mut vars: Vec<i32> = Vec::new();
+        while vars.len() < 3 {
+            let v = rng.gen_range(1..=num_vars as i32);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let clause = [
+            if rng.gen_bool(0.5) { vars[0] } else { -vars[0] },
+            if rng.gen_bool(0.5) { vars[1] } else { -vars[1] },
+            if rng.gen_bool(0.5) { vars[2] } else { -vars[2] },
+        ];
+        clauses.push(clause);
+    }
+    Cnf::new(num_vars, clauses)
+}
+
+/// A balanced family for the co-NP benchmarks: random 3-CNFs at the
+/// given clause/variable ratio, labelled satisfiable/unsatisfiable by
+/// DPLL. Returns `(sat, unsat)` samples (up to `per_class` each).
+pub fn sat_family(num_vars: usize, ratio: f64, per_class: usize, seed: u64) -> (Vec<Cnf>, Vec<Cnf>) {
+    let num_clauses = (num_vars as f64 * ratio).round() as usize;
+    let mut sat = Vec::new();
+    let mut unsat = Vec::new();
+    let mut attempt = 0u64;
+    while (sat.len() < per_class || unsat.len() < per_class) && attempt < 10_000 {
+        let c = random_3cnf(num_vars, num_clauses, seed.wrapping_add(attempt));
+        if c.is_satisfiable() {
+            if sat.len() < per_class {
+                sat.push(c);
+            }
+        } else if unsat.len() < per_class {
+            unsat.push(c);
+        }
+        attempt += 1;
+    }
+    (sat, unsat)
+}
+
+/// A random path system: `axioms` axiom nodes, `rules` random rules over
+/// `nodes` node names.
+pub fn random_path_system(nodes: usize, axioms: usize, rules: usize, seed: u64) -> PathSystem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let name = |i: usize| format!("n{i}");
+    let mut ps = PathSystem::default();
+    for i in 0..axioms.min(nodes) {
+        ps.axioms.push(name(i));
+    }
+    for _ in 0..rules {
+        ps.rules.push((
+            name(rng.gen_range(0..nodes)),
+            name(rng.gen_range(0..nodes)),
+            name(rng.gen_range(0..nodes)),
+        ));
+    }
+    ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_example_2_1_shape() {
+        let s = example_2_1_scaled(5);
+        assert_eq!(s.len(), 6);
+        assert!(s.is_ground());
+    }
+
+    #[test]
+    fn random_3cnf_is_well_formed() {
+        let c = random_3cnf(10, 42, 7);
+        assert_eq!(c.clauses.len(), 42);
+        for clause in &c.clauses {
+            let vars: Vec<u32> = clause.iter().map(|l| l.unsigned_abs()).collect();
+            assert!(vars.iter().all(|&v| (1..=10).contains(&v)));
+            assert_ne!(vars[0], vars[1]);
+            assert_ne!(vars[1], vars[2]);
+            assert_ne!(vars[0], vars[2]);
+        }
+    }
+
+    #[test]
+    fn sat_family_is_labelled_correctly() {
+        let (sat, unsat) = sat_family(5, 6.0, 2, 0);
+        for c in &sat {
+            assert!(c.is_satisfiable());
+        }
+        for c in &unsat {
+            assert!(!c.is_satisfiable());
+        }
+        assert!(!unsat.is_empty(), "ratio 6.0 should produce unsat formulas");
+    }
+
+    #[test]
+    fn random_path_system_solvable_subset() {
+        let ps = random_path_system(20, 5, 30, 3);
+        let solved = ps.solvable();
+        // Axioms are always solvable.
+        for a in &ps.axioms {
+            assert!(solved.contains(a));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_3cnf(6, 10, 9), random_3cnf(6, 10, 9));
+    }
+}

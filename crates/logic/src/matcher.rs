@@ -1,0 +1,213 @@
+//! Enumeration of the satisfying assignments of a conjunction of
+//! relational atoms over an instance — the workhorse behind tgd/egd
+//! trigger search, dependency satisfaction checks, and conjunctive query
+//! evaluation.
+//!
+//! The algorithm is a backtracking join: at each step the not-yet-matched
+//! atom with the fewest candidate rows under the current partial
+//! assignment is expanded (fail-first), candidates being found through the
+//! instance's position indexes.
+
+use crate::formula::{Assignment, FAtom, Term, Var};
+use dex_core::{Instance, Value};
+
+/// Calls `f` for every assignment extending `base` that maps all `atoms`
+/// into `inst`. `f` returns `false` to stop the enumeration early.
+/// Returns `false` iff the enumeration was stopped early.
+pub fn for_each_match(
+    atoms: &[FAtom],
+    inst: &Instance,
+    base: &Assignment,
+    f: &mut dyn FnMut(&Assignment) -> bool,
+) -> bool {
+    let mut env = base.clone();
+    let mut pending: Vec<usize> = (0..atoms.len()).collect();
+    solve(atoms, inst, &mut env, &mut pending, f)
+}
+
+/// All assignments extending `base` that map `atoms` into `inst`.
+pub fn all_matches(atoms: &[FAtom], inst: &Instance, base: &Assignment) -> Vec<Assignment> {
+    let mut out = Vec::new();
+    for_each_match(atoms, inst, base, &mut |env| {
+        out.push(env.clone());
+        true
+    });
+    out
+}
+
+/// True iff at least one match exists.
+pub fn exists_match(atoms: &[FAtom], inst: &Instance, base: &Assignment) -> bool {
+    !for_each_match(atoms, inst, base, &mut |_| false)
+}
+
+fn pattern(atom: &FAtom, env: &Assignment) -> Vec<Option<Value>> {
+    atom.args
+        .iter()
+        .map(|&t| match t {
+            Term::Const(c) => Some(Value::Const(c)),
+            Term::Var(v) => env.get(v),
+        })
+        .collect()
+}
+
+fn solve(
+    atoms: &[FAtom],
+    inst: &Instance,
+    env: &mut Assignment,
+    pending: &mut Vec<usize>,
+    f: &mut dyn FnMut(&Assignment) -> bool,
+) -> bool {
+    if pending.is_empty() {
+        return f(env);
+    }
+    // Fail-first: pick the pending atom with fewest candidates.
+    let (slot, _) = pending
+        .iter()
+        .enumerate()
+        .map(|(slot, &i)| {
+            let pat = pattern(&atoms[i], env);
+            (slot, inst.rows_matching(atoms[i].rel, &pat).take(16).count())
+        })
+        .min_by_key(|&(_, c)| c)
+        .expect("pending non-empty");
+    let chosen = pending.swap_remove(slot);
+    let atom = &atoms[chosen];
+    let pat = pattern(atom, env);
+    let rows: Vec<Vec<Value>> = inst
+        .rows_matching(atom.rel, &pat)
+        .map(|r| r.to_vec())
+        .collect();
+    let mut keep_going = true;
+    for row in rows {
+        if let Some(newly) = try_unify(atom, &row, env) {
+            keep_going = solve(atoms, inst, env, pending, f);
+            for v in newly {
+                env.unbind(v);
+            }
+            if !keep_going {
+                break;
+            }
+        }
+    }
+    pending.push(chosen);
+    let last = pending.len() - 1;
+    pending.swap(slot, last);
+    keep_going
+}
+
+fn try_unify(atom: &FAtom, row: &[Value], env: &mut Assignment) -> Option<Vec<Var>> {
+    let mut newly: Vec<Var> = Vec::new();
+    for (&t, &val) in atom.args.iter().zip(row) {
+        let ok = match t {
+            Term::Const(c) => Value::Const(c) == val,
+            Term::Var(v) => match env.get(v) {
+                Some(bound) => bound == val,
+                None => {
+                    env.bind(v, val);
+                    newly.push(v);
+                    true
+                }
+            },
+        };
+        if !ok {
+            for v in newly {
+                env.unbind(v);
+            }
+            return None;
+        }
+    }
+    Some(newly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_core::Atom;
+
+    fn inst() -> Instance {
+        Instance::from_atoms([
+            Atom::of("E", vec![Value::konst("a"), Value::konst("b")]),
+            Atom::of("E", vec![Value::konst("b"), Value::konst("c")]),
+            Atom::of("E", vec![Value::konst("c"), Value::konst("a")]),
+        ])
+    }
+
+    fn e(x: &str, y: &str) -> FAtom {
+        FAtom::new("E", vec![Term::var(x), Term::var(y)])
+    }
+
+    #[test]
+    fn single_atom_matches_every_row() {
+        let ms = all_matches(&[e("x", "y")], &inst(), &Assignment::new());
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn join_via_shared_variable() {
+        // E(x,y) & E(y,z): the 3-cycle gives 3 paths of length 2.
+        let ms = all_matches(&[e("x", "y"), e("y", "z")], &inst(), &Assignment::new());
+        assert_eq!(ms.len(), 3);
+        for m in &ms {
+            let x = m.get(Var::new("x")).unwrap();
+            let z = m.get(Var::new("z")).unwrap();
+            assert_ne!(x, z); // in a 3-cycle, 2 steps never return
+        }
+    }
+
+    #[test]
+    fn base_assignment_restricts() {
+        let mut base = Assignment::new();
+        base.bind(Var::new("x"), Value::konst("a"));
+        let ms = all_matches(&[e("x", "y")], &inst(), &base);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(Var::new("y")), Some(Value::konst("b")));
+    }
+
+    #[test]
+    fn constants_in_atoms_filter() {
+        let atom = FAtom::new("E", vec![Term::konst("b"), Term::var("y")]);
+        let ms = all_matches(&[atom], &inst(), &Assignment::new());
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(Var::new("y")), Some(Value::konst("c")));
+    }
+
+    #[test]
+    fn repeated_variable_requires_equal_positions() {
+        // E(x,x) has no match in a 3-cycle without self-loops.
+        assert!(!exists_match(&[e("x", "x")], &inst(), &Assignment::new()));
+        let with_loop = {
+            let mut i = inst();
+            i.insert(Atom::of("E", vec![Value::konst("d"), Value::konst("d")]));
+            i
+        };
+        let ms = all_matches(&[e("x", "x")], &with_loop, &Assignment::new());
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn early_stop_reports_false() {
+        let stopped = !for_each_match(&[e("x", "y")], &inst(), &Assignment::new(), &mut |_| false);
+        assert!(stopped);
+    }
+
+    #[test]
+    fn empty_conjunction_matches_once() {
+        let ms = all_matches(&[], &inst(), &Assignment::new());
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_conjunction() {
+        let atom = FAtom::new("Zebra", vec![Term::var("x")]);
+        assert!(!exists_match(&[atom], &inst(), &Assignment::new()));
+    }
+
+    #[test]
+    fn matches_against_nulls_bind_nulls() {
+        let i = Instance::from_atoms([Atom::of("F", vec![Value::konst("a"), Value::null(3)])]);
+        let atom = FAtom::new("F", vec![Term::var("x"), Term::var("y")]);
+        let ms = all_matches(&[atom], &i, &Assignment::new());
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(Var::new("y")), Some(Value::null(3)));
+    }
+}

@@ -1,0 +1,988 @@
+//! A text DSL for instances, dependencies, settings, and queries, so that
+//! examples, tests and benchmarks can state data-exchange problems in
+//! notation close to the paper's:
+//!
+//! ```text
+//! // a setting (Example 2.1)
+//! source { M/2, N/2 }
+//! target { E/2, F/2, G/2 }
+//! st {
+//!   d1: M(x1,x2) -> E(x1,x2);
+//!   d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+//! }
+//! t {
+//!   d3: F(y,x) -> exists z . G(x,z);
+//!   d4: F(x,y) & F(x,z) -> y = z;
+//! }
+//! ```
+//!
+//! ```text
+//! // an instance: bare identifiers are constants, `_name` are nulls
+//! M(a,b). N(a,b). N(a,c).
+//! ```
+//!
+//! ```text
+//! // queries: identifiers are variables, 'quoted' and numeric literals
+//! // are constants
+//! Q(x) :- P(x), E(x,y), y != 'a'
+//! Q(x) := P(x) | exists y,z . (P(y) & E(y,z) & !P(z))
+//! ```
+
+use crate::dependency::{Body, Dependency, Egd, Tgd};
+use crate::formula::{FAtom, Formula, Term, Var};
+use crate::query::{ConjunctiveQuery, FoQuery, Query, UnionQuery};
+use crate::setting::Setting;
+use dex_core::{Atom, Instance, Schema, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse error with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub msg: String,
+    pub pos: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parsed right-hand side of a dependency: head atoms and equalities.
+type RhsItems = (Vec<FAtom>, Vec<(Term, Term)>);
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    NullName(String),
+    Quoted(String),
+    Number(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Semi,
+    Slash,
+    Arrow,     // ->
+    ColonDash, // :-
+    ColonEq,   // :=
+    Colon,
+    Eq,
+    Neq,
+    Amp,
+    Pipe,
+    Bang,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::NullName(s) => write!(f, "_{s}"),
+            Tok::Quoted(s) => write!(f, "'{s}'"),
+            Tok::Number(s) => write!(f, "{s}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Semi => write!(f, ";"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Arrow => write!(f, "->"),
+            Tok::ColonDash => write!(f, ":-"),
+            Tok::ColonEq => write!(f, ":="),
+            Tok::Colon => write!(f, ":"),
+            Tok::Eq => write!(f, "="),
+            Tok::Neq => write!(f, "!="),
+            Tok::Amp => write!(f, "&"),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Bang => write!(f, "!"),
+        }
+    }
+}
+
+fn lex(input: &str) -> PResult<Vec<(Tok, usize)>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            '{' => {
+                out.push((Tok::LBrace, i));
+                i += 1;
+            }
+            '}' => {
+                out.push((Tok::RBrace, i));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, i));
+                i += 1;
+            }
+            '.' => {
+                out.push((Tok::Dot, i));
+                i += 1;
+            }
+            ';' => {
+                out.push((Tok::Semi, i));
+                i += 1;
+            }
+            '/' => {
+                out.push((Tok::Slash, i));
+                i += 1;
+            }
+            '&' => {
+                out.push((Tok::Amp, i));
+                i += 1;
+            }
+            '|' => {
+                out.push((Tok::Pipe, i));
+                i += 1;
+            }
+            '=' => {
+                out.push((Tok::Eq, i));
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push((Tok::Arrow, i));
+                i += 2;
+            }
+            ':' if bytes.get(i + 1) == Some(&b'-') => {
+                out.push((Tok::ColonDash, i));
+                i += 2;
+            }
+            ':' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push((Tok::ColonEq, i));
+                i += 2;
+            }
+            ':' => {
+                out.push((Tok::Colon, i));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push((Tok::Neq, i));
+                i += 2;
+            }
+            '!' => {
+                out.push((Tok::Bang, i));
+                i += 1;
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError {
+                        msg: "unterminated quoted constant".into(),
+                        pos: i,
+                    });
+                }
+                out.push((Tok::Quoted(input[start..j].to_owned()), i));
+                i = j + 1;
+            }
+            '_' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(ParseError {
+                        msg: "`_` must be followed by a null name".into(),
+                        pos: i,
+                    });
+                }
+                out.push((Tok::NullName(input[start..j].to_owned()), i));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                out.push((Tok::Number(input[start..i].to_owned()), start));
+            }
+            c if c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((Tok::Ident(input[start..i].to_owned()), start));
+            }
+            other => {
+                return Err(ParseError {
+                    msg: format!("unexpected character {other:?}"),
+                    pos: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> PResult<Parser> {
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+            input_len: input.len(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.input_len)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            msg: msg.into(),
+            pos: self.here(),
+        })
+    }
+
+    fn expect(&mut self, want: &Tok) -> PResult<()> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            Some(t) => Err(ParseError {
+                msg: format!("expected `{want}`, found `{t}`"),
+                pos: self.here(),
+            }),
+            None => Err(ParseError {
+                msg: format!("expected `{want}`, found end of input"),
+                pos: self.here(),
+            }),
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(ParseError {
+                msg: format!("expected identifier, found `{t}`"),
+                pos: self.here(),
+            }),
+            None => self.err("expected identifier, found end of input"),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    // ---- terms and formulas (identifiers are variables) ----
+
+    fn term(&mut self) -> PResult<Term> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(Term::var(&s)),
+            Some(Tok::Quoted(s)) => Ok(Term::konst(&s)),
+            Some(Tok::Number(s)) => Ok(Term::konst(&s)),
+            Some(t) => Err(ParseError {
+                msg: format!("expected term, found `{t}`"),
+                pos: self.here(),
+            }),
+            None => self.err("expected term, found end of input"),
+        }
+    }
+
+    fn term_list(&mut self) -> PResult<Vec<Term>> {
+        let mut out = Vec::new();
+        self.expect(&Tok::LParen)?;
+        if self.eat(&Tok::RParen) {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.term()?);
+            if self.eat(&Tok::RParen) {
+                return Ok(out);
+            }
+            self.expect(&Tok::Comma)?;
+        }
+    }
+
+    fn var_list(&mut self) -> PResult<Vec<Var>> {
+        let mut out = vec![Var::new(&self.ident()?)];
+        while self.eat(&Tok::Comma) {
+            out.push(Var::new(&self.ident()?));
+        }
+        Ok(out)
+    }
+
+    /// `formula := or_formula`
+    fn formula(&mut self) -> PResult<Formula> {
+        self.or_formula()
+    }
+
+    fn or_formula(&mut self) -> PResult<Formula> {
+        let mut parts = vec![self.and_formula()?];
+        while self.eat(&Tok::Pipe) {
+            parts.push(self.and_formula()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Formula::Or(parts)
+        })
+    }
+
+    fn and_formula(&mut self) -> PResult<Formula> {
+        let mut parts = vec![self.unary_formula()?];
+        while self.eat(&Tok::Amp) {
+            parts.push(self.unary_formula()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Formula::And(parts)
+        })
+    }
+
+    fn unary_formula(&mut self) -> PResult<Formula> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                Ok(Formula::Not(Box::new(self.unary_formula()?)))
+            }
+            Some(Tok::Ident(kw)) if kw == "exists" || kw == "forall" => {
+                let existential = kw == "exists";
+                self.pos += 1;
+                let vars = self.var_list()?;
+                self.expect(&Tok::Dot)?;
+                // Quantifier bodies extend as far as possible.
+                let body = Box::new(self.formula()?);
+                Ok(if existential {
+                    Formula::Exists(vars, body)
+                } else {
+                    Formula::Forall(vars, body)
+                })
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let f = self.formula()?;
+                self.expect(&Tok::RParen)?;
+                Ok(f)
+            }
+            Some(Tok::Ident(name)) if matches!(self.peek2(), Some(Tok::LParen)) => {
+                let rel = name.clone();
+                self.pos += 1;
+                let args = self.term_list()?;
+                Ok(Formula::Atom(FAtom::new(&rel, args)))
+            }
+            _ => {
+                // term (= | !=) term
+                let lhs = self.term()?;
+                match self.next() {
+                    Some(Tok::Eq) => Ok(Formula::Eq(lhs, self.term()?)),
+                    Some(Tok::Neq) => Ok(Formula::neq(lhs, self.term()?)),
+                    Some(t) => Err(ParseError {
+                        msg: format!("expected `=` or `!=` after term, found `{t}`"),
+                        pos: self.here(),
+                    }),
+                    None => self.err("expected `=` or `!=`, found end of input"),
+                }
+            }
+        }
+    }
+
+    // ---- dependencies ----
+
+    /// One item of a `->` right-hand side: an atom or an equality.
+    fn rhs_items(&mut self) -> PResult<RhsItems> {
+        let mut atoms = Vec::new();
+        let mut eqs = Vec::new();
+        loop {
+            if let (Some(Tok::Ident(name)), Some(Tok::LParen)) = (self.peek(), self.peek2()) {
+                let rel = name.clone();
+                self.pos += 1;
+                let args = self.term_list()?;
+                atoms.push(FAtom::new(&rel, args));
+            } else {
+                let lhs = self.term()?;
+                self.expect(&Tok::Eq)?;
+                let rhs = self.term()?;
+                eqs.push((lhs, rhs));
+            }
+            if !self.eat(&Tok::Amp) {
+                return Ok((atoms, eqs));
+            }
+        }
+    }
+
+    fn dependency(&mut self, default_name: &str) -> PResult<Dependency> {
+        // Optional `name :` label.
+        let name = if let (Some(Tok::Ident(n)), Some(Tok::Colon)) = (self.peek(), self.peek2()) {
+            let n = n.clone();
+            self.pos += 2;
+            n
+        } else {
+            default_name.to_owned()
+        };
+        let body = self.formula()?;
+        self.expect(&Tok::Arrow)?;
+        // exists-headed tgd?
+        if let Some(Tok::Ident(kw)) = self.peek() {
+            if kw == "exists" {
+                self.pos += 1;
+                let exist = self.var_list()?;
+                self.expect(&Tok::Dot)?;
+                let (atoms, eqs) = self.rhs_items()?;
+                if !eqs.is_empty() {
+                    return self.err("equalities are not allowed in a tgd head");
+                }
+                return self.mk_tgd(name, body, exist, atoms);
+            }
+        }
+        let (atoms, eqs) = self.rhs_items()?;
+        match (atoms.is_empty(), eqs.len()) {
+            (false, 0) => self.mk_tgd(name, body, vec![], atoms),
+            (true, 1) => {
+                let (l, r) = eqs.into_iter().next().expect("one equality");
+                let (Term::Var(lv), Term::Var(rv)) = (l, r) else {
+                    return self.err("egd must equate two variables");
+                };
+                let Some(batoms) = body.as_conjunction_of_atoms() else {
+                    return self.err("egd body must be a conjunction of atoms");
+                };
+                let egd = Egd::new(name, batoms, lv, rv).map_err(|e| ParseError {
+                    msg: e.to_string(),
+                    pos: self.here(),
+                })?;
+                Ok(Dependency::Egd(egd))
+            }
+            _ => self.err("dependency head must be atoms (tgd) or a single equality (egd)"),
+        }
+    }
+
+    fn mk_tgd(
+        &self,
+        name: String,
+        body: Formula,
+        exist: Vec<Var>,
+        head: Vec<FAtom>,
+    ) -> PResult<Dependency> {
+        let body = match body.as_conjunction_of_atoms() {
+            Some(atoms) => Body::Conj(atoms),
+            None => Body::Fo(body),
+        };
+        let tgd = Tgd::new(name, body, exist, head).map_err(|e| ParseError {
+            msg: e.to_string(),
+            pos: self.here(),
+        })?;
+        Ok(Dependency::Tgd(tgd))
+    }
+
+    // ---- instances (identifiers are constants, `_x` are nulls) ----
+
+    fn instance(&mut self) -> PResult<Instance> {
+        let mut inst = Instance::new();
+        let mut null_ids: BTreeMap<String, u32> = BTreeMap::new();
+        // Numeric null names keep their number; named nulls get ids above
+        // the largest numeric one.
+        let mut next_named: u32 = self
+            .toks
+            .iter()
+            .filter_map(|(t, _)| match t {
+                Tok::NullName(s) => s.parse::<u32>().ok().map(|n| n + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        while !self.at_end() {
+            let rel = self.ident()?;
+            self.expect(&Tok::LParen)?;
+            let mut args: Vec<Value> = Vec::new();
+            if !self.eat(&Tok::RParen) {
+                loop {
+                    let v = match self.next() {
+                        Some(Tok::Ident(s)) | Some(Tok::Quoted(s)) | Some(Tok::Number(s)) => {
+                            Value::konst(&s)
+                        }
+                        Some(Tok::NullName(s)) => {
+                            let id = match s.parse::<u32>() {
+                                Ok(n) => n,
+                                Err(_) => *null_ids.entry(s).or_insert_with(|| {
+                                    let id = next_named;
+                                    next_named += 1;
+                                    id
+                                }),
+                            };
+                            Value::null(id)
+                        }
+                        Some(t) => {
+                            return Err(ParseError {
+                                msg: format!("expected value, found `{t}`"),
+                                pos: self.here(),
+                            })
+                        }
+                        None => return self.err("expected value, found end of input"),
+                    };
+                    args.push(v);
+                    if self.eat(&Tok::RParen) {
+                        break;
+                    }
+                    self.expect(&Tok::Comma)?;
+                }
+            }
+            inst.insert(Atom::of(&rel, args));
+            // Atoms may be separated by `.`, `,`, `;`, or nothing.
+            while self.eat(&Tok::Dot) || self.eat(&Tok::Comma) || self.eat(&Tok::Semi) {}
+        }
+        Ok(inst)
+    }
+
+    // ---- settings ----
+
+    fn schema_block(&mut self) -> PResult<Schema> {
+        self.expect(&Tok::LBrace)?;
+        let mut schema = Schema::new();
+        if self.eat(&Tok::RBrace) {
+            return Ok(schema);
+        }
+        loop {
+            let name = self.ident()?;
+            self.expect(&Tok::Slash)?;
+            let arity = match self.next() {
+                Some(Tok::Number(n)) => n.parse::<usize>().map_err(|_| ParseError {
+                    msg: "arity out of range".into(),
+                    pos: self.here(),
+                })?,
+                _ => return self.err("expected arity after `/`"),
+            };
+            schema.add(dex_core::Symbol::intern(&name), arity);
+            if self.eat(&Tok::RBrace) {
+                return Ok(schema);
+            }
+            self.expect(&Tok::Comma)?;
+            if self.eat(&Tok::RBrace) {
+                return Ok(schema);
+            }
+        }
+    }
+
+    fn dep_block(&mut self, prefix: &str) -> PResult<Vec<Dependency>> {
+        self.expect(&Tok::LBrace)?;
+        let mut deps = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let default = format!("{prefix}{}", deps.len() + 1);
+            deps.push(self.dependency(&default)?);
+            if !self.eat(&Tok::Semi) {
+                self.expect(&Tok::RBrace)?;
+                break;
+            }
+        }
+        Ok(deps)
+    }
+
+    fn setting(&mut self) -> PResult<Setting> {
+        let kw = self.ident()?;
+        if kw != "source" {
+            return self.err("setting must start with `source { ... }`");
+        }
+        let source = self.schema_block()?;
+        let kw = self.ident()?;
+        if kw != "target" {
+            return self.err("expected `target { ... }`");
+        }
+        let target = self.schema_block()?;
+        let mut st: Vec<Dependency> = Vec::new();
+        let mut tdeps: Vec<Dependency> = Vec::new();
+        while let Some(Tok::Ident(kw)) = self.peek() {
+            match kw.as_str() {
+                "st" => {
+                    self.pos += 1;
+                    st = self.dep_block("st")?;
+                }
+                "t" => {
+                    self.pos += 1;
+                    tdeps = self.dep_block("t")?;
+                }
+                other => {
+                    return self.err(format!("unexpected block `{other}`"));
+                }
+            }
+        }
+        let mut st_tgds = Vec::new();
+        for d in st {
+            match d {
+                Dependency::Tgd(t) => st_tgds.push(t),
+                Dependency::Egd(e) => {
+                    return self.err(format!("egd `{}` not allowed in the st block", e.name))
+                }
+            }
+        }
+        let mut t_tgds = Vec::new();
+        let mut egds = Vec::new();
+        for d in tdeps {
+            match d {
+                Dependency::Tgd(t) => t_tgds.push(t),
+                Dependency::Egd(e) => egds.push(e),
+            }
+        }
+        Setting::new(source, target, st_tgds, t_tgds, egds).map_err(|e| ParseError {
+            msg: e.to_string(),
+            pos: self.here(),
+        })
+    }
+
+    // ---- queries ----
+
+    fn query(&mut self) -> PResult<Query> {
+        let mut cqs: Vec<ConjunctiveQuery> = Vec::new();
+        loop {
+            let _name = self.ident()?; // query head name, e.g. Q
+            let head_terms = self.term_list()?;
+            let head_vars: Vec<Var> = head_terms
+                .iter()
+                .map(|t| {
+                    t.as_var().ok_or_else(|| ParseError {
+                        msg: "query head arguments must be variables".into(),
+                        pos: self.here(),
+                    })
+                })
+                .collect::<PResult<_>>()?;
+            match self.next() {
+                Some(Tok::ColonEq) => {
+                    if !cqs.is_empty() {
+                        return self.err("FO queries cannot be mixed with `:-` clauses");
+                    }
+                    let f = self.formula()?;
+                    let q = FoQuery::new(head_vars, f).map_err(|e| ParseError {
+                        msg: e.to_string(),
+                        pos: self.here(),
+                    })?;
+                    if !self.at_end() {
+                        return self.err("unexpected trailing input after FO query");
+                    }
+                    return Ok(Query::Fo(q));
+                }
+                Some(Tok::ColonDash) => {
+                    let mut atoms = Vec::new();
+                    let mut neqs = Vec::new();
+                    loop {
+                        if let (Some(Tok::Ident(name)), Some(Tok::LParen)) =
+                            (self.peek(), self.peek2())
+                        {
+                            let rel = name.clone();
+                            self.pos += 1;
+                            let args = self.term_list()?;
+                            atoms.push(FAtom::new(&rel, args));
+                        } else {
+                            let lhs = self.term()?;
+                            self.expect(&Tok::Neq)?;
+                            let rhs = self.term()?;
+                            neqs.push((lhs, rhs));
+                        }
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    let cq =
+                        ConjunctiveQuery::new(head_vars, atoms, neqs).map_err(|e| ParseError {
+                            msg: e.to_string(),
+                            pos: self.here(),
+                        })?;
+                    cqs.push(cq);
+                    if self.eat(&Tok::Semi) {
+                        if self.at_end() {
+                            break; // trailing semicolon
+                        }
+                        continue;
+                    }
+                    if !self.at_end() {
+                        return self.err("expected `;` between query clauses");
+                    }
+                    break;
+                }
+                _ => return self.err("expected `:-` or `:=` after query head"),
+            }
+        }
+        if cqs.len() == 1 {
+            Ok(Query::Cq(cqs.pop().expect("one clause")))
+        } else {
+            let u = UnionQuery::new(cqs).map_err(|e| ParseError {
+                msg: e.to_string(),
+                pos: self.here(),
+            })?;
+            Ok(Query::Ucq(u))
+        }
+    }
+}
+
+/// Parses an instance; bare identifiers and numbers are constants, `_k`
+/// (numeric) and `_name` are nulls.
+pub fn parse_instance(text: &str) -> PResult<Instance> {
+    let mut p = Parser::new(text)?;
+    let i = p.instance()?;
+    Ok(i)
+}
+
+/// Parses a single dependency (tgd or egd); identifiers are variables,
+/// quoted/numeric literals are constants.
+pub fn parse_dependency(text: &str) -> PResult<Dependency> {
+    let mut p = Parser::new(text)?;
+    let d = p.dependency("d")?;
+    if !p.at_end() {
+        return p.err("unexpected trailing input after dependency");
+    }
+    Ok(d)
+}
+
+/// Parses an FO formula.
+pub fn parse_formula(text: &str) -> PResult<Formula> {
+    let mut p = Parser::new(text)?;
+    let f = p.formula()?;
+    if !p.at_end() {
+        return p.err("unexpected trailing input after formula");
+    }
+    Ok(f)
+}
+
+/// Parses a full data exchange setting.
+pub fn parse_setting(text: &str) -> PResult<Setting> {
+    let mut p = Parser::new(text)?;
+    let s = p.setting()?;
+    if !p.at_end() {
+        return p.err("unexpected trailing input after setting");
+    }
+    Ok(s)
+}
+
+/// Parses a query: `Q(x̄) :- …` clauses (CQ/UCQ) or `Q(x̄) := formula` (FO).
+pub fn parse_query(text: &str) -> PResult<Query> {
+    let mut p = Parser::new(text)?;
+    p.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_instances_with_constants_and_nulls() {
+        let i = parse_instance("M(a,b). N(a,b). N(a,c). F(a,_1). G(_1,_2).").unwrap();
+        assert_eq!(i.len(), 5);
+        assert!(i.contains(&Atom::of("F", vec![Value::konst("a"), Value::null(1)])));
+        assert!(i.contains(&Atom::of("G", vec![Value::null(1), Value::null(2)])));
+    }
+
+    #[test]
+    fn named_nulls_are_consistent_and_distinct() {
+        let i = parse_instance("E(_u,_v). F(_u).").unwrap();
+        let nulls = i.nulls();
+        assert_eq!(nulls.len(), 2);
+        // _u occurs in both atoms with the same id.
+        let e_row: Vec<Value> = i.rows_of("E".into()).next().unwrap().to_vec();
+        let f_row: Vec<Value> = i.rows_of("F".into()).next().unwrap().to_vec();
+        assert_eq!(e_row[0], f_row[0]);
+        assert_ne!(e_row[0], e_row[1]);
+    }
+
+    #[test]
+    fn named_nulls_do_not_collide_with_numeric() {
+        let i = parse_instance("E(_3,_x).").unwrap();
+        let row: Vec<Value> = i.rows_of("E".into()).next().unwrap().to_vec();
+        assert_eq!(row[0], Value::null(3));
+        assert_eq!(row[1], Value::null(4)); // above the largest numeric
+    }
+
+    #[test]
+    fn parses_tgd_with_existentials() {
+        let d = parse_dependency("N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2)").unwrap();
+        let Dependency::Tgd(t) = d else { panic!("expected tgd") };
+        assert_eq!(t.exist_vars.len(), 2);
+        assert_eq!(t.head.len(), 2);
+        assert_eq!(format!("{t}"), "N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2)");
+    }
+
+    #[test]
+    fn parses_full_tgd_and_egd() {
+        let d = parse_dependency("M(x1,x2) -> E(x1,x2)").unwrap();
+        assert!(matches!(d, Dependency::Tgd(ref t) if t.is_full()));
+        let e = parse_dependency("F(x,y) & F(x,z) -> y = z").unwrap();
+        assert!(matches!(e, Dependency::Egd(_)));
+    }
+
+    #[test]
+    fn parses_named_dependency() {
+        let d = parse_dependency("d4: F(x,y) & F(x,z) -> y = z").unwrap();
+        assert_eq!(d.name(), "d4");
+    }
+
+    #[test]
+    fn parses_fo_body_tgd() {
+        let d = parse_dependency("V(x) & !P(x) -> Marked(x)").unwrap();
+        let Dependency::Tgd(t) = d else { panic!("expected tgd") };
+        assert!(matches!(t.body, Body::Fo(_)));
+    }
+
+    #[test]
+    fn parses_formula_with_precedence() {
+        let f = parse_formula("P(x) | exists y,z . (P(y) & E(y,z) & !P(z))").unwrap();
+        let Formula::Or(parts) = &f else { panic!("expected or") };
+        assert_eq!(parts.len(), 2);
+        assert_eq!(f.free_vars(), vec![Var::new("x")]);
+    }
+
+    #[test]
+    fn quantifier_extends_right() {
+        let f = parse_formula("exists y . P(y) & Q(y)").unwrap();
+        let Formula::Exists(_, body) = &f else { panic!("expected exists") };
+        assert!(matches!(body.as_ref(), Formula::And(_)));
+        assert!(f.free_vars().is_empty());
+    }
+
+    #[test]
+    fn parses_example_2_1_setting() {
+        let s = parse_setting(
+            "source { M/2, N/2 }
+             target { E/2, F/2, G/2 }
+             st {
+               d1: M(x1,x2) -> E(x1,x2);
+               d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+             }
+             t {
+               d3: F(y,x) -> exists z . G(x,z);
+               d4: F(x,y) & F(x,z) -> y = z;
+             }",
+        )
+        .unwrap();
+        assert_eq!(s.st_tgds.len(), 2);
+        assert_eq!(s.t_tgds.len(), 1);
+        assert_eq!(s.egds.len(), 1);
+        assert_eq!(s.t_tgds[0].name, "d3");
+    }
+
+    #[test]
+    fn setting_rejects_egd_in_st_block() {
+        let r = parse_setting(
+            "source { F/2 } target { G/2 }
+             st { F(x,y) & F(x,z) -> y = z; }",
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn parses_cq_with_inequality() {
+        let q = parse_query("Q(x) :- P(x), E(x,y), y != 'a'").unwrap();
+        let Query::Cq(cq) = q else { panic!("expected CQ") };
+        assert_eq!(cq.arity(), 1);
+        assert_eq!(cq.inequality_count(), 1);
+    }
+
+    #[test]
+    fn parses_ucq() {
+        let q = parse_query("Q(x) :- P(x); Q(x) :- R(x,y)").unwrap();
+        let Query::Ucq(u) = q else { panic!("expected UCQ") };
+        assert_eq!(u.disjuncts.len(), 2);
+        assert!(u.is_plain());
+    }
+
+    #[test]
+    fn parses_boolean_query() {
+        let q = parse_query("Q() :- E(x,y), F(y,z)").unwrap();
+        assert_eq!(q.arity(), 0);
+    }
+
+    #[test]
+    fn parses_fo_query() {
+        let q = parse_query("Q(x) := P(x) | exists y,z . (P(y) & E(y,z) & !P(z))").unwrap();
+        let Query::Fo(fo) = q else { panic!("expected FO") };
+        assert_eq!(fo.arity(), 1);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_formula("P(x) &").unwrap_err();
+        assert!(err.pos >= 6);
+        let err2 = parse_instance("E(a,").unwrap_err();
+        assert!(err2.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let i = parse_instance("// a comment\nE(a,b). # another\nF(c).").unwrap();
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn numbers_are_constants_in_queries_and_instances() {
+        let i = parse_instance("P(1). P(2).").unwrap();
+        assert!(i.contains(&Atom::of("P", vec![Value::konst("1")])));
+        let q = parse_query("Q(x) :- B(x,y), y != 1").unwrap();
+        let Query::Cq(cq) = q else { panic!() };
+        assert_eq!(cq.inequalities[0].1, Term::konst("1"));
+    }
+
+    #[test]
+    fn empty_args_atom() {
+        let q = parse_query("Q() :- P(x)").unwrap();
+        assert_eq!(q.arity(), 0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Query ASTs: conjunctive queries (optionally with inequalities), unions
+//! of conjunctive queries, and first-order queries (Section 7).
+//!
+//! Evaluation and the four CWA answer semantics live in `dex-query`; this
+//! module only defines well-formedness.
+
+use crate::formula::{FAtom, Formula, Term, Var};
+use dex_core::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors raised when validating queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A head variable does not occur in any body atom (unsafe query).
+    UnsafeHeadVariable(Var),
+    /// An inequality uses a variable not occurring in any body atom.
+    UnsafeInequalityVariable(Var),
+    /// The disjuncts of a UCQ disagree on head arity.
+    MixedHeadArity,
+    /// A FO query's head variables are not exactly the free variables.
+    HeadFreeVarMismatch,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnsafeHeadVariable(v) => {
+                write!(f, "head variable {v} does not occur in the body")
+            }
+            QueryError::UnsafeInequalityVariable(v) => {
+                write!(f, "inequality variable {v} does not occur in any atom")
+            }
+            QueryError::MixedHeadArity => write!(f, "UCQ disjuncts have different head arities"),
+            QueryError::HeadFreeVarMismatch => {
+                write!(f, "FO query head variables must be exactly the free variables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A conjunctive query with (optional) inequalities:
+/// `Q(x̄) :- A₁, …, A_m, s₁ ≠ t₁, …, s_k ≠ t_k`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    pub head_vars: Vec<Var>,
+    pub atoms: Vec<FAtom>,
+    pub inequalities: Vec<(Term, Term)>,
+}
+
+impl ConjunctiveQuery {
+    pub fn new(
+        head_vars: Vec<Var>,
+        atoms: Vec<FAtom>,
+        inequalities: Vec<(Term, Term)>,
+    ) -> Result<ConjunctiveQuery, QueryError> {
+        let body_vars: BTreeSet<Var> = atoms.iter().flat_map(|a| a.vars()).collect();
+        for &v in &head_vars {
+            if !body_vars.contains(&v) {
+                return Err(QueryError::UnsafeHeadVariable(v));
+            }
+        }
+        for (s, t) in &inequalities {
+            for term in [s, t] {
+                if let Some(v) = term.as_var() {
+                    if !body_vars.contains(&v) {
+                        return Err(QueryError::UnsafeInequalityVariable(v));
+                    }
+                }
+            }
+        }
+        Ok(ConjunctiveQuery {
+            head_vars,
+            atoms,
+            inequalities,
+        })
+    }
+
+    /// Head arity.
+    pub fn arity(&self) -> usize {
+        self.head_vars.len()
+    }
+
+    /// True iff the query has no inequalities (a plain CQ).
+    pub fn is_plain(&self) -> bool {
+        self.inequalities.is_empty()
+    }
+
+    /// Number of inequalities.
+    pub fn inequality_count(&self) -> usize {
+        self.inequalities.len()
+    }
+
+    /// The constants mentioned anywhere in the query.
+    pub fn constants(&self) -> BTreeSet<Symbol> {
+        let mut out: BTreeSet<Symbol> = self.atoms.iter().flat_map(|a| a.constants()).collect();
+        for (s, t) in &self.inequalities {
+            for term in [s, t] {
+                if let Term::Const(c) = term {
+                    out.insert(*c);
+                }
+            }
+        }
+        out
+    }
+
+    /// The relation symbols mentioned in the body.
+    pub fn relations(&self) -> BTreeSet<Symbol> {
+        self.atoms.iter().map(|a| a.rel).collect()
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q(")?;
+        for (i, v) in self.head_vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        for (s, t) in &self.inequalities {
+            write!(f, ", {s} != {t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A union of conjunctive queries (each disjunct may carry inequalities).
+#[derive(Clone, PartialEq, Eq)]
+pub struct UnionQuery {
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionQuery {
+    pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> Result<UnionQuery, QueryError> {
+        if let Some(first) = disjuncts.first() {
+            if disjuncts.iter().any(|d| d.arity() != first.arity()) {
+                return Err(QueryError::MixedHeadArity);
+            }
+        }
+        Ok(UnionQuery { disjuncts })
+    }
+
+    pub fn arity(&self) -> usize {
+        self.disjuncts.first().map_or(0, ConjunctiveQuery::arity)
+    }
+
+    /// True iff no disjunct has an inequality (a plain UCQ).
+    pub fn is_plain(&self) -> bool {
+        self.disjuncts.iter().all(ConjunctiveQuery::is_plain)
+    }
+
+    /// True iff each disjunct has at most one inequality (the class of
+    /// Table 1's middle column).
+    pub fn at_most_one_inequality_per_disjunct(&self) -> bool {
+        self.disjuncts.iter().all(|d| d.inequality_count() <= 1)
+    }
+
+    pub fn constants(&self) -> BTreeSet<Symbol> {
+        self.disjuncts.iter().flat_map(|d| d.constants()).collect()
+    }
+}
+
+impl fmt::Display for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ; ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A first-order query: head variables plus an FO formula whose free
+/// variables are exactly the head variables.
+#[derive(Clone, PartialEq, Eq)]
+pub struct FoQuery {
+    pub head_vars: Vec<Var>,
+    pub formula: Formula,
+}
+
+impl FoQuery {
+    pub fn new(head_vars: Vec<Var>, formula: Formula) -> Result<FoQuery, QueryError> {
+        let free: BTreeSet<Var> = formula.free_vars().into_iter().collect();
+        let heads: BTreeSet<Var> = head_vars.iter().copied().collect();
+        if free != heads || heads.len() != head_vars.len() {
+            return Err(QueryError::HeadFreeVarMismatch);
+        }
+        Ok(FoQuery { head_vars, formula })
+    }
+
+    pub fn arity(&self) -> usize {
+        self.head_vars.len()
+    }
+}
+
+impl fmt::Display for FoQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q(")?;
+        for (i, v) in self.head_vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") := {}", self.formula)
+    }
+}
+
+impl fmt::Debug for FoQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Any query the system answers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Query {
+    Cq(ConjunctiveQuery),
+    Ucq(UnionQuery),
+    Fo(FoQuery),
+}
+
+impl Query {
+    pub fn arity(&self) -> usize {
+        match self {
+            Query::Cq(q) => q.arity(),
+            Query::Ucq(q) => q.arity(),
+            Query::Fo(q) => q.arity(),
+        }
+    }
+
+    /// True iff the query is a plain UCQ (no inequalities, no FO
+    /// features) — the class for which Theorem 7.6 gives PTIME certain
+    /// answers.
+    pub fn is_plain_ucq(&self) -> bool {
+        match self {
+            Query::Cq(q) => q.is_plain(),
+            Query::Ucq(q) => q.is_plain(),
+            Query::Fo(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Cq(q) => write!(f, "{q}"),
+            Query::Ucq(q) => write!(f, "{q}"),
+            Query::Fo(q) => write!(f, "{q}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(name: &str) -> Term {
+        Term::var(name)
+    }
+
+    fn v(name: &str) -> Var {
+        Var::new(name)
+    }
+
+    #[test]
+    fn cq_construction_and_classification() {
+        let q = ConjunctiveQuery::new(
+            vec![v("x")],
+            vec![
+                FAtom::new("E", vec![t("x"), t("y")]),
+                FAtom::new("P", vec![t("y")]),
+            ],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(q.arity(), 1);
+        assert!(q.is_plain());
+        assert_eq!(q.relations().len(), 2);
+    }
+
+    #[test]
+    fn cq_with_inequality() {
+        let q = ConjunctiveQuery::new(
+            vec![],
+            vec![FAtom::new("B", vec![t("x"), t("b")])],
+            vec![(t("b"), Term::konst("1"))],
+        )
+        .unwrap();
+        assert!(!q.is_plain());
+        assert_eq!(q.inequality_count(), 1);
+        assert!(q.constants().contains(&Symbol::intern("1")));
+    }
+
+    #[test]
+    fn unsafe_head_rejected() {
+        let err = ConjunctiveQuery::new(vec![v("w")], vec![FAtom::new("P", vec![t("x")])], vec![])
+            .unwrap_err();
+        assert_eq!(err, QueryError::UnsafeHeadVariable(v("w")));
+    }
+
+    #[test]
+    fn unsafe_inequality_rejected() {
+        let err = ConjunctiveQuery::new(
+            vec![],
+            vec![FAtom::new("P", vec![t("x")])],
+            vec![(t("x"), t("zz"))],
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::UnsafeInequalityVariable(v("zz")));
+    }
+
+    #[test]
+    fn ucq_arity_agreement() {
+        let q1 = ConjunctiveQuery::new(vec![v("x")], vec![FAtom::new("P", vec![t("x")])], vec![])
+            .unwrap();
+        let q2 = ConjunctiveQuery::new(
+            vec![v("x"), v("y")],
+            vec![FAtom::new("E", vec![t("x"), t("y")])],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(
+            UnionQuery::new(vec![q1.clone(), q2]).unwrap_err(),
+            QueryError::MixedHeadArity
+        );
+        let u = UnionQuery::new(vec![q1.clone(), q1]).unwrap();
+        assert!(u.is_plain());
+        assert!(u.at_most_one_inequality_per_disjunct());
+    }
+
+    #[test]
+    fn fo_query_head_must_match_free_vars() {
+        let phi = Formula::Atom(FAtom::new("P", vec![t("x")]));
+        assert!(FoQuery::new(vec![v("x")], phi.clone()).is_ok());
+        assert_eq!(
+            FoQuery::new(vec![], phi).unwrap_err(),
+            QueryError::HeadFreeVarMismatch
+        );
+    }
+
+    #[test]
+    fn query_classification() {
+        let cq = ConjunctiveQuery::new(vec![v("x")], vec![FAtom::new("P", vec![t("x")])], vec![])
+            .unwrap();
+        assert!(Query::Cq(cq.clone()).is_plain_ucq());
+        let with_neq = ConjunctiveQuery::new(
+            vec![v("x")],
+            vec![FAtom::new("P", vec![t("x")])],
+            vec![(t("x"), Term::konst("a"))],
+        )
+        .unwrap();
+        assert!(!Query::Cq(with_neq).is_plain_ucq());
+    }
+
+    #[test]
+    fn display_shapes() {
+        let q = ConjunctiveQuery::new(
+            vec![v("x")],
+            vec![FAtom::new("E", vec![t("x"), t("y")])],
+            vec![(t("y"), Term::konst("a"))],
+        )
+        .unwrap();
+        assert_eq!(format!("{q}"), "Q(x) :- E(x,y), y != 'a'");
+    }
+}

@@ -1,0 +1,401 @@
+//! Data exchange settings `D = (σ, τ, Σ_st, Σ_t)` (Section 2).
+
+use crate::dependency::{Body, Dependency, Egd, Tgd};
+use dex_core::{Instance, Schema, SchemaError, Symbol};
+use std::fmt;
+
+/// Errors raised when assembling a setting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SettingError {
+    Schema(SchemaError),
+    /// An s-t tgd body mentions a non-source relation, or a head mentions a
+    /// non-target relation, etc.
+    WrongVocabulary {
+        dependency: String,
+        rel: Symbol,
+        expected: &'static str,
+    },
+    /// A target tgd whose body is not a conjunction of relational atoms.
+    NonConjunctiveTargetBody { dependency: String },
+}
+
+impl fmt::Display for SettingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SettingError::Schema(e) => write!(f, "{e}"),
+            SettingError::WrongVocabulary {
+                dependency,
+                rel,
+                expected,
+            } => write!(
+                f,
+                "dependency {dependency}: relation {rel} is not in the {expected} schema"
+            ),
+            SettingError::NonConjunctiveTargetBody { dependency } => write!(
+                f,
+                "target tgd {dependency} must have a conjunctive body"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SettingError {}
+
+impl From<SchemaError> for SettingError {
+    fn from(e: SchemaError) -> SettingError {
+        SettingError::Schema(e)
+    }
+}
+
+/// A data exchange setting `D = (σ, τ, Σ_st, Σ_t)` where `Σ_t` splits into
+/// target tgds and egds.
+#[derive(Clone)]
+pub struct Setting {
+    pub source: Schema,
+    pub target: Schema,
+    pub st_tgds: Vec<Tgd>,
+    pub t_tgds: Vec<Tgd>,
+    pub egds: Vec<Egd>,
+}
+
+impl Setting {
+    /// Assembles and validates a setting: schemas must be disjoint, s-t tgd
+    /// bodies must be over `σ` and heads over `τ`, target dependencies must
+    /// be over `τ` with conjunctive bodies, and all atom arities must match
+    /// the schemas.
+    pub fn new(
+        source: Schema,
+        target: Schema,
+        st_tgds: Vec<Tgd>,
+        t_tgds: Vec<Tgd>,
+        egds: Vec<Egd>,
+    ) -> Result<Setting, SettingError> {
+        source.check_disjoint(&target)?;
+        let check_rel = |dep: &str, rel: Symbol, arity: usize, schema: &Schema, which: &'static str| {
+            match schema.arity(rel) {
+                None => Err(SettingError::WrongVocabulary {
+                    dependency: dep.to_owned(),
+                    rel,
+                    expected: which,
+                }),
+                Some(a) if a != arity => Err(SettingError::Schema(SchemaError::ArityMismatch {
+                    rel,
+                    expected: a,
+                    found: arity,
+                })),
+                Some(_) => Ok(()),
+            }
+        };
+        for d in &st_tgds {
+            for rel in d.body.relations() {
+                // Arity of FO body atoms is not tracked per-atom here; check
+                // membership and rely on atom-level checks for Conj bodies.
+                if !source.contains(rel) {
+                    return Err(SettingError::WrongVocabulary {
+                        dependency: d.name.clone(),
+                        rel,
+                        expected: "source",
+                    });
+                }
+            }
+            if let Body::Conj(atoms) = &d.body {
+                for a in atoms {
+                    check_rel(&d.name, a.rel, a.args.len(), &source, "source")?;
+                }
+            }
+            for a in &d.head {
+                check_rel(&d.name, a.rel, a.args.len(), &target, "target")?;
+            }
+        }
+        for d in &t_tgds {
+            let Body::Conj(atoms) = &d.body else {
+                return Err(SettingError::NonConjunctiveTargetBody {
+                    dependency: d.name.clone(),
+                });
+            };
+            for a in atoms {
+                check_rel(&d.name, a.rel, a.args.len(), &target, "target")?;
+            }
+            for a in &d.head {
+                check_rel(&d.name, a.rel, a.args.len(), &target, "target")?;
+            }
+        }
+        for d in &egds {
+            for a in &d.body {
+                check_rel(&d.name, a.rel, a.args.len(), &target, "target")?;
+            }
+        }
+        Ok(Setting {
+            source,
+            target,
+            st_tgds,
+            t_tgds,
+            egds,
+        })
+    }
+
+    /// The combined schema `ρ = σ ∪ τ`.
+    pub fn combined_schema(&self) -> Schema {
+        self.source
+            .union(&self.target)
+            .expect("source and target schemas are disjoint")
+    }
+
+    /// All target dependencies `Σ_t`.
+    pub fn target_dependencies(&self) -> impl Iterator<Item = Dependency> + '_ {
+        self.t_tgds
+            .iter()
+            .cloned()
+            .map(Dependency::Tgd)
+            .chain(self.egds.iter().cloned().map(Dependency::Egd))
+    }
+
+    /// All tgds (`Σ_st ∪ Σ_t`'s tgds), s-t first.
+    pub fn all_tgds(&self) -> impl Iterator<Item = &Tgd> + '_ {
+        self.st_tgds.iter().chain(self.t_tgds.iter())
+    }
+
+    /// True iff `Σ_t = ∅`.
+    pub fn has_no_target_deps(&self) -> bool {
+        self.t_tgds.is_empty() && self.egds.is_empty()
+    }
+
+    /// True iff every target tgd is full (Proposition 5.4's second case
+    /// also requires full s-t tgds — see [`Setting::is_full_st`]).
+    pub fn target_tgds_are_full(&self) -> bool {
+        self.t_tgds.iter().all(Tgd::is_full)
+    }
+
+    /// True iff every s-t tgd is full.
+    pub fn is_full_st(&self) -> bool {
+        self.st_tgds.iter().all(Tgd::is_full)
+    }
+
+    /// Validates that `s` is a source instance: over `σ`, constants only.
+    pub fn check_source(&self, s: &Instance) -> Result<(), SchemaError> {
+        s.check_against(&self.source)?;
+        if !s.is_ground() {
+            // Reuse SchemaError? A dedicated message is clearer.
+            panic!("source instances must not contain nulls: {s}");
+        }
+        Ok(())
+    }
+
+    /// `S ∪ T ⊨ Σ_st`: bodies are evaluated over the source (active-domain
+    /// relativization w.r.t. `σ`, footnote 2), heads over the target.
+    pub fn satisfies_st(&self, s: &Instance, t: &Instance) -> bool {
+        self.st_tgds.iter().all(|d| d.satisfied_across(s, t))
+    }
+
+    /// `T ⊨ Σ_t`.
+    pub fn satisfies_target(&self, t: &Instance) -> bool {
+        self.t_tgds.iter().all(|d| d.satisfied(t)) && self.egds.iter().all(|d| d.satisfied(t))
+    }
+
+    /// True iff `t` is a solution for `s` under this setting.
+    pub fn is_solution(&self, s: &Instance, t: &Instance) -> bool {
+        t.check_against(&self.target).is_ok()
+            && self.satisfies_st(s, t)
+            && self.satisfies_target(t)
+    }
+}
+
+impl fmt::Display for Setting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "source {}", self.source)?;
+        writeln!(f, "target {}", self.target)?;
+        for d in &self.st_tgds {
+            writeln!(f, "  st  [{}] {}", d.name, d)?;
+        }
+        for d in &self.t_tgds {
+            writeln!(f, "  tgd [{}] {}", d.name, d)?;
+        }
+        for d in &self.egds {
+            writeln!(f, "  egd [{}] {}", d.name, d)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Setting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{FAtom, Term, Var};
+    use dex_core::{Atom, Value};
+
+    fn t(name: &str) -> Term {
+        Term::var(name)
+    }
+
+    /// The setting of Example 2.1.
+    pub(crate) fn example_2_1() -> Setting {
+        let source = Schema::of(&[("M", 2), ("N", 2)]);
+        let target = Schema::of(&[("E", 2), ("F", 2), ("G", 2)]);
+        let d1 = Tgd::new(
+            "d1",
+            Body::Conj(vec![FAtom::new("M", vec![t("x1"), t("x2")])]),
+            vec![],
+            vec![FAtom::new("E", vec![t("x1"), t("x2")])],
+        )
+        .unwrap();
+        let d2 = Tgd::new(
+            "d2",
+            Body::Conj(vec![FAtom::new("N", vec![t("x"), t("y")])]),
+            vec![Var::new("z1"), Var::new("z2")],
+            vec![
+                FAtom::new("E", vec![t("x"), t("z1")]),
+                FAtom::new("F", vec![t("x"), t("z2")]),
+            ],
+        )
+        .unwrap();
+        let d3 = Tgd::new(
+            "d3",
+            Body::Conj(vec![FAtom::new("F", vec![t("y"), t("x")])]),
+            vec![Var::new("z")],
+            vec![FAtom::new("G", vec![t("x"), t("z")])],
+        )
+        .unwrap();
+        let d4 = Egd::new(
+            "d4",
+            vec![
+                FAtom::new("F", vec![t("x"), t("y")]),
+                FAtom::new("F", vec![t("x"), t("z")]),
+            ],
+            Var::new("y"),
+            Var::new("z"),
+        )
+        .unwrap();
+        Setting::new(source, target, vec![d1, d2], vec![d3], vec![d4]).unwrap()
+    }
+
+    fn s_star() -> Instance {
+        Instance::from_atoms([
+            Atom::of("M", vec![Value::konst("a"), Value::konst("b")]),
+            Atom::of("N", vec![Value::konst("a"), Value::konst("b")]),
+            Atom::of("N", vec![Value::konst("a"), Value::konst("c")]),
+        ])
+    }
+
+    #[test]
+    fn example_2_1_validates() {
+        let d = example_2_1();
+        assert_eq!(d.st_tgds.len(), 2);
+        assert_eq!(d.t_tgds.len(), 1);
+        assert_eq!(d.egds.len(), 1);
+        assert!(d.check_source(&s_star()).is_ok());
+    }
+
+    #[test]
+    fn t2_is_a_solution() {
+        let d = example_2_1();
+        let t2 = Instance::from_atoms([
+            Atom::of("E", vec![Value::konst("a"), Value::konst("b")]),
+            Atom::of("E", vec![Value::konst("a"), Value::null(1)]),
+            Atom::of("E", vec![Value::konst("a"), Value::null(2)]),
+            Atom::of("F", vec![Value::konst("a"), Value::null(3)]),
+            Atom::of("G", vec![Value::null(3), Value::null(4)]),
+        ]);
+        assert!(d.is_solution(&s_star(), &t2));
+    }
+
+    #[test]
+    fn t3_is_a_solution() {
+        let d = example_2_1();
+        let t3 = Instance::from_atoms([
+            Atom::of("E", vec![Value::konst("a"), Value::konst("b")]),
+            Atom::of("F", vec![Value::konst("a"), Value::null(1)]),
+            Atom::of("G", vec![Value::null(1), Value::null(2)]),
+        ]);
+        assert!(d.is_solution(&s_star(), &t3));
+    }
+
+    #[test]
+    fn missing_g_atom_is_not_a_solution() {
+        let d = example_2_1();
+        let t = Instance::from_atoms([
+            Atom::of("E", vec![Value::konst("a"), Value::konst("b")]),
+            Atom::of("F", vec![Value::konst("a"), Value::null(1)]),
+        ]);
+        assert!(!d.is_solution(&s_star(), &t)); // d3 violated
+    }
+
+    #[test]
+    fn egd_violation_is_not_a_solution() {
+        let d = example_2_1();
+        let t = Instance::from_atoms([
+            Atom::of("E", vec![Value::konst("a"), Value::konst("b")]),
+            Atom::of("E", vec![Value::konst("a"), Value::null(1)]),
+            Atom::of("F", vec![Value::konst("a"), Value::konst("c")]),
+            Atom::of("F", vec![Value::konst("a"), Value::konst("d")]),
+            Atom::of("G", vec![Value::konst("c"), Value::null(2)]),
+            Atom::of("G", vec![Value::konst("d"), Value::null(3)]),
+        ]);
+        assert!(!d.is_solution(&s_star(), &t)); // d4 violated: F(a,c), F(a,d)
+    }
+
+    #[test]
+    fn libkin_cwa_presolutions_without_target_deps_are_no_solutions_here() {
+        // The Section 3 point: {E(a,b), E(a,_1), E(a,_2), F(a,_3)} satisfies
+        // Σ_st but not Σ_t (no G-atom for F(a,_3)).
+        let d = example_2_1();
+        let t = Instance::from_atoms([
+            Atom::of("E", vec![Value::konst("a"), Value::konst("b")]),
+            Atom::of("E", vec![Value::konst("a"), Value::null(1)]),
+            Atom::of("E", vec![Value::konst("a"), Value::null(2)]),
+            Atom::of("F", vec![Value::konst("a"), Value::null(3)]),
+        ]);
+        assert!(d.satisfies_st(&s_star(), &t));
+        assert!(!d.satisfies_target(&t));
+        assert!(!d.is_solution(&s_star(), &t));
+    }
+
+    #[test]
+    fn rejects_overlapping_schemas() {
+        let s = Schema::of(&[("R", 2)]);
+        let t2 = Schema::of(&[("R", 2)]);
+        assert!(Setting::new(s, t2, vec![], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_st_tgd_with_target_body() {
+        let source = Schema::of(&[("M", 1)]);
+        let target = Schema::of(&[("E", 1)]);
+        let bad = Tgd::new(
+            "bad",
+            Body::Conj(vec![FAtom::new("E", vec![t("x")])]),
+            vec![],
+            vec![FAtom::new("E", vec![t("x")])],
+        )
+        .unwrap();
+        assert!(Setting::new(source, target, vec![bad], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch_in_head() {
+        let source = Schema::of(&[("M", 1)]);
+        let target = Schema::of(&[("E", 2)]);
+        let bad = Tgd::new(
+            "bad",
+            Body::Conj(vec![FAtom::new("M", vec![t("x")])]),
+            vec![],
+            vec![FAtom::new("E", vec![t("x")])],
+        )
+        .unwrap();
+        assert!(Setting::new(source, target, vec![bad], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let d = example_2_1();
+        assert!(!d.has_no_target_deps());
+        assert!(!d.target_tgds_are_full()); // d3 has ∃z
+        assert!(!d.is_full_st()); // d2 has ∃z1,z2
+        assert_eq!(d.target_dependencies().count(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Serialization back into the text DSL of [`crate::parser`] — the
+//! inverse of parsing, so settings and instances can be written to files
+//! and round-tripped.
+
+use crate::dependency::{Egd, Tgd};
+use crate::setting::Setting;
+use dex_core::Instance;
+use std::fmt::Write;
+
+/// Renders an instance in the DSL (`R(a,_1). S(b).`).
+pub fn instance_to_dsl(inst: &Instance) -> String {
+    let mut out = String::new();
+    for atom in inst.sorted_atoms() {
+        let _ = write!(out, "{atom}. ");
+    }
+    out.trim_end().to_owned()
+}
+
+fn write_tgd(out: &mut String, d: &Tgd) {
+    let _ = writeln!(out, "  {}: {};", d.name, d);
+}
+
+fn write_egd(out: &mut String, d: &Egd) {
+    let _ = writeln!(out, "  {}: {};", d.name, d);
+}
+
+/// Renders a setting in the DSL accepted by [`crate::parser::parse_setting`].
+pub fn setting_to_dsl(setting: &Setting) -> String {
+    let mut out = String::new();
+    let schema_block = |schema: &dex_core::Schema| {
+        schema
+            .relations()
+            .map(|(r, a)| format!("{r}/{a}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(out, "source {{ {} }}", schema_block(&setting.source));
+    let _ = writeln!(out, "target {{ {} }}", schema_block(&setting.target));
+    if !setting.st_tgds.is_empty() {
+        let _ = writeln!(out, "st {{");
+        for d in &setting.st_tgds {
+            write_tgd(&mut out, d);
+        }
+        let _ = writeln!(out, "}}");
+    }
+    if !setting.t_tgds.is_empty() || !setting.egds.is_empty() {
+        let _ = writeln!(out, "t {{");
+        for d in &setting.t_tgds {
+            write_tgd(&mut out, d);
+        }
+        for d in &setting.egds {
+            write_egd(&mut out, d);
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_instance, parse_setting};
+
+    #[test]
+    fn instance_round_trip() {
+        let i = parse_instance("M(a,b). N(a,c). F(a,_1). G(_1,_2).").unwrap();
+        let text = instance_to_dsl(&i);
+        let back = parse_instance(&text).unwrap();
+        assert_eq!(back, i);
+    }
+
+    #[test]
+    fn setting_round_trip_example_2_1() {
+        let text = "source { M/2, N/2 }
+             target { E/2, F/2, G/2 }
+             st {
+               d1: M(x1,x2) -> E(x1,x2);
+               d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+             }
+             t {
+               d3: F(y,x) -> exists z . G(x,z);
+               d4: F(x,y) & F(x,z) -> y = z;
+             }";
+        let s1 = parse_setting(text).unwrap();
+        let dsl = setting_to_dsl(&s1);
+        let s2 = parse_setting(&dsl).unwrap();
+        assert_eq!(setting_to_dsl(&s2), dsl);
+        assert_eq!(s2.st_tgds.len(), 2);
+        assert_eq!(s2.t_tgds.len(), 1);
+        assert_eq!(s2.egds.len(), 1);
+    }
+
+    #[test]
+    fn setting_without_dependencies_round_trips() {
+        let s1 = parse_setting("source { A/1 } target { B/1 }").unwrap();
+        let dsl = setting_to_dsl(&s1);
+        let s2 = parse_setting(&dsl).unwrap();
+        assert!(s2.st_tgds.is_empty() && s2.has_no_target_deps());
+    }
+
+    #[test]
+    fn constants_in_heads_round_trip() {
+        let text = "source { Q0/1 }
+             target { Head/3 }
+             st { init: Q0(q) -> Head('t0',q,'p1'); }";
+        let s1 = parse_setting(text).unwrap();
+        let s2 = parse_setting(&setting_to_dsl(&s1)).unwrap();
+        assert_eq!(setting_to_dsl(&s1), setting_to_dsl(&s2));
+    }
+}

@@ -1,0 +1,194 @@
+//! Query evaluation on a single instance (possibly with nulls).
+//!
+//! Nulls are treated as ordinary domain values and equality is syntactic —
+//! the standard "naive evaluation" over naive tables. The CWA semantics of
+//! Section 7 are layered on top in [`crate::modal`] and
+//! [`crate::semantics`].
+
+use dex_core::{Instance, Value};
+use dex_logic::formula::{eval as eval_formula, Assignment};
+use dex_logic::matcher;
+use dex_logic::{ConjunctiveQuery, FoQuery, Query, UnionQuery};
+use std::collections::BTreeSet;
+
+/// The answer relation of a query: a set of tuples over `Dom`.
+pub type Answers = BTreeSet<Vec<Value>>;
+
+/// Evaluates a conjunctive query (with inequalities) on `inst`.
+pub fn eval_cq(q: &ConjunctiveQuery, inst: &Instance) -> Answers {
+    let mut out = Answers::new();
+    matcher::for_each_match(&q.atoms, inst, &Assignment::new(), &mut |env| {
+        let ok = q.inequalities.iter().all(|(s, t)| {
+            let a = env.term(*s).expect("inequality terms are safe");
+            let b = env.term(*t).expect("inequality terms are safe");
+            a != b
+        });
+        if ok {
+            out.insert(
+                q.head_vars
+                    .iter()
+                    .map(|&v| env.get(v).expect("head vars are safe"))
+                    .collect(),
+            );
+        }
+        true
+    });
+    out
+}
+
+/// Evaluates a union of conjunctive queries on `inst`.
+pub fn eval_ucq(q: &UnionQuery, inst: &Instance) -> Answers {
+    let mut out = Answers::new();
+    for d in &q.disjuncts {
+        out.extend(eval_cq(d, inst));
+    }
+    out
+}
+
+/// Evaluates a first-order query on `inst` with active-domain semantics.
+pub fn eval_fo(q: &FoQuery, inst: &Instance) -> Answers {
+    let mut domain: Vec<Value> = inst.active_domain().into_iter().collect();
+    for c in q.formula.constants() {
+        let v = Value::Const(c);
+        if !domain.contains(&v) {
+            domain.push(v);
+        }
+    }
+    let mut out = Answers::new();
+    let mut tuple = vec![Value::null(u32::MAX); q.head_vars.len()];
+    enumerate(q, inst, &domain, 0, &mut tuple, &mut out);
+    out
+}
+
+fn enumerate(
+    q: &FoQuery,
+    inst: &Instance,
+    domain: &[Value],
+    idx: usize,
+    tuple: &mut Vec<Value>,
+    out: &mut Answers,
+) {
+    if idx == q.head_vars.len() {
+        let env = Assignment::from_bindings(
+            q.head_vars.iter().copied().zip(tuple.iter().copied()),
+        );
+        if eval_formula(&q.formula, inst, &env) {
+            out.insert(tuple.clone());
+        }
+        return;
+    }
+    for &v in domain {
+        tuple[idx] = v;
+        enumerate(q, inst, domain, idx + 1, tuple, out);
+    }
+}
+
+/// Evaluates any query on `inst`.
+pub fn eval_query(q: &Query, inst: &Instance) -> Answers {
+    match q {
+        Query::Cq(q) => eval_cq(q, inst),
+        Query::Ucq(q) => eval_ucq(q, inst),
+        Query::Fo(q) => eval_fo(q, inst),
+    }
+}
+
+/// `Q(T)↓`: the answers containing no nulls (Theorem 7.6's notation).
+pub fn drop_null_tuples(answers: &Answers) -> Answers {
+    answers
+        .iter()
+        .filter(|t| t.iter().all(Value::is_const))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_logic::{parse_instance, parse_query};
+
+    fn q(text: &str) -> Query {
+        parse_query(text).unwrap()
+    }
+
+    fn c(name: &str) -> Value {
+        Value::konst(name)
+    }
+
+    #[test]
+    fn cq_join_evaluation() {
+        let i = parse_instance("E(a,b). E(b,c). P(a).").unwrap();
+        let ans = eval_query(&q("Q(x,z) :- E(x,y), E(y,z)"), &i);
+        assert_eq!(ans, Answers::from([vec![c("a"), c("c")]]));
+    }
+
+    #[test]
+    fn cq_with_inequality_filters() {
+        let i = parse_instance("E(a,b). E(a,a).").unwrap();
+        let ans = eval_query(&q("Q(x,y) :- E(x,y), x != y"), &i);
+        assert_eq!(ans, Answers::from([vec![c("a"), c("b")]]));
+    }
+
+    #[test]
+    fn inequality_on_nulls_is_syntactic() {
+        let i = parse_instance("E(a,_1).").unwrap();
+        let ans = eval_query(&q("Q(x,y) :- E(x,y), x != y"), &i);
+        // a ≠ _1 syntactically, so the tuple (a,_1) is returned.
+        assert_eq!(ans.len(), 1);
+        let dropped = drop_null_tuples(&ans);
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn ucq_unions_disjuncts() {
+        let i = parse_instance("P(a). R(b,c).").unwrap();
+        let ans = eval_query(&q("Q(x) :- P(x); Q(x) :- R(x,y)"), &i);
+        assert_eq!(ans, Answers::from([vec![c("a")], vec![c("b")]]));
+    }
+
+    #[test]
+    fn boolean_query_answers() {
+        let i = parse_instance("E(a,b).").unwrap();
+        let yes = eval_query(&q("Q() :- E(x,y)"), &i);
+        assert_eq!(yes, Answers::from([vec![]]));
+        let no = eval_query(&q("Q() :- E(x,x)"), &i);
+        assert!(no.is_empty());
+    }
+
+    #[test]
+    fn fo_query_with_negation() {
+        let i = parse_instance("P(a). E(a,b). E(b,c). P(b).").unwrap();
+        // Elements reachable in one step from a P-element that is not P.
+        let ans = eval_query(&q("Q(z) := exists y . (P(y) & E(y,z) & !P(z))"), &i);
+        assert_eq!(ans, Answers::from([vec![c("c")]]));
+    }
+
+    #[test]
+    fn fo_universal_quantifier() {
+        let i = parse_instance("E(a,b). E(a,c). P(b). P(c).").unwrap();
+        // x such that all E-successors of x are P.
+        let ans = eval_query(&q("Q(x) := E(x,x) | forall y . (!E(x,y) | P(y))"), &i);
+        // a: successors b,c both P ✓. b,c: no successors, vacuous ✓.
+        assert_eq!(ans.len(), 3);
+    }
+
+    #[test]
+    fn section_3_query_on_the_copy_instance() {
+        // Two 9-cycles, P(a4): Q(x) = P(x) | ∃y,z(P(y) ∧ E(y,z) ∧ ¬P(z))
+        // answers every node (the second disjunct holds globally).
+        let mut text = String::new();
+        for i in 0..9 {
+            text.push_str(&format!("E(a{},a{}). E(b{},b{}). ", i, (i + 1) % 9, i, (i + 1) % 9));
+        }
+        text.push_str("P(a4).");
+        let inst = parse_instance(&text).unwrap();
+        let query = q("Q(x) := P(x) | exists y,z . (P(y) & E(y,z) & !P(z))");
+        let ans = eval_query(&query, &inst);
+        assert_eq!(ans.len(), 18);
+    }
+
+    #[test]
+    fn empty_instance_empty_answers() {
+        let i = Instance::new();
+        assert!(eval_query(&q("Q(x) :- P(x)"), &i).is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Certain and maybe answers of a query on a *single* target instance:
+//! `□Q(T) = ⋂_{R ∈ Rep_D(T)} Q(R)` and `◇Q(T) = ⋃_{R ∈ Rep_D(T)} Q(R)`
+//! (Section 7.1).
+//!
+//! `Rep_D(T)` is the set of complete instances `v(T)` for valuations
+//! `v: Null(T) → Const` with `v(T) ⊨ Σ_t`. The reference implementation
+//! enumerates valuations into the *standard pool* — the constants of `T`,
+//! the query and the source plus `|Null(T)|` fresh constants — which is
+//! sufficient up to isomorphism. Its cost is `|pool|^|Null(T)|`, matching
+//! the paper's co-NP/NP data-complexity upper bounds (Proposition 7.4);
+//! [`ucq_certain_answers`] is the polynomial fast path of Lemma 7.7.
+
+use crate::eval::{drop_null_tuples, eval_query, Answers};
+use dex_core::{Instance, Symbol, ValuationIter};
+use dex_logic::{Query, Setting};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Limits on the valuation enumeration.
+#[derive(Copy, Clone, Debug)]
+pub struct ModalLimits {
+    /// Maximum number of valuations to enumerate (`|pool|^|nulls|`).
+    pub max_valuations: u128,
+}
+
+impl Default for ModalLimits {
+    fn default() -> ModalLimits {
+        ModalLimits {
+            max_valuations: 5_000_000,
+        }
+    }
+}
+
+/// Errors from the modal-answer computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModalError {
+    /// The valuation space exceeds the configured limit.
+    TooManyValuations { nulls: usize, pool: usize },
+}
+
+impl fmt::Display for ModalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModalError::TooManyValuations { nulls, pool } => write!(
+                f,
+                "valuation space {pool}^{nulls} exceeds the configured limit"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModalError {}
+
+/// The constants a query mentions (for pool construction).
+fn query_constants(q: &Query) -> BTreeSet<Symbol> {
+    match q {
+        Query::Cq(q) => q.constants(),
+        Query::Ucq(q) => q.constants(),
+        Query::Fo(q) => q.formula.constants(),
+    }
+}
+
+/// The valuation pool for answering `q` on `t` given extra context
+/// constants (e.g. the source's): `Const(t) ∪ extra ∪ Const(q)` plus
+/// `|Null(t)|` fresh constants.
+pub fn answer_pool(
+    t: &Instance,
+    q: &Query,
+    extra: impl IntoIterator<Item = Symbol>,
+) -> Vec<Symbol> {
+    let mut ctx: BTreeSet<Symbol> = query_constants(q);
+    ctx.extend(extra);
+    dex_core::standard_pool(t, ctx)
+}
+
+/// Enumerates `Rep_D(T)` over `pool`, calling `f` on each member.
+/// Returns the number of members visited.
+pub fn for_each_rep(
+    setting: &Setting,
+    t: &Instance,
+    pool: &[Symbol],
+    limits: &ModalLimits,
+    f: &mut dyn FnMut(&Instance),
+) -> Result<u64, ModalError> {
+    let nulls: Vec<_> = t.nulls().into_iter().collect();
+    let it = ValuationIter::new(nulls.iter().copied(), pool.to_vec());
+    if it.total() > limits.max_valuations {
+        return Err(ModalError::TooManyValuations {
+            nulls: nulls.len(),
+            pool: pool.len(),
+        });
+    }
+    let mut count = 0u64;
+    for v in it {
+        let ground = v.apply(t);
+        if setting.satisfies_target(&ground) {
+            f(&ground);
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+/// `□Q(T)`: tuples in `Q(R)` for every `R ∈ Rep_D(T)`. Returns the
+/// answers, or `None` if `Rep_D(T)` is empty (then `□Q(T)` is the set of
+/// all tuples; the paper's solutions always have nonempty `Rep` since
+/// valuations of solutions satisfying `Σ_t` exist, but arbitrary `T` may
+/// not).
+pub fn certain_answers(
+    setting: &Setting,
+    q: &Query,
+    t: &Instance,
+    pool: &[Symbol],
+    limits: &ModalLimits,
+) -> Result<Option<Answers>, ModalError> {
+    let mut acc: Option<Answers> = None;
+    for_each_rep(setting, t, pool, limits, &mut |r| {
+        let ans = eval_query(q, r);
+        acc = Some(match acc.take() {
+            None => ans,
+            Some(prev) => prev.intersection(&ans).cloned().collect(),
+        });
+    })?;
+    Ok(acc)
+}
+
+/// `◇Q(T)`: tuples in `Q(R)` for some `R ∈ Rep_D(T)`.
+pub fn maybe_answers(
+    setting: &Setting,
+    q: &Query,
+    t: &Instance,
+    pool: &[Symbol],
+    limits: &ModalLimits,
+) -> Result<Answers, ModalError> {
+    let mut acc = Answers::new();
+    for_each_rep(setting, t, pool, limits, &mut |r| {
+        acc.extend(eval_query(q, r));
+    })?;
+    Ok(acc)
+}
+
+/// Lemma 7.7's polynomial fast path: for a plain UCQ `Q` and a
+/// CWA-solution `T`, `□Q(T) = Q(T)↓` (naive evaluation, then drop tuples
+/// with nulls). Only sound when `t` is a CWA-solution.
+pub fn ucq_certain_answers(q: &Query, t: &Instance) -> Answers {
+    debug_assert!(q.is_plain_ucq(), "fast path requires a plain UCQ");
+    drop_null_tuples(&eval_query(q, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_core::Value;
+    use dex_logic::{parse_instance, parse_query, parse_setting};
+
+    fn c(name: &str) -> Value {
+        Value::konst(name)
+    }
+
+    /// A setting with one egd so Rep filters valuations.
+    fn keyed_setting() -> Setting {
+        parse_setting(
+            "source { P/1 }
+             target { F/2, G/2 }
+             st { P(x) -> exists z . F(x,z); }
+             t { F(x,y) & F(x,z) -> y = z; }",
+        )
+        .unwrap()
+    }
+
+    fn free_setting() -> Setting {
+        parse_setting(
+            "source { P/1 }
+             target { F/2, G/2 }
+             st { P(x) -> exists z . F(x,z); }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn certain_answers_quantify_over_all_valuations() {
+        let d = free_setting();
+        let t = parse_instance("F(a,_1). G(_1,b).").unwrap();
+        let q = parse_query("Q(x) :- F(a,x)").unwrap();
+        let pool = answer_pool(&t, &q, []);
+        // _1 can be anything: no certain F-successor value.
+        let ans = certain_answers(&d, &q, &t, &pool, &ModalLimits::default())
+            .unwrap()
+            .unwrap();
+        assert!(ans.is_empty());
+        // But the Boolean "a has an F-successor" is certain.
+        let qb = parse_query("Q() :- F(a,x)").unwrap();
+        let ans = certain_answers(&d, &qb, &t, &pool, &ModalLimits::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(ans.len(), 1);
+    }
+
+    #[test]
+    fn maybe_answers_union_over_valuations() {
+        let d = free_setting();
+        let t = parse_instance("F(a,_1).").unwrap();
+        let q = parse_query("Q(x) :- F(a,x)").unwrap();
+        let pool = answer_pool(&t, &q, [Symbol::intern("b")]);
+        let ans = maybe_answers(&d, &q, &t, &pool, &ModalLimits::default()).unwrap();
+        // _1 ranges over the whole pool: a, b and one fresh constant.
+        assert_eq!(ans.len(), pool.len());
+    }
+
+    #[test]
+    fn rep_filters_by_target_dependencies() {
+        let d = keyed_setting();
+        // Two F-atoms with distinct nulls: valuations merging them into
+        // one value are the only ones satisfying the key... no wait — the
+        // egd requires equal second components given equal first: only
+        // valuations with v(_1) = v(_2) are in Rep.
+        let t = parse_instance("F(a,_1). F(a,_2).").unwrap();
+        let q = parse_query("Q() :- F(a,x), F(a,y), x != y").unwrap();
+        let pool = answer_pool(&t, &q, []);
+        let ans = certain_answers(&d, &q, &t, &pool, &ModalLimits::default())
+            .unwrap()
+            .unwrap();
+        // In every R ∈ Rep the two atoms collapse, so the query is never
+        // true — certainly empty, and not even maybe.
+        assert!(ans.is_empty());
+        let maybe = maybe_answers(&d, &q, &t, &pool, &ModalLimits::default()).unwrap();
+        assert!(maybe.is_empty());
+    }
+
+    #[test]
+    fn rep_can_be_empty() {
+        // An egd that no valuation can satisfy: F(x,y) & F(y,x) -> ... is
+        // hard to make unsatisfiable by valuation alone; instead use a
+        // target with a constant conflict under the key.
+        let d = keyed_setting();
+        let t = parse_instance("F(a,b). F(a,c).").unwrap();
+        let q = parse_query("Q() :- F(a,x)").unwrap();
+        let pool = answer_pool(&t, &q, []);
+        let ans = certain_answers(&d, &q, &t, &pool, &ModalLimits::default()).unwrap();
+        assert!(ans.is_none()); // Rep_D(T) = ∅
+    }
+
+    #[test]
+    fn ucq_fast_path_agrees_with_oracle_on_cwa_solutions() {
+        let d = keyed_setting();
+        let s = parse_instance("P(a).").unwrap();
+        let t = dex_cwa::core_solution(&d, &s, &dex_chase::ChaseBudget::default()).unwrap();
+        let q = parse_query("Q(x) :- F(x,y)").unwrap();
+        let fast = ucq_certain_answers(&q, &t);
+        let pool = answer_pool(&t, &q, s.constants());
+        let oracle = certain_answers(&d, &q, &t, &pool, &ModalLimits::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(fast, oracle);
+        assert_eq!(fast, Answers::from([vec![c("a")]]));
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let d = free_setting();
+        // 12 nulls over a pool of ~13 constants exceeds the default limit.
+        let atoms: String = (0..12).map(|i| format!("G(_{i},_{i}). ")).collect();
+        let t = parse_instance(&atoms).unwrap();
+        let q = parse_query("Q() :- G(x,x)").unwrap();
+        let pool = answer_pool(&t, &q, []);
+        let r = certain_answers(&d, &q, &t, &pool, &ModalLimits::default());
+        assert!(matches!(r, Err(ModalError::TooManyValuations { .. })));
+    }
+
+    #[test]
+    fn ground_instance_has_single_rep() {
+        let d = free_setting();
+        let t = parse_instance("F(a,b).").unwrap();
+        let q = parse_query("Q(x) :- F(a,x)").unwrap();
+        let pool = answer_pool(&t, &q, []);
+        let certain = certain_answers(&d, &q, &t, &pool, &ModalLimits::default())
+            .unwrap()
+            .unwrap();
+        let maybe = maybe_answers(&d, &q, &t, &pool, &ModalLimits::default()).unwrap();
+        assert_eq!(certain, maybe);
+        assert_eq!(certain, Answers::from([vec![c("b")]]));
+    }
+}

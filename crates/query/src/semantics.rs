@@ -1,0 +1,450 @@
+//! The four CWA query-answering semantics of Section 7.1:
+//!
+//! - `certain⇓(Q,S)  = ⋂_T □Q(T)` — certain answers,
+//! - `certain⇑(Q,S) = ⋃_T □Q(T)` — potential certain answers,
+//! - `maybe⇓(Q,S)   = ⋂_T ◇Q(T)` — persistent maybe answers,
+//! - `maybe⇑(Q,S)   = ⋃_T ◇Q(T)` — maybe answers,
+//!
+//! where `T` ranges over the CWA-solutions for `S`. Theorem 7.1 collapses
+//! the ⋃□ / ⋂◇ pair onto the core (`certain⇑ = □Q(Core)`, `maybe⇓ =
+//! ◇Q(Core)`) and — for Proposition 5.4's restricted classes — the ⋂□ /
+//! ⋃◇ pair onto `CanSol`. Lemma 7.7 gives the polynomial path for plain
+//! UCQs: `certain⇓ = certain⇑ = Q(T)↓` on any CWA-solution `T`.
+//!
+//! When no fast path applies, the engine falls back to enumerating the
+//! CWA-solutions (Example 5.3 shows there can be exponentially many).
+
+use crate::eval::Answers;
+use crate::modal::{
+    answer_pool, certain_answers, maybe_answers, ucq_certain_answers, ModalError, ModalLimits,
+};
+use crate::possible::cq_is_maybe_answer;
+use dex_chase::{ChaseBudget, ChaseError};
+use dex_cwa::{cansol, core_solution, EnumLimits};
+use dex_core::Instance;
+use dex_logic::{Query, Setting};
+use std::fmt;
+
+/// Which of the four semantics to compute.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Semantics {
+    /// `certain⇓`: true in every representative of every CWA-solution.
+    Certain,
+    /// `certain⇑`: certain in at least one CWA-solution.
+    PotentialCertain,
+    /// `maybe⇓`: possible in every CWA-solution.
+    PersistentMaybe,
+    /// `maybe⇑`: possible in at least one CWA-solution.
+    Maybe,
+}
+
+/// Configuration for the answer engine.
+#[derive(Clone, Debug, Default)]
+pub struct AnswerConfig {
+    pub chase_budget: ChaseBudget,
+    pub modal_limits: ModalLimits,
+    /// Limits for the CWA-solution enumeration fallback.
+    pub enum_limits: EnumLimits,
+}
+
+/// Errors from the answer engine.
+#[derive(Clone, Debug)]
+pub enum AnswerError {
+    /// The chase failed or exceeded budget.
+    Chase(ChaseError),
+    /// A valuation enumeration exceeded its limit.
+    Modal(ModalError),
+    /// No CWA-solution exists for the source (the semantics are undefined).
+    NoSolutions,
+    /// The CWA-solution enumeration fallback was truncated.
+    EnumerationTruncated,
+    /// `Rep_D(T)` was empty for a solution (cannot happen for actual
+    /// solutions; defensive).
+    EmptyRep,
+}
+
+impl fmt::Display for AnswerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnswerError::Chase(e) => write!(f, "chase error: {e}"),
+            AnswerError::Modal(e) => write!(f, "modal error: {e}"),
+            AnswerError::NoSolutions => write!(f, "no CWA-solution exists"),
+            AnswerError::EnumerationTruncated => {
+                write!(f, "CWA-solution enumeration exceeded its limits")
+            }
+            AnswerError::EmptyRep => write!(f, "Rep_D(T) was empty"),
+        }
+    }
+}
+
+impl std::error::Error for AnswerError {}
+
+impl From<ChaseError> for AnswerError {
+    fn from(e: ChaseError) -> AnswerError {
+        AnswerError::Chase(e)
+    }
+}
+
+impl From<ModalError> for AnswerError {
+    fn from(e: ModalError) -> AnswerError {
+        AnswerError::Modal(e)
+    }
+}
+
+/// The query answering engine for a fixed setting and source instance.
+/// Caches the core solution (and `CanSol`, when the setting class admits
+/// one) across queries.
+pub struct AnswerEngine<'a> {
+    setting: &'a Setting,
+    source: &'a Instance,
+    config: AnswerConfig,
+    core: Instance,
+    cansol: Option<Instance>,
+}
+
+impl<'a> AnswerEngine<'a> {
+    /// Builds the engine: runs the chase, takes the core (Theorem 5.1's
+    /// minimal CWA-solution) and computes `CanSol` when Proposition 5.4
+    /// guarantees it.
+    pub fn new(
+        setting: &'a Setting,
+        source: &'a Instance,
+        config: AnswerConfig,
+    ) -> Result<AnswerEngine<'a>, AnswerError> {
+        let core = match core_solution(setting, source, &config.chase_budget) {
+            Ok(c) => c,
+            Err(ChaseError::EgdConflict { .. }) => return Err(AnswerError::NoSolutions),
+            Err(e) => return Err(e.into()),
+        };
+        let cansol = match cansol(setting, source, &config.chase_budget) {
+            Ok(c) => c,
+            Err(ChaseError::EgdConflict { .. }) => return Err(AnswerError::NoSolutions),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(AnswerEngine {
+            setting,
+            source,
+            config,
+            core,
+            cansol,
+        })
+    }
+
+    /// The minimal CWA-solution (the core of the universal solutions).
+    pub fn core(&self) -> &Instance {
+        &self.core
+    }
+
+    /// `CanSol_D(S)` when the setting is in Proposition 5.4's classes.
+    pub fn cansol(&self) -> Option<&Instance> {
+        self.cansol.as_ref()
+    }
+
+    fn box_q(&self, q: &Query, t: &Instance) -> Result<Answers, AnswerError> {
+        let pool = answer_pool(t, q, self.source.constants());
+        certain_answers(self.setting, q, t, &pool, &self.config.modal_limits)?
+            .ok_or(AnswerError::EmptyRep)
+    }
+
+    fn diamond_q(&self, q: &Query, t: &Instance) -> Result<Answers, AnswerError> {
+        let pool = answer_pool(t, q, self.source.constants());
+        // Fast path: with no target dependencies `Rep(T)` is unconstrained,
+        // so ◇-membership of each candidate tuple is decidable by the
+        // unification search of [`crate::possible`] — `|pool|^arity`
+        // membership tests instead of `|pool|^|nulls|` valuations.
+        if self.setting.has_no_target_deps() {
+            if let Some(disjuncts) = ucq_disjuncts(q) {
+                let arity = q.arity();
+                let total = (pool.len() as u128).saturating_pow(arity as u32);
+                if total <= self.config.modal_limits.max_valuations {
+                    let mut out = Answers::new();
+                    let mut idx = vec![0usize; arity];
+                    loop {
+                        let tuple: Vec<dex_core::Value> =
+                            idx.iter().map(|&i| dex_core::Value::Const(pool[i])).collect();
+                        if disjuncts.iter().any(|cq| cq_is_maybe_answer(cq, t, &tuple)) {
+                            out.insert(tuple);
+                        }
+                        let mut k = 0;
+                        loop {
+                            if k == arity {
+                                return Ok(out);
+                            }
+                            idx[k] += 1;
+                            if idx[k] < pool.len() {
+                                break;
+                            }
+                            idx[k] = 0;
+                            k += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(maybe_answers(
+            self.setting,
+            q,
+            t,
+            &pool,
+            &self.config.modal_limits,
+        )?)
+    }
+
+    /// All CWA-solutions, for the brute-force fallback.
+    fn all_solutions(&self) -> Result<Vec<Instance>, AnswerError> {
+        let (sols, stats) =
+            dex_cwa::enumerate_cwa_solutions(self.setting, self.source, &self.config.enum_limits);
+        if stats.truncated {
+            return Err(AnswerError::EnumerationTruncated);
+        }
+        if sols.is_empty() {
+            return Err(AnswerError::NoSolutions);
+        }
+        Ok(sols)
+    }
+
+    /// Computes the answers under the chosen semantics.
+    pub fn answers(&self, q: &Query, semantics: Semantics) -> Result<Answers, AnswerError> {
+        match semantics {
+            // Theorem 7.1: certain⇑ = □Q(Core), maybe⇓ = ◇Q(Core).
+            Semantics::PotentialCertain => {
+                if q.is_plain_ucq() {
+                    // Lemma 7.7: equal to Q(Core)↓, no valuations needed.
+                    Ok(ucq_certain_answers(q, &self.core))
+                } else {
+                    self.box_q(q, &self.core)
+                }
+            }
+            Semantics::PersistentMaybe => self.diamond_q(q, &self.core),
+            Semantics::Certain => {
+                if q.is_plain_ucq() {
+                    // Lemma 7.7: certain⇓ = certain⇑ = Q(T)↓ on any
+                    // CWA-solution; use the core.
+                    return Ok(ucq_certain_answers(q, &self.core));
+                }
+                if let Some(can) = &self.cansol {
+                    // Theorem 7.1's restricted classes: certain⇓ = □Q(CanSol).
+                    return self.box_q(q, can);
+                }
+                // Brute force: ⋂ over all CWA-solutions.
+                let sols = self.all_solutions()?;
+                let mut acc: Option<Answers> = None;
+                for t in &sols {
+                    let a = self.box_q(q, t)?;
+                    acc = Some(match acc.take() {
+                        None => a,
+                        Some(prev) => prev.intersection(&a).cloned().collect(),
+                    });
+                }
+                Ok(acc.expect("at least one CWA-solution"))
+            }
+            Semantics::Maybe => {
+                if let Some(can) = &self.cansol {
+                    // Theorem 7.1's restricted classes: maybe⇑ = ◇Q(CanSol).
+                    return self.diamond_q(q, can);
+                }
+                let sols = self.all_solutions()?;
+                let mut acc = Answers::new();
+                for t in &sols {
+                    acc.extend(self.diamond_q(q, t)?);
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// Boolean-query convenience: is the empty tuple an answer?
+    pub fn holds(&self, q: &Query, semantics: Semantics) -> Result<bool, AnswerError> {
+        Ok(self.answers(q, semantics)?.contains(&Vec::new()))
+    }
+}
+
+/// The conjunctive disjuncts of a query, when it is a (U)CQ.
+fn ucq_disjuncts(q: &Query) -> Option<Vec<&dex_logic::ConjunctiveQuery>> {
+    match q {
+        Query::Cq(cq) => Some(vec![cq]),
+        Query::Ucq(u) => Some(u.disjuncts.iter().collect()),
+        Query::Fo(_) => None,
+    }
+}
+
+/// One-shot convenience wrapper around [`AnswerEngine`].
+pub fn answers(
+    setting: &Setting,
+    source: &Instance,
+    q: &Query,
+    semantics: Semantics,
+) -> Result<Answers, AnswerError> {
+    AnswerEngine::new(setting, source, AnswerConfig::default())?.answers(q, semantics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_core::Value;
+    use dex_logic::{parse_instance, parse_query, parse_setting};
+
+    fn c(name: &str) -> Value {
+        Value::konst(name)
+    }
+
+    fn example_2_1() -> Setting {
+        parse_setting(
+            "source { M/2, N/2 }
+             target { E/2, F/2, G/2 }
+             st {
+               d1: M(x1,x2) -> E(x1,x2);
+               d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+             }
+             t {
+               d3: F(y,x) -> exists z . G(x,z);
+               d4: F(x,y) & F(x,z) -> y = z;
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ucq_certain_answers_via_core() {
+        let d = example_2_1();
+        let s = parse_instance("M(a,b). N(a,b). N(a,c).").unwrap();
+        let q = parse_query("Q(x,y) :- E(x,y)").unwrap();
+        let ans = answers(&d, &s, &q, Semantics::Certain).unwrap();
+        // Only E(a,b) is certain; the null successors are not.
+        assert_eq!(ans, Answers::from([vec![c("a"), c("b")]]));
+        // Boolean: "a has an F-successor with a G-successor" is certain.
+        let qb = parse_query("Q() :- F(a,x), G(x,y)").unwrap();
+        let ans = answers(&d, &s, &qb, Semantics::Certain).unwrap();
+        assert_eq!(ans.len(), 1);
+    }
+
+    /// Corollary 7.2: certain⇓ ⊆ certain⇑ ⊆ maybe⇓ ⊆ maybe⇑.
+    #[test]
+    fn corollary_7_2_inclusion_chain() {
+        let d = example_2_1();
+        let s = parse_instance("M(a,b). N(a,b).").unwrap();
+        let engine = AnswerEngine::new(&d, &s, AnswerConfig::default()).unwrap();
+        // A query with an inequality exercises all four paths
+        // (non-UCQ ⇒ certain⇓ uses the brute-force fallback since this
+        // setting is in no CanSol class).
+        let q = parse_query("Q(x) :- E(x,y), F(x,z), y != z").unwrap();
+        let certain = engine.answers(&q, Semantics::Certain).unwrap();
+        let pot = engine.answers(&q, Semantics::PotentialCertain).unwrap();
+        let pers = engine.answers(&q, Semantics::PersistentMaybe).unwrap();
+        let maybe = engine.answers(&q, Semantics::Maybe).unwrap();
+        assert!(certain.is_subset(&pot), "{certain:?} ⊄ {pot:?}");
+        assert!(pot.is_subset(&pers), "{pot:?} ⊄ {pers:?}");
+        assert!(pers.is_subset(&maybe), "{pers:?} ⊄ {maybe:?}");
+    }
+
+    /// On a copying setting all four semantics coincide with evaluating
+    /// the query on the copied instance (Section 7.1's sanity check: the
+    /// anomalies disappear).
+    #[test]
+    fn copying_setting_collapses_all_semantics() {
+        let d = parse_setting(
+            "source { E/2, P/1 }
+             target { Ep/2, Pp/1 }
+             st {
+               E(x,y) -> Ep(x,y);
+               P(x) -> Pp(x);
+             }",
+        )
+        .unwrap();
+        let s = parse_instance("E(a,b). E(b,a). P(a).").unwrap();
+        let engine = AnswerEngine::new(&d, &s, AnswerConfig::default()).unwrap();
+        let q = parse_query("Q(x) := Pp(x) | exists y,z . (Pp(y) & Ep(y,z) & !Pp(z))").unwrap();
+        let expected = Answers::from([vec![c("a")], vec![c("b")]]);
+        for sem in [
+            Semantics::Certain,
+            Semantics::PotentialCertain,
+            Semantics::PersistentMaybe,
+            Semantics::Maybe,
+        ] {
+            assert_eq!(engine.answers(&q, sem).unwrap(), expected, "{sem:?}");
+        }
+    }
+
+    /// FO queries over the core: the certain⇑/maybe⇓ pair (Theorem 7.1).
+    #[test]
+    fn fo_query_on_core_paths() {
+        let d = example_2_1();
+        let s = parse_instance("M(a,b). N(a,b).").unwrap();
+        let engine = AnswerEngine::new(&d, &s, AnswerConfig::default()).unwrap();
+        // The core is {E(a,b), F(a,_1), G(_1,_2)} (the E-null folds onto
+        // b). "x has an F-successor that is not b" — not certain (the
+        // null might be valuated to b), but persistently possible.
+        let q = parse_query("Q(x) := exists y . (F(x,y) & !(y = 'b'))").unwrap();
+        let pot = engine.answers(&q, Semantics::PotentialCertain).unwrap();
+        assert!(pot.is_empty());
+        let pers = engine.answers(&q, Semantics::PersistentMaybe).unwrap();
+        assert_eq!(pers, Answers::from([vec![c("a")]]));
+    }
+
+    #[test]
+    fn no_solutions_is_reported() {
+        let d = parse_setting(
+            "source { Q/2 }
+             target { F/2 }
+             st { Q(x,y) -> F(x,y); }
+             t { F(x,y) & F(x,z) -> y = z; }",
+        )
+        .unwrap();
+        let s = parse_instance("Q(a,b). Q(a,c).").unwrap();
+        let q = parse_query("Q() :- F(a,x)").unwrap();
+        assert!(matches!(
+            answers(&d, &s, &q, Semantics::Certain),
+            Err(AnswerError::NoSolutions)
+        ));
+    }
+
+    /// The ◇ fast path (unification) agrees with the valuation oracle on
+    /// a setting without target dependencies.
+    #[test]
+    fn diamond_fast_path_matches_oracle() {
+        let d = parse_setting(
+            "source { M/2, N/2 }
+             target { E/2, F/2 }
+             st {
+               d1: M(x1,x2) -> E(x1,x2);
+               d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+             }",
+        )
+        .unwrap();
+        let s = parse_instance("M(a,b). N(a,b).").unwrap();
+        let engine = AnswerEngine::new(&d, &s, AnswerConfig::default()).unwrap();
+        for qt in ["Q(x,y) :- E(x,y)", "Q(x) :- E(x,y), F(x,z), y != z"] {
+            let q = parse_query(qt).unwrap();
+            let fast = engine.answers(&q, Semantics::PersistentMaybe).unwrap();
+            // Oracle on the same core instance.
+            let pool = answer_pool(engine.core(), &q, s.constants());
+            let oracle = maybe_answers(&d, &q, engine.core(), &pool, &ModalLimits::default())
+                .unwrap();
+            assert_eq!(fast, oracle, "query {qt}");
+        }
+    }
+
+    /// CanSol fast path: egds-only target class.
+    #[test]
+    fn cansol_path_for_egds_only_setting() {
+        let d = parse_setting(
+            "source { P/1, Q/2 }
+             target { F/2 }
+             st {
+               d1: P(x) -> exists z . F(x,z);
+               d2: Q(x,y) -> F(x,y);
+             }
+             t { key: F(x,y) & F(x,z) -> y = z; }",
+        )
+        .unwrap();
+        let s = parse_instance("P(a). Q(a,c).").unwrap();
+        let engine = AnswerEngine::new(&d, &s, AnswerConfig::default()).unwrap();
+        assert!(engine.cansol().is_some());
+        // The F-successor of a is certainly c (the egd forces the null).
+        let q = parse_query("Q(x) :- F(a,x), x != 'zzz'").unwrap();
+        let ans = engine.answers(&q, Semantics::Certain).unwrap();
+        assert_eq!(ans, Answers::from([vec![c("c")]]));
+        let maybe = engine.answers(&q, Semantics::Maybe).unwrap();
+        assert_eq!(maybe, ans);
+    }
+}

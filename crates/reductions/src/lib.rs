@@ -1,0 +1,27 @@
+//! # dex-reductions
+//!
+//! Executable versions of the constructions inside the paper's proofs and
+//! examples (Hernich & Schweikardt, PODS 2007):
+//!
+//! - [`copying`] — copying settings and the Section 3 certain-answers
+//!   anomaly on two 9-cycles;
+//! - [`halting`] — the Turing machine substrate and `D_halt`
+//!   (Theorem 6.2: Existence-of-CWA-Solutions is undecidable);
+//! - [`semigroup`] — `D_emb` and Example 6.1 (solutions without
+//!   CWA-solutions);
+//! - [`sat`] — the 3-SAT reduction behind Theorem 7.5's co-NP-hardness,
+//!   with a DPLL oracle;
+//! - [`pathsys`] — path systems: the PTIME-hardness witness of
+//!   Propositions 6.6 and 7.8.
+
+pub mod copying;
+pub mod halting;
+pub mod pathsys;
+pub mod sat;
+pub mod semigroup;
+
+pub use copying::{copying_setting, copy_instance, section_3_anomaly, two_cycles_with_p, AnomalyReport};
+pub use halting::{d_halt, full_relation_solution, probe_halting, Config, Dir, HaltProbe, RunResult, TuringMachine, BLANK};
+pub use pathsys::{pathsys_setting, solvable_query, solvable_via_certain_answers, PathSystem};
+pub use sat::{cnf_to_source, sat_setting, unsat_query, unsat_via_certain_answers, Cnf};
+pub use semigroup::{d_emb, example_6_1_source, partial_function, z_mod_table};

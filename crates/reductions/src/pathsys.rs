@@ -1,0 +1,193 @@
+//! PTIME-hardness witnesses (Propositions 6.6 and 7.8): data exchange
+//! settings with full target tgds can express the Path Systems problem
+//! (the canonical PTIME-complete problem, a.k.a. alternating graph
+//! reachability / monotone circuit value).
+//!
+//! A path system consists of axiom nodes and rules `x ← (y, z)`; a node
+//! is *solvable* if it is an axiom or some rule derives it from two
+//! solvable nodes. The reduction copies axioms and rules to the target,
+//! where the single full tgd `RuleT(x,y,z) ∧ Proved(y) ∧ Proved(z) →
+//! Proved(x)` computes solvability; the certain answers of
+//! `Q(x) :- Proved(x)` are exactly the solvable nodes.
+
+use dex_core::{Atom, Instance, Value};
+use dex_logic::{parse_query, parse_setting, Query, Setting};
+use std::collections::BTreeSet;
+
+/// A path system over string-named nodes.
+#[derive(Clone, Debug, Default)]
+pub struct PathSystem {
+    pub axioms: Vec<String>,
+    /// `x ← (y, z)` rules as `(x, y, z)`.
+    pub rules: Vec<(String, String, String)>,
+}
+
+impl PathSystem {
+    /// The solvable nodes, computed directly by fixpoint iteration —
+    /// the polynomial-time ground truth.
+    pub fn solvable(&self) -> BTreeSet<String> {
+        let mut solved: BTreeSet<String> = self.axioms.iter().cloned().collect();
+        loop {
+            let mut changed = false;
+            for (x, y, z) in &self.rules {
+                if !solved.contains(x) && solved.contains(y) && solved.contains(z) {
+                    solved.insert(x.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                return solved;
+            }
+        }
+    }
+
+    /// The source instance: `Axiom(a)` and `Rule(x,y,z)` atoms.
+    pub fn to_source(&self) -> Instance {
+        let mut s = Instance::new();
+        for a in &self.axioms {
+            s.insert(Atom::of("Axiom", vec![Value::konst(a)]));
+        }
+        for (x, y, z) in &self.rules {
+            s.insert(Atom::of(
+                "Rule",
+                vec![Value::konst(x), Value::konst(y), Value::konst(z)],
+            ));
+        }
+        s
+    }
+
+    /// A deterministic binary-tree path system of the given depth:
+    /// leaves are axioms, inner nodes derived from their two children.
+    /// Has `2^(depth+1) - 1` nodes, all solvable.
+    pub fn binary_tree(depth: u32) -> PathSystem {
+        let mut ps = PathSystem::default();
+        let leaves_start = 1usize << depth;
+        for i in leaves_start..(leaves_start << 1) {
+            ps.axioms.push(format!("n{i}"));
+        }
+        for i in 1..leaves_start {
+            ps.rules.push((
+                format!("n{i}"),
+                format!("n{}", 2 * i),
+                format!("n{}", 2 * i + 1),
+            ));
+        }
+        ps
+    }
+
+    /// A long derivation chain: axioms `a`, `n0`; rules
+    /// `n_{i+1} ← (n_i, a)`. All nodes solvable, derivation depth `n`.
+    pub fn chain(n: usize) -> PathSystem {
+        let mut ps = PathSystem {
+            axioms: vec!["a".into(), "n0".into()],
+            rules: Vec::new(),
+        };
+        for i in 0..n {
+            ps.rules
+                .push((format!("n{}", i + 1), format!("n{i}"), "a".into()));
+        }
+        ps
+    }
+}
+
+/// The fixed path-system setting (full tgds + egd-free: it falls in both
+/// tractable classes of Proposition 5.4 / Table 1's last row).
+pub fn pathsys_setting() -> Setting {
+    parse_setting(
+        "source { Axiom/1, Rule/3 }
+         target { RuleT/3, Proved/1 }
+         st {
+           ax: Axiom(x) -> Proved(x);
+           copy: Rule(x,y,z) -> RuleT(x,y,z);
+         }
+         t {
+           derive: RuleT(x,y,z) & Proved(y) & Proved(z) -> Proved(x);
+         }",
+    )
+    .expect("path system setting parses")
+}
+
+/// The query whose certain answers are the solvable nodes.
+pub fn solvable_query() -> Query {
+    parse_query("Q(x) :- Proved(x)").expect("query parses")
+}
+
+/// Computes the solvable nodes through the data-exchange pipeline
+/// (chase + certain answers) — Proposition 6.6/7.8's PTIME algorithm.
+pub fn solvable_via_certain_answers(
+    ps: &PathSystem,
+) -> Result<BTreeSet<String>, dex_query::AnswerError> {
+    let setting = pathsys_setting();
+    let source = ps.to_source();
+    let ans = dex_query::answers(&setting, &source, &solvable_query(), dex_query::Semantics::Certain)?;
+    Ok(ans
+        .into_iter()
+        .map(|t| t[0].as_const().expect("certain answers are ground").as_str())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_fixpoint_solves_trees_and_chains() {
+        let tree = PathSystem::binary_tree(3);
+        assert_eq!(tree.solvable().len(), 15);
+        let chain = PathSystem::chain(10);
+        assert_eq!(chain.solvable().len(), 12);
+    }
+
+    #[test]
+    fn unsolvable_nodes_are_excluded() {
+        let ps = PathSystem {
+            axioms: vec!["a".into()],
+            rules: vec![
+                ("b".into(), "a".into(), "a".into()),
+                ("c".into(), "b".into(), "missing".into()),
+            ],
+        };
+        let solved = ps.solvable();
+        assert!(solved.contains("b"));
+        assert!(!solved.contains("c"));
+        assert!(!solved.contains("missing"));
+    }
+
+    #[test]
+    fn setting_is_in_the_tractable_classes() {
+        let d = pathsys_setting();
+        assert!(dex_logic::is_weakly_acyclic(&d));
+        assert!(dex_logic::is_richly_acyclic(&d));
+        assert!(d.is_full_st() && d.target_tgds_are_full());
+        assert_eq!(dex_cwa::cansol_class(&d), dex_cwa::CanSolClass::FullTgdsAndEgds);
+    }
+
+    #[test]
+    fn certain_answers_equal_direct_fixpoint() {
+        for ps in [
+            PathSystem::binary_tree(2),
+            PathSystem::chain(6),
+            PathSystem {
+                axioms: vec!["a".into()],
+                rules: vec![
+                    ("b".into(), "a".into(), "a".into()),
+                    ("c".into(), "b".into(), "nope".into()),
+                ],
+            },
+        ] {
+            let expected = ps.solvable();
+            let got = solvable_via_certain_answers(&ps).unwrap();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn derivations_require_both_premises() {
+        let ps = PathSystem {
+            axioms: vec!["y".into()],
+            rules: vec![("x".into(), "y".into(), "z".into())],
+        };
+        let got = solvable_via_certain_answers(&ps).unwrap();
+        assert_eq!(got, BTreeSet::from(["y".to_owned()]));
+    }
+}

@@ -1,0 +1,277 @@
+//! The co-NP-hardness reduction behind Theorem 7.5: deciding the certain
+//! answers of conjunctive queries with inequalities is co-NP-hard, by
+//! reduction from the complement of 3-SAT.
+//!
+//! The encoding: every propositional variable `v` gets a null truth value
+//! through `Var(v) → ∃b B(v,b)`; clauses are copied to the target with
+//! their literals' *negated* signs. The UNSAT-detecting query is the
+//! union of
+//!
+//! - `Q_fals() :- ClT(c,v1,n1,v2,n2,v3,n3), B(v1,n1), B(v2,n2), B(v3,n3)`
+//!   (no inequalities: a clause is falsified when every variable carries
+//!   its literal's negated sign), and
+//! - `Q_junk() :- B(v,b), b ≠ '0', b ≠ '1'` (a non-Boolean valuation).
+//!
+//! Every valuation of the nulls either is a Boolean assignment — then
+//! `Q_fals` holds iff it falsifies some clause — or assigns some
+//! non-Boolean constant, making `Q_junk` hold. Hence
+//! `certain⇓(Q, S_φ) = true ⟺ φ is unsatisfiable`.
+//!
+//! Theorem 7.5 itself achieves a *single* inequality using a target-
+//! dependency gadget whose details are in the paper's full version
+//! (unavailable); this module implements the two-inequality variant
+//! (matching the strength of Mądry's result the paper cites), which has
+//! the same complexity class and exercises the same valuation-
+//! quantification code path. A DPLL solver serves as ground truth.
+
+use dex_core::{Atom, Instance, Value};
+use dex_logic::{parse_query, parse_setting, Query, Setting};
+
+/// A 3-CNF formula. Literals are DIMACS-style: `+k` is variable `k`
+/// positive, `-k` negative (`k ≥ 1`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cnf {
+    pub num_vars: usize,
+    pub clauses: Vec<[i32; 3]>,
+}
+
+impl Cnf {
+    pub fn new(num_vars: usize, clauses: Vec<[i32; 3]>) -> Cnf {
+        assert!(clauses
+            .iter()
+            .flatten()
+            .all(|&l| l != 0 && l.unsigned_abs() as usize <= num_vars));
+        Cnf { num_vars, clauses }
+    }
+
+    /// Ground truth by DPLL with unit propagation.
+    pub fn is_satisfiable(&self) -> bool {
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars + 1];
+        self.dpll(&mut assignment)
+    }
+
+    fn dpll(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation to fixpoint.
+        let mut trail: Vec<usize> = Vec::new();
+        loop {
+            let mut unit: Option<i32> = None;
+            for clause in &self.clauses {
+                let mut unassigned: Option<i32> = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0;
+                for &lit in clause {
+                    match assignment[lit.unsigned_abs() as usize] {
+                        Some(val) if val == (lit > 0) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            unassigned_count += 1;
+                            unassigned = Some(lit);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => {
+                        // Conflict: undo trail.
+                        for &v in &trail {
+                            assignment[v] = None;
+                        }
+                        return false;
+                    }
+                    1 => {
+                        unit = unassigned;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            match unit {
+                Some(lit) => {
+                    let v = lit.unsigned_abs() as usize;
+                    assignment[v] = Some(lit > 0);
+                    trail.push(v);
+                }
+                None => break,
+            }
+        }
+        // Pick a branching variable.
+        let Some(v) = (1..=self.num_vars).find(|&v| assignment[v].is_none()) else {
+            // All assigned, no conflict: satisfiable. Undo trail first is
+            // unnecessary — we are returning true all the way up.
+            return true;
+        };
+        for val in [true, false] {
+            assignment[v] = Some(val);
+            if self.dpll(assignment) {
+                return true;
+            }
+            assignment[v] = None;
+        }
+        for &u in &trail {
+            assignment[u] = None;
+        }
+        false
+    }
+
+    /// Evaluates the formula under a total assignment (index 1-based).
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|&lit| assignment[lit.unsigned_abs() as usize] == (lit > 0))
+        })
+    }
+}
+
+/// The fixed data exchange setting of the reduction: richly acyclic
+/// (it has no target dependencies at all).
+pub fn sat_setting() -> Setting {
+    parse_setting(
+        "source { Var/1, Clause/7 }
+         target { B/2, ClT/7 }
+         st {
+           assign: Var(v) -> exists b . B(v,b);
+           copy: Clause(c,v1,n1,v2,n2,v3,n3) -> ClT(c,v1,n1,v2,n2,v3,n3);
+         }",
+    )
+    .expect("sat setting parses")
+}
+
+/// Encodes `φ` as a source instance: `Var(vk)` per variable and
+/// `Clause(ci, v, n̄(l1), …)` per clause, where `n̄(l)` is the sign that
+/// *falsifies* the literal (`0` for a positive literal, `1` for a
+/// negative one).
+pub fn cnf_to_source(cnf: &Cnf) -> Instance {
+    let mut s = Instance::new();
+    for v in 1..=cnf.num_vars {
+        s.insert(Atom::of("Var", vec![Value::konst(&format!("v{v}"))]));
+    }
+    for (i, clause) in cnf.clauses.iter().enumerate() {
+        let mut args = vec![Value::konst(&format!("c{i}"))];
+        for &lit in clause {
+            args.push(Value::konst(&format!("v{}", lit.unsigned_abs())));
+            // The falsifying value: positive literal is false under 0.
+            args.push(Value::konst(if lit > 0 { "0" } else { "1" }));
+        }
+        s.insert(Atom::of("Clause", args));
+    }
+    s
+}
+
+/// The UNSAT query (see module docs).
+pub fn unsat_query() -> Query {
+    parse_query(
+        "Q() :- ClT(c,v1,n1,v2,n2,v3,n3), B(v1,n1), B(v2,n2), B(v3,n3); \
+         Q() :- B(v,b), b != 0, b != 1",
+    )
+    .expect("unsat query parses")
+}
+
+/// Decides unsatisfiability of `φ` through the data-exchange reduction:
+/// `certain⇓(Q, S_φ)` under the CWA semantics. Exponential in the number
+/// of variables (it enumerates valuations), as Theorem 7.5 predicts.
+pub fn unsat_via_certain_answers(cnf: &Cnf) -> Result<bool, dex_query::AnswerError> {
+    let setting = sat_setting();
+    let source = cnf_to_source(cnf);
+    let engine = dex_query::AnswerEngine::new(&setting, &source, dex_query::AnswerConfig::default())?;
+    engine.holds(&unsat_query(), dex_query::Semantics::Certain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cnf(n: usize, clauses: &[[i32; 3]]) -> Cnf {
+        Cnf::new(n, clauses.to_vec())
+    }
+
+    #[test]
+    fn dpll_basics() {
+        // (x1 ∨ x1 ∨ x1) ∧ (¬x1 ∨ ¬x1 ∨ ¬x1): unsatisfiable.
+        assert!(!cnf(1, &[[1, 1, 1], [-1, -1, -1]]).is_satisfiable());
+        // (x1 ∨ x2 ∨ x3): satisfiable.
+        assert!(cnf(3, &[[1, 2, 3]]).is_satisfiable());
+        // Empty CNF is satisfiable.
+        assert!(cnf(2, &[]).is_satisfiable());
+    }
+
+    #[test]
+    fn dpll_pigeonhole_like() {
+        // All eight sign patterns over three variables: unsatisfiable.
+        let clauses: Vec<[i32; 3]> = (0..8)
+            .map(|m| {
+                let s = |b: usize, v: i32| if m >> b & 1 == 1 { v } else { -v };
+                [s(0, 1), s(1, 2), s(2, 3)]
+            })
+            .collect();
+        assert!(!Cnf::new(3, clauses.clone()).is_satisfiable());
+        // Remove one pattern: satisfiable.
+        assert!(Cnf::new(3, clauses[1..].to_vec()).is_satisfiable());
+    }
+
+    #[test]
+    fn setting_is_richly_acyclic() {
+        assert!(dex_logic::is_richly_acyclic(&sat_setting()));
+    }
+
+    #[test]
+    fn reduction_agrees_with_dpll_on_small_formulas() {
+        let cases = vec![
+            cnf(1, &[[1, 1, 1], [-1, -1, -1]]),          // unsat
+            cnf(2, &[[1, 2, 2]]),                        // sat
+            cnf(2, &[[1, 2, 2], [-1, -2, -2]]),          // sat
+            cnf(2, &[[1, 1, 1], [-1, 2, 2], [-1, -2, -2]]), // unsat
+            cnf(3, &[[1, 2, 3], [-1, -2, -3]]),          // sat
+        ];
+        for c in cases {
+            let expected_unsat = !c.is_satisfiable();
+            let got = unsat_via_certain_answers(&c).unwrap();
+            assert_eq!(got, expected_unsat, "formula {c:?}");
+        }
+    }
+
+    #[test]
+    fn all_sign_patterns_is_certainly_unsat() {
+        let clauses: Vec<[i32; 3]> = (0..8)
+            .map(|m| {
+                let s = |b: usize, v: i32| if m >> b & 1 == 1 { v } else { -v };
+                [s(0, 1), s(1, 2), s(2, 3)]
+            })
+            .collect();
+        let c = Cnf::new(3, clauses);
+        assert!(unsat_via_certain_answers(&c).unwrap());
+    }
+
+    #[test]
+    fn query_shape_matches_the_documented_class() {
+        let q = unsat_query();
+        let dex_logic::Query::Ucq(u) = &q else {
+            panic!("expected a UCQ")
+        };
+        assert_eq!(u.disjuncts.len(), 2);
+        assert_eq!(u.disjuncts[0].inequality_count(), 0);
+        assert_eq!(u.disjuncts[1].inequality_count(), 2);
+    }
+
+    #[test]
+    fn source_encoding_shape() {
+        let c = cnf(2, &[[1, -2, 2]]);
+        let s = cnf_to_source(&c);
+        assert_eq!(s.rows_of_len(dex_core::Symbol::intern("Var")), 2);
+        assert_eq!(s.rows_of_len(dex_core::Symbol::intern("Clause")), 1);
+        let row: Vec<Value> = s
+            .rows_of(dex_core::Symbol::intern("Clause"))
+            .next()
+            .unwrap()
+            .to_vec();
+        // Falsifying signs: +1 → 0, -2 → 1, +2 → 0.
+        assert_eq!(row[2], Value::konst("0"));
+        assert_eq!(row[4], Value::konst("1"));
+        assert_eq!(row[6], Value::konst("0"));
+    }
+}

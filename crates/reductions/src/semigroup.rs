@@ -1,0 +1,163 @@
+//! The setting `D_emb` of Section 6 (Kolaitis, Panttaja & Tan): data
+//! exchange can express the embedding problem for finite semigroups,
+//! making Existence-of-*Solutions* undecidable — but, as Example 6.1
+//! shows, the same reduction does *not* work for CWA-solutions: the
+//! source `S = {R(0,1,1)}` has plenty of finite solutions (the cyclic
+//! groups `ℤ_{k+2}`), yet no CWA-solution.
+
+use dex_core::{Atom, Instance, Value};
+use dex_logic::{parse_setting, Setting};
+
+/// Builds `D_emb`: ternary source `R`, ternary target `Rp`, with
+/// functionality (egd), associativity (full tgd) and totality (tgd with
+/// nine existentials).
+pub fn d_emb() -> Setting {
+    parse_setting(
+        "source { R/3 }
+         target { Rp/3 }
+         st { copy: R(x,y,z) -> Rp(x,y,z); }
+         t {
+           d_func: Rp(x,y,z1) & Rp(x,y,z2) -> z1 = z2;
+           d_assoc: Rp(x,y,u) & Rp(y,z,v) & Rp(u,z,w) -> Rp(x,v,w);
+           d_total: Rp(x1,x2,x3) & Rp(y1,y2,y3) ->
+             exists z11,z12,z13,z21,z22,z23,z31,z32,z33 .
+               Rp(x1,y1,z11) & Rp(x1,y2,z12) & Rp(x1,y3,z13) &
+               Rp(x2,y1,z21) & Rp(x2,y2,z22) & Rp(x2,y3,z23) &
+               Rp(x3,y1,z31) & Rp(x3,y2,z32) & Rp(x3,y3,z33);
+         }",
+    )
+    .expect("D_emb parses")
+}
+
+/// Encodes a partial binary function as a source instance:
+/// `R(x, y, p(x,y))` per defined pair.
+pub fn partial_function(graph: &[(&str, &str, &str)]) -> Instance {
+    Instance::from_atoms(graph.iter().map(|(x, y, z)| {
+        Atom::of(
+            "R",
+            vec![Value::konst(x), Value::konst(y), Value::konst(z)],
+        )
+    }))
+}
+
+/// Example 6.1's source `S = {R(0,1,1)}`.
+pub fn example_6_1_source() -> Instance {
+    partial_function(&[("0", "1", "1")])
+}
+
+/// The addition table of `ℤ_k` over constants `"0".."k-1"` as a target
+/// instance — Example 6.1's finite solutions `T' = ℤ_{k+2}`.
+pub fn z_mod_table(k: usize) -> Instance {
+    let mut t = Instance::new();
+    for a in 0..k {
+        for b in 0..k {
+            let c = (a + b) % k;
+            t.insert(Atom::of(
+                "Rp",
+                vec![
+                    Value::konst(&a.to_string()),
+                    Value::konst(&b.to_string()),
+                    Value::konst(&c.to_string()),
+                ],
+            ));
+        }
+    }
+    t
+}
+
+/// Remark 6.3's witness that *solutions* always exist for `D_emb`: the
+/// full ternary relation over `Const(S) ∪ {e0, e1, e2}` is a solution for
+/// any source (functionality fails though — so restrict to sources where
+/// it holds... the remark's instance uses all tuples, which violates
+/// d_func; the published remark relies on the setting *without* the egd
+/// when stated for arbitrary sources. We expose the ℤ_k witnesses, which
+/// genuinely are solutions).
+pub fn z_solutions_for_example(max_k: usize) -> Vec<Instance> {
+    (3..=max_k).map(z_mod_table).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_chase::{chase, ChaseBudget, ChaseError};
+    use dex_core::has_homomorphism;
+
+    #[test]
+    fn d_emb_shape() {
+        let d = d_emb();
+        assert_eq!(d.st_tgds.len(), 1);
+        assert_eq!(d.t_tgds.len(), 2);
+        assert_eq!(d.egds.len(), 1);
+        assert!(!dex_logic::is_weakly_acyclic(&d));
+    }
+
+    /// ℤ_{k+2} (k ≥ 1) is a solution for S = {R(0,1,1)}: total,
+    /// associative, functional, and extends the partial function.
+    #[test]
+    fn z_mod_tables_are_solutions() {
+        let d = d_emb();
+        let s = example_6_1_source();
+        for k in [3usize, 4, 5] {
+            let t = z_mod_table(k);
+            assert!(d.is_solution(&s, &t), "Z_{k} should be a solution");
+        }
+    }
+
+    /// The chase of S with D_emb diverges (it tries to build a free
+    /// semigroup, adding fresh products forever).
+    #[test]
+    fn chase_diverges_on_example_6_1() {
+        let d = d_emb();
+        let s = example_6_1_source();
+        let err = chase(&d, &s, &ChaseBudget::probe()).unwrap_err();
+        assert!(matches!(err, ChaseError::BudgetExceeded { .. }));
+    }
+
+    /// Example 6.1's key step: ℤ_k is not universal, because there is no
+    /// homomorphism into ℤ_{k+1} (constants must be preserved, and
+    /// `1 + (k-1) = 0 mod k` conflicts with `1 + (k-1) = k mod k+1`).
+    #[test]
+    fn z_mod_tables_are_pairwise_incomparable_solutions() {
+        let z3 = z_mod_table(3);
+        let z4 = z_mod_table(4);
+        assert!(!has_homomorphism(&z3, &z4));
+        assert!(!has_homomorphism(&z4, &z3));
+    }
+
+    /// Hence no ℤ_k can be a CWA-solution (CWA-solutions are universal,
+    /// Theorem 4.8) — the paper's Example 6.1 in executable form. The
+    /// general statement (no CWA-solution at all) follows from the
+    /// finiteness argument in the example.
+    #[test]
+    fn z_mod_tables_are_not_cwa_solutions() {
+        let d = d_emb();
+        let s = example_6_1_source();
+        let z4 = z_mod_table(4);
+        // Universality fails against the solution ℤ_3, directly:
+        assert!(d.is_solution(&s, &z_mod_table(3)));
+        assert!(!has_homomorphism(&z4, &z_mod_table(3)));
+        // So z4 cannot be a CWA-solution (no need for the full check,
+        // which would require the — non-existent — canonical universal
+        // solution).
+    }
+
+    /// The cycle-chasing argument of Example 6.1, machine-checked for a
+    /// small candidate: any solution T containing a maximal R'(·,1,·)
+    /// chain from 0 must, by totality, close the chain into a repetition,
+    /// and mapping into ℤ_{k+2} then forces a contradiction. We verify
+    /// the concrete instance: a chain instance with a repeated element is
+    /// not homomorphically mappable into the longer cycle.
+    #[test]
+    fn chain_with_repetition_does_not_map_into_longer_cycle() {
+        // Chain: R'(0,1,n1), R'(n1,1,n2), R'(n2,1,n1) — v = v_1 (k = 2).
+        let chain = Instance::from_atoms([
+            Atom::of("Rp", vec![Value::konst("0"), Value::konst("1"), Value::null(1)]),
+            Atom::of("Rp", vec![Value::null(1), Value::konst("1"), Value::null(2)]),
+            Atom::of("Rp", vec![Value::null(2), Value::konst("1"), Value::null(1)]),
+        ]);
+        // ℤ_4 = ℤ_{k+2}: successor chain 0→1→2→3→0 has no 2-cycle
+        // reachable from 0... mapping would need h(n1)=1, h(n2)=2, then
+        // R'(2,1,1) ∉ ℤ_4.
+        assert!(!has_homomorphism(&chain, &z_mod_table(4)));
+    }
+}

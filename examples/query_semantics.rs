@@ -1,0 +1,92 @@
+//! The Section 3 anomaly and the four CWA semantics of Section 7.1.
+//!
+//! Part 1 reproduces the copying-setting anomaly: on two disjoint
+//! 9-cycles with one `P`-node, the classical certain-answers semantics
+//! of a copying setting answers only one cycle, while the CWA semantics
+//! answer all 18 nodes (as a copy intuitively should).
+//!
+//! Part 2 computes all four semantics on Example 2.1 and shows the
+//! inclusion chain of Corollary 7.2.
+//!
+//! Run with: `cargo run --release --example query_semantics`
+
+use cwa_dex::prelude::*;
+use cwa_dex::reductions::section_3_anomaly;
+
+fn show(answers: &Answers) -> String {
+    let items: Vec<String> = answers
+        .iter()
+        .map(|t| {
+            if t.is_empty() {
+                "()".to_owned()
+            } else {
+                t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+            }
+        })
+        .collect();
+    format!("{{{}}}", items.join(", "))
+}
+
+fn main() {
+    println!("=== Part 1: the Section 3 anomaly (copying setting, two 9-cycles) ===\n");
+    let report = section_3_anomaly(9);
+    println!(
+        "Q(S')  on the plain copy:                 {:2} answers",
+        report.on_copy.len()
+    );
+    println!(
+        "Q(S'') on the counterexample solution:    {:2} answers",
+        report.on_counterexample.len()
+    );
+    println!(
+        "classical certain answers (⊆ both):       {:2} answers — only the a-cycle!",
+        report.classical_certain.len()
+    );
+    println!(
+        "CWA certain answers:                      {:2} answers — all nodes, as expected",
+        report.cwa_certain.len()
+    );
+    assert_eq!(report.classical_certain.len(), 9);
+    assert_eq!(report.cwa_certain.len(), 18);
+
+    println!("\n=== Part 2: the four semantics on Example 2.1 ===\n");
+    let setting = parse_setting(
+        "source { M/2, N/2 }
+         target { E/2, F/2, G/2 }
+         st {
+           d1: M(x1,x2) -> E(x1,x2);
+           d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+         }
+         t {
+           d3: F(y,x) -> exists z . G(x,z);
+           d4: F(x,y) & F(x,z) -> y = z;
+         }",
+    )
+    .unwrap();
+    let source = parse_instance("M(a,b). N(a,b).").unwrap();
+    let engine = AnswerEngine::new(&setting, &source, AnswerConfig::default()).unwrap();
+    println!("core (minimal CWA-solution): {}\n", engine.core());
+
+    let queries = [
+        ("plain CQ      ", "Q(x,y) :- E(x,y)"),
+        ("CQ + inequality", "Q(x) :- E(x,y), F(x,z), y != z"),
+        ("FO with negation", "Q(x) := exists y . (F(x,y) & !(y = 'b'))"),
+    ];
+    for (label, text) in queries {
+        let q = parse_query(text).unwrap();
+        let certain = engine.answers(&q, Semantics::Certain).unwrap();
+        let pot = engine.answers(&q, Semantics::PotentialCertain).unwrap();
+        let pers = engine.answers(&q, Semantics::PersistentMaybe).unwrap();
+        let maybe = engine.answers(&q, Semantics::Maybe).unwrap();
+        println!("{label}:  {text}");
+        println!("    certain⇓ = {}", show(&certain));
+        println!("    certain⇑ = {}", show(&pot));
+        println!("    maybe⇓   = {}", show(&pers));
+        println!("    maybe⇑   = {}", show(&maybe));
+        // Corollary 7.2.
+        assert!(certain.is_subset(&pot));
+        assert!(pot.is_subset(&pers));
+        assert!(pers.is_subset(&maybe));
+        println!("    (Corollary 7.2 inclusion chain holds)\n");
+    }
+}

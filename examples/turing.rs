@@ -1,0 +1,71 @@
+//! Theorem 6.2 in action: the fixed setting `D_halt` simulates Turing
+//! machines, so Existence-of-CWA-Solutions is undecidable.
+//!
+//! This example encodes three machines as source instances, probes
+//! CWA-solution existence by chasing, and cross-validates the chase-
+//! simulated run against a direct TM simulator, configuration by
+//! configuration.
+//!
+//! Run with: `cargo run --release --example turing`
+
+use cwa_dex::prelude::*;
+use cwa_dex::reductions::halting::{
+    d_halt, forever_right, probe_halting, right_walker, zigzag, HaltProbe, RunResult,
+};
+
+fn main() {
+    let setting = d_halt();
+    println!("=== D_halt (Theorem 6.2) ===\n{setting}");
+    println!(
+        "weakly acyclic: {} (deliberately not — this is how undecidability enters)\n",
+        is_weakly_acyclic(&setting)
+    );
+
+    for (name, tm) in [
+        ("right_walker(4)", right_walker(4)),
+        ("zigzag", zigzag()),
+    ] {
+        println!("--- machine {name} ---");
+        let RunResult::Halted { trace } = tm.run_empty(1_000) else {
+            unreachable!("these machines halt");
+        };
+        println!("direct simulation: halts after {} steps", trace.len() - 1);
+        match probe_halting(&tm, &ChaseBudget::default()) {
+            HaltProbe::Halts {
+                chase_trace,
+                chase_steps,
+            } => {
+                println!("chase of S_M:      terminates after {chase_steps} chase steps");
+                println!("                   → a CWA-solution for S_M exists");
+                assert_eq!(
+                    chase_trace, trace,
+                    "chase-simulated run equals the direct run"
+                );
+                println!("configuration traces match exactly:");
+                for (i, cfg) in chase_trace.iter().enumerate() {
+                    let tape: Vec<&str> = cfg.tape.iter().map(String::as_str).collect();
+                    println!(
+                        "    t{}: state {:3} head@{} tape {:?}",
+                        i, cfg.state, cfg.head, tape
+                    );
+                }
+            }
+            HaltProbe::Unknown { steps } => {
+                panic!("halting machine reported unknown after {steps} steps")
+            }
+        }
+        println!();
+    }
+
+    println!("--- machine forever_right ---");
+    let tm = forever_right();
+    assert!(matches!(tm.run_empty(200), RunResult::Running { .. }));
+    match probe_halting(&tm, &ChaseBudget::probe()) {
+        HaltProbe::Unknown { steps } => {
+            println!("chase still running after {steps} steps (budget), as expected:");
+            println!("the machine diverges, so no CWA-solution exists — and no budget");
+            println!("can decide this in general (Theorem 6.2: the problem is undecidable).");
+        }
+        HaltProbe::Halts { .. } => panic!("diverging machine cannot halt"),
+    }
+}

@@ -1,0 +1,229 @@
+//! `dex` — a command-line front end for the CWA data-exchange engine.
+//!
+//! ```text
+//! dex analyze   <setting>                      acyclicity + classification
+//! dex chase     <setting> <source>             canonical universal solution
+//! dex core      <setting> <source>             minimal CWA-solution (Thm 5.1)
+//! dex cansol    <setting> <source>             maximal CWA-solution (Prop 5.4)
+//! dex check     <setting> <source> <target>    classify a target instance
+//! dex answer    <setting> <source> <query> [--semantics certain|potential|persistent|maybe]
+//! dex enumerate <setting> <source> [--nulls-only] [--max N]
+//! ```
+//!
+//! `<setting>`, `<source>`, `<target>` and `<query>` are file paths; if a
+//! path does not exist the argument itself is parsed as inline DSL text.
+
+use cwa_dex::cwa::maximal_under_image;
+use cwa_dex::prelude::*;
+use std::process::ExitCode;
+
+fn load(arg: &str) -> String {
+    match std::fs::read_to_string(arg) {
+        Ok(text) => text,
+        Err(_) => arg.to_owned(),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(1)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  dex analyze   <setting>
+  dex chase     <setting> <source>
+  dex core      <setting> <source>
+  dex cansol    <setting> <source>
+  dex check     <setting> <source> <target>
+  dex answer    <setting> <source> <query> [--semantics certain|potential|persistent|maybe]
+  dex enumerate <setting> <source> [--nulls-only] [--max N]
+
+Arguments are file paths, or inline DSL when no such file exists."
+    );
+    ExitCode::from(1)
+}
+
+fn parse_setting_arg(arg: &str) -> Result<Setting, String> {
+    parse_setting(&load(arg)).map_err(|e| format!("setting: {e}"))
+}
+
+fn parse_instance_arg(arg: &str) -> Result<Instance, String> {
+    parse_instance(&load(arg)).map_err(|e| format!("instance: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match (cmd.as_str(), &args[1..]) {
+        ("analyze", [setting]) => cmd_analyze(setting),
+        ("chase", [setting, source]) => cmd_chase(setting, source),
+        ("core", [setting, source]) => cmd_core(setting, source),
+        ("cansol", [setting, source]) => cmd_cansol(setting, source),
+        ("check", [setting, source, target]) => cmd_check(setting, source, target),
+        ("answer", [setting, source, query, rest @ ..]) => cmd_answer(setting, source, query, rest),
+        ("enumerate", [setting, source, rest @ ..]) => cmd_enumerate(setting, source, rest),
+        ("help" | "--help" | "-h", _) => return usage(),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => fail(&msg),
+    }
+}
+
+fn cmd_analyze(setting: &str) -> Result<(), String> {
+    let d = parse_setting_arg(setting)?;
+    println!("{d}");
+    println!("weakly acyclic:  {}", is_weakly_acyclic(&d));
+    println!("richly acyclic:  {}", is_richly_acyclic(&d));
+    println!("no target deps:  {}", d.has_no_target_deps());
+    println!(
+        "CanSol class:    {:?} (Proposition 5.4)",
+        cwa_dex::cwa::cansol_class(&d)
+    );
+    println!(
+        "s-t tgds: {}   target tgds: {}   egds: {}",
+        d.st_tgds.len(),
+        d.t_tgds.len(),
+        d.egds.len()
+    );
+    if let Some(ranks) = cwa_dex::logic::position_ranks(&d) {
+        let max = ranks.values().copied().max().unwrap_or(0);
+        println!("max existential rank: {max} (chase depth stratification)");
+    }
+    Ok(())
+}
+
+fn cmd_chase(setting: &str, source: &str) -> Result<(), String> {
+    let d = parse_setting_arg(setting)?;
+    let s = parse_instance_arg(source)?;
+    let out = chase(&d, &s, &ChaseBudget::default()).map_err(|e| e.to_string())?;
+    println!("steps: {}", out.steps);
+    println!("{}", cwa_dex::logic::instance_to_dsl(&out.target));
+    Ok(())
+}
+
+fn cmd_core(setting: &str, source: &str) -> Result<(), String> {
+    let d = parse_setting_arg(setting)?;
+    let s = parse_instance_arg(source)?;
+    let core = core_solution(&d, &s, &ChaseBudget::default()).map_err(|e| e.to_string())?;
+    println!("{}", cwa_dex::logic::instance_to_dsl(&core));
+    Ok(())
+}
+
+fn cmd_cansol(setting: &str, source: &str) -> Result<(), String> {
+    let d = parse_setting_arg(setting)?;
+    let s = parse_instance_arg(source)?;
+    match cansol(&d, &s, &ChaseBudget::default()).map_err(|e| e.to_string())? {
+        Some(t) => {
+            println!("{}", cwa_dex::logic::instance_to_dsl(&t));
+            Ok(())
+        }
+        None => Err("setting is in neither class of Proposition 5.4 — no CanSol guaranteed \
+                     (use `enumerate` to explore the CWA-solution space)"
+            .to_owned()),
+    }
+}
+
+fn cmd_check(setting: &str, source: &str, target: &str) -> Result<(), String> {
+    let d = parse_setting_arg(setting)?;
+    let s = parse_instance_arg(source)?;
+    let t = parse_instance_arg(target)?;
+    let budget = ChaseBudget::default();
+    let limits = SearchLimits::default();
+    let solution = d.is_solution(&s, &t);
+    println!("solution:        {solution}");
+    if !solution {
+        println!("universal:       false");
+        println!("CWA-solution:    false");
+        return Ok(());
+    }
+    let universal = is_universal_solution(&d, &s, &t, &budget).map_err(|e| e.to_string())?;
+    let presolution = is_cwa_presolution(&d, &s, &t, &limits);
+    println!("universal:       {universal}");
+    match presolution {
+        Some(p) => println!("CWA-presolution: {p}"),
+        None => println!("CWA-presolution: unknown (search limit)"),
+    }
+    match (universal, presolution) {
+        (u, Some(p)) => println!("CWA-solution:    {} (Theorem 4.8)", u && p),
+        _ => println!("CWA-solution:    unknown"),
+    }
+    Ok(())
+}
+
+fn cmd_answer(setting: &str, source: &str, query: &str, rest: &[String]) -> Result<(), String> {
+    let d = parse_setting_arg(setting)?;
+    let s = parse_instance_arg(source)?;
+    let q = parse_query(&load(query)).map_err(|e| format!("query: {e}"))?;
+    let mut semantics = Semantics::Certain;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--semantics" => {
+                let Some(v) = it.next() else {
+                    return Err("--semantics needs a value".into());
+                };
+                semantics = match v.as_str() {
+                    "certain" => Semantics::Certain,
+                    "potential" => Semantics::PotentialCertain,
+                    "persistent" => Semantics::PersistentMaybe,
+                    "maybe" => Semantics::Maybe,
+                    other => return Err(format!("unknown semantics `{other}`")),
+                };
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let ans = answers(&d, &s, &q, semantics).map_err(|e| e.to_string())?;
+    if q.arity() == 0 {
+        println!("{}", !ans.is_empty());
+    } else {
+        for tuple in &ans {
+            let row: Vec<String> = tuple.iter().map(|v| v.to_string()).collect();
+            println!("({})", row.join(", "));
+        }
+        println!("-- {} answers under {semantics:?}", ans.len());
+    }
+    Ok(())
+}
+
+fn cmd_enumerate(setting: &str, source: &str, rest: &[String]) -> Result<(), String> {
+    let d = parse_setting_arg(setting)?;
+    let s = parse_instance_arg(source)?;
+    let mut limits = EnumLimits::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--nulls-only" => limits.nulls_only = true,
+            "--max" => {
+                let Some(v) = it.next() else {
+                    return Err("--max needs a value".into());
+                };
+                limits.max_results = v.parse().map_err(|_| "invalid --max value".to_owned())?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let (sols, stats) = enumerate_cwa_solutions(&d, &s, &limits);
+    let maximal = maximal_under_image(&sols);
+    for t in &sols {
+        let is_max = maximal.iter().any(|m| isomorphic(m, t));
+        println!(
+            "{}{}",
+            if is_max { "[maximal] " } else { "          " },
+            cwa_dex::logic::instance_to_dsl(t)
+        );
+    }
+    println!(
+        "-- {} CWA-solutions up to renaming of nulls ({} scripts explored{})",
+        sols.len(),
+        stats.scripts_explored,
+        if stats.truncated { ", TRUNCATED" } else { "" }
+    );
+    Ok(())
+}

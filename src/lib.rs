@@ -1,0 +1,67 @@
+//! # cwa-dex
+//!
+//! A Rust implementation of **Hernich & Schweikardt, "CWA-Solutions for
+//! Data Exchange Settings with Target Dependencies" (PODS 2007)**: a
+//! relational data-exchange engine with labeled nulls, the standard chase
+//! and the paper's α-chase, CWA-presolutions and CWA-solutions, cores,
+//! and the four closed-world query-answering semantics — plus executable
+//! versions of every construction in the paper's proofs (the copying-
+//! setting anomaly, the Turing-machine setting `D_halt`, the semigroup
+//! setting `D_emb`, the 3-SAT reduction, and path systems).
+//!
+//! This crate is a facade: it re-exports the workspace crates.
+//!
+//! ```
+//! use cwa_dex::prelude::*;
+//!
+//! // Example 2.1 of the paper.
+//! let setting = parse_setting(
+//!     "source { M/2, N/2 }
+//!      target { E/2, F/2, G/2 }
+//!      st {
+//!        d1: M(x1,x2) -> E(x1,x2);
+//!        d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+//!      }
+//!      t {
+//!        d3: F(y,x) -> exists z . G(x,z);
+//!        d4: F(x,y) & F(x,z) -> y = z;
+//!      }").unwrap();
+//! let source = parse_instance("M(a,b). N(a,b). N(a,c).").unwrap();
+//!
+//! // The minimal CWA-solution is the core (Theorem 5.1).
+//! let core = core_solution(&setting, &source, &ChaseBudget::default()).unwrap();
+//! assert_eq!(core.len(), 3);
+//!
+//! // Certain answers of a conjunctive query (Theorem 7.6).
+//! let q = parse_query("Q(x,y) :- E(x,y)").unwrap();
+//! let ans = answers(&setting, &source, &q, Semantics::Certain).unwrap();
+//! assert_eq!(ans.len(), 1);
+//! ```
+
+pub use dex_chase as chase;
+pub use dex_core as core;
+pub use dex_cwa as cwa;
+pub use dex_datagen as datagen;
+pub use dex_logic as logic;
+pub use dex_query as query;
+pub use dex_reductions as reductions;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dex_chase::{
+        alpha_chase, canonical_presolution, canonical_universal_solution, chase, AlphaOutcome,
+        AlphaSource, ChaseBudget, ChaseError, FreshAlpha, Justification, TableAlpha,
+    };
+    pub use dex_core::{
+        core, hom_equivalent, isomorphic, Atom, Instance, NullGen, Schema, Symbol, Value,
+    };
+    pub use dex_cwa::{
+        cansol, core_solution, cwa_solution_exists, enumerate_cwa_solutions, is_cwa_presolution,
+        is_cwa_solution, is_universal_solution, EnumLimits, SearchLimits,
+    };
+    pub use dex_logic::{
+        is_richly_acyclic, is_weakly_acyclic, parse_dependency, parse_formula, parse_instance,
+        parse_query, parse_setting, Query, Setting,
+    };
+    pub use dex_query::{answers, AnswerConfig, AnswerEngine, Answers, Semantics};
+}

@@ -1,0 +1,147 @@
+//! End-to-end tests of the `dex` command-line tool.
+
+use std::process::Command;
+
+const SETTING: &str = "source { M/2, N/2 }
+target { E/2, F/2, G/2 }
+st {
+  d1: M(x1,x2) -> E(x1,x2);
+  d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+}
+t {
+  d3: F(y,x) -> exists z . G(x,z);
+  d4: F(x,y) & F(x,z) -> y = z;
+}";
+
+const SOURCE: &str = "M(a,b). N(a,b). N(a,c).";
+
+fn dex(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dex"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn analyze_reports_acyclicity() {
+    let (ok, stdout, _) = dex(&["analyze", SETTING]);
+    assert!(ok);
+    assert!(stdout.contains("weakly acyclic:  true"));
+    assert!(stdout.contains("richly acyclic:  true"));
+    assert!(stdout.contains("egds: 1"));
+}
+
+#[test]
+fn chase_prints_canonical_solution() {
+    let (ok, stdout, _) = dex(&["chase", SETTING, SOURCE]);
+    assert!(ok);
+    assert!(stdout.contains("E(a,b)"));
+    assert!(stdout.contains("G(_"));
+}
+
+#[test]
+fn core_is_smaller_than_chase_result() {
+    let (_, chased, _) = dex(&["chase", SETTING, SOURCE]);
+    let (ok, core, _) = dex(&["core", SETTING, SOURCE]);
+    assert!(ok);
+    let count = |s: &str| s.matches("(").count();
+    assert!(count(&core) < count(&chased));
+    assert!(core.contains("E(a,b)"));
+}
+
+#[test]
+fn check_classifies_t2_and_t1() {
+    let (ok, stdout, _) = dex(&[
+        "check",
+        SETTING,
+        SOURCE,
+        "E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("CWA-solution:    true"));
+    let (ok, stdout, _) = dex(&["check", SETTING, SOURCE, "E(a,b)."]);
+    assert!(ok);
+    assert!(stdout.contains("solution:        false"));
+}
+
+#[test]
+fn answer_certain_ucq() {
+    let (ok, stdout, _) = dex(&["answer", SETTING, SOURCE, "Q(x,y) :- E(x,y)"]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("(a, b)"));
+    assert!(stdout.contains("1 answers"));
+}
+
+#[test]
+fn answer_boolean_and_semantics_flag() {
+    let (ok, stdout, _) = dex(&[
+        "answer",
+        SETTING,
+        SOURCE,
+        "Q() :- F(a,x), G(x,y)",
+        "--semantics",
+        "maybe",
+    ]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "true");
+}
+
+#[test]
+fn answer_rejects_unknown_semantics() {
+    let (ok, _, stderr) = dex(&[
+        "answer",
+        SETTING,
+        SOURCE,
+        "Q() :- E(x,y)",
+        "--semantics",
+        "wishful",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown semantics"));
+}
+
+#[test]
+fn enumerate_lists_solutions_with_maximality() {
+    let small = "M(a,b). N(a,b).";
+    let (ok, stdout, _) = dex(&["enumerate", SETTING, small, "--nulls-only"]);
+    assert!(ok);
+    assert!(stdout.contains("CWA-solutions up to renaming of nulls"));
+    assert!(stdout.contains("[maximal]"));
+}
+
+#[test]
+fn files_are_accepted_too() {
+    let dir = std::env::temp_dir().join(format!("dex-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let setting_path = dir.join("setting.dex");
+    let source_path = dir.join("source.dex");
+    std::fs::write(&setting_path, SETTING).unwrap();
+    std::fs::write(&source_path, SOURCE).unwrap();
+    let (ok, stdout, _) = dex(&[
+        "core",
+        setting_path.to_str().unwrap(),
+        source_path.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("E(a,b)"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_input_reports_parse_error() {
+    let (ok, _, stderr) = dex(&["chase", "source { oops", SOURCE]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let (ok, _, stderr) = dex(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}

@@ -1,0 +1,95 @@
+//! End-to-end runs of the paper's reductions (Sections 3, 6, 7.2).
+
+use cwa_dex::datagen::sat_family;
+use cwa_dex::prelude::*;
+use cwa_dex::reductions::halting::{
+    forever_right, probe_halting, right_walker, small_beaver, zigzag, HaltProbe, RunResult,
+};
+use cwa_dex::reductions::{
+    d_emb, example_6_1_source, section_3_anomaly, solvable_via_certain_answers,
+    unsat_via_certain_answers, z_mod_table, PathSystem,
+};
+
+/// Section 3: classical certain answers miss half the copy; CWA answers
+/// recover all of it.
+#[test]
+fn anomaly_section_3() {
+    let report = section_3_anomaly(9);
+    assert_eq!(report.on_copy.len(), 18);
+    assert_eq!(report.classical_certain.len(), 9);
+    assert_eq!(report.cwa_certain.len(), 18);
+}
+
+/// Theorem 6.2, positive side: halting machines yield terminating chases
+/// whose extracted runs equal the direct simulation.
+#[test]
+fn d_halt_simulates_halting_machines_faithfully() {
+    for (name, tm) in [
+        ("walker", right_walker(3)),
+        ("zigzag", zigzag()),
+        ("beaver", small_beaver()),
+    ] {
+        let RunResult::Halted { trace } = tm.run_empty(1000) else {
+            panic!("{name} halts");
+        };
+        let HaltProbe::Halts { chase_trace, .. } = probe_halting(&tm, &ChaseBudget::default())
+        else {
+            panic!("{name}: chase must terminate");
+        };
+        assert_eq!(chase_trace, trace, "{name}: traces must match");
+        // A CWA-solution exists (Theorem 6.2 / Corollary 5.2).
+        let d = cwa_dex::reductions::d_halt();
+        assert!(cwa_solution_exists(&d, &tm.source_instance(), &ChaseBudget::default()).unwrap());
+    }
+}
+
+/// Theorem 6.2, negative side: a diverging machine exhausts any budget.
+#[test]
+fn d_halt_diverging_machine() {
+    let probe = probe_halting(&forever_right(), &ChaseBudget::probe());
+    assert!(matches!(probe, HaltProbe::Unknown { .. }));
+}
+
+/// Example 6.1: D_emb has solutions but the ℤ_k candidates are not
+/// universal, and the chase diverges.
+#[test]
+fn d_emb_example_6_1() {
+    let d = d_emb();
+    let s = example_6_1_source();
+    for k in [3usize, 4, 5] {
+        assert!(d.is_solution(&s, &z_mod_table(k)));
+    }
+    assert!(!dex_core::has_homomorphism(&z_mod_table(3), &z_mod_table(4)));
+    assert!(matches!(
+        chase(&d, &s, &ChaseBudget::probe()),
+        Err(ChaseError::BudgetExceeded { .. })
+    ));
+}
+
+/// Theorem 7.5's reduction agrees with DPLL on labelled random formulas.
+#[test]
+fn sat_reduction_agrees_with_dpll() {
+    let (sat, unsat) = sat_family(4, 4.3, 2, 123);
+    assert!(!sat.is_empty() && !unsat.is_empty());
+    for c in &sat {
+        assert!(!unsat_via_certain_answers(c).unwrap());
+    }
+    for c in &unsat {
+        assert!(unsat_via_certain_answers(c).unwrap());
+    }
+}
+
+/// Propositions 6.6/7.8: the path-system pipeline equals the direct
+/// fixpoint, including on random systems.
+#[test]
+fn path_system_pipeline_matches_fixpoint() {
+    for seed in 0..3u64 {
+        let ps = cwa_dex::datagen::random_path_system(12, 3, 18, seed);
+        assert_eq!(solvable_via_certain_answers(&ps).unwrap(), ps.solvable());
+    }
+    let chain = PathSystem::chain(15);
+    assert_eq!(
+        solvable_via_certain_answers(&chain).unwrap(),
+        chain.solvable()
+    );
+}
