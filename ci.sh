@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Hermetic CI for the workspace: no network, no registry — the committed
+# Cargo.lock must resolve to path-local crates only (--locked --offline
+# fail loudly if it can't).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== build (release, locked, offline) =="
+cargo build --release --locked --offline --workspace
+
+echo "== test (locked, offline) =="
+cargo test -q --locked --offline --workspace
+
+echo "== bench smoke (tiny sizes; any panic fails the run) =="
+DEX_BENCH_SMOKE=1 cargo bench -q --locked --offline -p dex-bench
+
+echo "CI OK"

@@ -3,10 +3,12 @@
 //! 1. the fail-first dynamic atom ordering in homomorphism search vs
 //!    static listing order;
 //! 2. iso-signature bucketing in isomorphism dedup vs pairwise checks.
+//!
+//! `cargo bench -p dex-bench --bench ablation`; set `DEX_BENCH_SMOKE=1`
+//! for a tiny-size smoke run (any panic exits nonzero).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dex_core::{isomorphic, Atom, HomFinder, Instance, IsoDeduper, Value};
-use std::time::Duration;
+use dex_testkit::bench::{sizes, Harness};
 
 /// A hom-search instance where ordering matters: a long null chain whose
 /// *last* atom is the constrained one (static order explores blindly).
@@ -34,27 +36,16 @@ fn chain_with_anchor(n: usize) -> (Instance, Instance) {
     (from, to)
 }
 
-fn bench_hom_ordering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/hom_ordering");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    for n in [6usize, 8, 10] {
+fn bench_hom_ordering(h: &mut Harness) {
+    for n in sizes(&[6, 8, 10], &[4]) {
         let (from, to) = chain_with_anchor(n);
-        group.bench_with_input(
-            BenchmarkId::new("fail_first", n),
-            &(from.clone(), to.clone()),
-            |b, (f, t)| {
-                b.iter(|| assert!(HomFinder::new(f, t).find().is_some()));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("static_order", n),
-            &(from, to),
-            |b, (f, t)| {
-                b.iter(|| assert!(HomFinder::new(f, t).static_order().find().is_some()));
-            },
-        );
+        h.bench(&format!("hom_ordering/fail_first/{n}"), || {
+            assert!(HomFinder::new(&from, &to).find().is_some());
+        });
+        h.bench(&format!("hom_ordering/static_order/{n}"), || {
+            assert!(HomFinder::new(&from, &to).static_order().find().is_some());
+        });
     }
-    group.finish();
 }
 
 /// A stream with many isomorphic duplicates across a few classes.
@@ -77,42 +68,31 @@ fn iso_stream(classes: usize, copies: usize) -> Vec<Instance> {
     out
 }
 
-fn bench_iso_dedup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/iso_dedup");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    for copies in [10usize, 20, 40] {
+fn bench_iso_dedup(h: &mut Harness) {
+    for copies in sizes(&[10, 20, 40], &[4]) {
         let stream = iso_stream(6, copies);
-        group.bench_with_input(
-            BenchmarkId::new("signature_buckets", copies),
-            &stream,
-            |b, stream| {
-                b.iter(|| {
-                    let mut d = IsoDeduper::new();
-                    for i in stream {
-                        d.insert(i.clone());
-                    }
-                    assert_eq!(d.len(), 6);
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("pairwise", copies),
-            &stream,
-            |b, stream| {
-                b.iter(|| {
-                    let mut kept: Vec<Instance> = Vec::new();
-                    for i in stream {
-                        if !kept.iter().any(|j| isomorphic(j, i)) {
-                            kept.push(i.clone());
-                        }
-                    }
-                    assert_eq!(kept.len(), 6);
-                });
-            },
-        );
+        h.bench(&format!("iso_dedup/signature_buckets/{copies}"), || {
+            let mut d = IsoDeduper::new();
+            for i in &stream {
+                d.insert(i.clone());
+            }
+            assert_eq!(d.len(), 6);
+        });
+        h.bench(&format!("iso_dedup/pairwise/{copies}"), || {
+            let mut kept: Vec<Instance> = Vec::new();
+            for i in &stream {
+                if !kept.iter().any(|j| isomorphic(j, i)) {
+                    kept.push(i.clone());
+                }
+            }
+            assert_eq!(kept.len(), 6);
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_hom_ordering, bench_iso_dedup);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("ablation");
+    bench_hom_ordering(&mut h);
+    bench_iso_dedup(&mut h);
+    h.finish();
+}

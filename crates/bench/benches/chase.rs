@@ -1,14 +1,18 @@
 //! Chase benchmarks (experiments E6 and E7 of EXPERIMENTS.md):
 //! standard-chase scaling on weakly acyclic settings, Example 2.1's
 //! family, path-system closures, and the D_halt Turing simulation.
+//!
+//! `cargo bench -p dex-bench --bench chase`; set `DEX_BENCH_SMOKE=1` for
+//! a tiny-size smoke run (any panic exits nonzero, so CI can gate on it).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dex_chase::{chase, ChaseBudget};
-use dex_datagen::{example_2_1_scaled, layered_setting, random_source, LayeredConfig, SourceConfig};
+use dex_datagen::{
+    example_2_1_scaled, layered_setting, random_source, LayeredConfig, SourceConfig,
+};
 use dex_logic::parse_setting;
 use dex_reductions::halting::{probe_halting, right_walker, HaltProbe};
 use dex_reductions::PathSystem;
-use std::time::Duration;
+use dex_testkit::bench::{sizes, Harness};
 
 fn example_2_1() -> dex_logic::Setting {
     parse_setting(
@@ -26,30 +30,25 @@ fn example_2_1() -> dex_logic::Setting {
     .unwrap()
 }
 
-fn bench_chase_example_2_1(c: &mut Criterion) {
+fn bench_chase_example_2_1(h: &mut Harness) {
     let setting = example_2_1();
     let budget = ChaseBudget::default();
-    let mut group = c.benchmark_group("chase/example_2_1_scaled");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    for n in [4usize, 8, 16, 32] {
+    for n in sizes(&[4, 8, 16, 32], &[4]) {
         let s = example_2_1_scaled(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
-            b.iter(|| chase(&setting, s, &budget).unwrap());
+        h.bench(&format!("example_2_1_scaled/{n}"), || {
+            chase(&setting, &s, &budget).unwrap();
         });
     }
-    group.finish();
 }
 
-fn bench_chase_layered(c: &mut Criterion) {
+fn bench_chase_layered(h: &mut Harness) {
     let setting = layered_setting(&LayeredConfig {
         with_egds: true,
         seed: 5,
         ..LayeredConfig::default()
     });
     let budget = ChaseBudget::default();
-    let mut group = c.benchmark_group("chase/layered_weakly_acyclic");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    for n in [8usize, 16, 32] {
+    for n in sizes(&[8, 16, 32], &[4]) {
         let s = random_source(
             &setting.source,
             &SourceConfig {
@@ -58,51 +57,40 @@ fn bench_chase_layered(c: &mut Criterion) {
                 seed: 5,
             },
         );
-        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
-            b.iter(|| {
-                // Key conflicts are possible on random data; both outcomes
-                // exercise the same machinery.
-                let _ = chase(&setting, s, &budget);
-            });
+        h.bench(&format!("layered_weakly_acyclic/{n}"), || {
+            // Key conflicts are possible on random data; both outcomes
+            // exercise the same machinery.
+            let _ = chase(&setting, &s, &budget);
         });
     }
-    group.finish();
 }
 
-fn bench_pathsys_closure(c: &mut Criterion) {
+fn bench_pathsys_closure(h: &mut Harness) {
     let setting = dex_reductions::pathsys_setting();
     let budget = ChaseBudget::default();
-    let mut group = c.benchmark_group("chase/pathsys_chain");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    for n in [16usize, 32, 64] {
+    for n in sizes(&[16, 32, 64], &[8]) {
         let s = PathSystem::chain(n).to_source();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
-            b.iter(|| chase(&setting, s, &budget).unwrap());
+        h.bench(&format!("pathsys_chain/{n}"), || {
+            chase(&setting, &s, &budget).unwrap();
         });
     }
-    group.finish();
 }
 
-fn bench_halting_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("chase/d_halt_walker");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
-    for steps in [2usize, 4, 6] {
+fn bench_halting_simulation(h: &mut Harness) {
+    for steps in sizes(&[2, 4, 6], &[2]) {
         let tm = right_walker(steps);
-        group.bench_with_input(BenchmarkId::from_parameter(steps), &tm, |b, tm| {
-            b.iter(|| {
-                let probe = probe_halting(tm, &ChaseBudget::default());
-                assert!(matches!(probe, HaltProbe::Halts { .. }));
-            });
+        h.bench(&format!("d_halt_walker/{steps}"), || {
+            let probe = probe_halting(&tm, &ChaseBudget::default());
+            assert!(matches!(probe, HaltProbe::Halts { .. }));
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_chase_example_2_1,
-    bench_chase_layered,
-    bench_pathsys_closure,
-    bench_halting_simulation
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("chase");
+    bench_chase_example_2_1(&mut h);
+    bench_chase_layered(&mut h);
+    bench_pathsys_closure(&mut h);
+    bench_halting_simulation(&mut h);
+    h.finish();
+}

@@ -1,14 +1,16 @@
 //! CWA-machinery benchmarks (experiments E2, E4, E5): core computation,
 //! CWA-presolution checking, homomorphism search, and the Example 5.3
 //! solution enumeration.
+//!
+//! `cargo bench -p dex-bench --bench cwa`; set `DEX_BENCH_SMOKE=1` for a
+//! tiny-size smoke run (any panic exits nonzero, so CI can gate on it).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dex_chase::{canonical_universal_solution, ChaseBudget};
 use dex_core::core;
 use dex_cwa::{enumerate_cwa_solutions, is_cwa_presolution, EnumLimits, SearchLimits};
 use dex_datagen::example_2_1_scaled;
 use dex_logic::{parse_instance, parse_setting, Setting};
-use std::time::Duration;
+use dex_testkit::bench::{sizes, Harness};
 
 fn example_2_1() -> Setting {
     parse_setting(
@@ -26,34 +28,29 @@ fn example_2_1() -> Setting {
     .unwrap()
 }
 
-fn bench_core_scaling(c: &mut Criterion) {
+fn bench_core_scaling(h: &mut Harness) {
     let setting = example_2_1();
     let budget = ChaseBudget::default();
-    let mut group = c.benchmark_group("cwa/core_of_canonical_solution");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    for n in [4usize, 8, 16] {
+    for n in sizes(&[4, 8, 16], &[4]) {
         let s = example_2_1_scaled(n);
         let canon = canonical_universal_solution(&setting, &s, &budget).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &canon, |b, canon| {
-            b.iter(|| core(canon));
+        h.bench(&format!("core_of_canonical_solution/{n}"), || {
+            core(&canon);
         });
     }
-    group.finish();
 }
 
-fn bench_presolution_check(c: &mut Criterion) {
+fn bench_presolution_check(h: &mut Harness) {
     let setting = example_2_1();
     let s = parse_instance("M(a,b). N(a,b). N(a,c).").unwrap();
     let t2 = parse_instance("E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).").unwrap();
     let limits = SearchLimits::default();
-    c.bench_function("cwa/is_cwa_presolution_t2", |b| {
-        b.iter(|| {
-            assert_eq!(is_cwa_presolution(&setting, &s, &t2, &limits), Some(true));
-        })
+    h.bench("is_cwa_presolution_t2", || {
+        assert_eq!(is_cwa_presolution(&setting, &s, &t2, &limits), Some(true));
     });
 }
 
-fn bench_enumeration_example_5_3(c: &mut Criterion) {
+fn bench_enumeration_example_5_3(h: &mut Harness) {
     let setting = parse_setting(
         "source { P/1 }
          target { E/3, F/3 }
@@ -65,47 +62,42 @@ fn bench_enumeration_example_5_3(c: &mut Criterion) {
         nulls_only: true,
         ..EnumLimits::default()
     };
-    let mut group = c.benchmark_group("cwa/enumerate_example_5_3");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
-    for n in [1usize, 2] {
+    for n in sizes(&[1, 2], &[1]) {
         let atoms: String = (1..=n).map(|i| format!("P({i}). ")).collect();
         let s = parse_instance(&atoms).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
-            b.iter(|| {
-                let (sols, _) = enumerate_cwa_solutions(&setting, s, &limits);
-                assert_eq!(sols.len(), [4usize, 16][n - 1]);
-            });
+        h.bench(&format!("enumerate_example_5_3/{n}"), || {
+            let (sols, _) = enumerate_cwa_solutions(&setting, &s, &limits);
+            assert_eq!(sols.len(), [4usize, 16][n - 1]);
         });
     }
-    group.finish();
 }
 
-fn bench_homomorphism_search(c: &mut Criterion) {
+fn bench_homomorphism_search(h: &mut Harness) {
     // Hom from a 2n-atom null chain into a 2-cycle (satisfiable) — the
     // engine primitive behind universality and core computation.
-    let mut group = c.benchmark_group("cwa/hom_chain_into_cycle");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
-    for n in [8usize, 16, 32] {
+    for n in sizes(&[8, 16, 32], &[4]) {
         let mut from = dex_core::Instance::new();
         for i in 0..n {
             from.insert(dex_core::Atom::of(
                 "E",
-                vec![dex_core::Value::null(i as u32), dex_core::Value::null(i as u32 + 1)],
+                vec![
+                    dex_core::Value::null(i as u32),
+                    dex_core::Value::null(i as u32 + 1),
+                ],
             ));
         }
         let to = parse_instance("E(u,v). E(v,u).").unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(from, to), |b, (f, t)| {
-            b.iter(|| assert!(dex_core::has_homomorphism(f, t)));
+        h.bench(&format!("hom_chain_into_cycle/{n}"), || {
+            assert!(dex_core::has_homomorphism(&from, &to));
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_core_scaling,
-    bench_presolution_check,
-    bench_enumeration_example_5_3,
-    bench_homomorphism_search
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("cwa");
+    bench_core_scaling(&mut h);
+    bench_presolution_check(&mut h);
+    bench_enumeration_example_5_3(&mut h);
+    bench_homomorphism_search(&mut h);
+    h.finish();
+}

@@ -2,8 +2,10 @@
 //! the Table 1 families — polynomial UCQ certain answers, the §3
 //! anomaly query, the co-NP 3-SAT family, and path-system certain
 //! answers.
+//!
+//! `cargo bench -p dex-bench --bench queries`; set `DEX_BENCH_SMOKE=1`
+//! for a tiny-size smoke run (any panic exits nonzero).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dex_datagen::random_3cnf;
 use dex_logic::{parse_instance, parse_query};
 use dex_query::{answers, Semantics};
@@ -11,24 +13,19 @@ use dex_reductions::{
     copy_instance, copying_setting, section_3_anomaly, solvable_via_certain_answers,
     two_cycles_with_p, unsat_via_certain_answers, PathSystem,
 };
-use std::time::Duration;
+use dex_testkit::bench::{sizes, Harness};
 
-fn bench_ucq_certain_pathsys(c: &mut Criterion) {
-    let mut group = c.benchmark_group("queries/pathsys_certain_ucq");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    for n in [16usize, 32, 64] {
+fn bench_ucq_certain_pathsys(h: &mut Harness) {
+    for n in sizes(&[16, 32, 64], &[8]) {
         let ps = PathSystem::chain(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &ps, |b, ps| {
-            b.iter(|| {
-                let solved = solvable_via_certain_answers(ps).unwrap();
-                assert_eq!(solved.len(), n + 2);
-            });
+        h.bench(&format!("pathsys_certain_ucq/{n}"), || {
+            let solved = solvable_via_certain_answers(&ps).unwrap();
+            assert_eq!(solved.len(), n + 2);
         });
     }
-    group.finish();
 }
 
-fn bench_ucq_certain_keyed(c: &mut Criterion) {
+fn bench_ucq_certain_keyed(h: &mut Harness) {
     let setting = dex_logic::parse_setting(
         "source { P/1, Q/2 }
          target { F/2 }
@@ -40,9 +37,7 @@ fn bench_ucq_certain_keyed(c: &mut Criterion) {
     )
     .unwrap();
     let q = parse_query("Q(x,y) :- F(x,y)").unwrap();
-    let mut group = c.benchmark_group("queries/egds_certain_ucq");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    for n in [16usize, 32, 64] {
+    for n in sizes(&[16, 32, 64], &[8]) {
         let mut text = String::new();
         for i in 0..n {
             text.push_str(&format!("P(a{i}). "));
@@ -51,62 +46,50 @@ fn bench_ucq_certain_keyed(c: &mut Criterion) {
             }
         }
         let s = parse_instance(&text).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &s, |b, s| {
-            b.iter(|| answers(&setting, s, &q, Semantics::Certain).unwrap());
+        h.bench(&format!("egds_certain_ucq/{n}"), || {
+            answers(&setting, &s, &q, Semantics::Certain).unwrap();
         });
     }
-    group.finish();
 }
 
-fn bench_sat_certain(c: &mut Criterion) {
-    // co-NP family: one size only in criterion (larger sizes live in the
+fn bench_sat_certain(h: &mut Harness) {
+    // co-NP family: one size only here (larger sizes live in the
     // `table1` binary — each run is seconds).
-    let mut group = c.benchmark_group("queries/sat_certain_unsat_check");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
     let n = 3usize;
     let cnf = random_3cnf(n, (n as f64 * 4.3) as usize, 11);
-    group.bench_with_input(BenchmarkId::from_parameter(n), &cnf, |b, cnf| {
-        b.iter(|| unsat_via_certain_answers(cnf).unwrap());
+    h.bench(&format!("sat_certain_unsat_check/{n}"), || {
+        unsat_via_certain_answers(&cnf).unwrap();
     });
-    group.finish();
 }
 
-fn bench_anomaly(c: &mut Criterion) {
-    let mut group = c.benchmark_group("queries/section3_anomaly");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    for n in [9usize, 15, 21] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let report = section_3_anomaly(n);
-                assert_eq!(report.cwa_certain.len(), 2 * n);
-            });
+fn bench_anomaly(h: &mut Harness) {
+    for n in sizes(&[9, 15, 21], &[9]) {
+        h.bench(&format!("section3_anomaly/{n}"), || {
+            let report = section_3_anomaly(n);
+            assert_eq!(report.cwa_certain.len(), 2 * n);
         });
     }
-    group.finish();
 }
 
-fn bench_fo_eval_on_copy(c: &mut Criterion) {
+fn bench_fo_eval_on_copy(h: &mut Harness) {
     // Naive FO evaluation scaling (the §3 query on growing cycles).
     let schema = dex_core::Schema::of(&[("E", 2), ("P", 1)]);
     let _setting = copying_setting(&schema);
     let q = parse_query("Q(x) := Pp(x) | exists y,z . (Pp(y) & Ep(y,z) & !Pp(z))").unwrap();
-    let mut group = c.benchmark_group("queries/fo_naive_eval");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
-    for n in [6usize, 12, 24] {
+    for n in sizes(&[6, 12, 24], &[6]) {
         let copy = copy_instance(&two_cycles_with_p(n));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &copy, |b, copy| {
-            b.iter(|| dex_query::eval_query(&q, copy));
+        h.bench(&format!("fo_naive_eval/{n}"), || {
+            dex_query::eval_query(&q, &copy);
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ucq_certain_pathsys,
-    bench_ucq_certain_keyed,
-    bench_sat_certain,
-    bench_anomaly,
-    bench_fo_eval_on_copy
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("queries");
+    bench_ucq_certain_pathsys(&mut h);
+    bench_ucq_certain_keyed(&mut h);
+    bench_sat_certain(&mut h);
+    bench_anomaly(&mut h);
+    bench_fo_eval_on_copy(&mut h);
+    h.finish();
+}

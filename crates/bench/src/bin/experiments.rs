@@ -24,7 +24,10 @@ fn main() {
     println!("(paper expectation vs measured; see EXPERIMENTS.md for discussion)");
 
     // ---------------------------------------------------------------
-    header("E2", "Examples 2.1 / 4.4 / 4.9 (α-chases and classification)");
+    header(
+        "E2",
+        "Examples 2.1 / 4.4 / 4.9 (α-chases and classification)",
+    );
     let d21 = parse_setting(
         "source { M/2, N/2 }
          target { E/2, F/2, G/2 }
@@ -56,7 +59,10 @@ fn main() {
         (j(2, Value::null(3), a, 0), Value::null(4)),
     ]);
     let out1 = alpha_chase(&d21, &s_star, &mut alpha1, &ChaseBudget::default());
-    println!("α₁-chase: success = {} (paper: successful, result S ∪ T₂)", out1.is_success());
+    println!(
+        "α₁-chase: success = {} (paper: successful, result S ∪ T₂)",
+        out1.is_success()
+    );
     let mut alpha2 = TableAlpha::new([
         (j(1, a, b, 0), b),
         (j(1, a, b, 1), cc),
@@ -64,7 +70,10 @@ fn main() {
         (j(1, a, cc, 1), Value::konst("d")),
     ]);
     let out2 = alpha_chase(&d21, &s_star, &mut alpha2, &ChaseBudget::default());
-    println!("α₂-chase: failing = {} (paper: failing, c ≠ d)", out2.is_failing());
+    println!(
+        "α₂-chase: failing = {} (paper: failing, c ≠ d)",
+        out2.is_failing()
+    );
     let mut alpha3 = TableAlpha::new([
         (j(1, a, b, 0), b),
         (j(1, a, b, 1), Value::null(3)),
@@ -105,7 +114,8 @@ fn main() {
         ..EnumLimits::default()
     };
     for n in 1..=2usize {
-        let src = parse_instance(&(1..=n).map(|i| format!("P({i}). ")).collect::<String>()).unwrap();
+        let src =
+            parse_instance(&(1..=n).map(|i| format!("P({i}). ")).collect::<String>()).unwrap();
         let (sols, _) = enumerate_cwa_solutions(&d53, &src, &limits);
         let maximal = maximal_under_image(&sols).len();
         println!(
@@ -117,14 +127,20 @@ fn main() {
     }
 
     // ---------------------------------------------------------------
-    header("E5", "Theorem 5.1: the core is the minimal CWA-solution (timings)");
+    header(
+        "E5",
+        "Theorem 5.1: the core is the minimal CWA-solution (timings)",
+    );
     for n in [4usize, 8, 16] {
         let s = example_2_1_scaled(n);
         let micros = time_micros(3, || {
             let core = core_solution(&d21, &s, &ChaseBudget::default()).unwrap();
             std::hint::black_box(core);
         });
-        println!("chase+core for |S| = {}: {micros}µs (polynomial route, Prop 6.6)", n + 1);
+        println!(
+            "chase+core for |S| = {}: {micros}µs (polynomial route, Prop 6.6)",
+            n + 1
+        );
     }
 
     // ---------------------------------------------------------------
@@ -140,9 +156,13 @@ fn main() {
     // ---------------------------------------------------------------
     header("E7", "Theorem 6.2: D_halt simulates Turing machines");
     for (name, tm) in [("walker(3)", right_walker(3)), ("zigzag", zigzag())] {
-        let RunResult::Halted { trace } = tm.run_empty(1000) else { unreachable!() };
-        let HaltProbe::Halts { chase_trace, chase_steps } =
-            probe_halting(&tm, &ChaseBudget::default())
+        let RunResult::Halted { trace } = tm.run_empty(1000) else {
+            unreachable!()
+        };
+        let HaltProbe::Halts {
+            chase_trace,
+            chase_steps,
+        } = probe_halting(&tm, &ChaseBudget::default())
         else {
             unreachable!("halting machine")
         };
@@ -157,7 +177,9 @@ fn main() {
         probe_halting(&forever_right(), &ChaseBudget::probe()),
         HaltProbe::Unknown { .. }
     );
-    println!("forever_right: budget exhausted = {unknown} (no CWA-solution; undecidable in general)");
+    println!(
+        "forever_right: budget exhausted = {unknown} (no CWA-solution; undecidable in general)"
+    );
 
     // ---------------------------------------------------------------
     header("E8", "Example 6.1: D_emb has solutions but no CWA-solution");
@@ -165,7 +187,9 @@ fn main() {
     let s61 = example_6_1_source();
     println!(
         "ℤ_3, ℤ_4, ℤ_5 are solutions: {}",
-        [3usize, 4, 5].iter().all(|&k| demb.is_solution(&s61, &z_mod_table(k)))
+        [3usize, 4, 5]
+            .iter()
+            .all(|&k| demb.is_solution(&s61, &z_mod_table(k)))
     );
     println!(
         "ℤ_3 ↛ ℤ_4 (not universal): {}",
@@ -195,7 +219,10 @@ fn main() {
         let micros = time_micros(3, || {
             std::hint::black_box(solvable_via_certain_answers(&ps).unwrap());
         });
-        println!("chain({n}): certain answers in {micros}µs, all {} nodes solvable", n + 2);
+        println!(
+            "chain({n}): certain answers in {micros}µs, all {} nodes solvable",
+            n + 2
+        );
     }
 
     // ---------------------------------------------------------------
@@ -203,7 +230,10 @@ fn main() {
     let core = core_solution(&d21, &s_star, &ChaseBudget::default()).unwrap();
     println!(
         "core of Example 2.1 = T₃ up to renaming: {}",
-        isomorphic(&core, &parse_instance("E(a,b). F(a,_1). G(_1,_2).").unwrap())
+        isomorphic(
+            &core,
+            &parse_instance("E(a,b). F(a,_1). G(_1,_2).").unwrap()
+        )
     );
     println!("\nDone.");
 }

@@ -201,7 +201,8 @@ fn full_cell(col: &'static str, q_text: &str, note: &'static str) -> Cell {
 fn main() {
     println!("Reproducing Table 1 (PODS'07, Hernich & Schweikardt)");
     println!("measured: certain⇓ computation through the engine; shape vs paper claim\n");
-    let cells = vec![
+    let cells =
+        vec![
         ucq_cell("weakly acyclic", true),
         sat_cell(
             "weakly acyclic",
@@ -234,7 +235,13 @@ fn main() {
         ),
     ];
 
-    let (row, col, claims, meas, ser) = ("setting class", "query", "paper claims", "measured", "series");
+    let (row, col, claims, meas, ser) = (
+        "setting class",
+        "query",
+        "paper claims",
+        "measured",
+        "series",
+    );
     println!("{row:<34} {col:<10} {claims:<16} {meas:<10} {ser}");
     println!("{}", "-".repeat(120));
     for c in &cells {

@@ -3,9 +3,9 @@
 //! The benchmark harness that regenerates the paper's evaluation
 //! artifacts: Table 1 (complexity of certain answers per setting/query
 //! class) via the `table1` binary, the experiment series of
-//! EXPERIMENTS.md via the `experiments` binary, and criterion
+//! EXPERIMENTS.md via the `experiments` binary, and `dex-testkit`-based
 //! micro-benchmarks for the chase, cores, enumeration and query
-//! answering (`cargo bench`).
+//! answering (`cargo bench`, smoke-runnable with `DEX_BENCH_SMOKE=1`).
 
 use std::time::Instant;
 

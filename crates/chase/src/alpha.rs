@@ -37,7 +37,14 @@ pub struct Justification {
 
 impl fmt::Debug for Justification {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "(d#{}, {:?}, {:?}, z{})", self.dep, self.frontier, self.body_only, self.z_index + 1)
+        write!(
+            f,
+            "(d#{}, {:?}, {:?}, z{})",
+            self.dep,
+            self.frontier,
+            self.body_only,
+            self.z_index + 1
+        )
     }
 }
 
@@ -122,11 +129,7 @@ pub enum ChaseStep {
     /// A tgd was α-applied, adding `added` (atoms not previously present).
     TgdApplied { dep: String, added: Vec<Atom> },
     /// An egd was applied, replacing `from` by `to` everywhere.
-    EgdApplied {
-        dep: String,
-        from: Value,
-        to: Value,
-    },
+    EgdApplied { dep: String, from: Value, to: Value },
 }
 
 impl fmt::Display for ChaseStep {
@@ -404,7 +407,9 @@ mod tests {
         ]);
         let out = alpha_chase(&d, &s_star(), &mut alpha, &ChaseBudget::default());
         match out {
-            AlphaOutcome::Failing { dep, left, right, .. } => {
+            AlphaOutcome::Failing {
+                dep, left, right, ..
+            } => {
                 assert_eq!(dep, "d4");
                 assert!(left.is_const() && right.is_const());
             }
@@ -460,10 +465,9 @@ mod tests {
         let out = canonical_presolution(&d, &s_star(), &ChaseBudget::default());
         let success = out.success().expect("fresh-α chase succeeds without egds");
         assert!(d.is_solution(&s_star(), &success.target));
-        let expected = parse_instance(
-            "E(a,b). E(a,_1). F(a,_2). E(a,_3). F(a,_4). G(_2,_5). G(_4,_6).",
-        )
-        .unwrap();
+        let expected =
+            parse_instance("E(a,b). E(a,_1). F(a,_2). E(a,_3). F(a,_4). G(_2,_5). G(_4,_6).")
+                .unwrap();
         assert!(isomorphic(&success.target, &expected));
     }
 

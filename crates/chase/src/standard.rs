@@ -30,10 +30,16 @@ impl fmt::Display for ChaseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ChaseError::EgdConflict { egd, left, right } => {
-                write!(f, "egd {egd} failed: cannot identify constants {left} and {right}")
+                write!(
+                    f,
+                    "egd {egd} failed: cannot identify constants {left} and {right}"
+                )
             }
             ChaseError::BudgetExceeded { steps, atoms } => {
-                write!(f, "chase budget exceeded after {steps} steps ({atoms} atoms)")
+                write!(
+                    f,
+                    "chase budget exceeded after {steps} steps ({atoms} atoms)"
+                )
             }
         }
     }
@@ -413,7 +419,7 @@ mod tests {
         assert_eq!(fired, 3); // one M-trigger + two N-triggers
         let target = inst.difference(&s);
         assert_eq!(target.len(), 5); // E(a,b), 2×E(a,·), 2×F(a,·)
-        // Re-running fires nothing (memoized triggers).
+                                     // Re-running fires nothing (memoized triggers).
         let again: usize = d
             .st_tgds
             .iter()

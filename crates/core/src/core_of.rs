@@ -210,7 +210,10 @@ mod tests {
             Atom::of("E", vec![c("a"), n(1)]),
         ]);
         let k = core(&i);
-        assert_eq!(k, Instance::from_atoms([Atom::of("E", vec![c("a"), c("b")])]));
+        assert_eq!(
+            k,
+            Instance::from_atoms([Atom::of("E", vec![c("a"), c("b")])])
+        );
     }
 
     #[test]

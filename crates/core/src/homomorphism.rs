@@ -250,7 +250,11 @@ impl SearchState<'_> {
 
     /// Enumerates all solutions, calling `f` per complete assignment;
     /// returns `false` iff `f` stopped the enumeration.
-    fn solve(&mut self, pending: &mut Vec<usize>, f: &mut dyn FnMut(&Homomorphism) -> bool) -> bool {
+    fn solve(
+        &mut self,
+        pending: &mut Vec<usize>,
+        f: &mut dyn FnMut(&Homomorphism) -> bool,
+    ) -> bool {
         if pending.is_empty() {
             // Nulls of `from` occurring in no atom (impossible for nulls
             // drawn from the instance) need no binding.
@@ -476,9 +480,7 @@ mod tests {
 
     #[test]
     fn injective_on_nulls_restricts() {
-        let from = Instance::from_atoms([
-            Atom::of("E", vec![n(1), n(2)]),
-        ]);
+        let from = Instance::from_atoms([Atom::of("E", vec![n(1), n(2)])]);
         let to = Instance::from_atoms([Atom::of("E", vec![n(7), n(7)])]);
         assert!(has_homomorphism(&from, &to));
         assert!(HomFinder::new(&from, &to)

@@ -139,9 +139,9 @@ impl Instance {
 
     /// Iterates over all atoms (relation symbol order, then insertion order).
     pub fn atoms(&self) -> impl Iterator<Item = Atom> + '_ {
-        self.rels.iter().flat_map(|(&rel, r)| {
-            r.rows.iter().map(move |row| Atom::new(rel, row.clone()))
-        })
+        self.rels
+            .iter()
+            .flat_map(|(&rel, r)| r.rows.iter().map(move |row| Atom::new(rel, row.clone())))
     }
 
     /// Iterates over the tuples of one relation.
@@ -230,7 +230,10 @@ impl Instance {
         let mut out = Instance::new();
         for (&rel, r) in &self.rels {
             for row in &r.rows {
-                out.insert(Atom::new(rel, row.iter().map(|&v| f(v)).collect::<Vec<_>>()));
+                out.insert(Atom::new(
+                    rel,
+                    row.iter().map(|&v| f(v)).collect::<Vec<_>>(),
+                ));
             }
         }
         out
@@ -362,7 +365,10 @@ mod tests {
     fn domains() {
         let i = sample();
         assert_eq!(
-            i.constants().into_iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            i.constants()
+                .into_iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>(),
             vec!["a", "b"]
         );
         assert_eq!(
@@ -458,9 +464,7 @@ mod tests {
         let i = sample();
         assert!(i.check_against(&Schema::of(&[("E", 2), ("F", 2)])).is_ok());
         assert!(i.check_against(&Schema::of(&[("E", 2)])).is_err());
-        assert!(i
-            .check_against(&Schema::of(&[("E", 3), ("F", 2)]))
-            .is_err());
+        assert!(i.check_against(&Schema::of(&[("E", 3), ("F", 2)])).is_err());
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl fmt::Display for SchemaError {
                 rel,
                 expected,
                 found,
-            } => write!(f, "relation {rel} has arity {expected}, found {found} arguments"),
+            } => write!(
+                f,
+                "relation {rel} has arity {expected}, found {found} arguments"
+            ),
             SchemaError::NotDisjoint(r) => write!(f, "schemas share relation {r}"),
         }
     }

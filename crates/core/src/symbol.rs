@@ -6,10 +6,9 @@
 //! is global (rustc-style) so symbols can be freely passed between
 //! instances, settings, and chase runs without threading an arena around.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// An interned string. Two `Symbol`s are equal iff the strings they were
 /// interned from are equal.
@@ -31,14 +30,30 @@ fn interner() -> &'static RwLock<Interner> {
     })
 }
 
+// The interner's invariant (table maps name → index into names) cannot be
+// broken by a panic mid-update: `intern` pushes and inserts already-built
+// values, and those operations abort rather than unwind on allocation
+// failure. So a poisoned lock only means *some* thread panicked while
+// holding the guard — e.g. a failing assertion inside `as_str` callers in
+// a test — and the data is still consistent. Recover instead of wedging
+// every later `Symbol` use in the process.
+
+fn read_lock(lock: &RwLock<Interner>) -> RwLockReadGuard<'_, Interner> {
+    lock.read().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn write_lock(lock: &RwLock<Interner>) -> RwLockWriteGuard<'_, Interner> {
+    lock.write().unwrap_or_else(|poison| poison.into_inner())
+}
+
 impl Symbol {
     /// Interns `name`, returning its symbol. Idempotent.
     pub fn intern(name: &str) -> Symbol {
         let lock = interner();
-        if let Some(&id) = lock.read().table.get(name) {
+        if let Some(&id) = read_lock(lock).table.get(name) {
             return Symbol(id);
         }
-        let mut w = lock.write();
+        let mut w = write_lock(lock);
         // Double-checked: another thread may have interned it meanwhile.
         if let Some(&id) = w.table.get(name) {
             return Symbol(id);
@@ -51,7 +66,7 @@ impl Symbol {
 
     /// Returns the interned string (clones out of the global table).
     pub fn as_str(&self) -> String {
-        interner().read().names[self.0 as usize].clone()
+        read_lock(interner()).names[self.0 as usize].clone()
     }
 
     /// Raw id, stable within a process. Useful for dense side tables.
@@ -109,6 +124,22 @@ mod tests {
     fn from_str_impl_interns() {
         let s: Symbol = "zeta".into();
         assert_eq!(s, Symbol::intern("zeta"));
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        // A thread panicking while holding the interner lock must not
+        // wedge interning for the rest of the process (test runners share
+        // one process across #[test] fns).
+        let _ = std::thread::spawn(|| {
+            let guard = super::write_lock(super::interner());
+            let _hold = guard;
+            panic!("poison the interner on purpose");
+        })
+        .join();
+        let s = Symbol::intern("after-poison");
+        assert_eq!(s.as_str(), "after-poison");
+        assert_eq!(s, Symbol::intern("after-poison"));
     }
 
     #[test]

@@ -45,11 +45,7 @@ impl Valuation {
     pub fn apply_value(&self, v: Value) -> Value {
         match v {
             Value::Const(_) => v,
-            Value::Null(n) => self
-                .map
-                .get(&n)
-                .map(|&c| Value::Const(c))
-                .unwrap_or(v),
+            Value::Null(n) => self.map.get(&n).map(|&c| Value::Const(c)).unwrap_or(v),
         }
     }
 
@@ -98,7 +94,11 @@ impl ValuationIter {
         } else {
             Some(vec![0; nulls.len()])
         };
-        ValuationIter { nulls, pool, digits }
+        ValuationIter {
+            nulls,
+            pool,
+            digits,
+        }
     }
 
     /// Total number of valuations this iterator yields (saturating).

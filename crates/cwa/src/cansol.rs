@@ -151,8 +151,14 @@ mod tests {
         assert_eq!(t, parse_instance("F(a,c).").unwrap());
         // It really is a CWA-solution (and here the only one).
         assert_eq!(
-            is_cwa_solution(&d, &s, &t, &ChaseBudget::default(), &SearchLimits::default())
-                .unwrap(),
+            is_cwa_solution(
+                &d,
+                &s,
+                &t,
+                &ChaseBudget::default(),
+                &SearchLimits::default()
+            )
+            .unwrap(),
             Some(true)
         );
     }
@@ -175,10 +181,7 @@ mod tests {
         // E(a,b) + E(a,_1) + F(a,_2).
         assert_eq!(can.len(), 3);
         // The three Libkin CWA-solutions are images of CanSol.
-        for t in [
-            "E(a,b). F(a,_1).",
-            "E(a,b). E(a,_1). F(a,_2).",
-        ] {
+        for t in ["E(a,b). F(a,_1).", "E(a,b). E(a,_1). F(a,_2)."] {
             let t = parse_instance(t).unwrap();
             assert_eq!(
                 is_cwa_presolution(&d, &s, &t, &SearchLimits::default()),

@@ -15,9 +15,7 @@
 //! enumerating scripts enumerates all CWA-presolutions (up to iso) within
 //! the limits.
 
-use dex_chase::{
-    alpha_chase, AlphaOutcome, AlphaSource, ChaseBudget, Justification,
-};
+use dex_chase::{alpha_chase, AlphaOutcome, AlphaSource, ChaseBudget, Justification};
 use dex_core::{has_homomorphism, Instance, IsoDeduper, NullGen, Symbol, Value};
 use dex_logic::Setting;
 use std::collections::{BTreeSet, HashMap};
@@ -156,8 +154,7 @@ pub fn enumerate_cwa_presolutions(
     let mut results = IsoDeduper::new();
     let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
     while let Some(script) = stack.pop() {
-        if stats.scripts_explored >= limits.max_scripts || results.len() >= limits.max_results
-        {
+        if stats.scripts_explored >= limits.max_scripts || results.len() >= limits.max_results {
             stats.truncated = true;
             break;
         }
@@ -272,15 +269,15 @@ mod tests {
         };
         let (sols, stats) = enumerate_cwa_solutions(&d, &s, &limits);
         assert!(!stats.truncated);
-        let t = parse_instance(
-            "E(1,_1,_3). E(1,_2,_4). F(1,_1,_1). F(1,_2,_2).",
-        )
-        .unwrap();
+        let t = parse_instance("E(1,_1,_3). E(1,_2,_4). F(1,_1,_1). F(1,_2,_2).").unwrap();
         let t_prime = parse_instance(
             "E(1,_1,_3). E(1,_2,_3). F(1,_1,_1). F(1,_2,_2). F(1,_1,_2). F(1,_2,_1).",
         )
         .unwrap();
-        assert!(sols.iter().any(|x| isomorphic(x, &t)), "T missing: {sols:?}");
+        assert!(
+            sols.iter().any(|x| isomorphic(x, &t)),
+            "T missing: {sols:?}"
+        );
         assert!(sols.iter().any(|x| isomorphic(x, &t_prime)), "T' missing");
         // Both are maximal under the image preorder — incomparable.
         let maximal = maximal_under_image(&sols);

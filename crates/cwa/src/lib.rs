@@ -21,8 +21,7 @@ pub mod solution;
 
 pub use cansol::{cansol, cansol_class, CanSolClass};
 pub use enumerate::{
-    enumerate_cwa_presolutions, enumerate_cwa_solutions, maximal_under_image, EnumLimits,
-    EnumStats,
+    enumerate_cwa_presolutions, enumerate_cwa_solutions, maximal_under_image, EnumLimits, EnumStats,
 };
 pub use presolution::{is_cwa_presolution, presolution_alpha_table, SearchLimits};
 pub use solution::{

@@ -128,7 +128,11 @@ pub fn presolution_alpha_table(
             if options.is_empty() {
                 return None;
             }
-            triggers.push(Trigger { env, tgd: ti, options });
+            triggers.push(Trigger {
+                env,
+                tgd: ti,
+                options,
+            });
             witnesses.push(ws);
         }
     }
@@ -408,7 +412,9 @@ mod tests {
     /// violate the egd d4, failing the universe check.
     #[test]
     fn egd_violating_target_is_rejected() {
-        assert!(!check("E(a,b). E(a,_1). F(a,_2). F(a,_3). G(_2,_4). G(_3,_5)."));
+        assert!(!check(
+            "E(a,b). E(a,_1). F(a,_2). F(a,_3). G(_2,_4). G(_3,_5)."
+        ));
     }
 
     /// The empty target for a non-empty source is not a presolution (the
@@ -450,8 +456,7 @@ mod tests {
         .unwrap();
         let s = s_star();
         let lim = SearchLimits::default();
-        let t_full =
-            parse_instance("E(a,b). E(a,_1). F(a,_2). E(a,_3). F(a,_4).").unwrap();
+        let t_full = parse_instance("E(a,b). E(a,_1). F(a,_2). E(a,_3). F(a,_4).").unwrap();
         assert_eq!(is_cwa_presolution(&d, &s, &t_full, &lim), Some(true));
         // Libkin's Section 3 list: {E(a,b), E(a,_1), F(a,_2)} (z1 of both
         // triggers folded onto existing values).

@@ -9,8 +9,7 @@
 
 use dex_core::{Schema, Symbol};
 use dex_logic::{Body, Egd, FAtom, Setting, Term, Tgd, Var};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dex_testkit::rng::TestRng;
 
 /// Parameters for [`layered_setting`]. All target relations are binary.
 #[derive(Clone, Debug)]
@@ -53,7 +52,7 @@ fn rel_name(layer: usize, idx: usize) -> String {
 
 /// Generates a layered setting per `cfg`.
 pub fn layered_setting(cfg: &LayeredConfig) -> Setting {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = TestRng::seed_from_u64(cfg.seed);
     let mut source = Schema::new();
     for i in 0..cfg.source_rels {
         source.add(Symbol::intern(&format!("S{i}")), 2);

@@ -6,8 +6,7 @@
 
 use dex_core::{Schema, Symbol};
 use dex_logic::{Body, Egd, FAtom, Setting, Term, Tgd, Var};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dex_testkit::rng::TestRng;
 
 /// Which mapping primitives to compose.
 #[derive(Clone, Debug)]
@@ -35,7 +34,7 @@ impl Default for ScenarioConfig {
 
 /// Builds a mapping scenario per `cfg`.
 pub fn mapping_scenario(cfg: &ScenarioConfig) -> Setting {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = TestRng::seed_from_u64(cfg.seed);
     let mut source = Schema::new();
     let mut target = Schema::new();
     let mut st: Vec<Tgd> = Vec::new();

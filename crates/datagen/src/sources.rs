@@ -1,8 +1,7 @@
 //! Random ground source instances for a given schema.
 
 use dex_core::{Atom, Instance, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dex_testkit::rng::TestRng;
 
 /// Parameters for [`random_source`].
 #[derive(Clone, Debug)]
@@ -26,7 +25,7 @@ impl Default for SourceConfig {
 
 /// Draws a random ground instance over `schema`.
 pub fn random_source(schema: &Schema, cfg: &SourceConfig) -> Instance {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = TestRng::seed_from_u64(cfg.seed);
     let mut inst = Instance::new();
     for (rel, arity) in schema.relations() {
         for _ in 0..cfg.tuples_per_relation {
@@ -67,8 +66,20 @@ mod tests {
     #[test]
     fn different_seeds_usually_differ() {
         let schema = Schema::of(&[("R", 2)]);
-        let a = random_source(&schema, &SourceConfig { seed: 1, ..SourceConfig::default() });
-        let b = random_source(&schema, &SourceConfig { seed: 2, ..SourceConfig::default() });
+        let a = random_source(
+            &schema,
+            &SourceConfig {
+                seed: 1,
+                ..SourceConfig::default()
+            },
+        );
+        let b = random_source(
+            &schema,
+            &SourceConfig {
+                seed: 2,
+                ..SourceConfig::default()
+            },
+        );
         assert_ne!(a, b);
     }
 }

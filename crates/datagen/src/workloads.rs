@@ -3,8 +3,7 @@
 
 use dex_core::{Atom, Instance, Value};
 use dex_reductions::{Cnf, PathSystem};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dex_testkit::rng::TestRng;
 
 /// Example 2.1's source scaled up: `M(a, b)` plus `n` fan-out atoms
 /// `N(a, c_i)` — the chase output grows linearly and the egd `d4` merges
@@ -25,7 +24,7 @@ pub fn example_2_1_scaled(n: usize) -> Instance {
 /// (distinct variables per clause, random signs).
 pub fn random_3cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
     assert!(num_vars >= 3);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut clauses = Vec::with_capacity(num_clauses);
     for _ in 0..num_clauses {
         let mut vars: Vec<i32> = Vec::new();
@@ -48,7 +47,12 @@ pub fn random_3cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
 /// A balanced family for the co-NP benchmarks: random 3-CNFs at the
 /// given clause/variable ratio, labelled satisfiable/unsatisfiable by
 /// DPLL. Returns `(sat, unsat)` samples (up to `per_class` each).
-pub fn sat_family(num_vars: usize, ratio: f64, per_class: usize, seed: u64) -> (Vec<Cnf>, Vec<Cnf>) {
+pub fn sat_family(
+    num_vars: usize,
+    ratio: f64,
+    per_class: usize,
+    seed: u64,
+) -> (Vec<Cnf>, Vec<Cnf>) {
     let num_clauses = (num_vars as f64 * ratio).round() as usize;
     let mut sat = Vec::new();
     let mut unsat = Vec::new();
@@ -70,7 +74,7 @@ pub fn sat_family(num_vars: usize, ratio: f64, per_class: usize, seed: u64) -> (
 /// A random path system: `axioms` axiom nodes, `rules` random rules over
 /// `nodes` node names.
 pub fn random_path_system(nodes: usize, axioms: usize, rules: usize, seed: u64) -> PathSystem {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let name = |i: usize| format!("n{i}");
     let mut ps = PathSystem::default();
     for i in 0..axioms.min(nodes) {

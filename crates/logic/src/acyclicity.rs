@@ -58,9 +58,7 @@ impl DependencyGraph {
     /// edge must leave its strongly connected component.
     pub fn no_cycle_through_existential_edge(&self) -> bool {
         let scc = self.scc_ids();
-        self.edges
-            .iter()
-            .all(|&(u, v, ex)| !ex || scc[u] != scc[v])
+        self.edges.iter().all(|&(u, v, ex)| !ex || scc[u] != scc[v])
     }
 
     /// Strongly connected component ids (iterative Tarjan).
@@ -124,10 +122,7 @@ impl DependencyGraph {
 }
 
 /// Positions of `v` in a conjunction of atoms.
-fn positions_of(
-    atoms: &[crate::formula::FAtom],
-    v: Var,
-) -> impl Iterator<Item = Position> + '_ {
+fn positions_of(atoms: &[crate::formula::FAtom], v: Var) -> impl Iterator<Item = Position> + '_ {
     atoms.iter().flat_map(move |a| {
         a.args.iter().enumerate().filter_map(move |(i, t)| {
             (t.as_var() == Some(v)).then_some(Position { rel: a.rel, idx: i })
@@ -398,14 +393,7 @@ mod tests {
             Var::new("z"),
         )
         .unwrap();
-        let s = Setting::new(
-            Schema::of(&[("Src", 1)]),
-            target,
-            vec![],
-            vec![],
-            vec![egd],
-        )
-        .unwrap();
+        let s = Setting::new(Schema::of(&[("Src", 1)]), target, vec![], vec![], vec![egd]).unwrap();
         assert!(is_weakly_acyclic(&s));
         assert!(is_richly_acyclic(&s));
     }

@@ -141,7 +141,10 @@ impl fmt::Display for DependencyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DependencyError::UnsafeHeadVariable(v) => {
-                write!(f, "head variable {v} is neither free in the body nor existential")
+                write!(
+                    f,
+                    "head variable {v} is neither free in the body nor existential"
+                )
             }
             DependencyError::ExistentialClash(v) => {
                 write!(f, "existential variable {v} also occurs free in the body")
@@ -238,7 +241,10 @@ impl Tgd {
                 let args: Vec<Value> = a
                     .args
                     .iter()
-                    .map(|&t| env.term(t).expect("unbound variable instantiating tgd head"))
+                    .map(|&t| {
+                        env.term(t)
+                            .expect("unbound variable instantiating tgd head")
+                    })
                     .collect();
                 Atom::new(a.rel, args)
             })
@@ -522,18 +528,13 @@ mod tests {
     #[test]
     fn tgd_satisfaction_with_existentials() {
         let d = d2();
-        let src = Instance::from_atoms([Atom::of(
-            "N",
-            vec![Value::konst("a"), Value::konst("b")],
-        )]);
+        let src = Instance::from_atoms([Atom::of("N", vec![Value::konst("a"), Value::konst("b")])]);
         let tgt_good = Instance::from_atoms([
             Atom::of("E", vec![Value::konst("a"), Value::null(1)]),
             Atom::of("F", vec![Value::konst("a"), Value::null(2)]),
         ]);
-        let tgt_bad = Instance::from_atoms([Atom::of(
-            "E",
-            vec![Value::konst("a"), Value::null(1)],
-        )]);
+        let tgt_bad =
+            Instance::from_atoms([Atom::of("E", vec![Value::konst("a"), Value::null(1)])]);
         assert!(d.satisfied_across(&src, &tgt_good));
         assert!(!d.satisfied_across(&src, &tgt_bad));
     }
@@ -570,10 +571,7 @@ mod tests {
     #[test]
     fn egd_satisfaction_and_violations() {
         let d = d4();
-        let ok = Instance::from_atoms([Atom::of(
-            "F",
-            vec![Value::konst("a"), Value::null(1)],
-        )]);
+        let ok = Instance::from_atoms([Atom::of("F", vec![Value::konst("a"), Value::null(1)])]);
         assert!(d.satisfied(&ok));
         let bad = Instance::from_atoms([
             Atom::of("F", vec![Value::konst("a"), Value::konst("c")]),

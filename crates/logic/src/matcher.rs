@@ -66,7 +66,10 @@ fn solve(
         .enumerate()
         .map(|(slot, &i)| {
             let pat = pattern(&atoms[i], env);
-            (slot, inst.rows_matching(atoms[i].rel, &pat).take(16).count())
+            (
+                slot,
+                inst.rows_matching(atoms[i].rel, &pat).take(16).count(),
+            )
         })
         .min_by_key(|&(_, c)| c)
         .expect("pending non-empty");

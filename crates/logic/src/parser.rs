@@ -213,9 +213,7 @@ fn lex(input: &str) -> PResult<Vec<(Tok, usize)>> {
             '_' => {
                 let start = i + 1;
                 let mut j = start;
-                while j < bytes.len()
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
-                {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
                     j += 1;
                 }
                 if j == start {
@@ -236,9 +234,7 @@ fn lex(input: &str) -> PResult<Vec<(Tok, usize)>> {
             }
             c if c.is_ascii_alphabetic() => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push((Tok::Ident(input[start..i].to_owned()), start));
@@ -855,7 +851,9 @@ mod tests {
     #[test]
     fn parses_tgd_with_existentials() {
         let d = parse_dependency("N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2)").unwrap();
-        let Dependency::Tgd(t) = d else { panic!("expected tgd") };
+        let Dependency::Tgd(t) = d else {
+            panic!("expected tgd")
+        };
         assert_eq!(t.exist_vars.len(), 2);
         assert_eq!(t.head.len(), 2);
         assert_eq!(format!("{t}"), "N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2)");
@@ -878,14 +876,18 @@ mod tests {
     #[test]
     fn parses_fo_body_tgd() {
         let d = parse_dependency("V(x) & !P(x) -> Marked(x)").unwrap();
-        let Dependency::Tgd(t) = d else { panic!("expected tgd") };
+        let Dependency::Tgd(t) = d else {
+            panic!("expected tgd")
+        };
         assert!(matches!(t.body, Body::Fo(_)));
     }
 
     #[test]
     fn parses_formula_with_precedence() {
         let f = parse_formula("P(x) | exists y,z . (P(y) & E(y,z) & !P(z))").unwrap();
-        let Formula::Or(parts) = &f else { panic!("expected or") };
+        let Formula::Or(parts) = &f else {
+            panic!("expected or")
+        };
         assert_eq!(parts.len(), 2);
         assert_eq!(f.free_vars(), vec![Var::new("x")]);
     }
@@ -893,7 +895,9 @@ mod tests {
     #[test]
     fn quantifier_extends_right() {
         let f = parse_formula("exists y . P(y) & Q(y)").unwrap();
-        let Formula::Exists(_, body) = &f else { panic!("expected exists") };
+        let Formula::Exists(_, body) = &f else {
+            panic!("expected exists")
+        };
         assert!(matches!(body.as_ref(), Formula::And(_)));
         assert!(f.free_vars().is_empty());
     }
@@ -931,7 +935,9 @@ mod tests {
     #[test]
     fn parses_cq_with_inequality() {
         let q = parse_query("Q(x) :- P(x), E(x,y), y != 'a'").unwrap();
-        let Query::Cq(cq) = q else { panic!("expected CQ") };
+        let Query::Cq(cq) = q else {
+            panic!("expected CQ")
+        };
         assert_eq!(cq.arity(), 1);
         assert_eq!(cq.inequality_count(), 1);
     }
@@ -939,7 +945,9 @@ mod tests {
     #[test]
     fn parses_ucq() {
         let q = parse_query("Q(x) :- P(x); Q(x) :- R(x,y)").unwrap();
-        let Query::Ucq(u) = q else { panic!("expected UCQ") };
+        let Query::Ucq(u) = q else {
+            panic!("expected UCQ")
+        };
         assert_eq!(u.disjuncts.len(), 2);
         assert!(u.is_plain());
     }
@@ -953,7 +961,9 @@ mod tests {
     #[test]
     fn parses_fo_query() {
         let q = parse_query("Q(x) := P(x) | exists y,z . (P(y) & E(y,z) & !P(z))").unwrap();
-        let Query::Fo(fo) = q else { panic!("expected FO") };
+        let Query::Fo(fo) = q else {
+            panic!("expected FO")
+        };
         assert_eq!(fo.arity(), 1);
     }
 

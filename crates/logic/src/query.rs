@@ -33,7 +33,10 @@ impl fmt::Display for QueryError {
             }
             QueryError::MixedHeadArity => write!(f, "UCQ disjuncts have different head arities"),
             QueryError::HeadFreeVarMismatch => {
-                write!(f, "FO query head variables must be exactly the free variables")
+                write!(
+                    f,
+                    "FO query head variables must be exactly the free variables"
+                )
             }
         }
     }

@@ -16,7 +16,9 @@ pub enum SettingError {
         expected: &'static str,
     },
     /// A target tgd whose body is not a conjunction of relational atoms.
-    NonConjunctiveTargetBody { dependency: String },
+    NonConjunctiveTargetBody {
+        dependency: String,
+    },
 }
 
 impl fmt::Display for SettingError {
@@ -31,10 +33,9 @@ impl fmt::Display for SettingError {
                 f,
                 "dependency {dependency}: relation {rel} is not in the {expected} schema"
             ),
-            SettingError::NonConjunctiveTargetBody { dependency } => write!(
-                f,
-                "target tgd {dependency} must have a conjunctive body"
-            ),
+            SettingError::NonConjunctiveTargetBody { dependency } => {
+                write!(f, "target tgd {dependency} must have a conjunctive body")
+            }
         }
     }
 }
@@ -71,21 +72,24 @@ impl Setting {
         egds: Vec<Egd>,
     ) -> Result<Setting, SettingError> {
         source.check_disjoint(&target)?;
-        let check_rel = |dep: &str, rel: Symbol, arity: usize, schema: &Schema, which: &'static str| {
-            match schema.arity(rel) {
-                None => Err(SettingError::WrongVocabulary {
-                    dependency: dep.to_owned(),
-                    rel,
-                    expected: which,
-                }),
-                Some(a) if a != arity => Err(SettingError::Schema(SchemaError::ArityMismatch {
-                    rel,
-                    expected: a,
-                    found: arity,
-                })),
-                Some(_) => Ok(()),
-            }
-        };
+        let check_rel =
+            |dep: &str, rel: Symbol, arity: usize, schema: &Schema, which: &'static str| {
+                match schema.arity(rel) {
+                    None => Err(SettingError::WrongVocabulary {
+                        dependency: dep.to_owned(),
+                        rel,
+                        expected: which,
+                    }),
+                    Some(a) if a != arity => {
+                        Err(SettingError::Schema(SchemaError::ArityMismatch {
+                            rel,
+                            expected: a,
+                            found: arity,
+                        }))
+                    }
+                    Some(_) => Ok(()),
+                }
+            };
         for d in &st_tgds {
             for rel in d.body.relations() {
                 // Arity of FO body atoms is not tracked per-atom here; check
@@ -194,9 +198,7 @@ impl Setting {
 
     /// True iff `t` is a solution for `s` under this setting.
     pub fn is_solution(&self, s: &Instance, t: &Instance) -> bool {
-        t.check_against(&self.target).is_ok()
-            && self.satisfies_st(s, t)
-            && self.satisfies_target(t)
+        t.check_against(&self.target).is_ok() && self.satisfies_st(s, t) && self.satisfies_target(t)
     }
 }
 

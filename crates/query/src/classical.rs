@@ -31,7 +31,10 @@ pub fn classical_certain_ucq(
     q: &Query,
     budget: &ChaseBudget,
 ) -> Result<Answers, ChaseError> {
-    debug_assert!(q.is_plain_ucq(), "classical certain answers via naive evaluation require a plain UCQ");
+    debug_assert!(
+        q.is_plain_ucq(),
+        "classical certain answers via naive evaluation require a plain UCQ"
+    );
     let canon = canonical_universal_solution(setting, source, budget)?;
     Ok(drop_null_tuples(&eval_query(q, &canon)))
 }
@@ -80,10 +83,13 @@ mod tests {
     #[test]
     fn classical_and_cwa_coincide_on_ucqs() {
         let (d, s) = example_2_1();
-        for qt in ["Q(x,y) :- E(x,y)", "Q(x) :- F(x,y), G(y,z)", "Q() :- G(x,y)"] {
+        for qt in [
+            "Q(x,y) :- E(x,y)",
+            "Q(x) :- F(x,y), G(y,z)",
+            "Q() :- G(x,y)",
+        ] {
             let q = parse_query(qt).unwrap();
-            let classical =
-                classical_certain_ucq(&d, &s, &q, &ChaseBudget::default()).unwrap();
+            let classical = classical_certain_ucq(&d, &s, &q, &ChaseBudget::default()).unwrap();
             let cwa = answers(&d, &s, &q, Semantics::Certain).unwrap();
             assert_eq!(classical, cwa, "query {qt}");
         }
@@ -93,10 +99,7 @@ mod tests {
     /// and the paper's counterexample solution loses the b-cycle.
     #[test]
     fn upper_bound_reproduces_the_anomaly() {
-        let copy = parse_instance(
-            "Ep(a0,a1). Ep(a1,a0). Ep(b0,b1). Ep(b1,b0). Pp(a0).",
-        )
-        .unwrap();
+        let copy = parse_instance("Ep(a0,a1). Ep(a1,a0). Ep(b0,b1). Ep(b1,b0). Pp(a0).").unwrap();
         let mut counterexample = copy.clone();
         counterexample.insert(dex_core::Atom::of("Pp", vec![dex_core::Value::konst("a1")]));
         let q = parse_query("Q(x) := Pp(x) | exists y,z . (Pp(y) & Ep(y,z) & !Pp(z))").unwrap();

@@ -69,9 +69,7 @@ fn enumerate(
     out: &mut Answers,
 ) {
     if idx == q.head_vars.len() {
-        let env = Assignment::from_bindings(
-            q.head_vars.iter().copied().zip(tuple.iter().copied()),
-        );
+        let env = Assignment::from_bindings(q.head_vars.iter().copied().zip(tuple.iter().copied()));
         if eval_formula(&q.formula, inst, &env) {
             out.insert(tuple.clone());
         }
@@ -177,7 +175,13 @@ mod tests {
         // answers every node (the second disjunct holds globally).
         let mut text = String::new();
         for i in 0..9 {
-            text.push_str(&format!("E(a{},a{}). E(b{},b{}). ", i, (i + 1) % 9, i, (i + 1) % 9));
+            text.push_str(&format!(
+                "E(a{},a{}). E(b{},b{}). ",
+                i,
+                (i + 1) % 9,
+                i,
+                (i + 1) % 9
+            ));
         }
         text.push_str("P(a4).");
         let inst = parse_instance(&text).unwrap();

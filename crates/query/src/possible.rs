@@ -96,8 +96,7 @@ impl Unifier {
     fn unify(&mut self, a: Value, b: Value) -> bool {
         match (self.resolve(a), self.resolve(b)) {
             (Resolved::Const(x), Resolved::Const(y)) => x == y,
-            (Resolved::Class(r), Resolved::Const(c))
-            | (Resolved::Const(c), Resolved::Class(r)) => {
+            (Resolved::Class(r), Resolved::Const(c)) | (Resolved::Const(c), Resolved::Class(r)) => {
                 self.pinned.insert(r, c);
                 self.trail.push(TrailEntry::Pin { root: r });
                 true
@@ -148,7 +147,11 @@ pub fn cq_is_maybe_answer(q: &ConjunctiveQuery, t: &Instance, tuple: &[Value]) -
 /// Decides whether the Boolean CQ `q` is possibly true on `t` (some
 /// valuation satisfies it).
 pub fn cq_maybe_holds(q: &ConjunctiveQuery, t: &Instance) -> bool {
-    debug_assert_eq!(q.arity(), 0, "use cq_is_maybe_answer for non-Boolean queries");
+    debug_assert_eq!(
+        q.arity(),
+        0,
+        "use cq_is_maybe_answer for non-Boolean queries"
+    );
     cq_is_maybe_answer(q, t, &[])
 }
 
@@ -258,8 +261,16 @@ mod tests {
     fn shared_null_must_be_consistent() {
         // E(_1,_1): Q(x,y) :- E(x,y) with x ≠ y impossible; equal fine.
         let t = parse_instance("E(_1,_1).").unwrap();
-        assert!(cq_is_maybe_answer(&cq("Q(x,y) :- E(x,y)"), &t, &[c("a"), c("a")]));
-        assert!(!cq_is_maybe_answer(&cq("Q(x,y) :- E(x,y)"), &t, &[c("a"), c("b")]));
+        assert!(cq_is_maybe_answer(
+            &cq("Q(x,y) :- E(x,y)"),
+            &t,
+            &[c("a"), c("a")]
+        ));
+        assert!(!cq_is_maybe_answer(
+            &cq("Q(x,y) :- E(x,y)"),
+            &t,
+            &[c("a"), c("b")]
+        ));
     }
 
     #[test]
@@ -318,8 +329,7 @@ mod tests {
             let Query::Cq(cq_ast) = &q else { panic!() };
             let pool = crate::modal::answer_pool(&t, &q, []);
             let oracle =
-                crate::modal::maybe_answers(&setting, &q, &t, &pool, &Default::default())
-                    .unwrap();
+                crate::modal::maybe_answers(&setting, &q, &t, &pool, &Default::default()).unwrap();
             // Every oracle answer must be confirmed by the fast path, and
             // pool-tuples rejected by the fast path must be absent.
             for tuple in &oracle {
@@ -332,8 +342,7 @@ mod tests {
             let arity = q.arity();
             let mut idx = vec![0usize; arity];
             loop {
-                let tuple: Vec<Value> =
-                    idx.iter().map(|&i| Value::Const(pool[i])).collect();
+                let tuple: Vec<Value> = idx.iter().map(|&i| Value::Const(pool[i])).collect();
                 assert_eq!(
                     cq_is_maybe_answer(cq_ast, &t, &tuple),
                     oracle.contains(&tuple),

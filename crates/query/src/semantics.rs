@@ -20,8 +20,8 @@ use crate::modal::{
 };
 use crate::possible::cq_is_maybe_answer;
 use dex_chase::{ChaseBudget, ChaseError};
-use dex_cwa::{cansol, core_solution, EnumLimits};
 use dex_core::Instance;
+use dex_cwa::{cansol, core_solution, EnumLimits};
 use dex_logic::{Query, Setting};
 use std::fmt;
 
@@ -160,8 +160,10 @@ impl<'a> AnswerEngine<'a> {
                     let mut out = Answers::new();
                     let mut idx = vec![0usize; arity];
                     loop {
-                        let tuple: Vec<dex_core::Value> =
-                            idx.iter().map(|&i| dex_core::Value::Const(pool[i])).collect();
+                        let tuple: Vec<dex_core::Value> = idx
+                            .iter()
+                            .map(|&i| dex_core::Value::Const(pool[i]))
+                            .collect();
                         if disjuncts.iter().any(|cq| cq_is_maybe_answer(cq, t, &tuple)) {
                             out.insert(tuple);
                         }
@@ -418,8 +420,8 @@ mod tests {
             let fast = engine.answers(&q, Semantics::PersistentMaybe).unwrap();
             // Oracle on the same core instance.
             let pool = answer_pool(engine.core(), &q, s.constants());
-            let oracle = maybe_answers(&d, &q, engine.core(), &pool, &ModalLimits::default())
-                .unwrap();
+            let oracle =
+                maybe_answers(&d, &q, engine.core(), &pool, &ModalLimits::default()).unwrap();
             assert_eq!(fast, oracle, "query {qt}");
         }
     }

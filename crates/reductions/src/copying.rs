@@ -48,7 +48,10 @@ pub fn copying_setting(source: &Schema) -> Setting {
 
 /// The copy of a source instance over the primed schema.
 pub fn copy_instance(s: &Instance) -> Instance {
-    Instance::from_atoms(s.atoms().map(|a| Atom::new(copy_name(a.rel), a.args.clone())))
+    Instance::from_atoms(
+        s.atoms()
+            .map(|a| Atom::new(copy_name(a.rel), a.args.clone())),
+    )
 }
 
 /// The Section 3 source: two disjoint directed cycles `a₀→…→a_{n-1}→a₀`
@@ -60,11 +63,17 @@ pub fn two_cycles_with_p(n: usize) -> Instance {
         let j = (i + 1) % n;
         inst.insert(Atom::of(
             "E",
-            vec![Value::konst(&format!("a{i}")), Value::konst(&format!("a{j}"))],
+            vec![
+                Value::konst(&format!("a{i}")),
+                Value::konst(&format!("a{j}")),
+            ],
         ));
         inst.insert(Atom::of(
             "E",
-            vec![Value::konst(&format!("b{i}")), Value::konst(&format!("b{j}"))],
+            vec![
+                Value::konst(&format!("b{i}")),
+                Value::konst(&format!("b{j}")),
+            ],
         ));
     }
     inst.insert(Atom::of("P", vec![Value::konst(&format!("a{}", n / 2))]));
@@ -113,10 +122,7 @@ pub fn section_3_anomaly(n: usize) -> AnomalyReport {
     debug_assert!(setting.is_solution(&s, &counterexample));
     let on_counterexample = eval_query(&q, &counterexample);
 
-    let classical_certain: Answers = on_copy
-        .intersection(&on_counterexample)
-        .cloned()
-        .collect();
+    let classical_certain: Answers = on_copy.intersection(&on_counterexample).cloned().collect();
 
     let cwa_certain = dex_query::answers(&setting, &s, &q, dex_query::Semantics::Certain)
         .expect("copying settings always have solutions");
@@ -163,10 +169,11 @@ mod tests {
         let r = section_3_anomaly(9);
         assert_eq!(r.on_copy.len(), 18);
         assert_eq!(r.classical_certain.len(), 9);
-        assert!(r
-            .classical_certain
-            .iter()
-            .all(|t| t[0].as_const().unwrap().as_str().starts_with('a')));
+        assert!(r.classical_certain.iter().all(|t| t[0]
+            .as_const()
+            .unwrap()
+            .as_str()
+            .starts_with('a')));
         assert_eq!(r.cwa_certain.len(), 18);
         assert_eq!(r.cwa_certain, r.on_copy);
     }
@@ -194,7 +201,9 @@ mod tests {
         assert!(d.is_solution(&s, &t));
         // But not universal: it has no homomorphism into the plain copy
         // (constants are fixed, and Pp(a0) is absent there).
-        assert!(!dex_cwa::is_universal_solution(&d, &s, &t, &dex_chase::ChaseBudget::default())
-            .unwrap());
+        assert!(
+            !dex_cwa::is_universal_solution(&d, &s, &t, &dex_chase::ChaseBudget::default())
+                .unwrap()
+        );
     }
 }

@@ -178,7 +178,10 @@ pub fn d_halt() -> Setting {
 pub enum HaltProbe {
     /// The chase terminated: `M` halts; a CWA-solution exists. Contains
     /// the run extracted from the chase result.
-    Halts { chase_trace: Vec<Config>, chase_steps: usize },
+    Halts {
+        chase_trace: Vec<Config>,
+        chase_steps: usize,
+    },
     /// The chase exceeded its budget: within the budget, `M` does not
     /// halt (the problem is undecidable in general — the budget is the
     /// honest interface).
@@ -312,7 +315,13 @@ pub fn full_relation_solution(tm: &TuringMachine) -> Instance {
 pub fn right_walker(n: usize) -> TuringMachine {
     let mut tm = TuringMachine::new("q0");
     for i in 0..n {
-        tm.rule(&format!("q{i}"), BLANK, &format!("q{}", i + 1), "1", Dir::Right);
+        tm.rule(
+            &format!("q{i}"),
+            BLANK,
+            &format!("q{}", i + 1),
+            "1",
+            Dir::Right,
+        );
     }
     tm
 }

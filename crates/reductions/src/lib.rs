@@ -20,8 +20,13 @@ pub mod pathsys;
 pub mod sat;
 pub mod semigroup;
 
-pub use copying::{copying_setting, copy_instance, section_3_anomaly, two_cycles_with_p, AnomalyReport};
-pub use halting::{d_halt, full_relation_solution, probe_halting, Config, Dir, HaltProbe, RunResult, TuringMachine, BLANK};
+pub use copying::{
+    copy_instance, copying_setting, section_3_anomaly, two_cycles_with_p, AnomalyReport,
+};
+pub use halting::{
+    d_halt, full_relation_solution, probe_halting, Config, Dir, HaltProbe, RunResult,
+    TuringMachine, BLANK,
+};
 pub use pathsys::{pathsys_setting, solvable_query, solvable_via_certain_answers, PathSystem};
 pub use sat::{cnf_to_source, sat_setting, unsat_query, unsat_via_certain_answers, Cnf};
 pub use semigroup::{d_emb, example_6_1_source, partial_function, z_mod_table};

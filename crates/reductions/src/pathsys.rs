@@ -119,10 +119,19 @@ pub fn solvable_via_certain_answers(
 ) -> Result<BTreeSet<String>, dex_query::AnswerError> {
     let setting = pathsys_setting();
     let source = ps.to_source();
-    let ans = dex_query::answers(&setting, &source, &solvable_query(), dex_query::Semantics::Certain)?;
+    let ans = dex_query::answers(
+        &setting,
+        &source,
+        &solvable_query(),
+        dex_query::Semantics::Certain,
+    )?;
     Ok(ans
         .into_iter()
-        .map(|t| t[0].as_const().expect("certain answers are ground").as_str())
+        .map(|t| {
+            t[0].as_const()
+                .expect("certain answers are ground")
+                .as_str()
+        })
         .collect())
 }
 
@@ -159,7 +168,10 @@ mod tests {
         assert!(dex_logic::is_weakly_acyclic(&d));
         assert!(dex_logic::is_richly_acyclic(&d));
         assert!(d.is_full_st() && d.target_tgds_are_full());
-        assert_eq!(dex_cwa::cansol_class(&d), dex_cwa::CanSolClass::FullTgdsAndEgds);
+        assert_eq!(
+            dex_cwa::cansol_class(&d),
+            dex_cwa::CanSolClass::FullTgdsAndEgds
+        );
     }
 
     #[test]

@@ -178,7 +178,8 @@ pub fn unsat_query() -> Query {
 pub fn unsat_via_certain_answers(cnf: &Cnf) -> Result<bool, dex_query::AnswerError> {
     let setting = sat_setting();
     let source = cnf_to_source(cnf);
-    let engine = dex_query::AnswerEngine::new(&setting, &source, dex_query::AnswerConfig::default())?;
+    let engine =
+        dex_query::AnswerEngine::new(&setting, &source, dex_query::AnswerConfig::default())?;
     engine.holds(&unsat_query(), dex_query::Semantics::Certain)
 }
 
@@ -222,11 +223,11 @@ mod tests {
     #[test]
     fn reduction_agrees_with_dpll_on_small_formulas() {
         let cases = vec![
-            cnf(1, &[[1, 1, 1], [-1, -1, -1]]),          // unsat
-            cnf(2, &[[1, 2, 2]]),                        // sat
-            cnf(2, &[[1, 2, 2], [-1, -2, -2]]),          // sat
+            cnf(1, &[[1, 1, 1], [-1, -1, -1]]),             // unsat
+            cnf(2, &[[1, 2, 2]]),                           // sat
+            cnf(2, &[[1, 2, 2], [-1, -2, -2]]),             // sat
             cnf(2, &[[1, 1, 1], [-1, 2, 2], [-1, -2, -2]]), // unsat
-            cnf(3, &[[1, 2, 3], [-1, -2, -3]]),          // sat
+            cnf(3, &[[1, 2, 3], [-1, -2, -3]]),             // sat
         ];
         for c in cases {
             let expected_unsat = !c.is_satisfiable();

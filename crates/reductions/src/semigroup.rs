@@ -32,12 +32,11 @@ pub fn d_emb() -> Setting {
 /// Encodes a partial binary function as a source instance:
 /// `R(x, y, p(x,y))` per defined pair.
 pub fn partial_function(graph: &[(&str, &str, &str)]) -> Instance {
-    Instance::from_atoms(graph.iter().map(|(x, y, z)| {
-        Atom::of(
-            "R",
-            vec![Value::konst(x), Value::konst(y), Value::konst(z)],
-        )
-    }))
+    Instance::from_atoms(
+        graph.iter().map(|(x, y, z)| {
+            Atom::of("R", vec![Value::konst(x), Value::konst(y), Value::konst(z)])
+        }),
+    )
 }
 
 /// Example 6.1's source `S = {R(0,1,1)}`.
@@ -151,9 +150,18 @@ mod tests {
     fn chain_with_repetition_does_not_map_into_longer_cycle() {
         // Chain: R'(0,1,n1), R'(n1,1,n2), R'(n2,1,n1) — v = v_1 (k = 2).
         let chain = Instance::from_atoms([
-            Atom::of("Rp", vec![Value::konst("0"), Value::konst("1"), Value::null(1)]),
-            Atom::of("Rp", vec![Value::null(1), Value::konst("1"), Value::null(2)]),
-            Atom::of("Rp", vec![Value::null(2), Value::konst("1"), Value::null(1)]),
+            Atom::of(
+                "Rp",
+                vec![Value::konst("0"), Value::konst("1"), Value::null(1)],
+            ),
+            Atom::of(
+                "Rp",
+                vec![Value::null(1), Value::konst("1"), Value::null(2)],
+            ),
+            Atom::of(
+                "Rp",
+                vec![Value::null(2), Value::konst("1"), Value::null(1)],
+            ),
         ]);
         // ℤ_4 = ℤ_{k+2}: successor chain 0→1→2→3→0 has no 2-cycle
         // reachable from 0... mapping would need h(n1)=1, h(n2)=2, then

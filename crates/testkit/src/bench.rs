@@ -1,0 +1,209 @@
+//! A wall-clock benchmark harness for `harness = false` bench mains.
+//!
+//! Each benchmark runs `warmup` untimed iterations and then `runs` timed
+//! ones; the report gives median and p95 nanoseconds per iteration. Two
+//! environment knobs:
+//!
+//! - `DEX_BENCH_RUNS=<n>` overrides the timed-run count;
+//! - `DEX_BENCH_SMOKE=1` switches to smoke mode (1 warmup, 3 runs), and
+//!   [`smoke`] lets bench mains also pick tiny input sizes — CI uses this
+//!   to execute every benchmark body cheaply. A panic anywhere in a
+//!   bench main exits the process nonzero, so smoke runs double as tests.
+//!
+//! ```no_run
+//! let mut h = dex_testkit::bench::Harness::new("example");
+//! for n in dex_testkit::bench::sizes(&[8, 16, 32], &[2]) {
+//!     h.bench(&format!("work/{n}"), || {
+//!         std::hint::black_box((0..n).sum::<usize>());
+//!     });
+//! }
+//! h.finish();
+//! ```
+
+use std::time::Instant;
+
+/// True when `DEX_BENCH_SMOKE=1`: bench mains should use tiny sizes.
+pub fn smoke() -> bool {
+    std::env::var("DEX_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Picks `full` sizes normally, `tiny` sizes under [`smoke`] mode.
+pub fn sizes(full: &[usize], tiny: &[usize]) -> Vec<usize> {
+    if smoke() {
+        tiny.to_vec()
+    } else {
+        full.to_vec()
+    }
+}
+
+/// One measured benchmark: name plus per-iteration nanosecond samples.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub name: String,
+    /// Sorted per-iteration wall-clock nanoseconds.
+    pub samples_ns: Vec<u128>,
+}
+
+impl Measurement {
+    pub fn median_ns(&self) -> u128 {
+        self.samples_ns[self.samples_ns.len() / 2]
+    }
+
+    pub fn p95_ns(&self) -> u128 {
+        // Nearest-rank p95 on the sorted samples.
+        let idx = (self.samples_ns.len() * 95).div_ceil(100).max(1) - 1;
+        self.samples_ns[idx.min(self.samples_ns.len() - 1)]
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Collects measurements and prints a text report.
+pub struct Harness {
+    group: String,
+    warmup: usize,
+    runs: usize,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// A harness with default budget: 3 warmup + 20 timed runs (or the
+    /// `DEX_BENCH_RUNS` / `DEX_BENCH_SMOKE` overrides).
+    pub fn new(group: &str) -> Harness {
+        let (mut warmup, mut runs) = (3, 20);
+        if smoke() {
+            (warmup, runs) = (1, 3);
+        }
+        if let Some(r) = std::env::var("DEX_BENCH_RUNS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            runs = r;
+        }
+        Harness {
+            group: group.to_owned(),
+            warmup,
+            runs: 1.max(runs),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-benchmark run counts (smoke mode still wins).
+    pub fn with_budget(mut self, warmup: usize, runs: usize) -> Harness {
+        if !smoke() && std::env::var("DEX_BENCH_RUNS").is_err() {
+            self.warmup = warmup;
+            self.runs = 1.max(runs);
+        }
+        self
+    }
+
+    /// Times `f`, printing one report line immediately.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        for _ in 0..self.warmup {
+            f();
+        }
+        let mut samples: Vec<u128> = (0..self.runs)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_nanos()
+            })
+            .collect();
+        samples.sort_unstable();
+        let m = Measurement {
+            name: format!("{}/{}", self.group, name),
+            samples_ns: samples,
+        };
+        println!(
+            "{:<52} median {:>10}  p95 {:>10}  ({} runs)",
+            m.name,
+            fmt_ns(m.median_ns()),
+            fmt_ns(m.p95_ns()),
+            self.runs
+        );
+        self.results.push(m);
+    }
+
+    /// All measurements so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints the closing summary line. Call at the end of `main` — a
+    /// normal return after `finish` is the benchmark's success exit;
+    /// any panic before it makes `cargo bench` fail nonzero.
+    pub fn finish(self) {
+        println!(
+            "{}: {} benchmarks, {} timed runs each",
+            self.group,
+            self.results.len(),
+            self.runs
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_p95_on_known_samples() {
+        let m = Measurement {
+            name: "m".into(),
+            samples_ns: (1..=100).collect(),
+        };
+        assert_eq!(m.median_ns(), 51);
+        assert_eq!(m.p95_ns(), 95);
+    }
+
+    #[test]
+    fn single_sample_stats() {
+        let m = Measurement {
+            name: "m".into(),
+            samples_ns: vec![42],
+        };
+        assert_eq!(m.median_ns(), 42);
+        assert_eq!(m.p95_ns(), 42);
+    }
+
+    #[test]
+    fn harness_runs_the_closure() {
+        let mut h = Harness::new("t").with_budget(0, 5);
+        let mut count = 0u32;
+        h.bench("count", || count += 1);
+        // with_budget is a no-op under DEX_BENCH_RUNS/SMOKE; accept any
+        // positive run count but require warmup+timed consistency.
+        assert!(count > 0);
+        assert_eq!(h.results().len(), 1);
+        assert!(h.results()[0].samples_ns.len() >= 1);
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert_eq!(fmt_ns(5), "5ns");
+        assert_eq!(fmt_ns(5_000), "5.000µs");
+        assert_eq!(fmt_ns(5_000_000), "5.000ms");
+        assert_eq!(fmt_ns(5_000_000_000), "5.000s");
+    }
+
+    #[test]
+    fn sizes_honours_smoke_flag() {
+        // Can't set the env var here without racing other tests; just
+        // check the non-smoke path returns `full` verbatim.
+        if !smoke() {
+            assert_eq!(sizes(&[8, 16], &[2]), vec![8, 16]);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! A minimal property-testing harness.
+//!
+//! The shape follows proptest/quickcheck: a [`Gen<T>`] is a composable
+//! random-value generator, a [`Runner`] drives N seeded cases of a
+//! property and, on failure, reports the per-case seed (re-runnable via
+//! `DEX_PROP_SEED`) and — for `Vec`-shaped inputs — greedily shrinks the
+//! input before reporting the minimal counterexample.
+//!
+//! ```
+//! use dex_testkit::prop::{Gen, Runner};
+//!
+//! let small = Gen::range_usize(0..100);
+//! Runner::new(64).run("addition commutes", &Gen::pair(small.clone(), small), |&(a, b)| {
+//!     if a + b == b + a { Ok(()) } else { Err("a+b != b+a".into()) }
+//! });
+//! ```
+
+use crate::rng::TestRng;
+use std::fmt::Debug;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The result of one property evaluation: `Ok(())` or a failure message.
+pub type PropResult = Result<(), String>;
+
+/// A composable generator of `T` values.
+///
+/// Cloning a `Gen` is cheap (it is an `Rc` around the sampling closure).
+pub struct Gen<T> {
+    sample: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+// Manual impl: `derive(Clone)` would demand `T: Clone`, which generators
+// of non-Clone values don't need (only the Rc is cloned).
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Gen<T> {
+        Gen {
+            sample: Rc::clone(&self.sample),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a sampling function.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Gen<T> {
+        Gen { sample: Rc::new(f) }
+    }
+
+    /// Always produces `value`.
+    pub fn just(value: T) -> Gen<T>
+    where
+        T: Clone,
+    {
+        Gen::new(move |_| value.clone())
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+
+    /// Applies `f` to every generated value.
+    pub fn map<U: 'static>(&self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let inner = self.clone();
+        Gen::new(move |rng| f(inner.sample(rng)))
+    }
+
+    /// Picks one of `choices` uniformly, then samples it.
+    pub fn one_of(choices: Vec<Gen<T>>) -> Gen<T> {
+        assert!(!choices.is_empty(), "one_of needs at least one generator");
+        Gen::new(move |rng| {
+            let i = rng.gen_range(0..choices.len());
+            choices[i].sample(rng)
+        })
+    }
+
+    /// A vector of `len_range` elements drawn from `elem`.
+    pub fn vec(elem: Gen<T>, len_range: std::ops::Range<usize>) -> Gen<Vec<T>> {
+        Gen::new(move |rng| {
+            let len = if len_range.is_empty() {
+                len_range.start
+            } else {
+                rng.gen_range(len_range.clone())
+            };
+            (0..len).map(|_| elem.sample(rng)).collect()
+        })
+    }
+
+    /// A pair of independent draws.
+    pub fn pair<U: 'static>(a: Gen<T>, b: Gen<U>) -> Gen<(T, U)> {
+        Gen::new(move |rng| (a.sample(rng), b.sample(rng)))
+    }
+}
+
+impl Gen<usize> {
+    /// A uniform `usize` from the half-open range.
+    pub fn range_usize(r: std::ops::Range<usize>) -> Gen<usize> {
+        Gen::new(move |rng| rng.gen_range(r.clone()))
+    }
+}
+
+impl Gen<u32> {
+    /// A uniform `u32` from the half-open range.
+    pub fn range_u32(r: std::ops::Range<u32>) -> Gen<u32> {
+        Gen::new(move |rng| rng.gen_range(r.clone()))
+    }
+}
+
+/// How many cases [`Runner::run`] executes, and from which base seed the
+/// per-case seeds derive.
+///
+/// The base seed defaults to a fixed constant so failures reproduce; set
+/// `DEX_PROP_SEED=<u64>` to replay a reported failing case (the runner
+/// prints the exact value to use).
+pub struct Runner {
+    cases: usize,
+    base_seed: u64,
+    replay_one: bool,
+}
+
+/// Fixed default base seed (decimal digits of 2^64/φ, like SplitMix64's
+/// increment — an arbitrary odd constant).
+const DEFAULT_BASE_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+static CASES_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// Total property cases executed in this process (all runners). Lets a
+/// meta-test assert the suite kept its case budget.
+pub fn cases_run() -> u64 {
+    CASES_RUN.load(Ordering::Relaxed)
+}
+
+impl Runner {
+    /// A runner for `cases` cases with the default (or `DEX_PROP_SEED`
+    /// override) base seed.
+    pub fn new(cases: usize) -> Runner {
+        match std::env::var("DEX_PROP_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
+            // A replayed seed IS the single case seed.
+            Some(seed) => Runner {
+                cases: 1,
+                base_seed: seed,
+                replay_one: true,
+            },
+            None => Runner {
+                cases,
+                base_seed: DEFAULT_BASE_SEED,
+                replay_one: false,
+            },
+        }
+    }
+
+    /// The seed of case `i` — also what `DEX_PROP_SEED` must be set to in
+    /// order to replay exactly that case.
+    fn case_seed(&self, i: usize) -> u64 {
+        if self.replay_one {
+            self.base_seed
+        } else {
+            // Decorrelate consecutive cases with one SplitMix64-style mix.
+            let mut z = self
+                .base_seed
+                .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Runs `prop` on `cases` inputs drawn from `gen`. Panics on the
+    /// first failure, reporting the case index, its seed, and the input.
+    ///
+    /// No shrinking — use [`Runner::run_vec`] when the input is a vector
+    /// and a minimal counterexample matters.
+    pub fn run<T: Debug + 'static>(
+        &self,
+        name: &str,
+        gen: &Gen<T>,
+        prop: impl Fn(&T) -> PropResult,
+    ) {
+        for i in 0..self.cases {
+            let seed = self.case_seed(i);
+            let mut rng = TestRng::seed_from_u64(seed);
+            let input = gen.sample(&mut rng);
+            CASES_RUN.fetch_add(1, Ordering::Relaxed);
+            if let Err(msg) = prop(&input) {
+                panic!(
+                    "property '{name}' failed at case {i}/{}\n  \
+                     replay: DEX_PROP_SEED={seed}\n  cause: {msg}\n  input: {input:?}",
+                    self.cases
+                );
+            }
+        }
+    }
+
+    /// Runs `prop` on vectors of `elem` values (lengths in `len_range`).
+    /// On failure, greedily shrinks the vector — first by dropping
+    /// halves, then single elements — re-running `prop` on each
+    /// candidate, and reports the smallest still-failing input.
+    pub fn run_vec<T: Clone + Debug + 'static>(
+        &self,
+        name: &str,
+        elem: &Gen<T>,
+        len_range: std::ops::Range<usize>,
+        prop: impl Fn(&[T]) -> PropResult,
+    ) {
+        for i in 0..self.cases {
+            let seed = self.case_seed(i);
+            let mut rng = TestRng::seed_from_u64(seed);
+            let len = if len_range.is_empty() {
+                len_range.start
+            } else {
+                rng.gen_range(len_range.clone())
+            };
+            let input: Vec<T> = (0..len).map(|_| elem.sample(&mut rng)).collect();
+            CASES_RUN.fetch_add(1, Ordering::Relaxed);
+            if let Err(msg) = prop(&input) {
+                let (minimal, final_msg) = shrink_vec(input, msg, &prop);
+                panic!(
+                    "property '{name}' failed at case {i}/{} (shrunk to {} elements)\n  \
+                     replay: DEX_PROP_SEED={seed}\n  cause: {final_msg}\n  input: {minimal:?}",
+                    self.cases,
+                    minimal.len(),
+                );
+            }
+        }
+    }
+}
+
+/// Greedy vector shrinking: repeatedly try removing a contiguous chunk
+/// (half the current length, halving down to single elements); keep any
+/// candidate on which the property still fails; stop at a fixpoint.
+fn shrink_vec<T: Clone>(
+    mut failing: Vec<T>,
+    mut msg: String,
+    prop: &impl Fn(&[T]) -> PropResult,
+) -> (Vec<T>, String) {
+    let mut chunk = (failing.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < failing.len() {
+            let end = (start + chunk).min(failing.len());
+            let mut candidate = Vec::with_capacity(failing.len() - (end - start));
+            candidate.extend_from_slice(&failing[..start]);
+            candidate.extend_from_slice(&failing[end..]);
+            if let Err(m) = prop(&candidate) {
+                failing = candidate;
+                msg = m;
+                progressed = true;
+                // Retry the same offset: it now holds different elements.
+            } else {
+                start = end;
+            }
+        }
+        if !progressed {
+            if chunk == 1 {
+                return (failing, msg);
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let before = cases_run();
+        Runner::new(32).run("tautology", &Gen::range_u32(0..10), |_| Ok(()));
+        assert!(cases_run() - before >= 32);
+    }
+
+    #[test]
+    fn failing_property_reports_seed() {
+        let err = std::panic::catch_unwind(|| {
+            Runner::new(64).run("always false", &Gen::range_u32(0..10), |_| {
+                Err("nope".into())
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("DEX_PROP_SEED="), "message: {msg}");
+        assert!(msg.contains("always false"));
+        assert!(msg.contains("nope"));
+    }
+
+    #[test]
+    fn vec_shrinking_finds_minimal_counterexample() {
+        // Property: no element is >= 100. Failing inputs shrink to
+        // exactly one offending element.
+        let err = std::panic::catch_unwind(|| {
+            Runner::new(200).run_vec("all small", &Gen::range_u32(0..150), 0..20, |xs| {
+                if xs.iter().all(|&x| x < 100) {
+                    Ok(())
+                } else {
+                    Err("element >= 100".into())
+                }
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(
+            msg.contains("shrunk to 1 elements"),
+            "should shrink to a single element: {msg}"
+        );
+    }
+
+    #[test]
+    fn generators_compose() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let g = Gen::one_of(vec![Gen::range_u32(0..5).map(|x| x * 2), Gen::just(99u32)]);
+        let vecs = Gen::vec(g, 1..4);
+        for _ in 0..100 {
+            let v = vecs.sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            for x in v {
+                assert!(x == 99 || (x % 2 == 0 && x < 10));
+            }
+        }
+    }
+
+    #[test]
+    fn pair_and_just() {
+        let mut rng = TestRng::seed_from_u64(12);
+        let p = Gen::pair(Gen::just(1u8), Gen::range_u32(3..4));
+        assert_eq!(p.sample(&mut rng), (1, 3));
+    }
+
+    #[test]
+    fn shrink_keeps_failure_invariant() {
+        // The shrinker must never "shrink" to a passing input.
+        let failing: Vec<u32> = vec![1, 2, 300, 4, 5, 600, 7];
+        let prop = |xs: &[u32]| -> PropResult {
+            if xs.iter().any(|&x| x >= 100) {
+                Err("has big".into())
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, _) = shrink_vec(failing, "has big".into(), &prop);
+        assert!(prop(&minimal).is_err());
+        assert_eq!(minimal.len(), 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Seeded pseudo-random numbers: xoshiro256++ with SplitMix64 seeding.
+//!
+//! The generator state is 256 bits, expanded from a 64-bit seed with
+//! SplitMix64 (the construction recommended by the xoshiro authors, so a
+//! small seed never yields the all-zero state). The API mirrors the
+//! slice of `rand` the workload generators use, which keeps call sites
+//! identical: `rng.gen_range(0..n)`, `rng.gen_range(1..=m)`,
+//! `rng.gen_bool(p)`, `rng.shuffle(&mut xs)`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: the seed-expansion generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, seedable PRNG (xoshiro256++).
+///
+/// Not cryptographic — it generates test workloads. Two `TestRng`s built
+/// from the same seed produce identical streams on every platform.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value below `bound` (> 0), by rejection sampling so the
+    /// distribution is exactly uniform.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Reject the partial final copy of [0, bound) in [0, 2^64).
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// A uniform value from a half-open or inclusive integer range:
+    /// `rng.gen_range(0..10)`, `rng.gen_range(1..=6)`.
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// A Bernoulli coin flip: `true` with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 random bits give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Fisher–Yates shuffle, in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.below(xs.len() as u64) as usize])
+        }
+    }
+
+    /// Derives an independent generator (for per-case seeds in the
+    /// property runner).
+    pub fn fork(&mut self) -> TestRng {
+        TestRng::seed_from_u64(self.next_u64())
+    }
+}
+
+/// Integer ranges [`TestRng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut TestRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TestRng::seed_from_u64(7);
+        let mut b = TestRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TestRng::seed_from_u64(1);
+        let mut b = TestRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = TestRng::seed_from_u64(0);
+        let vals: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(vals.iter().any(|&v| v != 0));
+        assert!(vals.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = TestRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(0..10usize);
+            assert!(v < 10);
+            let w = r.gen_range(1..=6i32);
+            assert!((1..=6).contains(&w));
+            let n = r.gen_range(-5..5i64);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = TestRng::seed_from_u64(4);
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            seen[r.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut r = TestRng::seed_from_u64(5);
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+        let heads = (0..2000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = TestRng::seed_from_u64(6);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // 50 elements virtually never shuffle to identity.
+        assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_picks_members() {
+        let mut r = TestRng::seed_from_u64(8);
+        let xs = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(xs.contains(r.choose(&xs).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(r.choose(&empty).is_none());
+    }
+
+    #[test]
+    fn output_bits_are_balanced() {
+        // A crude sanity check that no bit position is stuck: over 4096
+        // draws every one of the 64 bit positions flips both ways.
+        let mut r = TestRng::seed_from_u64(9);
+        let mut ones = [0u32; 64];
+        for _ in 0..4096 {
+            let v = r.next_u64();
+            for (bit, count) in ones.iter_mut().enumerate() {
+                *count += ((v >> bit) & 1) as u32;
+            }
+        }
+        for (bit, &count) in ones.iter().enumerate() {
+            assert!(
+                (1024..3072).contains(&count),
+                "bit {bit} looks stuck: {count}/4096 ones"
+            );
+        }
+    }
+}

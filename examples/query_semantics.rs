@@ -20,7 +20,10 @@ fn show(answers: &Answers) -> String {
             if t.is_empty() {
                 "()".to_owned()
             } else {
-                t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+                t.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             }
         })
         .collect();
@@ -70,7 +73,10 @@ fn main() {
     let queries = [
         ("plain CQ      ", "Q(x,y) :- E(x,y)"),
         ("CQ + inequality", "Q(x) :- E(x,y), F(x,z), y != z"),
-        ("FO with negation", "Q(x) := exists y . (F(x,y) & !(y = 'b'))"),
+        (
+            "FO with negation",
+            "Q(x) := exists y . (F(x,y) & !(y = 'b'))",
+        ),
     ];
     for (label, text) in queries {
         let q = parse_query(text).unwrap();

@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example sat_certainty`
 
 use cwa_dex::datagen::{random_3cnf, sat_family};
-use cwa_dex::reductions::{cnf_to_source, sat_setting, unsat_query, unsat_via_certain_answers, Cnf};
+use cwa_dex::reductions::{
+    cnf_to_source, sat_setting, unsat_query, unsat_via_certain_answers, Cnf,
+};
 
 fn main() {
     println!("=== Theorem 7.5: certain answers decide 3-SAT ===\n");
@@ -54,6 +56,10 @@ fn main() {
         let consts = source.constants().len();
         // pool ≈ constants + n fresh; nulls = n.
         let pool = consts + n;
-        println!("  n = {n}: ~{}^{n} = {} valuations", pool, (pool as u128).pow(n as u32));
+        println!(
+            "  n = {n}: ~{}^{n} = {} valuations",
+            pool,
+            (pool as u128).pow(n as u32)
+        );
     }
 }

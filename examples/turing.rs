@@ -21,10 +21,7 @@ fn main() {
         is_weakly_acyclic(&setting)
     );
 
-    for (name, tm) in [
-        ("right_walker(4)", right_walker(4)),
-        ("zigzag", zigzag()),
-    ] {
+    for (name, tm) in [("right_walker(4)", right_walker(4)), ("zigzag", zigzag())] {
         println!("--- machine {name} ---");
         let RunResult::Halted { trace } = tm.run_empty(1_000) else {
             unreachable!("these machines halt");

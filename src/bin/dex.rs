@@ -123,9 +123,11 @@ fn cmd_cansol(setting: &str, source: &str) -> Result<(), String> {
             println!("{}", cwa_dex::logic::instance_to_dsl(&t));
             Ok(())
         }
-        None => Err("setting is in neither class of Proposition 5.4 — no CanSol guaranteed \
+        None => Err(
+            "setting is in neither class of Proposition 5.4 — no CanSol guaranteed \
                      (use `enumerate` to explore the CWA-solution space)"
-            .to_owned()),
+                .to_owned(),
+        ),
     }
 }
 

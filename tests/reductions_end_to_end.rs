@@ -59,7 +59,10 @@ fn d_emb_example_6_1() {
     for k in [3usize, 4, 5] {
         assert!(d.is_solution(&s, &z_mod_table(k)));
     }
-    assert!(!dex_core::has_homomorphism(&z_mod_table(3), &z_mod_table(4)));
+    assert!(!dex_core::has_homomorphism(
+        &z_mod_table(3),
+        &z_mod_table(4)
+    ));
     assert!(matches!(
         chase(&d, &s, &ChaseBudget::probe()),
         Err(ChaseError::BudgetExceeded { .. })

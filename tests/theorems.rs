@@ -29,7 +29,11 @@ fn core_is_a_cwa_solution_on_random_settings() {
         match core_solution(&d, &s, &budget) {
             Ok(core) => {
                 let verdict = is_cwa_solution(&d, &s, &core, &budget, &limits).unwrap();
-                assert_eq!(verdict, Some(true), "seed {seed}: core must be a CWA-solution");
+                assert_eq!(
+                    verdict,
+                    Some(true),
+                    "seed {seed}: core must be a CWA-solution"
+                );
                 assert!(dex_core::is_core(&core));
             }
             Err(ChaseError::EgdConflict { .. }) => {
