@@ -15,6 +15,9 @@ echo "== test (locked, offline) =="
 cargo test -q --locked --offline --workspace
 
 echo "== bench smoke (tiny sizes; any panic fails the run) =="
+# Includes the chase naive-vs-delta ablation, whose ChaseStats invariant
+# checks panic on violation — so stats consistency gates CI here too.
 DEX_BENCH_SMOKE=1 cargo bench -q --locked --offline -p dex-bench
+test -f BENCH_chase.json || { echo "chase bench did not write BENCH_chase.json"; exit 1; }
 
 echo "CI OK"

@@ -1,18 +1,22 @@
 //! Chase benchmarks (experiments E6 and E7 of EXPERIMENTS.md):
 //! standard-chase scaling on weakly acyclic settings, Example 2.1's
-//! family, path-system closures, and the D_halt Turing simulation.
+//! family, path-system closures, the D_halt Turing simulation, and the
+//! naive-vs-delta engine ablation (E8).
 //!
 //! `cargo bench -p dex-bench --bench chase`; set `DEX_BENCH_SMOKE=1` for
 //! a tiny-size smoke run (any panic exits nonzero, so CI can gate on it).
+//! Every run dumps `BENCH_chase.json` (median/p95 per bench plus the
+//! ablation's [`dex_chase::ChaseStats`] and speedups) at the workspace
+//! root, and asserts `ChaseStats::validate` on each captured run.
 
-use dex_chase::{chase, ChaseBudget};
+use dex_chase::{chase, chase_naive, ChaseBudget, ChaseStats};
 use dex_datagen::{
     example_2_1_scaled, layered_setting, random_source, LayeredConfig, SourceConfig,
 };
 use dex_logic::parse_setting;
 use dex_reductions::halting::{probe_halting, right_walker, HaltProbe};
 use dex_reductions::PathSystem;
-use dex_testkit::bench::{sizes, Harness};
+use dex_testkit::bench::{sizes, Harness, Measurement};
 
 fn example_2_1() -> dex_logic::Setting {
     parse_setting(
@@ -86,11 +90,176 @@ fn bench_halting_simulation(h: &mut Harness) {
     }
 }
 
+/// One naive-vs-delta comparison row for `BENCH_chase.json`.
+struct AblationRow {
+    bench: String,
+    delta_median_ns: u128,
+    naive_median_ns: u128,
+    delta_stats: Option<ChaseStats>,
+    naive_stats: Option<ChaseStats>,
+}
+
+impl AblationRow {
+    fn speedup(&self) -> f64 {
+        if self.delta_median_ns == 0 {
+            return f64::INFINITY;
+        }
+        self.naive_median_ns as f64 / self.delta_median_ns as f64
+    }
+}
+
+/// Captures one run's stats (if the chase succeeds), asserting the
+/// internal invariants — a violation panics, which fails the CI smoke.
+fn capture_stats(
+    which: &str,
+    result: Result<dex_chase::ChaseSuccess, dex_chase::ChaseError>,
+) -> Option<ChaseStats> {
+    let stats = result.ok().map(|s| s.stats)?;
+    stats
+        .validate()
+        .unwrap_or_else(|e| panic!("{which}: chase stats invariant violated: {e}"));
+    Some(stats)
+}
+
+/// E8: the delta-driven engine against the retained naive driver on the
+/// two stress scenarios — a Datalog-style transitive closure (pure tgd
+/// refire pressure) and a layered weakly-acyclic setting with egds
+/// (merge + refire pressure).
+fn bench_ablation(h: &mut Harness) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    let budget = ChaseBudget::default();
+
+    let tc = parse_setting(
+        "source { E/2 }
+         target { T/2 }
+         st { E(x,y) -> T(x,y); }
+         t { T(x,y) & T(y,z) -> T(x,z); }",
+    )
+    .unwrap();
+    for n in sizes(&[48], &[6]) {
+        let atoms: String = (0..n).map(|i| format!("E(c{i},c{}).", i + 1)).collect();
+        let s = dex_logic::parse_instance(&atoms).unwrap();
+        h.bench(&format!("tc_delta/{n}"), || {
+            chase(&tc, &s, &budget).unwrap();
+        });
+        h.bench(&format!("tc_naive/{n}"), || {
+            chase_naive(&tc, &s, &budget).unwrap();
+        });
+        let (d, v) = {
+            let r = h.results();
+            (r[r.len() - 2].median_ns(), r[r.len() - 1].median_ns())
+        };
+        rows.push(AblationRow {
+            bench: format!("transitive_closure/{n}"),
+            delta_median_ns: d,
+            naive_median_ns: v,
+            delta_stats: capture_stats("tc/delta", chase(&tc, &s, &budget)),
+            naive_stats: capture_stats("tc/naive", chase_naive(&tc, &s, &budget)),
+        });
+    }
+
+    // Without egds so the runs complete (random key data nearly always
+    // conflicts, which cuts both drivers short after a handful of
+    // steps); egd + merge pressure is covered by layered_weakly_acyclic
+    // above and the engine_runs_egds tests.
+    let layered = layered_setting(&LayeredConfig {
+        with_egds: false,
+        seed: 5,
+        ..LayeredConfig::default()
+    });
+    for n in sizes(&[48], &[4]) {
+        let s = random_source(
+            &layered.source,
+            &SourceConfig {
+                num_constants: n,
+                tuples_per_relation: n,
+                seed: 5,
+            },
+        );
+        h.bench(&format!("layered_delta/{n}"), || {
+            chase(&layered, &s, &budget).unwrap();
+        });
+        h.bench(&format!("layered_naive/{n}"), || {
+            chase_naive(&layered, &s, &budget).unwrap();
+        });
+        let (d, v) = {
+            let r = h.results();
+            (r[r.len() - 2].median_ns(), r[r.len() - 1].median_ns())
+        };
+        rows.push(AblationRow {
+            bench: format!("layered_datagen/{n}"),
+            delta_median_ns: d,
+            naive_median_ns: v,
+            delta_stats: capture_stats("layered/delta", chase(&layered, &s, &budget)),
+            naive_stats: capture_stats("layered/naive", chase_naive(&layered, &s, &budget)),
+        });
+    }
+    rows
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Hand-rolled (the workspace is dependency-free) dump of every
+/// measurement plus the ablation rows to `BENCH_chase.json` at the
+/// workspace root.
+fn dump_json(measurements: &[Measurement], rows: &[AblationRow], runs_hint: usize) {
+    let mut out = String::from("{\n  \"group\": \"chase\",\n  \"benches\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let sep = if i + 1 < measurements.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"p95_ns\": {}, \"runs\": {}}}{sep}\n",
+            json_escape(&m.name),
+            m.median_ns(),
+            m.p95_ns(),
+            m.samples_ns.len(),
+        ));
+    }
+    out.push_str("  ],\n  \"ablation\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let stats = |s: &Option<ChaseStats>| s.as_ref().map_or("null".into(), |s| s.to_json());
+        out.push_str(&format!(
+            concat!(
+                "    {{\"bench\": \"{}\", \"delta_median_ns\": {}, ",
+                "\"naive_median_ns\": {}, \"speedup\": {:.2}, ",
+                "\"delta_stats\": {}, \"naive_stats\": {}}}{}\n"
+            ),
+            json_escape(&r.bench),
+            r.delta_median_ns,
+            r.naive_median_ns,
+            r.speedup(),
+            stats(&r.delta_stats),
+            stats(&r.naive_stats),
+            sep,
+        ));
+    }
+    out.push_str(&format!("  ],\n  \"runs_default\": {runs_hint}\n}}\n"));
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_chase.json");
+    std::fs::write(&path, out).expect("write BENCH_chase.json");
+    println!("wrote {}", path.display());
+}
+
 fn main() {
     let mut h = Harness::new("chase");
     bench_chase_example_2_1(&mut h);
     bench_chase_layered(&mut h);
     bench_pathsys_closure(&mut h);
     bench_halting_simulation(&mut h);
+    let rows = bench_ablation(&mut h);
+    for r in &rows {
+        println!(
+            "ablation {}: delta {}ns vs naive {}ns — {:.1}x",
+            r.bench,
+            r.delta_median_ns,
+            r.naive_median_ns,
+            r.speedup()
+        );
+    }
+    let measurements = h.results().to_vec();
+    dump_json(&measurements, &rows, measurements.len());
     h.finish();
 }

@@ -18,10 +18,13 @@
 //! outcomes as success / failing / budget-exceeded.
 
 use crate::budget::ChaseBudget;
+use crate::engine::ChaseEngine;
+use crate::stats::ChaseStats;
 use dex_core::{Atom, Instance, NullGen, Value};
 use dex_logic::{Setting, Tgd};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 /// A potential justification `(d, ū, v̄, z)` for introducing a value:
 /// tgd index (in `Σ_st` then `Σ_t` order), the values `ū` of the frontier
@@ -161,6 +164,8 @@ pub struct AlphaSuccess {
     pub target: Instance,
     pub steps: usize,
     pub trace: Vec<ChaseStep>,
+    /// Observability counters for the run.
+    pub stats: ChaseStats,
 }
 
 /// The three possible outcomes of a (budgeted) α-chase run.
@@ -202,23 +207,38 @@ impl AlphaOutcome {
 }
 
 /// Runs an α-chase of the ground `source` with the dependencies of
-/// `setting` under the given `α`.
+/// `setting` under the given `α`, using the delta-driven [`ChaseEngine`].
 pub fn alpha_chase(
     setting: &Setting,
     source: &Instance,
     alpha: &mut dyn AlphaSource,
     budget: &ChaseBudget,
 ) -> AlphaOutcome {
+    ChaseEngine::new(setting, budget).run_alpha(source, alpha)
+}
+
+/// The naive reference α-chase driver: a full trigger rescan per step and
+/// clone-per-repair egd handling. Retained as the differential-testing
+/// and ablation baseline for [`alpha_chase`]; same outcome contract.
+pub fn alpha_chase_naive(
+    setting: &Setting,
+    source: &Instance,
+    alpha: &mut dyn AlphaSource,
+    budget: &ChaseBudget,
+) -> AlphaOutcome {
     debug_assert!(source.is_ground(), "α-chase starts from ground instances");
+    let t_total = Instant::now();
+    let mut stats = ChaseStats::default();
     let sigma_part = source.clone();
     let tgds: Vec<&Tgd> = setting.all_tgds().collect();
     let st_count = setting.st_tgds.len();
     let mut inst = source.clone();
+    stats.peak_atoms = inst.len();
     let mut steps = 0usize;
     let mut trace: Vec<ChaseStep> = Vec::new();
     let mut seen_states: std::collections::HashSet<u64> = std::collections::HashSet::new();
     loop {
-        if steps >= budget.max_steps || inst.len() > budget.max_atoms {
+        if steps >= budget.max_steps {
             return AlphaOutcome::BudgetExceeded {
                 steps,
                 atoms: inst.len(),
@@ -237,7 +257,10 @@ pub fn alpha_chase(
         }
         // Egd application (Definition 4.1). Applied eagerly; by Lemma 4.5
         // the strategy does not affect the outcome.
-        match crate::standard::egd_step(setting, &inst) {
+        let t_phase = Instant::now();
+        let egd_result = crate::standard::egd_step(setting, &inst);
+        stats.egd_time_ns += t_phase.elapsed().as_nanos();
+        match egd_result {
             Err(crate::standard::ChaseError::EgdConflict { egd, left, right }) => {
                 return AlphaOutcome::Failing {
                     dep: egd,
@@ -255,15 +278,18 @@ pub fn alpha_chase(
                 });
                 inst = repair.instance;
                 steps += 1;
+                stats.egd_steps += 1;
                 continue;
             }
             Ok(None) => {}
         }
         // Find an α-applicable tgd trigger (condition (1) of Def 4.1).
+        let t_phase = Instant::now();
         let mut fired: Option<(String, Vec<Atom>)> = None;
         'search: for (idx, tgd) in tgds.iter().enumerate() {
             let body_inst = if idx < st_count { &sigma_part } else { &inst };
             for env in tgd.body.matches(body_inst) {
+                stats.triggers_examined += 1;
                 let frontier: Vec<Value> = tgd
                     .frontier()
                     .iter()
@@ -291,6 +317,7 @@ pub fn alpha_chase(
                 }
             }
         }
+        stats.tgd_time_ns += t_phase.elapsed().as_nanos();
         match fired {
             Some((dep, atoms)) => {
                 let added: Vec<Atom> = atoms
@@ -299,20 +326,33 @@ pub fn alpha_chase(
                     .cloned()
                     .collect();
                 for a in atoms {
-                    inst.insert(a);
+                    if inst.insert(a) {
+                        stats.atoms_inserted += 1;
+                        stats.peak_atoms = stats.peak_atoms.max(inst.len());
+                        if inst.len() > budget.max_atoms {
+                            return AlphaOutcome::BudgetExceeded {
+                                steps,
+                                atoms: inst.len(),
+                            };
+                        }
+                    }
                 }
                 trace.push(ChaseStep::TgdApplied { dep, added });
                 steps += 1;
+                stats.tgd_steps += 1;
+                stats.triggers_fired += 1;
             }
             None => {
                 // No tgd α-applicable and egds hold: success. (Every body
                 // match has its ᾱ-head present, so all tgds are satisfied.)
+                stats.total_time_ns = t_total.elapsed().as_nanos();
                 let target = inst.difference(&sigma_part);
                 return AlphaOutcome::Success(AlphaSuccess {
                     result: inst,
                     target,
                     steps,
                     trace,
+                    stats,
                 });
             }
         }

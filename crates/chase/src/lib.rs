@@ -14,13 +14,17 @@
 
 pub mod alpha;
 pub mod budget;
+pub mod engine;
 pub mod standard;
+pub mod stats;
 
 pub use alpha::{
-    alpha_chase, canonical_presolution, AlphaOutcome, AlphaSource, AlphaSuccess, ChaseStep,
-    FreshAlpha, Justification, TableAlpha,
+    alpha_chase, alpha_chase_naive, canonical_presolution, AlphaOutcome, AlphaSource, AlphaSuccess,
+    ChaseStep, FreshAlpha, Justification, TableAlpha,
 };
 pub use budget::ChaseBudget;
+pub use engine::ChaseEngine;
 pub use standard::{
-    canonical_universal_solution, chase, egd_step, ChaseError, ChaseSuccess, EgdRepair,
+    canonical_universal_solution, chase, chase_naive, egd_step, ChaseError, ChaseSuccess, EgdRepair,
 };
+pub use stats::ChaseStats;

@@ -9,9 +9,12 @@
 //! polynomially many steps on weakly acyclic settings.
 
 use crate::budget::ChaseBudget;
+use crate::engine::ChaseEngine;
+use crate::stats::ChaseStats;
 use dex_core::{Instance, NullGen, Value};
 use dex_logic::{Assignment, Setting, Tgd, Var};
 use std::fmt;
+use std::time::Instant;
 
 /// Why a chase run did not produce a solution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,6 +59,8 @@ pub struct ChaseSuccess {
     pub target: Instance,
     /// Number of chase steps performed.
     pub steps: usize,
+    /// Observability counters for the run.
+    pub stats: ChaseStats,
 }
 
 /// One applied egd repair: the new instance and what was renamed.
@@ -110,56 +115,100 @@ pub fn egd_step(setting: &Setting, inst: &Instance) -> Result<Option<EgdRepair>,
 /// One restricted-chase tgd pass: finds the first trigger whose head is
 /// not yet satisfied and fires it with fresh nulls. `body_inst` is where
 /// the body is matched (`σ`-part for s-t tgds, the full instance for
-/// target tgds); heads are checked and inserted in `inst`.
+/// target tgds); heads are checked and inserted in `inst`, with the atom
+/// budget enforced per insertion so a wide head cannot overshoot by more
+/// than one atom.
 fn fire_first_unsatisfied(
     tgd: &Tgd,
     body_inst: &Instance,
     inst: &mut Instance,
     nulls: &mut NullGen,
-) -> bool {
+    budget: &ChaseBudget,
+    steps: usize,
+    stats: &mut ChaseStats,
+) -> Result<bool, ChaseError> {
     for env in tgd.body.matches(body_inst) {
+        stats.triggers_examined += 1;
         if !tgd.head_holds(inst, &env) {
             let mut full = env.clone();
             for &z in &tgd.exist_vars {
                 full.bind(z, nulls.fresh_value());
             }
             for atom in tgd.instantiate_head(&full) {
-                inst.insert(atom);
+                if inst.insert(atom) {
+                    stats.atoms_inserted += 1;
+                    stats.peak_atoms = stats.peak_atoms.max(inst.len());
+                    if inst.len() > budget.max_atoms {
+                        return Err(ChaseError::BudgetExceeded {
+                            steps,
+                            atoms: inst.len(),
+                        });
+                    }
+                }
             }
-            return true;
+            stats.triggers_fired += 1;
+            stats.tgd_steps += 1;
+            return Ok(true);
         }
     }
-    false
+    Ok(false)
 }
 
 /// Runs the standard restricted chase of `source` with the dependencies of
-/// `setting`.
+/// `setting`, using the delta-driven [`ChaseEngine`].
 pub fn chase(
     setting: &Setting,
     source: &Instance,
     budget: &ChaseBudget,
 ) -> Result<ChaseSuccess, ChaseError> {
+    ChaseEngine::new(setting, budget).run(source)
+}
+
+/// The naive reference driver: a full trigger rescan per step and
+/// clone-per-repair egd handling. Retained as the differential-testing
+/// and ablation baseline for [`chase`]; same outcome contract.
+pub fn chase_naive(
+    setting: &Setting,
+    source: &Instance,
+    budget: &ChaseBudget,
+) -> Result<ChaseSuccess, ChaseError> {
+    let t_total = Instant::now();
+    let mut stats = ChaseStats::default();
     let sigma_part = source.clone();
     let mut inst = source.clone();
+    stats.peak_atoms = inst.len();
     let mut nulls = NullGen::above(source.active_domain().iter());
     let mut steps = 0usize;
     loop {
-        if steps >= budget.max_steps || inst.len() > budget.max_atoms {
+        if steps >= budget.max_steps {
             return Err(ChaseError::BudgetExceeded {
                 steps,
                 atoms: inst.len(),
             });
         }
         // Egds first: they only shrink the instance.
-        if let Some(repair) = egd_step(setting, &inst)? {
+        let t_phase = Instant::now();
+        let repair = egd_step(setting, &inst)?;
+        stats.egd_time_ns += t_phase.elapsed().as_nanos();
+        if let Some(repair) = repair {
             inst = repair.instance;
             steps += 1;
+            stats.egd_steps += 1;
             continue;
         }
         // Then tgds, s-t before target, first unsatisfied trigger.
+        let t_phase = Instant::now();
         let mut fired = false;
         for tgd in &setting.st_tgds {
-            if fire_first_unsatisfied(tgd, &sigma_part, &mut inst, &mut nulls) {
+            if fire_first_unsatisfied(
+                tgd,
+                &sigma_part,
+                &mut inst,
+                &mut nulls,
+                budget,
+                steps,
+                &mut stats,
+            )? {
                 fired = true;
                 break;
             }
@@ -167,9 +216,9 @@ pub fn chase(
         if !fired {
             // Find the trigger against the immutable instance, then apply.
             let trigger = setting.t_tgds.iter().find_map(|tgd| {
-                tgd.body
-                    .matches(&inst)
-                    .into_iter()
+                let envs = tgd.body.matches(&inst);
+                stats.triggers_examined += envs.len();
+                envs.into_iter()
                     .find(|env| !tgd.head_holds(&inst, env))
                     .map(|env| (tgd, env))
             });
@@ -178,21 +227,35 @@ pub fn chase(
                     env.bind(z, nulls.fresh_value());
                 }
                 for atom in tgd.instantiate_head(&env) {
-                    inst.insert(atom);
+                    if inst.insert(atom) {
+                        stats.atoms_inserted += 1;
+                        stats.peak_atoms = stats.peak_atoms.max(inst.len());
+                        if inst.len() > budget.max_atoms {
+                            return Err(ChaseError::BudgetExceeded {
+                                steps,
+                                atoms: inst.len(),
+                            });
+                        }
+                    }
                 }
+                stats.triggers_fired += 1;
+                stats.tgd_steps += 1;
                 fired = true;
             }
         }
+        stats.tgd_time_ns += t_phase.elapsed().as_nanos();
         if fired {
             steps += 1;
             continue;
         }
         // Fixpoint: no egd violation, no unsatisfied tgd trigger.
+        stats.total_time_ns = t_total.elapsed().as_nanos();
         let target = inst.difference(&sigma_part);
         return Ok(ChaseSuccess {
             result: inst,
             target,
             steps,
+            stats,
         });
     }
 }
@@ -431,6 +494,53 @@ mod tests {
             .success()
             .unwrap();
         assert!(dex_core::isomorphic(&target, &pre.target));
+    }
+
+    #[test]
+    fn atom_budget_enforced_at_insertion_time() {
+        // A single wide-head firing may overshoot the atom budget by at
+        // most one atom (the insert that trips the check), in both the
+        // delta engine and the naive driver. Before insertion-time
+        // enforcement, one firing of this 8-atom head blew past a budget
+        // of 2 by 7 atoms unchecked.
+        let d = parse_setting(
+            "source { P/1 }
+             target { Q1/1, Q2/1, Q3/1, Q4/1, Q5/1, Q6/1, Q7/1, Q8/1 }
+             st {
+               P(x) -> Q1(x) & Q2(x) & Q3(x) & Q4(x)
+                     & Q5(x) & Q6(x) & Q7(x) & Q8(x);
+             }",
+        )
+        .unwrap();
+        let s = parse_instance("P(a).").unwrap();
+        let budget = ChaseBudget {
+            max_steps: 100,
+            max_atoms: 2,
+        };
+        for (which, result) in [
+            ("engine", chase(&d, &s, &budget)),
+            ("naive", chase_naive(&d, &s, &budget)),
+        ] {
+            match result.unwrap_err() {
+                ChaseError::BudgetExceeded { atoms, .. } => assert!(
+                    atoms <= budget.max_atoms + 1,
+                    "{which}: overshoot to {atoms} atoms (budget {})",
+                    budget.max_atoms
+                ),
+                other => panic!("{which}: expected budget error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn naive_and_engine_agree_on_example_2_1() {
+        let d = example_2_1();
+        let s = s_star();
+        let fast = chase(&d, &s, &ChaseBudget::default()).unwrap();
+        let slow = chase_naive(&d, &s, &ChaseBudget::default()).unwrap();
+        assert!(hom_equivalent(&fast.target, &slow.target));
+        assert!(fast.stats.validate().is_ok());
+        assert!(slow.stats.validate().is_ok());
     }
 
     #[test]

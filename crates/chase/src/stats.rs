@@ -1,0 +1,163 @@
+//! Observability counters for chase runs.
+//!
+//! Every chase driver (the delta-driven [`crate::engine::ChaseEngine`]
+//! and the retained naive drivers) fills a [`ChaseStats`], threaded
+//! through [`crate::ChaseSuccess`] / [`crate::AlphaSuccess`]. The bench
+//! harness dumps them into `BENCH_chase.json` and CI asserts
+//! [`ChaseStats::validate`] on every smoke run.
+
+/// Counters and phase timings for one chase run. All counters are
+/// cumulative over the run; `*_time_ns` are wall-clock nanoseconds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Tgd applications performed (equals `triggers_fired`).
+    pub tgd_steps: usize,
+    /// Egd repairs (value merges) performed.
+    pub egd_steps: usize,
+    /// Body matches examined as potential tgd triggers.
+    pub triggers_examined: usize,
+    /// Examined triggers that actually fired.
+    pub triggers_fired: usize,
+    /// Semi-naive fixpoint rounds (0 for the naive drivers).
+    pub rounds: usize,
+    /// Delta rows handed to the seeded matcher, summed over rounds.
+    pub delta_rows_processed: usize,
+    /// Largest per-round delta, in rows.
+    pub max_round_delta_rows: usize,
+    /// Atoms actually added to the instance (inserts that were not
+    /// already present).
+    pub atoms_inserted: usize,
+    /// Rows rewritten in place by egd merges.
+    pub rows_rewritten: usize,
+    /// Largest instance size observed during the run.
+    pub peak_atoms: usize,
+    /// Wall time spent searching/applying egds.
+    pub egd_time_ns: u128,
+    /// Wall time spent searching/applying tgds.
+    pub tgd_time_ns: u128,
+    /// Wall time for the whole run.
+    pub total_time_ns: u128,
+}
+
+impl ChaseStats {
+    /// Internal consistency invariants; CI fails a bench smoke run on a
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.triggers_fired > self.triggers_examined {
+            return Err(format!(
+                "triggers fired ({}) > triggers examined ({})",
+                self.triggers_fired, self.triggers_examined
+            ));
+        }
+        if self.tgd_steps != self.triggers_fired {
+            return Err(format!(
+                "tgd steps ({}) != triggers fired ({})",
+                self.tgd_steps, self.triggers_fired
+            ));
+        }
+        if self.max_round_delta_rows > self.delta_rows_processed {
+            return Err(format!(
+                "max round delta ({}) > total delta rows processed ({})",
+                self.max_round_delta_rows, self.delta_rows_processed
+            ));
+        }
+        if self.egd_time_ns + self.tgd_time_ns > self.total_time_ns {
+            return Err(format!(
+                "phase times ({} + {} ns) exceed total time ({} ns)",
+                self.egd_time_ns, self.tgd_time_ns, self.total_time_ns
+            ));
+        }
+        Ok(())
+    }
+
+    /// A flat JSON object with every counter (hand-rolled: the workspace
+    /// is dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"tgd_steps\":{},\"egd_steps\":{},",
+                "\"triggers_examined\":{},\"triggers_fired\":{},",
+                "\"rounds\":{},\"delta_rows_processed\":{},",
+                "\"max_round_delta_rows\":{},\"atoms_inserted\":{},",
+                "\"rows_rewritten\":{},\"peak_atoms\":{},",
+                "\"egd_time_ns\":{},\"tgd_time_ns\":{},\"total_time_ns\":{}}}"
+            ),
+            self.tgd_steps,
+            self.egd_steps,
+            self.triggers_examined,
+            self.triggers_fired,
+            self.rounds,
+            self.delta_rows_processed,
+            self.max_round_delta_rows,
+            self.atoms_inserted,
+            self.rows_rewritten,
+            self.peak_atoms,
+            self.egd_time_ns,
+            self.tgd_time_ns,
+            self.total_time_ns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stats_validate() {
+        assert!(ChaseStats::default().validate().is_ok());
+    }
+
+    #[test]
+    fn fired_beyond_examined_is_invalid() {
+        let s = ChaseStats {
+            triggers_examined: 1,
+            triggers_fired: 2,
+            tgd_steps: 2,
+            ..Default::default()
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn phase_times_beyond_total_are_invalid() {
+        let s = ChaseStats {
+            egd_time_ns: 5,
+            tgd_time_ns: 6,
+            total_time_ns: 10,
+            ..Default::default()
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn json_is_flat_and_complete() {
+        let s = ChaseStats {
+            tgd_steps: 3,
+            triggers_fired: 3,
+            triggers_examined: 7,
+            total_time_ns: 123,
+            ..Default::default()
+        };
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "tgd_steps",
+            "egd_steps",
+            "triggers_examined",
+            "triggers_fired",
+            "rounds",
+            "delta_rows_processed",
+            "max_round_delta_rows",
+            "atoms_inserted",
+            "rows_rewritten",
+            "peak_atoms",
+            "egd_time_ns",
+            "tgd_time_ns",
+            "total_time_ns",
+        ] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+        assert!(j.contains("\"triggers_examined\":7"));
+    }
+}

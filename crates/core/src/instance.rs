@@ -1,6 +1,12 @@
 //! Relational instances: finite sets of atoms over `Const ∪ Null`
 //! (Section 2), with per-relation position indexes for fast trigger
 //! matching during chase and query evaluation.
+//!
+//! Rows are append-only with tombstones: an egd merge rewrites the rows
+//! it touches in place ([`Instance::merge_value`]) by tombstoning the old
+//! row and re-appending the rewritten one, so rewritten rows re-enter the
+//! delta window tracked by [`DeltaCursor`] and semi-naive chase loops see
+//! them again.
 
 use crate::atom::Atom;
 use crate::schema::Schema;
@@ -10,13 +16,17 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 /// The tuples of one relation, with a hash set for O(1) membership and a
-/// per-(position, value) inverted index for pattern matching.
+/// per-(position, value) inverted index for pattern matching. A `None`
+/// slot is a tombstone left behind by [`Instance::merge_value`]; index
+/// buckets are kept eagerly clean, so they only ever point at live rows.
 #[derive(Clone, Default)]
 struct Relation {
     arity: usize,
-    rows: Vec<Box<[Value]>>,
+    rows: Vec<Option<Box<[Value]>>>,
+    /// Number of live (non-tombstoned) rows.
+    live: usize,
     set: HashSet<Box<[Value]>>,
-    /// `(position, value) → indices into rows`.
+    /// `(position, value) → indices of live rows`.
     index: HashMap<(u32, Value), Vec<u32>>,
 }
 
@@ -30,12 +40,48 @@ impl Relation {
             self.index.entry((pos as u32, v)).or_default().push(idx);
         }
         self.set.insert(row.clone());
-        self.rows.push(row);
+        self.rows.push(Some(row));
+        self.live += 1;
         true
     }
 
     fn contains(&self, row: &[Value]) -> bool {
         self.set.contains(row)
+    }
+
+    fn live_rows(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.rows.iter().filter_map(|r| r.as_deref())
+    }
+
+    /// Removes the row at `idx`, scrubbing it from the set and from every
+    /// index bucket it occurs in. Returns the removed row.
+    fn tombstone(&mut self, idx: u32) -> Box<[Value]> {
+        let row = self.rows[idx as usize]
+            .take()
+            .expect("tombstoning a dead row");
+        self.live -= 1;
+        self.set.remove(&row);
+        for (pos, &v) in row.iter().enumerate() {
+            if let Some(bucket) = self.index.get_mut(&(pos as u32, v)) {
+                bucket.retain(|&i| i != idx);
+                if bucket.is_empty() {
+                    self.index.remove(&(pos as u32, v));
+                }
+            }
+        }
+        row
+    }
+
+    /// Exact number of candidate rows an index probe for `pattern` would
+    /// visit: the smallest bound-position bucket, or the live row count
+    /// when the pattern is all-wildcard.
+    fn candidate_count(&self, pattern: &[Option<Value>]) -> usize {
+        pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, v)| v.map(|v| self.index.get(&(pos as u32, v)).map_or(0, Vec::len)))
+            .min()
+            .unwrap_or(self.live)
     }
 
     /// Iterates over rows matching `pattern` (a `None` entry is a wildcard).
@@ -57,11 +103,15 @@ impl Relation {
                 Box::new(
                     bucket
                         .iter()
-                        .map(move |&i| &*self.rows[i as usize])
+                        .map(move |&i| {
+                            self.rows[i as usize]
+                                .as_deref()
+                                .expect("index bucket points at tombstone")
+                        })
                         .filter(move |row| Self::row_matches(row, pattern)),
                 )
             }
-            None => Box::new(self.rows.iter().map(|r| &**r)),
+            None => Box::new(self.live_rows()),
         }
     }
 
@@ -69,6 +119,27 @@ impl Relation {
         row.iter()
             .zip(pattern)
             .all(|(&v, p)| p.is_none_or(|pv| pv == v))
+    }
+}
+
+/// A snapshot of per-relation row-log positions, handed out by
+/// [`Instance::cursor`]. The atoms appended after a cursor was taken are
+/// that cursor's *delta*; semi-naive chase rounds only examine triggers
+/// touching at least one delta row.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaCursor {
+    marks: BTreeMap<Symbol, usize>,
+}
+
+impl DeltaCursor {
+    /// The cursor before everything: every atom of the instance is delta.
+    pub fn origin() -> DeltaCursor {
+        DeltaCursor::default()
+    }
+
+    /// The recorded log position for `rel` (0 = from the beginning).
+    pub fn mark(&self, rel: Symbol) -> usize {
+        self.marks.get(&rel).copied().unwrap_or(0)
     }
 }
 
@@ -81,6 +152,7 @@ impl Relation {
 pub struct Instance {
     rels: BTreeMap<Symbol, Relation>,
     atom_count: usize,
+    generation: u64,
 }
 
 impl Instance {
@@ -117,6 +189,7 @@ impl Instance {
         let added = rel.insert(atom.args);
         if added {
             self.atom_count += 1;
+            self.generation += 1;
         }
         added
     }
@@ -137,34 +210,76 @@ impl Instance {
         self.atom_count == 0
     }
 
+    /// A counter bumped by every mutation (insert or merge). Two equal
+    /// generations of the same instance guarantee nothing changed between
+    /// the two observations.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Snapshots the current row-log position of every relation. Atoms
+    /// inserted (or rewritten by [`Instance::merge_value`]) afterwards
+    /// are visible through [`Instance::delta_rows`].
+    pub fn cursor(&self) -> DeltaCursor {
+        DeltaCursor {
+            marks: self
+                .rels
+                .iter()
+                .map(|(&rel, r)| (rel, r.rows.len()))
+                .collect(),
+        }
+    }
+
+    /// The live rows of `rel` appended since `cursor` was taken.
+    pub fn delta_rows<'a>(
+        &'a self,
+        rel: Symbol,
+        cursor: &DeltaCursor,
+    ) -> impl Iterator<Item = &'a [Value]> + 'a {
+        let mark = cursor.mark(rel);
+        self.rels
+            .get(&rel)
+            .into_iter()
+            .flat_map(move |r| r.rows[mark.min(r.rows.len())..].iter())
+            .filter_map(|r| r.as_deref())
+    }
+
+    /// True iff some relation has a live row appended since `cursor`.
+    pub fn has_delta_since(&self, cursor: &DeltaCursor) -> bool {
+        self.rels.iter().any(|(&rel, r)| {
+            let mark = cursor.mark(rel).min(r.rows.len());
+            r.rows[mark..].iter().any(Option::is_some)
+        })
+    }
+
     /// Iterates over all atoms (relation symbol order, then insertion order).
     pub fn atoms(&self) -> impl Iterator<Item = Atom> + '_ {
         self.rels
             .iter()
-            .flat_map(|(&rel, r)| r.rows.iter().map(move |row| Atom::new(rel, row.clone())))
+            .flat_map(|(&rel, r)| r.live_rows().map(move |row| Atom::new(rel, row)))
     }
 
     /// Iterates over the tuples of one relation.
     pub fn rows_of(&self, rel: Symbol) -> impl Iterator<Item = &[Value]> + '_ {
-        self.rels
-            .get(&rel)
-            .into_iter()
-            .flat_map(|r| r.rows.iter().map(|row| &**row))
+        self.rels.get(&rel).into_iter().flat_map(|r| r.live_rows())
     }
 
     /// Number of tuples in one relation.
     pub fn rows_of_len(&self, rel: Symbol) -> usize {
-        self.rels.get(&rel).map_or(0, |r| r.rows.len())
+        self.rels.get(&rel).map_or(0, |r| r.live)
     }
 
     /// The relation symbols with at least one tuple.
     pub fn relations(&self) -> impl Iterator<Item = Symbol> + '_ {
-        self.rels.keys().copied()
+        self.rels
+            .iter()
+            .filter(|(_, r)| r.live > 0)
+            .map(|(&rel, _)| rel)
     }
 
     /// The arity under which `rel` is used, if it has tuples.
     pub fn arity_of(&self, rel: Symbol) -> Option<usize> {
-        self.rels.get(&rel).map(|r| r.arity)
+        self.rels.get(&rel).filter(|r| r.live > 0).map(|r| r.arity)
     }
 
     /// Iterates over tuples of `rel` matching `pattern` (`None` = wildcard).
@@ -179,6 +294,59 @@ impl Instance {
         }
     }
 
+    /// Exact number of rows an index probe for `pattern` would visit:
+    /// the smallest index bucket over the bound positions (the live row
+    /// count if none is bound). O(bound positions); never scans rows.
+    pub fn candidate_count(&self, rel: Symbol, pattern: &[Option<Value>]) -> usize {
+        match self.rels.get(&rel) {
+            Some(r) if r.arity == pattern.len() => r.candidate_count(pattern),
+            _ => 0,
+        }
+    }
+
+    /// Replaces every occurrence of `from` by `to` *in place* (egd
+    /// application): each affected row is tombstoned and its rewrite
+    /// re-appended through the normal insert path, so rewritten rows
+    /// land in the delta of any outstanding [`DeltaCursor`] and the
+    /// position indexes stay exact. Returns the number of rows rewritten
+    /// (collapsed duplicates still count as rewritten).
+    pub fn merge_value(&mut self, from: Value, to: Value) -> usize {
+        if from == to {
+            return 0;
+        }
+        let mut rewritten = 0;
+        let rels: Vec<Symbol> = self.rels.keys().copied().collect();
+        for rel in rels {
+            let r = self.rels.get_mut(&rel).expect("relation vanished");
+            let mut hit: Vec<u32> = (0..r.arity as u32)
+                .filter_map(|pos| r.index.get(&(pos, from)))
+                .flatten()
+                .copied()
+                .collect();
+            if hit.is_empty() {
+                continue;
+            }
+            hit.sort_unstable();
+            hit.dedup();
+            for idx in hit {
+                let old = r.tombstone(idx);
+                self.atom_count -= 1;
+                let new_row: Box<[Value]> = old
+                    .iter()
+                    .map(|&v| if v == from { to } else { v })
+                    .collect();
+                if r.insert(new_row) {
+                    self.atom_count += 1;
+                }
+                rewritten += 1;
+            }
+        }
+        if rewritten > 0 {
+            self.generation += 1;
+        }
+        rewritten
+    }
+
     /// The active domain `Dom(I)`.
     pub fn active_domain(&self) -> BTreeSet<Value> {
         self.values().collect()
@@ -188,7 +356,7 @@ impl Instance {
     pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
         self.rels
             .values()
-            .flat_map(|r| r.rows.iter().flat_map(|row| row.iter().copied()))
+            .flat_map(|r| r.live_rows().flat_map(|row| row.iter().copied()))
     }
 
     /// `Const(I)`: the constants in the active domain.
@@ -208,7 +376,7 @@ impl Instance {
 
     /// Validates every atom against `schema`.
     pub fn check_against(&self, schema: &Schema) -> Result<(), crate::schema::SchemaError> {
-        for (&rel, r) in &self.rels {
+        for (&rel, r) in self.rels.iter().filter(|(_, r)| r.live > 0) {
             match schema.arity(rel) {
                 None => return Err(crate::schema::SchemaError::UnknownRelation(rel)),
                 Some(a) if a != r.arity => {
@@ -229,7 +397,7 @@ impl Instance {
     pub fn map_values(&self, mut f: impl FnMut(Value) -> Value) -> Instance {
         let mut out = Instance::new();
         for (&rel, r) in &self.rels {
-            for row in &r.rows {
+            for row in r.live_rows() {
                 out.insert(Atom::new(
                     rel,
                     row.iter().map(|&v| f(v)).collect::<Vec<_>>(),
@@ -239,7 +407,9 @@ impl Instance {
         out
     }
 
-    /// Replaces every occurrence of `from` by `to` (egd application).
+    /// Replaces every occurrence of `from` by `to` (egd application),
+    /// returning a fresh instance. [`Instance::merge_value`] is the
+    /// in-place equivalent.
     pub fn rename_value(&self, from: Value, to: Value) -> Instance {
         self.map_values(|v| if v == from { to } else { v })
     }
@@ -405,6 +575,19 @@ mod tests {
     }
 
     #[test]
+    fn candidate_count_is_exact_bucket_length() {
+        let i = sample();
+        let e = Symbol::intern("E");
+        assert_eq!(i.candidate_count(e, &[Some(v("a")), None]), 2);
+        assert_eq!(i.candidate_count(e, &[None, Some(v("b"))]), 1);
+        assert_eq!(i.candidate_count(e, &[None, None]), 2);
+        assert_eq!(i.candidate_count(e, &[Some(v("zzz")), None]), 0);
+        assert_eq!(i.candidate_count(Symbol::intern("Zzz"), &[None]), 0);
+        // Wrong arity: no candidates, matching rows_matching.
+        assert_eq!(i.candidate_count(e, &[None]), 0);
+    }
+
+    #[test]
     fn map_values_collapses_duplicates() {
         let i = Instance::from_atoms([
             Atom::of("E", vec![v("a"), Value::null(1)]),
@@ -421,6 +604,92 @@ mod tests {
         let j = i.rename_value(Value::null(1), v("b"));
         assert!(j.contains(&Atom::of("E", vec![v("a"), v("b")])));
         assert_eq!(j.len(), 2); // E(a,_1) collapsed into E(a,b)
+    }
+
+    #[test]
+    fn merge_value_agrees_with_rename_value() {
+        let mut i = sample();
+        let renamed = i.rename_value(Value::null(1), v("b"));
+        let rewritten = i.merge_value(Value::null(1), v("b"));
+        assert_eq!(rewritten, 1);
+        assert_eq!(i, renamed);
+        assert_eq!(i.len(), 2);
+        // Indexes stay exact after the merge.
+        let pat_b = [None, Some(v("b"))];
+        let rows: Vec<_> = i.rows_matching(Symbol::intern("E"), &pat_b).collect();
+        assert_eq!(rows, vec![&[v("a"), v("b")][..]]);
+        let pat_n1 = [None, Some(Value::null(1))];
+        assert_eq!(i.rows_matching(Symbol::intern("E"), &pat_n1).count(), 0);
+    }
+
+    #[test]
+    fn merge_value_rewrites_every_position() {
+        let mut i = Instance::from_atoms([
+            Atom::of("E", vec![Value::null(1), Value::null(1)]),
+            Atom::of("F", vec![v("a"), Value::null(1)]),
+        ]);
+        assert_eq!(i.merge_value(Value::null(1), v("c")), 2);
+        assert!(i.contains(&Atom::of("E", vec![v("c"), v("c")])));
+        assert!(i.contains(&Atom::of("F", vec![v("a"), v("c")])));
+        assert!(i.is_ground());
+        assert_eq!(i.merge_value(Value::null(1), v("c")), 0);
+    }
+
+    #[test]
+    fn delta_cursor_sees_only_new_rows() {
+        let mut i = sample();
+        let cur = i.cursor();
+        assert!(!i.has_delta_since(&cur));
+        assert_eq!(i.delta_rows(Symbol::intern("E"), &cur).count(), 0);
+        i.insert(Atom::of("E", vec![v("b"), v("c")]));
+        assert!(i.has_delta_since(&cur));
+        let delta: Vec<_> = i.delta_rows(Symbol::intern("E"), &cur).collect();
+        assert_eq!(delta, vec![&[v("b"), v("c")][..]]);
+        assert_eq!(i.delta_rows(Symbol::intern("F"), &cur).count(), 0);
+        // The origin cursor sees everything.
+        assert_eq!(
+            i.delta_rows(Symbol::intern("E"), &DeltaCursor::origin())
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn merged_rows_reenter_the_delta() {
+        let mut i = sample();
+        let cur = i.cursor();
+        i.merge_value(Value::null(1), v("x"));
+        assert!(i.has_delta_since(&cur));
+        let delta: Vec<_> = i.delta_rows(Symbol::intern("E"), &cur).collect();
+        assert_eq!(delta, vec![&[v("a"), v("x")][..]]);
+    }
+
+    #[test]
+    fn generation_bumps_on_mutation_only() {
+        let mut i = sample();
+        let g0 = i.generation();
+        assert!(!i.insert(Atom::of("E", vec![v("a"), v("b")]))); // duplicate
+        assert_eq!(i.generation(), g0);
+        i.insert(Atom::of("G", vec![v("q")]));
+        assert!(i.generation() > g0);
+        let g1 = i.generation();
+        i.merge_value(Value::null(7), v("a")); // no occurrences
+        assert_eq!(i.generation(), g1);
+        i.merge_value(Value::null(1), v("a"));
+        assert!(i.generation() > g1);
+    }
+
+    #[test]
+    fn fully_merged_relation_disappears_from_views() {
+        let mut i = Instance::from_atoms([
+            Atom::of("E", vec![Value::null(1)]),
+            Atom::of("E", vec![v("a")]),
+        ]);
+        i.merge_value(Value::null(1), v("a"));
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.rows_of_len(Symbol::intern("E")), 1);
+        assert_eq!(i.relations().count(), 1);
+        assert_eq!(i.sorted_atoms(), vec![Atom::of("E", vec![v("a")])]);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod instance;
 pub mod isomorphism;
 pub mod schema;
 pub mod symbol;
+pub mod unionfind;
 pub mod valuation;
 pub mod value;
 
@@ -29,9 +30,10 @@ pub use core_of::{core, core_with_hom, is_core, null_blocks};
 pub use homomorphism::{
     find_homomorphism, has_homomorphism, hom_equivalent, HomFinder, Homomorphism,
 };
-pub use instance::Instance;
+pub use instance::{DeltaCursor, Instance};
 pub use isomorphism::{dedup_up_to_iso, iso_signature, isomorphic, IsoDeduper};
 pub use schema::{Schema, SchemaError};
 pub use symbol::Symbol;
+pub use unionfind::{merge_policy, MergeOutcome, ValueUnionFind};
 pub use valuation::{fresh_constant_pool, standard_pool, Valuation, ValuationIter};
 pub use value::{NullGen, NullId, Value};

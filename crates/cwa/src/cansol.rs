@@ -13,7 +13,7 @@
 //! standard chase result.
 
 use dex_chase::{ChaseBudget, ChaseError};
-use dex_core::{Instance, NullGen};
+use dex_core::{merge_policy, Instance, NullGen, Value};
 use dex_logic::Setting;
 
 /// Which of Proposition 5.4's classes a setting falls into.
@@ -71,7 +71,10 @@ pub fn cansol(
                     }
                 }
             }
-            // 2. Egd merging to fixpoint; the merge homomorphism composed
+            // 2. Egd merging to fixpoint, in place: each violation is
+            //    resolved by the footnote-4 policy and applied through
+            //    `Instance::merge_value`, instead of cloning the whole
+            //    instance per repair. The merge homomorphism composed
             //    with the fresh α is the witnessing α for the result.
             let mut steps = 0usize;
             loop {
@@ -81,12 +84,30 @@ pub fn cansol(
                         atoms: inst.len(),
                     });
                 }
-                match dex_chase::egd_step(setting, &inst)? {
-                    Some(repair) => {
-                        inst = repair.instance;
+                let mut violation = None;
+                for egd in &setting.egds {
+                    if let Some(env) = egd.first_violation(&inst) {
+                        let l = env.get(egd.lhs).expect("egd body binds lhs");
+                        let r = env.get(egd.rhs).expect("egd body binds rhs");
+                        violation = Some((egd.name.clone(), l, r));
+                        break;
+                    }
+                }
+                let Some((name, l, r)) = violation else { break };
+                match merge_policy(l, r) {
+                    Err((c, d)) => {
+                        return Err(ChaseError::EgdConflict {
+                            egd: name,
+                            left: Value::Const(c),
+                            right: Value::Const(d),
+                        })
+                    }
+                    Ok(Some(m)) => {
+                        inst.merge_value(m.loser, m.winner);
                         steps += 1;
                     }
-                    None => break,
+                    // first_violation only reports l != r.
+                    Ok(None) => unreachable!("violation with equal sides"),
                 }
             }
             Ok(Some(inst.difference(source)))

@@ -7,7 +7,9 @@
 //! for target tgds `ϕ` is a conjunction of relational atoms. An egd is
 //! `∀x̄ (ϕ(x̄) → y = z)` with `y, z ∈ x̄`.
 
-use crate::formula::{eval, Assignment, FAtom, Formula, Var};
+use crate::formula::{
+    eval, eval_with_domain, quantification_domain, Assignment, FAtom, Formula, Var,
+};
 use crate::matcher;
 use dex_core::{Atom, Instance, Value};
 use std::collections::BTreeSet;
@@ -61,23 +63,40 @@ impl Body {
         match self {
             Body::Conj(atoms) => matcher::all_matches(atoms, inst, &Assignment::new()),
             Body::Fo(f) => {
+                let domain = quantification_domain(f, inst);
+                self.matches_with_domain(inst, &domain)
+            }
+        }
+    }
+
+    /// Like [`Body::matches`], but FO bodies evaluate against a
+    /// caller-precomputed [`quantification_domain`] — chase loops that
+    /// re-match the same body against the same instance several times per
+    /// fixpoint round compute the domain once instead of rebuilding it
+    /// (with linear-scan constant dedup) per call.
+    pub fn matches_with_domain(&self, inst: &Instance, domain: &[Value]) -> Vec<Assignment> {
+        match self {
+            Body::Conj(atoms) => matcher::all_matches(atoms, inst, &Assignment::new()),
+            Body::Fo(f) => {
                 let vars = f.free_vars();
-                let mut domain: Vec<Value> = inst.active_domain().into_iter().collect();
-                for c in f.constants() {
-                    let v = Value::Const(c);
-                    if !domain.contains(&v) {
-                        domain.push(v);
-                    }
-                }
                 let mut out = Vec::new();
                 let mut env = Assignment::new();
-                enumerate_assignments(&vars, &domain, &mut env, &mut |e| {
-                    if eval(f, inst, e) {
+                enumerate_assignments(&vars, domain, &mut env, &mut |e| {
+                    if eval_with_domain(f, inst, e, domain) {
                         out.push(e.clone());
                     }
                 });
                 out
             }
+        }
+    }
+
+    /// The quantification domain FO bodies enumerate over in `inst`;
+    /// `None` for plain conjunctive bodies (which never need one).
+    pub fn fo_domain(&self, inst: &Instance) -> Option<Vec<Value>> {
+        match self {
+            Body::Conj(_) => None,
+            Body::Fo(f) => Some(quantification_domain(f, inst)),
         }
     }
 

@@ -378,15 +378,29 @@ impl fmt::Debug for Assignment {
 /// evaluates dependencies on instances with nulls this way); equality is
 /// syntactic.
 pub fn eval(phi: &Formula, inst: &Instance, env: &Assignment) -> bool {
-    let mut domain: Vec<Value> = inst.active_domain().into_iter().collect();
-    for c in phi.constants() {
-        let v = Value::Const(c);
-        if !domain.contains(&v) {
-            domain.push(v);
-        }
-    }
+    let domain = quantification_domain(phi, inst);
+    eval_with_domain(phi, inst, env, &domain)
+}
+
+/// The domain quantifiers of `phi` range over in `inst`: the active
+/// domain plus the constants named in `phi` (set-deduplicated). Compute
+/// it once per fixpoint round when evaluating the same formula against
+/// the same instance repeatedly.
+pub fn quantification_domain(phi: &Formula, inst: &Instance) -> Vec<Value> {
+    let mut domain: BTreeSet<Value> = inst.active_domain();
+    domain.extend(phi.constants().into_iter().map(Value::Const));
+    domain.into_iter().collect()
+}
+
+/// [`eval`] against a caller-precomputed [`quantification_domain`].
+pub fn eval_with_domain(
+    phi: &Formula,
+    inst: &Instance,
+    env: &Assignment,
+    domain: &[Value],
+) -> bool {
     let mut env = env.clone();
-    eval_rec(phi, inst, &mut env, &domain)
+    eval_rec(phi, inst, &mut env, domain)
 }
 
 fn eval_rec(phi: &Formula, inst: &Instance, env: &mut Assignment, domain: &[Value]) -> bool {

@@ -20,7 +20,9 @@ pub use acyclicity::{
     position_ranks, DependencyGraph, Position,
 };
 pub use dependency::{Body, Dependency, DependencyError, Egd, Tgd};
-pub use formula::{eval, Assignment, FAtom, Formula, Term, Var};
+pub use formula::{
+    eval, eval_with_domain, quantification_domain, Assignment, FAtom, Formula, Term, Var,
+};
 pub use parser::{
     parse_dependency, parse_formula, parse_instance, parse_query, parse_setting, ParseError,
 };

@@ -40,6 +40,55 @@ pub fn exists_match(atoms: &[FAtom], inst: &Instance, base: &Assignment) -> bool
     !for_each_match(atoms, inst, base, &mut |_| false)
 }
 
+/// The first match (extending `base`) for which `pred` holds, if any —
+/// streaming: enumeration stops at the first hit, no `Vec` of matches is
+/// ever materialized.
+pub fn first_match_where(
+    atoms: &[FAtom],
+    inst: &Instance,
+    base: &Assignment,
+    pred: &mut dyn FnMut(&Assignment) -> bool,
+) -> Option<Assignment> {
+    let mut found = None;
+    for_each_match(atoms, inst, base, &mut |env| {
+        if pred(env) {
+            found = Some(env.clone());
+            false
+        } else {
+            true
+        }
+    });
+    found
+}
+
+/// Like [`for_each_match`], but with the body atom at `seed_idx` pinned
+/// to the concrete tuple `row` — the semi-naive chase entry point: every
+/// match involving a delta row is reachable by seeding each body atom
+/// with each delta row in turn. Returns `false` iff stopped early.
+pub fn for_each_match_seeded(
+    atoms: &[FAtom],
+    seed_idx: usize,
+    row: &[Value],
+    inst: &Instance,
+    base: &Assignment,
+    f: &mut dyn FnMut(&Assignment) -> bool,
+) -> bool {
+    let seed = &atoms[seed_idx];
+    if seed.args.len() != row.len() {
+        return true;
+    }
+    let mut env = base.clone();
+    let Some(newly) = try_unify(seed, row, &mut env) else {
+        return true;
+    };
+    let mut pending: Vec<usize> = (0..atoms.len()).filter(|&i| i != seed_idx).collect();
+    let keep_going = solve(atoms, inst, &mut env, &mut pending, f);
+    for v in newly {
+        env.unbind(v);
+    }
+    keep_going
+}
+
 fn pattern(atom: &FAtom, env: &Assignment) -> Vec<Option<Value>> {
     atom.args
         .iter()
@@ -60,16 +109,16 @@ fn solve(
     if pending.is_empty() {
         return f(env);
     }
-    // Fail-first: pick the pending atom with fewest candidates.
+    // Fail-first: pick the pending atom with fewest candidates, scored
+    // by the exact index-bucket length (O(1) per bound position — a
+    // truncated `rows_matching` count would make every atom with many
+    // candidates tie and degrade selection to declaration order).
     let (slot, _) = pending
         .iter()
         .enumerate()
         .map(|(slot, &i)| {
             let pat = pattern(&atoms[i], env);
-            (
-                slot,
-                inst.rows_matching(atoms[i].rel, &pat).take(16).count(),
-            )
+            (slot, inst.candidate_count(atoms[i].rel, &pat))
         })
         .min_by_key(|&(_, c)| c)
         .expect("pending non-empty");
@@ -203,6 +252,86 @@ mod tests {
     fn unsatisfiable_conjunction() {
         let atom = FAtom::new("Zebra", vec![Term::var("x")]);
         assert!(!exists_match(&[atom], &inst(), &Assignment::new()));
+    }
+
+    #[test]
+    fn first_match_where_stops_at_the_predicate() {
+        let hit = first_match_where(&[e("x", "y")], &inst(), &Assignment::new(), &mut |env| {
+            env.get(Var::new("x")) == Some(Value::konst("c"))
+        });
+        let hit = hit.expect("a match with x=c exists");
+        assert_eq!(hit.get(Var::new("y")), Some(Value::konst("a")));
+        let miss = first_match_where(&[e("x", "y")], &inst(), &Assignment::new(), &mut |env| {
+            env.get(Var::new("x")) == Some(Value::konst("zzz"))
+        });
+        assert!(miss.is_none());
+    }
+
+    #[test]
+    fn seeded_matching_pins_one_atom() {
+        // Seed E(y,z) (index 1) with the row (b,c): only the path
+        // a→b→c survives the join with E(x,y).
+        let row = [Value::konst("b"), Value::konst("c")];
+        let mut found = Vec::new();
+        for_each_match_seeded(
+            &[e("x", "y"), e("y", "z")],
+            1,
+            &row,
+            &inst(),
+            &Assignment::new(),
+            &mut |env| {
+                found.push(env.clone());
+                true
+            },
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].get(Var::new("x")), Some(Value::konst("a")));
+        assert_eq!(found[0].get(Var::new("z")), Some(Value::konst("c")));
+    }
+
+    #[test]
+    fn seeded_matching_rejects_non_unifying_rows() {
+        // E(x,x) cannot unify with the row (a,b).
+        let row = [Value::konst("a"), Value::konst("b")];
+        let not_stopped = for_each_match_seeded(
+            &[e("x", "x")],
+            0,
+            &row,
+            &inst(),
+            &Assignment::new(),
+            &mut |_| false,
+        );
+        assert!(not_stopped);
+        // Arity mismatch is a clean no-match, not a panic.
+        let bad = [Value::konst("a")];
+        assert!(for_each_match_seeded(
+            &[e("x", "y")],
+            0,
+            &bad,
+            &inst(),
+            &Assignment::new(),
+            &mut |_| false,
+        ));
+    }
+
+    #[test]
+    fn seeded_matching_covers_all_seeds() {
+        // Union over seeding each atom with each row = all matches.
+        let atoms = [e("x", "y"), e("y", "z")];
+        let i = inst();
+        let mut seen = std::collections::BTreeSet::new();
+        for seed_idx in 0..atoms.len() {
+            for row in i.rows_of(dex_core::Symbol::intern("E")) {
+                for_each_match_seeded(&atoms, seed_idx, row, &i, &Assignment::new(), &mut |env| {
+                    seen.insert(format!("{env:?}"));
+                    true
+                });
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            all_matches(&atoms, &i, &Assignment::new()).len()
+        );
     }
 
     #[test]

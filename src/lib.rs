@@ -49,8 +49,9 @@ pub use dex_reductions as reductions;
 /// The most common imports in one place.
 pub mod prelude {
     pub use dex_chase::{
-        alpha_chase, canonical_presolution, canonical_universal_solution, chase, AlphaOutcome,
-        AlphaSource, ChaseBudget, ChaseError, FreshAlpha, Justification, TableAlpha,
+        alpha_chase, alpha_chase_naive, canonical_presolution, canonical_universal_solution, chase,
+        chase_naive, AlphaOutcome, AlphaSource, ChaseBudget, ChaseEngine, ChaseError, ChaseStats,
+        FreshAlpha, Justification, TableAlpha,
     };
     pub use dex_core::{
         core, hom_equivalent, isomorphic, Atom, Instance, NullGen, Schema, Symbol, Value,
