@@ -14,6 +14,14 @@ cargo build --release --locked --offline --workspace
 echo "== test (locked, offline) =="
 cargo test -q --locked --offline --workspace
 
+echo "== fault-injection smoke (fixed seeds; replay any failure with DEX_FAULT_SEED) =="
+# The governed suite already sweeps 64 seeds under `cargo test` above;
+# here two fixed seeds re-run it through the DEX_FAULT_SEED replay path
+# so the single-seed reproduction machinery itself stays exercised.
+for seed in 7 41; do
+  DEX_FAULT_SEED=$seed cargo test -q --locked --offline -p dex-bench --test governed
+done
+
 echo "== bench smoke (tiny sizes; any panic fails the run) =="
 # Includes the chase naive-vs-delta ablation, whose ChaseStats invariant
 # checks panic on violation — so stats consistency gates CI here too.

@@ -197,6 +197,87 @@ fn bench_ablation(h: &mut Harness) -> Vec<AblationRow> {
     rows
 }
 
+/// One governed-vs-ungoverned overhead row for `BENCH_chase.json`.
+///
+/// "Ungoverned" is the default budget: the governor exists but arms no
+/// deadline/cancel, so `check()` stays on the cached-comparison fast
+/// path. "Governed" arms a far-future deadline, forcing the amortized
+/// slow path to consult the clock every 1024 ticks. The target is <2%
+/// overhead; the number is recorded, not asserted, so a loaded CI box
+/// cannot flake the build.
+struct GovernedRow {
+    bench: String,
+    ungoverned_median_ns: u128,
+    governed_median_ns: u128,
+    trips: usize,
+}
+
+impl GovernedRow {
+    fn overhead_pct(&self) -> f64 {
+        if self.ungoverned_median_ns == 0 {
+            return 0.0;
+        }
+        (self.governed_median_ns as f64 / self.ungoverned_median_ns as f64 - 1.0) * 100.0
+    }
+}
+
+/// Measures the governor's `check()` overhead on the hot chase path and
+/// counts deadline trips on the adversarial non-halting workload.
+fn bench_governed(h: &mut Harness) -> Vec<GovernedRow> {
+    let mut rows = Vec::new();
+
+    let tc = parse_setting(
+        "source { E/2 }
+         target { T/2 }
+         st { E(x,y) -> T(x,y); }
+         t { T(x,y) & T(y,z) -> T(x,z); }",
+    )
+    .unwrap();
+    for n in sizes(&[48], &[6]) {
+        let atoms: String = (0..n).map(|i| format!("E(c{i},c{}).", i + 1)).collect();
+        let s = dex_logic::parse_instance(&atoms).unwrap();
+        let plain = ChaseBudget::default();
+        let armed = ChaseBudget::default().with_deadline(std::time::Duration::from_secs(3600));
+        h.bench(&format!("tc_ungoverned/{n}"), || {
+            chase(&tc, &s, &plain).unwrap();
+        });
+        h.bench(&format!("tc_governed/{n}"), || {
+            chase(&tc, &s, &armed).unwrap();
+        });
+        let (u, g) = {
+            let r = h.results();
+            (r[r.len() - 2].median_ns(), r[r.len() - 1].median_ns())
+        };
+        rows.push(GovernedRow {
+            bench: format!("transitive_closure/{n}"),
+            ungoverned_median_ns: u,
+            governed_median_ns: g,
+            trips: 0,
+        });
+    }
+
+    // Trip counting: a non-halting Turing simulation under a short
+    // deadline must interrupt on every run.
+    let tm = dex_reductions::halting::forever_right();
+    let mut trips = 0usize;
+    let runs = 3;
+    let tight =
+        ChaseBudget::new(usize::MAX, usize::MAX).with_deadline(std::time::Duration::from_millis(5));
+    for _ in 0..runs {
+        if matches!(probe_halting(&tm, &tight), HaltProbe::Interrupted(_)) {
+            trips += 1;
+        }
+    }
+    assert_eq!(trips, runs, "deadline failed to trip the diverging chase");
+    rows.push(GovernedRow {
+        bench: format!("d_halt_forever_right_5ms/{runs}"),
+        ungoverned_median_ns: 0,
+        governed_median_ns: 0,
+        trips,
+    });
+    rows
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -204,7 +285,12 @@ fn json_escape(s: &str) -> String {
 /// Hand-rolled (the workspace is dependency-free) dump of every
 /// measurement plus the ablation rows to `BENCH_chase.json` at the
 /// workspace root.
-fn dump_json(measurements: &[Measurement], rows: &[AblationRow], runs_hint: usize) {
+fn dump_json(
+    measurements: &[Measurement],
+    rows: &[AblationRow],
+    governed: &[GovernedRow],
+    runs_hint: usize,
+) {
     let mut out = String::from("{\n  \"group\": \"chase\",\n  \"benches\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let sep = if i + 1 < measurements.len() { "," } else { "" };
@@ -235,6 +321,23 @@ fn dump_json(measurements: &[Measurement], rows: &[AblationRow], runs_hint: usiz
             sep,
         ));
     }
+    out.push_str("  ],\n  \"governed\": [\n");
+    for (i, r) in governed.iter().enumerate() {
+        let sep = if i + 1 < governed.len() { "," } else { "" };
+        out.push_str(&format!(
+            concat!(
+                "    {{\"bench\": \"{}\", \"ungoverned_median_ns\": {}, ",
+                "\"governed_median_ns\": {}, \"overhead_pct\": {:.2}, ",
+                "\"governor_trips\": {}}}{}\n"
+            ),
+            json_escape(&r.bench),
+            r.ungoverned_median_ns,
+            r.governed_median_ns,
+            r.overhead_pct(),
+            r.trips,
+            sep,
+        ));
+    }
     out.push_str(&format!("  ],\n  \"runs_default\": {runs_hint}\n}}\n"));
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -259,7 +362,18 @@ fn main() {
             r.speedup()
         );
     }
+    let governed = bench_governed(&mut h);
+    for r in &governed {
+        println!(
+            "governed {}: ungoverned {}ns vs governed {}ns — {:+.2}% ({} trips)",
+            r.bench,
+            r.ungoverned_median_ns,
+            r.governed_median_ns,
+            r.overhead_pct(),
+            r.trips
+        );
+    }
     let measurements = h.results().to_vec();
-    dump_json(&measurements, &rows, measurements.len());
+    dump_json(&measurements, &rows, &governed, measurements.len());
     h.finish();
 }

@@ -20,11 +20,11 @@
 use crate::budget::ChaseBudget;
 use crate::engine::ChaseEngine;
 use crate::stats::ChaseStats;
+use dex_core::govern::{Clock, Interrupt};
 use dex_core::{Atom, Instance, NullGen, Value};
 use dex_logic::{Setting, Tgd};
 use std::collections::HashMap;
 use std::fmt;
-use std::time::Instant;
 
 /// A potential justification `(d, ū, v̄, z)` for introducing a value:
 /// tgd index (in `Σ_st` then `Σ_t` order), the values `ū` of the frontier
@@ -187,6 +187,11 @@ pub enum AlphaOutcome {
     /// deterministic strategy it is provably infinite (e.g. Example 4.4's
     /// α₃, which loops through egd-merge / re-apply forever).
     CycleDetected { steps: usize },
+    /// The run was stopped by its governor (deadline or cancellation)
+    /// before reaching any of the outcomes above. Unlike
+    /// `BudgetExceeded`, this says nothing about the chase itself — a
+    /// re-run with a later deadline may yet succeed or fail.
+    Interrupted(Interrupt),
 }
 
 impl AlphaOutcome {
@@ -226,8 +231,21 @@ pub fn alpha_chase_naive(
     alpha: &mut dyn AlphaSource,
     budget: &ChaseBudget,
 ) -> AlphaOutcome {
+    alpha_chase_naive_clocked(setting, source, alpha, budget, &Clock::real())
+}
+
+/// [`alpha_chase_naive`] with an explicit time source, so deadline
+/// behaviour and phase timings are testable with a mock clock.
+pub fn alpha_chase_naive_clocked(
+    setting: &Setting,
+    source: &Instance,
+    alpha: &mut dyn AlphaSource,
+    budget: &ChaseBudget,
+    clock: &Clock,
+) -> AlphaOutcome {
     debug_assert!(source.is_ground(), "α-chase starts from ground instances");
-    let t_total = Instant::now();
+    let gov = budget.governor(clock);
+    let t_total = clock.now_ns();
     let mut stats = ChaseStats::default();
     let sigma_part = source.clone();
     let tgds: Vec<&Tgd> = setting.all_tgds().collect();
@@ -238,6 +256,9 @@ pub fn alpha_chase_naive(
     let mut trace: Vec<ChaseStep> = Vec::new();
     let mut seen_states: std::collections::HashSet<u64> = std::collections::HashSet::new();
     loop {
+        if let Err(i) = gov.force_check() {
+            return AlphaOutcome::Interrupted(i);
+        }
         if steps >= budget.max_steps {
             return AlphaOutcome::BudgetExceeded {
                 steps,
@@ -257,9 +278,9 @@ pub fn alpha_chase_naive(
         }
         // Egd application (Definition 4.1). Applied eagerly; by Lemma 4.5
         // the strategy does not affect the outcome.
-        let t_phase = Instant::now();
+        let t_phase = clock.now_ns();
         let egd_result = crate::standard::egd_step(setting, &inst);
-        stats.egd_time_ns += t_phase.elapsed().as_nanos();
+        stats.egd_time_ns += (clock.now_ns() - t_phase) as u128;
         match egd_result {
             Err(crate::standard::ChaseError::EgdConflict { egd, left, right }) => {
                 return AlphaOutcome::Failing {
@@ -269,7 +290,15 @@ pub fn alpha_chase_naive(
                     steps,
                 };
             }
-            Err(crate::standard::ChaseError::BudgetExceeded { .. }) => unreachable!(),
+            // `egd_step` performs a single bounded repair pass, so it can
+            // never exhaust a step budget or trip a governor itself; still,
+            // propagate rather than panic if its contract ever widens.
+            Err(crate::standard::ChaseError::BudgetExceeded { steps, atoms }) => {
+                return AlphaOutcome::BudgetExceeded { steps, atoms };
+            }
+            Err(crate::standard::ChaseError::Interrupted(i)) => {
+                return AlphaOutcome::Interrupted(i);
+            }
             Ok(Some(repair)) => {
                 trace.push(ChaseStep::EgdApplied {
                     dep: repair.egd,
@@ -284,11 +313,14 @@ pub fn alpha_chase_naive(
             Ok(None) => {}
         }
         // Find an α-applicable tgd trigger (condition (1) of Def 4.1).
-        let t_phase = Instant::now();
+        let t_phase = clock.now_ns();
         let mut fired: Option<(String, Vec<Atom>)> = None;
         'search: for (idx, tgd) in tgds.iter().enumerate() {
             let body_inst = if idx < st_count { &sigma_part } else { &inst };
             for env in tgd.body.matches(body_inst) {
+                if let Err(i) = gov.check() {
+                    return AlphaOutcome::Interrupted(i);
+                }
                 stats.triggers_examined += 1;
                 let frontier: Vec<Value> = tgd
                     .frontier()
@@ -317,7 +349,7 @@ pub fn alpha_chase_naive(
                 }
             }
         }
-        stats.tgd_time_ns += t_phase.elapsed().as_nanos();
+        stats.tgd_time_ns += (clock.now_ns() - t_phase) as u128;
         match fired {
             Some((dep, atoms)) => {
                 let added: Vec<Atom> = atoms
@@ -345,7 +377,7 @@ pub fn alpha_chase_naive(
             None => {
                 // No tgd α-applicable and egds hold: success. (Every body
                 // match has its ᾱ-head present, so all tgds are satisfied.)
-                stats.total_time_ns = t_total.elapsed().as_nanos();
+                stats.total_time_ns = (clock.now_ns() - t_total) as u128;
                 let target = inst.difference(&sigma_part);
                 return AlphaOutcome::Success(AlphaSuccess {
                     result: inst,

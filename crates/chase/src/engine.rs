@@ -30,16 +30,22 @@ use crate::alpha::{AlphaOutcome, AlphaSource, AlphaSuccess, ChaseStep, Justifica
 use crate::budget::ChaseBudget;
 use crate::standard::{ChaseError, ChaseSuccess};
 use crate::stats::ChaseStats;
+use dex_core::govern::Clock;
 use dex_core::{merge_policy, Atom, DeltaCursor, Instance, NullGen, Symbol, Value, ValueUnionFind};
 use dex_logic::matcher;
 use dex_logic::{Assignment, Body, Setting, Tgd};
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
 /// A reusable chase driver for one setting + budget.
+///
+/// The engine reads all time — the budget's deadline *and* the
+/// [`ChaseStats`] phase timings — from one [`Clock`]
+/// ([`ChaseEngine::with_clock`] substitutes a mock), so deadline
+/// decisions and reported timings can never disagree.
 pub struct ChaseEngine<'a> {
     setting: &'a Setting,
     budget: ChaseBudget,
+    clock: Clock,
 }
 
 fn state_hash(inst: &Instance) -> u64 {
@@ -103,8 +109,15 @@ impl<'a> ChaseEngine<'a> {
     pub fn new(setting: &'a Setting, budget: &ChaseBudget) -> ChaseEngine<'a> {
         ChaseEngine {
             setting,
-            budget: *budget,
+            budget: budget.clone(),
+            clock: Clock::real(),
         }
+    }
+
+    /// Substitutes the time source (deadline checks + stats timings).
+    pub fn with_clock(mut self, clock: Clock) -> ChaseEngine<'a> {
+        self.clock = clock;
+        self
     }
 
     fn t_body_rels(&self) -> HashSet<Symbol> {
@@ -196,7 +209,8 @@ impl<'a> ChaseEngine<'a> {
 
     /// The standard restricted chase (same contract as [`crate::chase`]).
     pub fn run(&self, source: &Instance) -> Result<ChaseSuccess, ChaseError> {
-        let t_total = Instant::now();
+        let gov = self.budget.governor(&self.clock);
+        let t_total = self.clock.now_ns();
         let mut stats = ChaseStats::default();
         let sigma_part = source.clone();
         let mut inst = source.clone();
@@ -209,9 +223,10 @@ impl<'a> ChaseEngine<'a> {
         // exactly once (FO bodies compute their quantification domain
         // once inside `matches`); the restricted head check still runs
         // against the evolving instance.
-        let t_phase = Instant::now();
+        let t_phase = self.clock.now_ns();
         for tgd in &self.setting.st_tgds {
             for env in tgd.body.matches(&sigma_part) {
+                gov.check()?;
                 stats.triggers_examined += 1;
                 if !tgd.head_holds(&inst, &env) {
                     self.check_steps(steps, &inst)?;
@@ -222,21 +237,26 @@ impl<'a> ChaseEngine<'a> {
                 }
             }
         }
-        stats.tgd_time_ns += t_phase.elapsed().as_nanos();
+        stats.tgd_time_ns += (self.clock.now_ns() - t_phase) as u128;
 
         // Phase B: semi-naive fixpoint over egds and target tgds.
         let t_rels = self.t_body_rels();
         let mut processed = DeltaCursor::origin();
         let mut egd_clean: Option<DeltaCursor> = None;
         loop {
+            // Per round, consult deadline/cancel unconditionally — the
+            // amortized `check()` only reaches them every 1024 ticks,
+            // too coarse for small instances.
+            gov.force_check()?;
             // Egds first, to a fixpoint. The seed stays put while the
             // fixpoint runs: merges re-append the rows they rewrite, so
             // follow-on violations stay inside the window.
-            let t_phase = Instant::now();
+            let t_phase = self.clock.now_ns();
             let seed = egd_clean.take().unwrap_or_default();
             while let Some((egd, l, r)) = self.find_violation_seeded(&inst, &seed) {
+                gov.check()?;
                 self.check_steps(steps, &inst).map_err(|e| {
-                    stats.egd_time_ns += t_phase.elapsed().as_nanos();
+                    stats.egd_time_ns += (self.clock.now_ns() - t_phase) as u128;
                     e
                 })?;
                 match uf.union(l, r) {
@@ -258,7 +278,7 @@ impl<'a> ChaseEngine<'a> {
                 }
             }
             egd_clean = Some(inst.cursor());
-            stats.egd_time_ns += t_phase.elapsed().as_nanos();
+            stats.egd_time_ns += (self.clock.now_ns() - t_phase) as u128;
 
             if !inst.has_delta_since(&processed) {
                 break;
@@ -267,7 +287,7 @@ impl<'a> ChaseEngine<'a> {
             // One semi-naive round: only triggers touching a delta row
             // can be new, so seed the matcher with each delta row at
             // each body position.
-            let t_phase = Instant::now();
+            let t_phase = self.clock.now_ns();
             stats.rounds += 1;
             let delta = snapshot_delta(&inst, &processed, &t_rels);
             processed = inst.cursor();
@@ -296,10 +316,12 @@ impl<'a> ChaseEngine<'a> {
                                     },
                                 );
                                 for env in row_envs.drain(..) {
+                                    gov.check()?;
                                     stats.triggers_examined += 1;
                                     if !tgd.head_holds(&inst, &env) {
                                         self.check_steps(steps, &inst).map_err(|e| {
-                                            stats.tgd_time_ns += t_phase.elapsed().as_nanos();
+                                            stats.tgd_time_ns +=
+                                                (self.clock.now_ns() - t_phase) as u128;
                                             e
                                         })?;
                                         self.fire_standard(
@@ -317,6 +339,7 @@ impl<'a> ChaseEngine<'a> {
                     // one ever is not, fall back to a full examination.
                     body => {
                         for env in body.matches(&inst) {
+                            gov.check()?;
                             stats.triggers_examined += 1;
                             if !tgd.head_holds(&inst, &env) {
                                 self.check_steps(steps, &inst)?;
@@ -331,10 +354,10 @@ impl<'a> ChaseEngine<'a> {
                     }
                 }
             }
-            stats.tgd_time_ns += t_phase.elapsed().as_nanos();
+            stats.tgd_time_ns += (self.clock.now_ns() - t_phase) as u128;
         }
 
-        stats.total_time_ns = t_total.elapsed().as_nanos();
+        stats.total_time_ns = (self.clock.now_ns() - t_total) as u128;
         let target = inst.difference(&sigma_part);
         Ok(ChaseSuccess {
             result: inst,
@@ -392,7 +415,8 @@ impl<'a> ChaseEngine<'a> {
     /// The α-chase (same contract as [`crate::alpha_chase`]).
     pub fn run_alpha(&self, source: &Instance, alpha: &mut dyn AlphaSource) -> AlphaOutcome {
         debug_assert!(source.is_ground(), "α-chase starts from ground instances");
-        let t_total = Instant::now();
+        let gov = self.budget.governor(&self.clock);
+        let t_total = self.clock.now_ns();
         let mut stats = ChaseStats::default();
         let sigma_part = source.clone();
         let mut inst = source.clone();
@@ -417,12 +441,20 @@ impl<'a> ChaseEngine<'a> {
         let mut egd_clean: Option<DeltaCursor> = None;
         let mut st_dirty = true;
         loop {
+            // Per round, consult deadline/cancel unconditionally (the
+            // amortized `check()` is too coarse for small instances).
+            if let Err(i) = gov.force_check() {
+                return AlphaOutcome::Interrupted(i);
+            }
             // Egd applications, eagerly to a fixpoint. Any merge can
             // remove a fixed ᾱ-head, so it rewinds both the target
             // cursor and the s-t examination.
-            let t_phase = Instant::now();
+            let t_phase = self.clock.now_ns();
             let seed = egd_clean.take().unwrap_or_default();
             while let Some((egd, l, r)) = self.find_violation_seeded(&inst, &seed) {
+                if let Err(i) = gov.check() {
+                    return AlphaOutcome::Interrupted(i);
+                }
                 if steps >= self.budget.max_steps {
                     return AlphaOutcome::BudgetExceeded {
                         steps,
@@ -461,12 +493,12 @@ impl<'a> ChaseEngine<'a> {
                 }
             }
             egd_clean = Some(inst.cursor());
-            stats.egd_time_ns += t_phase.elapsed().as_nanos();
+            stats.egd_time_ns += (self.clock.now_ns() - t_phase) as u128;
 
             if !st_dirty && !inst.has_delta_since(&processed) {
                 // Fixpoint: egds hold and every examined trigger's
                 // ᾱ-head is (still) present.
-                stats.total_time_ns = t_total.elapsed().as_nanos();
+                stats.total_time_ns = (self.clock.now_ns() - t_total) as u128;
                 let target = inst.difference(&sigma_part);
                 return AlphaOutcome::Success(AlphaSuccess {
                     result: inst,
@@ -477,11 +509,14 @@ impl<'a> ChaseEngine<'a> {
                 });
             }
 
-            let t_phase = Instant::now();
+            let t_phase = self.clock.now_ns();
             if st_dirty {
                 st_dirty = false;
                 for (ti, tgd) in self.setting.st_tgds.iter().enumerate() {
                     for env in &st_matches[ti] {
+                        if let Err(i) = gov.check() {
+                            return AlphaOutcome::Interrupted(i);
+                        }
                         stats.triggers_examined += 1;
                         let head = alpha_head(tgd, ti, env, alpha, &inst);
                         if head.iter().any(|a| !inst.contains(a)) {
@@ -535,6 +570,9 @@ impl<'a> ChaseEngine<'a> {
                         body => body.matches(&inst),
                     };
                     for env in envs {
+                        if let Err(i) = gov.check() {
+                            return AlphaOutcome::Interrupted(i);
+                        }
                         stats.triggers_examined += 1;
                         let head = alpha_head(tgd, dep, &env, alpha, &inst);
                         if head.iter().any(|a| !inst.contains(a)) {
@@ -553,7 +591,7 @@ impl<'a> ChaseEngine<'a> {
                     }
                 }
             }
-            stats.tgd_time_ns += t_phase.elapsed().as_nanos();
+            stats.tgd_time_ns += (self.clock.now_ns() - t_phase) as u128;
         }
     }
 }

@@ -19,12 +19,13 @@ pub mod standard;
 pub mod stats;
 
 pub use alpha::{
-    alpha_chase, alpha_chase_naive, canonical_presolution, AlphaOutcome, AlphaSource, AlphaSuccess,
-    ChaseStep, FreshAlpha, Justification, TableAlpha,
+    alpha_chase, alpha_chase_naive, alpha_chase_naive_clocked, canonical_presolution, AlphaOutcome,
+    AlphaSource, AlphaSuccess, ChaseStep, FreshAlpha, Justification, TableAlpha,
 };
-pub use budget::ChaseBudget;
+pub use budget::{ChaseBudget, ChaseLimitsExt};
 pub use engine::ChaseEngine;
 pub use standard::{
-    canonical_universal_solution, chase, chase_naive, egd_step, ChaseError, ChaseSuccess, EgdRepair,
+    canonical_universal_solution, chase, chase_naive, chase_naive_clocked, egd_step, ChaseError,
+    ChaseSuccess, EgdRepair,
 };
 pub use stats::ChaseStats;

@@ -11,10 +11,10 @@
 use crate::budget::ChaseBudget;
 use crate::engine::ChaseEngine;
 use crate::stats::ChaseStats;
+use dex_core::govern::{Clock, Interrupt};
 use dex_core::{Instance, NullGen, Value};
 use dex_logic::{Assignment, Setting, Tgd, Var};
 use std::fmt;
-use std::time::Instant;
 
 /// Why a chase run did not produce a solution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,8 +25,11 @@ pub enum ChaseError {
         left: Value,
         right: Value,
     },
-    /// The budget was exhausted; the chase may be non-terminating.
+    /// The step/atom budget was exhausted; the chase may be
+    /// non-terminating. (Enforced exactly, unlike `Interrupted`.)
     BudgetExceeded { steps: usize, atoms: usize },
+    /// The budget's deadline passed or its cancel flag was raised.
+    Interrupted(Interrupt),
 }
 
 impl fmt::Display for ChaseError {
@@ -44,11 +47,18 @@ impl fmt::Display for ChaseError {
                     "chase budget exceeded after {steps} steps ({atoms} atoms)"
                 )
             }
+            ChaseError::Interrupted(i) => write!(f, "chase {i}"),
         }
     }
 }
 
 impl std::error::Error for ChaseError {}
+
+impl From<Interrupt> for ChaseError {
+    fn from(i: Interrupt) -> ChaseError {
+        ChaseError::Interrupted(i)
+    }
+}
 
 /// A successful chase run.
 #[derive(Clone, Debug)]
@@ -172,7 +182,19 @@ pub fn chase_naive(
     source: &Instance,
     budget: &ChaseBudget,
 ) -> Result<ChaseSuccess, ChaseError> {
-    let t_total = Instant::now();
+    chase_naive_clocked(setting, source, budget, &Clock::real())
+}
+
+/// [`chase_naive`] with an explicit [`Clock`]: the single time source for
+/// both the budget's deadline checks and the `ChaseStats` phase timings.
+pub fn chase_naive_clocked(
+    setting: &Setting,
+    source: &Instance,
+    budget: &ChaseBudget,
+    clock: &Clock,
+) -> Result<ChaseSuccess, ChaseError> {
+    let gov = budget.governor(clock);
+    let t_total = clock.now_ns();
     let mut stats = ChaseStats::default();
     let sigma_part = source.clone();
     let mut inst = source.clone();
@@ -180,6 +202,7 @@ pub fn chase_naive(
     let mut nulls = NullGen::above(source.active_domain().iter());
     let mut steps = 0usize;
     loop {
+        gov.force_check()?;
         if steps >= budget.max_steps {
             return Err(ChaseError::BudgetExceeded {
                 steps,
@@ -187,9 +210,9 @@ pub fn chase_naive(
             });
         }
         // Egds first: they only shrink the instance.
-        let t_phase = Instant::now();
+        let t_phase = clock.now_ns();
         let repair = egd_step(setting, &inst)?;
-        stats.egd_time_ns += t_phase.elapsed().as_nanos();
+        stats.egd_time_ns += (clock.now_ns() - t_phase) as u128;
         if let Some(repair) = repair {
             inst = repair.instance;
             steps += 1;
@@ -197,7 +220,7 @@ pub fn chase_naive(
             continue;
         }
         // Then tgds, s-t before target, first unsatisfied trigger.
-        let t_phase = Instant::now();
+        let t_phase = clock.now_ns();
         let mut fired = false;
         for tgd in &setting.st_tgds {
             if fire_first_unsatisfied(
@@ -243,13 +266,13 @@ pub fn chase_naive(
                 fired = true;
             }
         }
-        stats.tgd_time_ns += t_phase.elapsed().as_nanos();
+        stats.tgd_time_ns += (clock.now_ns() - t_phase) as u128;
         if fired {
             steps += 1;
             continue;
         }
         // Fixpoint: no egd violation, no unsatisfied tgd trigger.
-        stats.total_time_ns = t_total.elapsed().as_nanos();
+        stats.total_time_ns = (clock.now_ns() - t_total) as u128;
         let target = inst.difference(&sigma_part);
         return Ok(ChaseSuccess {
             result: inst,
@@ -513,10 +536,7 @@ mod tests {
         )
         .unwrap();
         let s = parse_instance("P(a).").unwrap();
-        let budget = ChaseBudget {
-            max_steps: 100,
-            max_atoms: 2,
-        };
+        let budget = ChaseBudget::new(100, 2);
         for (which, result) in [
             ("engine", chase(&d, &s, &budget)),
             ("naive", chase_naive(&d, &s, &budget)),

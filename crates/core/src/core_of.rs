@@ -13,6 +13,7 @@
 //! everywhere else — so each search is local to a component.
 
 use crate::atom::Atom;
+use crate::govern::{Governor, Interrupt};
 use crate::homomorphism::{HomFinder, Homomorphism};
 use crate::instance::Instance;
 use crate::value::NullId;
@@ -125,6 +126,135 @@ pub fn core(inst: &Instance) -> Instance {
         t = smaller;
     }
     t
+}
+
+/// Whether a governed core computation ran to the fixpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreStatus {
+    /// The retract iteration reached a fixpoint: the result is the core.
+    Minimal,
+    /// The governor tripped mid-iteration: the result is the best (i.e.
+    /// smallest) retract found so far — a valid hom-equivalent
+    /// subinstance of the input, but possibly larger than the core.
+    MaybeNotMinimal(Interrupt),
+}
+
+/// A governed core result: the instance plus how far minimization got.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GovernedCore {
+    pub instance: Instance,
+    pub status: CoreStatus,
+}
+
+impl GovernedCore {
+    /// True iff the result is guaranteed to be the core.
+    pub fn is_minimal(&self) -> bool {
+        self.status == CoreStatus::Minimal
+    }
+}
+
+/// `retract_step` under a governor: `Err` means the hom search was
+/// interrupted before any retract of the current instance was found.
+fn retract_step_governed(inst: &Instance, gov: &Governor) -> Result<Option<Instance>, Interrupt> {
+    for comp in atom_components(inst) {
+        let comp_inst = Instance::from_atoms(comp.iter().cloned());
+        for atom in &comp {
+            if let Some(h) = HomFinder::new(&comp_inst, inst)
+                .forbid_atom(atom)
+                .find_governed(gov)?
+            {
+                let mut out = Instance::new();
+                for a in inst.atoms() {
+                    if comp_inst.contains(&a) {
+                        out.insert(h.apply_atom(&a));
+                    } else {
+                        out.insert(a);
+                    }
+                }
+                return Ok(Some(out));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// [`core`] under a [`Governor`]: graceful degradation instead of an
+/// error. Each completed retract step strictly shrinks the instance and
+/// yields a hom-equivalent subinstance, so interruption at any point
+/// still returns a sound (if possibly non-minimal) result, tagged
+/// [`CoreStatus::MaybeNotMinimal`].
+pub fn core_governed(inst: &Instance, gov: &Governor) -> GovernedCore {
+    let mut t = inst.clone();
+    loop {
+        match retract_step_governed(&t, gov) {
+            Ok(Some(smaller)) => t = smaller,
+            Ok(None) => {
+                return GovernedCore {
+                    instance: t,
+                    status: CoreStatus::Minimal,
+                }
+            }
+            Err(i) => {
+                return GovernedCore {
+                    instance: t,
+                    status: CoreStatus::MaybeNotMinimal(i),
+                }
+            }
+        }
+    }
+}
+
+/// [`core_with_hom`] under a [`Governor`]: like [`core_governed`], and
+/// additionally returns the composed homomorphism `inst → result`.
+pub fn core_with_hom_governed(inst: &Instance, gov: &Governor) -> (GovernedCore, Homomorphism) {
+    let mut t = inst.clone();
+    let mut acc = Homomorphism::identity();
+    loop {
+        let mut advanced = false;
+        'comp: for comp in atom_components(&t) {
+            let comp_inst = Instance::from_atoms(comp.iter().cloned());
+            for atom in &comp {
+                match HomFinder::new(&comp_inst, &t)
+                    .forbid_atom(atom)
+                    .find_governed(gov)
+                {
+                    Ok(Some(h)) => {
+                        let mut out = Instance::new();
+                        for a in t.atoms() {
+                            if comp_inst.contains(&a) {
+                                out.insert(h.apply_atom(&a));
+                            } else {
+                                out.insert(a);
+                            }
+                        }
+                        acc = acc.then(&h);
+                        t = out;
+                        advanced = true;
+                        break 'comp;
+                    }
+                    Ok(None) => {}
+                    Err(i) => {
+                        return (
+                            GovernedCore {
+                                instance: t,
+                                status: CoreStatus::MaybeNotMinimal(i),
+                            },
+                            acc,
+                        )
+                    }
+                }
+            }
+        }
+        if !advanced {
+            return (
+                GovernedCore {
+                    instance: t,
+                    status: CoreStatus::Minimal,
+                },
+                acc,
+            );
+        }
+    }
 }
 
 /// True iff `inst` is its own core (no proper retract exists).
@@ -287,6 +417,44 @@ mod tests {
         let (k, h) = core_with_hom(&i);
         assert_eq!(h.apply(&i), k);
         assert!(is_core(&k));
+    }
+
+    #[test]
+    fn governed_core_matches_ungoverned_when_not_tripped() {
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![c("a"), c("b")]),
+            Atom::of("E", vec![c("a"), n(1)]),
+            Atom::of("E", vec![c("a"), n(2)]),
+            Atom::of("F", vec![c("a"), n(3)]),
+            Atom::of("G", vec![n(3), n(4)]),
+        ]);
+        let gov = Governor::unlimited();
+        let gc = core_governed(&i, &gov);
+        assert!(gc.is_minimal());
+        assert_eq!(gc.instance, core(&i));
+        let (gc2, h) = core_with_hom_governed(&i, &Governor::unlimited());
+        assert!(gc2.is_minimal());
+        assert_eq!(h.apply(&i), gc2.instance);
+    }
+
+    #[test]
+    fn interrupted_core_returns_best_retract_so_far() {
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![c("a"), c("b")]),
+            Atom::of("E", vec![c("a"), n(1)]),
+            Atom::of("E", vec![c("a"), n(2)]),
+            Atom::of("F", vec![c("a"), n(3)]),
+            Atom::of("G", vec![n(3), n(4)]),
+        ]);
+        let gov = Governor::unlimited().with_fuel(3);
+        let gc = core_governed(&i, &gov);
+        let CoreStatus::MaybeNotMinimal(int) = &gc.status else {
+            panic!("tiny fuel must interrupt: {:?}", gc.status)
+        };
+        assert_eq!(int.reason, crate::govern::InterruptReason::Fuel);
+        // The degraded result is still a sound retract of the input.
+        assert!(gc.instance.is_subinstance_of(&i));
+        assert!(hom_equivalent(&gc.instance, &i));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! candidates enumerated through the target instance's position indexes.
 
 use crate::atom::Atom;
+use crate::govern::{Governor, Interrupt};
 use crate::instance::Instance;
 use crate::value::{NullId, Value};
 use std::collections::{BTreeMap, HashSet};
@@ -173,16 +174,48 @@ impl<'a> HomFinder<'a> {
         found
     }
 
+    /// [`HomFinder::find`] under a [`Governor`]: the NP-hard search ticks
+    /// once per search node and per candidate row, so fuel, deadline and
+    /// cancellation interrupt it mid-backtrack. On interrupt the partial
+    /// search is discarded and the `Interrupt` returned.
+    pub fn find_governed(self, gov: &Governor) -> Result<Option<Homomorphism>, Interrupt> {
+        let mut found = None;
+        self.run(Some(gov), &mut |h| {
+            found = Some(h.clone());
+            false
+        })?;
+        Ok(found)
+    }
+
     /// Enumerates homomorphisms, calling `f` on each; `f` returns `false`
     /// to stop. Returns `false` iff stopped early.
     pub fn for_each(self, f: &mut dyn FnMut(&Homomorphism) -> bool) -> bool {
+        self.run(None, f)
+            .expect("ungoverned search cannot be interrupted")
+    }
+
+    /// [`HomFinder::for_each`] under a [`Governor`]. Returns `Ok(false)`
+    /// iff `f` stopped the enumeration, `Err` iff the governor tripped.
+    pub fn for_each_governed(
+        self,
+        gov: &Governor,
+        f: &mut dyn FnMut(&Homomorphism) -> bool,
+    ) -> Result<bool, Interrupt> {
+        self.run(Some(gov), f)
+    }
+
+    fn run(
+        self,
+        gov: Option<&Governor>,
+        f: &mut dyn FnMut(&Homomorphism) -> bool,
+    ) -> Result<bool, Interrupt> {
         // Fast failure: every relation of `from` must appear in `to` with
         // the same arity (unless `from`'s relation is empty).
         for rel in self.from.relations() {
             if self.from.rows_of_len(rel) > 0 {
                 match self.to.arity_of(rel) {
                     Some(a) if a == self.from.arity_of(rel).unwrap() => {}
-                    _ => return true,
+                    _ => return Ok(true),
                 }
             }
         }
@@ -193,7 +226,7 @@ impl<'a> HomFinder<'a> {
             let img = self.preset.apply_atom(a);
             if img.is_ground() {
                 if !self.to.contains(&img) || Some(&img) == self.forbidden {
-                    return true;
+                    return Ok(true);
                 }
             } else {
                 pending.push(i);
@@ -208,6 +241,7 @@ impl<'a> HomFinder<'a> {
             assignment: self.preset,
             used_images: HashSet::new(),
             static_order: self.static_order,
+            gov,
         };
         if state.injective_on_nulls {
             let imgs: Vec<Value> = state.assignment.bindings().map(|(_, v)| v).collect();
@@ -228,6 +262,7 @@ struct SearchState<'a> {
     assignment: Homomorphism,
     used_images: HashSet<Value>,
     static_order: bool,
+    gov: Option<&'a Governor>,
 }
 
 impl SearchState<'_> {
@@ -249,16 +284,20 @@ impl SearchState<'_> {
     }
 
     /// Enumerates all solutions, calling `f` per complete assignment;
-    /// returns `false` iff `f` stopped the enumeration.
+    /// returns `Ok(false)` iff `f` stopped the enumeration, `Err` iff the
+    /// governor tripped mid-search.
     fn solve(
         &mut self,
         pending: &mut Vec<usize>,
         f: &mut dyn FnMut(&Homomorphism) -> bool,
-    ) -> bool {
+    ) -> Result<bool, Interrupt> {
+        if let Some(gov) = self.gov {
+            gov.check()?;
+        }
         if pending.is_empty() {
             // Nulls of `from` occurring in no atom (impossible for nulls
             // drawn from the instance) need no binding.
-            return f(&self.assignment);
+            return Ok(f(&self.assignment));
         }
         // Fail-first: expand the pending atom with fewest candidates
         // (unless the ablation flag requests static listing order).
@@ -281,8 +320,14 @@ impl SearchState<'_> {
             .rows_matching(atom.rel, &pat)
             .map(|r| r.to_vec())
             .collect();
-        let mut keep_going = true;
+        let mut keep_going = Ok(true);
         for row in rows {
+            if let Some(gov) = self.gov {
+                if let Err(i) = gov.check() {
+                    keep_going = Err(i);
+                    break;
+                }
+            }
             if let Some(fb) = self.forbidden {
                 if fb.rel == atom.rel && *fb.args == row[..] {
                     continue;
@@ -291,7 +336,7 @@ impl SearchState<'_> {
             if let Some(newly) = self.try_unify(atom, &row) {
                 keep_going = self.solve(pending, f);
                 self.undo(&newly);
-                if !keep_going {
+                if !matches!(keep_going, Ok(true)) {
                     break;
                 }
             }
@@ -552,6 +597,39 @@ mod tests {
             Atom::of("E", vec![n(3), n(1)]),
         ]);
         assert!(HomFinder::new(&tri, &to).static_order().find().is_none());
+    }
+
+    #[test]
+    fn governed_search_agrees_with_ungoverned_when_not_tripped() {
+        let from = Instance::from_atoms([
+            Atom::of("E", vec![n(1), n(2)]),
+            Atom::of("E", vec![n(2), n(3)]),
+        ]);
+        let to = Instance::from_atoms([
+            Atom::of("E", vec![c("u"), c("v")]),
+            Atom::of("E", vec![c("v"), c("u")]),
+        ]);
+        let gov = crate::govern::Governor::unlimited();
+        let governed = HomFinder::new(&from, &to).find_governed(&gov).unwrap();
+        let plain = HomFinder::new(&from, &to).find();
+        assert_eq!(governed.is_some(), plain.is_some());
+        assert!(gov.ticks() > 0);
+    }
+
+    #[test]
+    fn governed_search_interrupts_on_fuel() {
+        let from = Instance::from_atoms([
+            Atom::of("E", vec![n(1), n(2)]),
+            Atom::of("E", vec![n(2), n(3)]),
+            Atom::of("E", vec![n(3), n(4)]),
+        ]);
+        let to = Instance::from_atoms([
+            Atom::of("E", vec![c("u"), c("v")]),
+            Atom::of("E", vec![c("v"), c("u")]),
+        ]);
+        let gov = crate::govern::Governor::unlimited().with_fuel(2);
+        let err = HomFinder::new(&from, &to).find_governed(&gov).unwrap_err();
+        assert_eq!(err.reason, crate::govern::InterruptReason::Fuel);
     }
 
     #[test]

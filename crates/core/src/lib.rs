@@ -16,6 +16,7 @@
 
 pub mod atom;
 pub mod core_of;
+pub mod govern;
 pub mod homomorphism;
 pub mod instance;
 pub mod isomorphism;
@@ -26,7 +27,13 @@ pub mod valuation;
 pub mod value;
 
 pub use atom::Atom;
-pub use core_of::{core, core_with_hom, is_core, null_blocks};
+pub use core_of::{
+    core, core_governed, core_with_hom, core_with_hom_governed, is_core, null_blocks, CoreStatus,
+    GovernedCore,
+};
+pub use govern::{
+    Clock, Governor, Interrupt, InterruptReason, MockClock, Progress, Verdict, CHECK_INTERVAL,
+};
 pub use homomorphism::{
     find_homomorphism, has_homomorphism, hom_equivalent, HomFinder, Homomorphism,
 };

@@ -56,12 +56,14 @@ pub fn cansol(
             Ok(Some(s.target))
         }
         CanSolClass::EgdsOnlyTarget => {
+            let gov = budget.governor(&dex_core::govern::Clock::real());
             // 1. Libkin's canonical presolution: fire every s-t trigger
             //    once with fresh nulls (no target tgds exist).
             let mut inst = source.clone();
             let mut nulls = NullGen::above(source.active_domain().iter());
             for tgd in &setting.st_tgds {
                 for env in tgd.body.matches(source) {
+                    gov.check()?;
                     let mut full = env.clone();
                     for &z in &tgd.exist_vars {
                         full.bind(z, nulls.fresh_value());
@@ -78,6 +80,7 @@ pub fn cansol(
             //    with the fresh α is the witnessing α for the result.
             let mut steps = 0usize;
             loop {
+                gov.force_check()?;
                 if steps >= budget.max_steps {
                     return Err(ChaseError::BudgetExceeded {
                         steps,
@@ -241,6 +244,28 @@ mod tests {
         .unwrap();
         let s = parse_instance("P(a).").unwrap();
         assert_eq!(cansol(&d, &s, &ChaseBudget::default()).unwrap(), None);
+    }
+
+    #[test]
+    fn cansol_honors_cancel_flag() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let d = parse_setting(
+            "source { P/1 }
+             target { F/2 }
+             st { P(x) -> exists z . F(x,z); }
+             t { F(x,y) & F(x,z) -> y = z; }",
+        )
+        .unwrap();
+        let s = parse_instance("P(1). P(2).").unwrap();
+        let flag = Arc::new(AtomicBool::new(true));
+        let budget = ChaseBudget::default().with_cancel(flag);
+        match cansol(&d, &s, &budget) {
+            Err(ChaseError::Interrupted(i)) => {
+                assert_eq!(i.reason, dex_core::govern::InterruptReason::Cancelled);
+            }
+            other => panic!("expected interrupt, got {other:?}"),
+        }
     }
 
     #[test]

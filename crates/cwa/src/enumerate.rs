@@ -15,7 +15,8 @@
 //! enumerating scripts enumerates all CWA-presolutions (up to iso) within
 //! the limits.
 
-use dex_chase::{alpha_chase, AlphaOutcome, AlphaSource, ChaseBudget, Justification};
+use dex_chase::{alpha_chase, AlphaOutcome, AlphaSource, ChaseBudget, ChaseError, Justification};
+use dex_core::govern::Interrupt;
 use dex_core::{has_homomorphism, Instance, IsoDeduper, NullGen, Symbol, Value};
 use dex_logic::Setting;
 use std::collections::{BTreeSet, HashMap};
@@ -137,8 +138,30 @@ fn vocabulary_constants(setting: &Setting) -> Vec<Symbol> {
 pub struct EnumStats {
     pub scripts_explored: usize,
     pub chases_succeeded: usize,
+    /// Replays that *definitely* yield no presolution: a failing chase
+    /// (egd conflict on constants) or a provably infinite one (state
+    /// cycle under the deterministic strategy).
     pub chases_failed: usize,
+    /// Replays that exhausted their per-replay step/atom budget. Unlike
+    /// `chases_failed`, these say nothing definite: a presolution
+    /// reachable only through such a script is missing from the results.
+    pub chases_unfinished: usize,
+    /// Replays stopped by the budget's deadline or cancel flag.
+    pub chases_interrupted: usize,
     pub truncated: bool,
+    /// Set when the run was cut short by a deadline/cancel interrupt
+    /// (either inside a replay or, for [`enumerate_cwa_solutions`], while
+    /// computing the canonical universal solution).
+    pub interrupted: Option<Interrupt>,
+}
+
+impl EnumStats {
+    /// True iff the result list is *complete*: every CWA-presolution
+    /// (up to iso) reachable within the limits was found and no replay
+    /// ended indeterminately.
+    pub fn is_complete(&self) -> bool {
+        !self.truncated && self.chases_unfinished == 0 && self.interrupted.is_none()
+    }
 }
 
 /// Enumerates the CWA-presolutions for `source` under `setting`, up to
@@ -192,7 +215,24 @@ pub fn enumerate_cwa_presolutions(
                 // α up to renaming of nulls).
                 results.insert(s.target);
             }
-            _ => stats.chases_failed += 1,
+            // Both are definite negatives: a failing chase, or one that
+            // provably runs forever — either way this α admits no
+            // successful chase, hence no presolution (Definition 4.6).
+            AlphaOutcome::Failing { .. } | AlphaOutcome::CycleDetected { .. } => {
+                stats.chases_failed += 1
+            }
+            AlphaOutcome::BudgetExceeded { .. } => {
+                // Indeterminate: a presolution reachable only through
+                // this script may be missing from the results.
+                stats.chases_unfinished += 1;
+            }
+            AlphaOutcome::Interrupted(i) => {
+                // Deadline/cancel: stop the whole enumeration — every
+                // further replay would trip the same way.
+                stats.chases_interrupted += 1;
+                stats.interrupted = Some(i);
+                break;
+            }
         }
     }
     (results.into_representatives(), stats)
@@ -205,14 +245,30 @@ pub fn enumerate_cwa_solutions(
     source: &Instance,
     limits: &EnumLimits,
 ) -> (Vec<Instance>, EnumStats) {
-    let (pres, stats) = enumerate_cwa_presolutions(setting, source, limits);
+    let (pres, mut stats) = enumerate_cwa_presolutions(setting, source, limits);
     // Theorem 4.8: filter to the universal presolutions. The canonical
     // universal solution is computed once; a presolution is universal iff
     // it is a solution mapping homomorphically into it.
-    let Ok(canon) =
-        dex_chase::canonical_universal_solution(setting, source, &ChaseBudget::default())
-    else {
-        return (Vec::new(), stats);
+    let chase_budget = ChaseBudget {
+        ext: limits.chase_budget.ext.clone(),
+        ..ChaseBudget::default()
+    };
+    let canon = match dex_chase::canonical_universal_solution(setting, source, &chase_budget) {
+        Ok(canon) => canon,
+        // A failing chase is definite: no solutions at all exist.
+        Err(ChaseError::EgdConflict { .. }) => return (Vec::new(), stats),
+        // Budget/interrupt is NOT "no CWA-solutions" — report the run as
+        // cut short rather than returning a silently-empty answer.
+        Err(ChaseError::BudgetExceeded { .. }) => {
+            stats.chases_unfinished += 1;
+            stats.truncated = true;
+            return (Vec::new(), stats);
+        }
+        Err(ChaseError::Interrupted(i)) => {
+            stats.chases_interrupted += 1;
+            stats.interrupted = Some(i);
+            return (Vec::new(), stats);
+        }
     };
     let sols = pres
         .into_iter()
@@ -358,6 +414,64 @@ mod tests {
         let (sols, _) = enumerate_cwa_solutions(&d, &Instance::new(), &EnumLimits::default());
         assert_eq!(sols.len(), 1);
         assert!(sols[0].is_empty());
+    }
+
+    /// A replay that exhausts its step budget must surface as
+    /// `chases_unfinished` (answer possibly incomplete), not be lumped
+    /// into the definite `chases_failed` bucket.
+    #[test]
+    fn budget_exceeded_replay_is_not_mislabeled_as_failed() {
+        // Transitive closure over a chain: no existentials (so scripts
+        // never fork), but the closure needs more steps than the budget.
+        let d = parse_setting(
+            "source { E/2 }
+             target { T/2 }
+             st { E(x,y) -> T(x,y); }
+             t { T(x,y) & T(y,z) -> T(x,z); }",
+        )
+        .unwrap();
+        let s = parse_instance("E(1,2). E(2,3). E(3,4). E(4,5). E(5,6).").unwrap();
+        let limits = EnumLimits {
+            chase_budget: dex_chase::ChaseBudget::new(3, 1_000),
+            ..EnumLimits::default()
+        };
+        let (pres, stats) = enumerate_cwa_presolutions(&d, &s, &limits);
+        assert!(pres.is_empty());
+        assert_eq!(stats.chases_unfinished, 1);
+        assert_eq!(stats.chases_failed, 0);
+        assert!(!stats.is_complete());
+        // A generous budget decides the same setting completely.
+        let (pres, stats) = enumerate_cwa_presolutions(&d, &s, &EnumLimits::default());
+        assert_eq!(pres.len(), 1);
+        assert!(stats.is_complete());
+    }
+
+    /// A cancelled run reports the interrupt instead of a silently-empty
+    /// "no CWA-solutions" answer.
+    #[test]
+    fn cancelled_run_reports_interrupt_not_empty_answer() {
+        use dex_core::govern::InterruptReason;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let d = example_5_3();
+        let s = parse_instance("P(1).").unwrap();
+        let flag = Arc::new(AtomicBool::new(false));
+        flag.store(true, Ordering::Relaxed);
+        let limits = EnumLimits {
+            chase_budget: dex_chase::ChaseBudget::probe().with_cancel(Arc::clone(&flag)),
+            nulls_only: true,
+            ..EnumLimits::default()
+        };
+        let (sols, stats) = enumerate_cwa_solutions(&d, &s, &limits);
+        assert!(sols.is_empty());
+        let i = stats.interrupted.expect("cancel must be reported");
+        assert_eq!(i.reason, InterruptReason::Cancelled);
+        assert!(!stats.is_complete());
+        // Without the flag raised the same limits enumerate normally.
+        flag.store(false, Ordering::Relaxed);
+        let (sols, stats) = enumerate_cwa_solutions(&d, &s, &limits);
+        assert!(!sols.is_empty());
+        assert!(stats.is_complete());
     }
 
     #[test]

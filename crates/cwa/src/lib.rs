@@ -23,8 +23,11 @@ pub use cansol::{cansol, cansol_class, CanSolClass};
 pub use enumerate::{
     enumerate_cwa_presolutions, enumerate_cwa_solutions, maximal_under_image, EnumLimits, EnumStats,
 };
-pub use presolution::{is_cwa_presolution, presolution_alpha_table, SearchLimits};
+pub use presolution::{
+    is_cwa_presolution, is_cwa_presolution_governed, presolution_alpha_table, SearchLimits,
+};
 pub use solution::{
-    core_solution, cwa_solution_exists, is_cwa_solution, is_homomorphic_image_of,
-    is_minimal_cwa_solution, is_universal_solution,
+    core_solution, core_solution_governed, cwa_solution_exists, is_cwa_solution,
+    is_cwa_solution_governed, is_homomorphic_image_of, is_minimal_cwa_solution,
+    is_universal_solution, is_universal_solution_governed,
 };

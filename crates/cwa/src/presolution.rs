@@ -11,6 +11,7 @@
 //! the witness choices. This matches the NP upper bound the paper sketches
 //! at the end of Section 6.
 
+use dex_core::govern::{Governor, Interrupt};
 use dex_core::{Atom, Instance, Value};
 use dex_logic::{Assignment, Setting, Tgd, Var};
 use std::collections::HashSet;
@@ -48,13 +49,37 @@ pub fn is_cwa_presolution(
     target: &Instance,
     limits: &SearchLimits,
 ) -> Option<bool> {
+    decide(setting, source, target, limits, None).expect("ungoverned search cannot be interrupted")
+}
+
+/// [`is_cwa_presolution`] under a [`Governor`]: the NP-hard derivation
+/// search ticks the governor per explored node and per enumerated
+/// trigger, returning `Err` with the interrupt when fuel, deadline or a
+/// cancel flag trips before the node limit does.
+pub fn is_cwa_presolution_governed(
+    setting: &Setting,
+    source: &Instance,
+    target: &Instance,
+    limits: &SearchLimits,
+    gov: &Governor,
+) -> Result<Option<bool>, Interrupt> {
+    decide(setting, source, target, limits, Some(gov))
+}
+
+fn decide(
+    setting: &Setting,
+    source: &Instance,
+    target: &Instance,
+    limits: &SearchLimits,
+    gov: Option<&Governor>,
+) -> Result<Option<bool>, Interrupt> {
     // The result of a successful chase satisfies Σ; cheap rejections first.
     if target.check_against(&setting.target).is_err() {
-        return Some(false);
+        return Ok(Some(false));
     }
     let universe = source.union(target);
     if !setting.egds.iter().all(|e| e.satisfied(&universe)) {
-        return Some(false);
+        return Ok(Some(false));
     }
     let tgds: Vec<&Tgd> = setting.all_tgds().collect();
     let st_count = setting.st_tgds.len();
@@ -64,11 +89,14 @@ pub fn is_cwa_presolution(
     for (ti, tgd) in tgds.iter().enumerate() {
         let body_inst = if ti < st_count { source } else { &universe };
         for env in tgd.body.matches(body_inst) {
+            if let Some(g) = gov {
+                g.check()?;
+            }
             let options = head_options(tgd, &universe, &env);
             if options.is_empty() {
                 // Some trigger can never have its ᾱ-head inside S ∪ T:
                 // no α-chase staying within the universe satisfies it.
-                return Some(false);
+                return Ok(Some(false));
             }
             triggers.push(Trigger {
                 env,
@@ -90,14 +118,20 @@ pub fn is_cwa_presolution(
         seen: HashSet::new(),
         exhausted: false,
         solution: None,
+        gov,
+        interrupt: None,
     };
     let fired = vec![None; triggers.len()];
     let derived = source.clone();
     let found = search.dfs(derived, fired);
+    if let Some(i) = search.interrupt {
+        debug_assert!(!found);
+        return Err(i);
+    }
     if search.exhausted && !found {
-        None
+        Ok(None)
     } else {
-        Some(found)
+        Ok(Some(found))
     }
 }
 
@@ -147,6 +181,8 @@ pub fn presolution_alpha_table(
         seen: HashSet::new(),
         exhausted: false,
         solution: None,
+        gov: None,
+        interrupt: None,
     };
     let found = search.dfs(source.clone(), vec![None; triggers.len()]);
     if !found {
@@ -238,6 +274,10 @@ struct Search<'a> {
     exhausted: bool,
     /// On success: the option index chosen per fired trigger.
     solution: Option<Vec<Option<usize>>>,
+    /// Optional governor, ticked once per explored node.
+    gov: Option<&'a Governor>,
+    /// Set when the governor trips; the search unwinds without an answer.
+    interrupt: Option<Interrupt>,
 }
 
 impl Search<'_> {
@@ -254,6 +294,12 @@ impl Search<'_> {
     }
 
     fn dfs(&mut self, mut derived: Instance, mut fired: Vec<Option<usize>>) -> bool {
+        if let Some(g) = self.gov {
+            if let Err(i) = g.check() {
+                self.interrupt = Some(i);
+                return false;
+            }
+        }
         if self.nodes >= self.max_nodes {
             self.exhausted = true;
             return false;
@@ -321,7 +367,7 @@ impl Search<'_> {
             if self.dfs(next, next_fired) {
                 return true;
             }
-            if self.exhausted {
+            if self.exhausted || self.interrupt.is_some() {
                 return false;
             }
         }
@@ -422,6 +468,29 @@ mod tests {
     #[test]
     fn empty_target_is_rejected() {
         assert!(!check("E(a,b)."));
+    }
+
+    #[test]
+    fn governed_search_matches_ungoverned_when_unlimited() {
+        let d = example_2_1();
+        let s = s_star();
+        let t2 = parse_instance("E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).").unwrap();
+        let gov = Governor::unlimited();
+        assert_eq!(
+            is_cwa_presolution_governed(&d, &s, &t2, &SearchLimits::default(), &gov),
+            Ok(Some(true))
+        );
+    }
+
+    #[test]
+    fn governed_search_reports_fuel_interrupt() {
+        let d = example_2_1();
+        let s = s_star();
+        let t2 = parse_instance("E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).").unwrap();
+        let gov = Governor::unlimited().with_fuel(2);
+        let err = is_cwa_presolution_governed(&d, &s, &t2, &SearchLimits::default(), &gov)
+            .expect_err("2 ticks cannot finish the search");
+        assert_eq!(err.reason, dex_core::govern::InterruptReason::Fuel);
     }
 
     #[test]

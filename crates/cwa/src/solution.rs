@@ -3,9 +3,10 @@
 //! (Theorem 5.1, Corollary 5.2), and the minimal/maximal relations between
 //! CWA-solutions.
 
-use crate::presolution::{is_cwa_presolution, SearchLimits};
+use crate::presolution::{is_cwa_presolution, is_cwa_presolution_governed, SearchLimits};
 use dex_chase::{canonical_universal_solution, ChaseBudget, ChaseError};
-use dex_core::{core, has_homomorphism, isomorphic, Instance};
+use dex_core::govern::Governor;
+use dex_core::{core, core_governed, has_homomorphism, isomorphic, GovernedCore, Instance};
 use dex_logic::Setting;
 
 /// True iff `t` is a *universal* solution for `source` under `setting`:
@@ -24,9 +25,31 @@ pub fn is_universal_solution(
     match canonical_universal_solution(setting, source, budget) {
         Ok(canon) => Ok(has_homomorphism(t, &canon)),
         // Chase failure means no solution exists at all — contradiction
-        // with `t` being one, so the only propagated error is budget.
-        Err(e @ ChaseError::BudgetExceeded { .. }) => Err(e),
+        // with `t` being one, so only budget/interrupt errors propagate.
         Err(ChaseError::EgdConflict { .. }) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// [`is_universal_solution`] under a [`Governor`]: the NP-hard
+/// homomorphism test into the canonical universal solution ticks the
+/// governor, surfacing trips as [`ChaseError::Interrupted`].
+pub fn is_universal_solution_governed(
+    setting: &Setting,
+    source: &Instance,
+    t: &Instance,
+    budget: &ChaseBudget,
+    gov: &Governor,
+) -> Result<bool, ChaseError> {
+    if !setting.is_solution(source, t) {
+        return Ok(false);
+    }
+    match canonical_universal_solution(setting, source, budget) {
+        Ok(canon) => Ok(dex_core::HomFinder::new(t, &canon)
+            .find_governed(gov)?
+            .is_some()),
+        Err(ChaseError::EgdConflict { .. }) => Ok(false),
+        Err(e) => Err(e),
     }
 }
 
@@ -43,6 +66,25 @@ pub fn is_cwa_solution(
         return Ok(Some(false));
     }
     Ok(is_cwa_presolution(setting, source, t, limits))
+}
+
+/// [`is_cwa_solution`] under a [`Governor`] governing both NP-hard legs
+/// (the hom test of universality and the presolution derivation search).
+/// The chase itself additionally honors the budget's deadline/cancel.
+pub fn is_cwa_solution_governed(
+    setting: &Setting,
+    source: &Instance,
+    t: &Instance,
+    budget: &ChaseBudget,
+    limits: &SearchLimits,
+    gov: &Governor,
+) -> Result<Option<bool>, ChaseError> {
+    if !is_universal_solution_governed(setting, source, t, budget, gov)? {
+        return Ok(Some(false));
+    }
+    Ok(is_cwa_presolution_governed(
+        setting, source, t, limits, gov,
+    )?)
 }
 
 /// Corollary 5.2: CWA-solutions exist iff universal solutions exist iff
@@ -70,6 +112,19 @@ pub fn core_solution(
 ) -> Result<Instance, ChaseError> {
     let canon = canonical_universal_solution(setting, source, budget)?;
     Ok(core(&canon))
+}
+
+/// [`core_solution`] under a [`Governor`]: if the governor trips during
+/// core computation, the best retract found so far is returned tagged
+/// `MaybeNotMinimal` — still a universal solution, possibly not minimal.
+pub fn core_solution_governed(
+    setting: &Setting,
+    source: &Instance,
+    budget: &ChaseBudget,
+    gov: &Governor,
+) -> Result<GovernedCore, ChaseError> {
+    let canon = canonical_universal_solution(setting, source, budget)?;
+    Ok(core_governed(&canon, gov))
 }
 
 /// A CWA-solution `t` is *minimal* if it is contained, up to renaming of
@@ -220,6 +275,39 @@ mod tests {
         );
         assert!(is_minimal_cwa_solution(&d, &s, &c, &budget()).unwrap());
         assert!(!is_minimal_cwa_solution(&d, &s, &t2(), &budget()).unwrap());
+    }
+
+    #[test]
+    fn governed_checks_match_ungoverned_when_unlimited() {
+        let d = example_2_1();
+        let s = s_star();
+        let gov = Governor::unlimited();
+        assert!(is_universal_solution_governed(&d, &s, &t2(), &budget(), &gov).unwrap());
+        assert_eq!(
+            is_cwa_solution_governed(&d, &s, &t2(), &budget(), &limits(), &gov).unwrap(),
+            Some(true)
+        );
+        let core = core_solution_governed(&d, &s, &budget(), &gov).unwrap();
+        assert!(core.is_minimal());
+        assert!(isomorphic(&core.instance, &t3()));
+    }
+
+    #[test]
+    fn tripped_governor_degrades_gracefully() {
+        let d = example_2_1();
+        let s = s_star();
+        // Exhausted fuel: the solution checks report the interrupt...
+        let gov = Governor::unlimited().with_fuel(0);
+        assert!(matches!(
+            is_cwa_solution_governed(&d, &s, &t2(), &budget(), &limits(), &gov),
+            Err(ChaseError::Interrupted(_))
+        ));
+        // ...while the core degrades to a sound, possibly-non-minimal
+        // universal solution rather than failing.
+        let gov = Governor::unlimited().with_fuel(0);
+        let core = core_solution_governed(&d, &s, &budget(), &gov).unwrap();
+        assert!(!core.is_minimal());
+        assert!(is_universal_solution(&d, &s, &core.instance, &budget()).unwrap());
     }
 
     #[test]

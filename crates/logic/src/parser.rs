@@ -377,27 +377,27 @@ impl Parser {
     }
 
     fn or_formula(&mut self) -> PResult<Formula> {
-        let mut parts = vec![self.and_formula()?];
+        let first = self.and_formula()?;
+        if !self.eat(&Tok::Pipe) {
+            return Ok(first);
+        }
+        let mut parts = vec![first, self.and_formula()?];
         while self.eat(&Tok::Pipe) {
             parts.push(self.and_formula()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one element")
-        } else {
-            Formula::Or(parts)
-        })
+        Ok(Formula::Or(parts))
     }
 
     fn and_formula(&mut self) -> PResult<Formula> {
-        let mut parts = vec![self.unary_formula()?];
+        let first = self.unary_formula()?;
+        if !self.eat(&Tok::Amp) {
+            return Ok(first);
+        }
+        let mut parts = vec![first, self.unary_formula()?];
         while self.eat(&Tok::Amp) {
             parts.push(self.unary_formula()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one element")
-        } else {
-            Formula::And(parts)
-        })
+        Ok(Formula::And(parts))
     }
 
     fn unary_formula(&mut self) -> PResult<Formula> {
@@ -499,7 +499,9 @@ impl Parser {
         match (atoms.is_empty(), eqs.len()) {
             (false, 0) => self.mk_tgd(name, body, vec![], atoms),
             (true, 1) => {
-                let (l, r) = eqs.into_iter().next().expect("one equality");
+                let Some((l, r)) = eqs.into_iter().next() else {
+                    return self.err("dependency head must contain an equality");
+                };
                 let (Term::Var(lv), Term::Var(rv)) = (l, r) else {
                     return self.err("egd must equate two variables");
                 };
@@ -760,7 +762,10 @@ impl Parser {
             }
         }
         if cqs.len() == 1 {
-            Ok(Query::Cq(cqs.pop().expect("one clause")))
+            let Some(cq) = cqs.pop() else {
+                return self.err("query must have at least one clause");
+            };
+            Ok(Query::Cq(cq))
         } else {
             let u = UnionQuery::new(cqs).map_err(|e| ParseError {
                 msg: e.to_string(),
@@ -973,6 +978,61 @@ mod tests {
         assert!(err.pos >= 6);
         let err2 = parse_instance("E(a,").unwrap_err();
         assert!(err2.to_string().contains("parse error"));
+    }
+
+    /// A dependency cut off mid-way is a `ParseError`, never a panic.
+    #[test]
+    fn truncated_dependency_is_an_error() {
+        for text in [
+            "P(x) ->",
+            "P(x) -> exists",
+            "P(x) -> exists z",
+            "P(x) -> exists z .",
+            "F(x,y) & F(x,z) -> y =",
+            "P(x)",
+        ] {
+            assert!(parse_dependency(text).is_err(), "accepted {text:?}");
+        }
+        let err = parse_setting("source { P/1 } target { F/2 } st { P(x) ->").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    /// A dependency over a relation no schema declares is rejected.
+    #[test]
+    fn unknown_relation_in_dependency_is_an_error() {
+        let err = parse_setting(
+            "source { P/1 }
+             target { F/2 }
+             st { Q(x) -> F(x,x); }",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("Q"), "{err}");
+        let err = parse_setting(
+            "source { P/1 }
+             target { F/2 }
+             t { G(x,y) & G(x,z) -> y = z; }",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("G"), "{err}");
+    }
+
+    /// A dependency atom whose arity disagrees with the schema is rejected.
+    #[test]
+    fn arity_mismatch_in_dependency_is_an_error() {
+        let err = parse_setting(
+            "source { P/1 }
+             target { F/2 }
+             st { P(x,y) -> F(x,y); }",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("arity"), "{err}");
+        let err = parse_setting(
+            "source { P/1 }
+             target { F/2 }
+             st { P(x) -> F(x); }",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("arity"), "{err}");
     }
 
     #[test]

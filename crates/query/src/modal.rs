@@ -11,7 +11,8 @@
 //! [`ucq_certain_answers`] is the polynomial fast path of Lemma 7.7.
 
 use crate::eval::{drop_null_tuples, eval_query, Answers};
-use dex_core::{Instance, Symbol, ValuationIter};
+use dex_core::govern::{Governor, Interrupt, InterruptReason, Verdict};
+use dex_core::{Instance, Symbol, ValuationIter, Value};
 use dex_logic::{Query, Setting};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -137,6 +138,169 @@ pub fn maybe_answers(
         acc.extend(eval_query(q, r));
     })?;
     Ok(acc)
+}
+
+/// Three-valued per-tuple answers from a governed modal evaluation: each
+/// tuple's membership is [`Verdict::True`], [`Verdict::False`], or
+/// [`Verdict::Unknown`] when the governor tripped before its status was
+/// settled. On a complete run (no interrupt) this degenerates to the
+/// classical answer set: `proven` holds the answers and every other tuple
+/// is `False`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GovernedAnswers {
+    /// Tuples definitely in the answer.
+    pub proven: Answers,
+    /// Tuples definitely *not* in the answer (refuted before the trip —
+    /// e.g. dropped from a ⋂ because some fully-evaluated representative
+    /// does not satisfy them).
+    pub refuted: Answers,
+    /// Tuples still undetermined when the governor tripped.
+    pub undetermined: Answers,
+    /// Verdict for every tuple outside the three sets above.
+    pub default: Verdict,
+    /// The interrupt that cut the run short, if any.
+    pub interrupt: Option<Interrupt>,
+}
+
+impl GovernedAnswers {
+    /// Wraps a completed (uninterrupted) answer set.
+    pub fn complete(answers: Answers) -> GovernedAnswers {
+        GovernedAnswers {
+            proven: answers,
+            refuted: Answers::new(),
+            undetermined: Answers::new(),
+            default: Verdict::False,
+            interrupt: None,
+        }
+    }
+
+    /// The verdict for a single tuple.
+    pub fn verdict(&self, tuple: &[Value]) -> Verdict {
+        if self.proven.contains(tuple) {
+            Verdict::True
+        } else if self.refuted.contains(tuple) {
+            Verdict::False
+        } else if self.undetermined.contains(tuple) {
+            Verdict::Unknown(self.reason())
+        } else {
+            self.default
+        }
+    }
+
+    /// True iff the evaluation ran to completion (no `Unknown` verdicts
+    /// beyond what `default` says).
+    pub fn is_complete(&self) -> bool {
+        self.interrupt.is_none()
+    }
+
+    fn reason(&self) -> InterruptReason {
+        self.interrupt
+            .map(|i| i.reason)
+            .unwrap_or(InterruptReason::Fuel)
+    }
+}
+
+/// [`certain_answers`] under a [`Governor`], ticked once per enumerated
+/// valuation. When the governor trips: tuples already dropped from the
+/// running intersection are `False` (some fully-evaluated representative
+/// refutes them), the surviving candidates are `Unknown`, and everything
+/// else is `False` if at least one representative was evaluated (it
+/// already failed that ⋂-factor) or `Unknown` otherwise. Returns
+/// `Ok(None)` only on a *complete* run finding `Rep_D(T)` empty.
+pub fn certain_answers_governed(
+    setting: &Setting,
+    q: &Query,
+    t: &Instance,
+    pool: &[Symbol],
+    limits: &ModalLimits,
+    gov: &Governor,
+) -> Result<Option<GovernedAnswers>, ModalError> {
+    let nulls: Vec<_> = t.nulls().into_iter().collect();
+    let it = ValuationIter::new(nulls.iter().copied(), pool.to_vec());
+    if it.total() > limits.max_valuations {
+        return Err(ModalError::TooManyValuations {
+            nulls: nulls.len(),
+            pool: pool.len(),
+        });
+    }
+    let mut acc: Option<Answers> = None;
+    let mut refuted = Answers::new();
+    for v in it {
+        if let Err(i) = gov.check() {
+            return Ok(Some(match acc {
+                // At least one representative fully evaluated: survivors
+                // unknown, everything else refuted by that factor.
+                Some(survivors) => GovernedAnswers {
+                    proven: Answers::new(),
+                    refuted,
+                    undetermined: survivors,
+                    default: Verdict::False,
+                    interrupt: Some(i),
+                },
+                // Interrupted before the first representative: nothing
+                // is known about any tuple.
+                None => GovernedAnswers {
+                    proven: Answers::new(),
+                    refuted: Answers::new(),
+                    undetermined: Answers::new(),
+                    default: Verdict::Unknown(i.reason),
+                    interrupt: Some(i),
+                },
+            }));
+        }
+        let ground = v.apply(t);
+        if setting.satisfies_target(&ground) {
+            let ans = eval_query(q, &ground);
+            acc = Some(match acc.take() {
+                None => ans,
+                Some(prev) => {
+                    let kept: Answers = prev.intersection(&ans).cloned().collect();
+                    refuted.extend(prev.difference(&kept).cloned());
+                    kept
+                }
+            });
+        }
+    }
+    Ok(acc.map(GovernedAnswers::complete))
+}
+
+/// [`maybe_answers`] under a [`Governor`], ticked once per enumerated
+/// valuation. When the governor trips, tuples found so far are `True` and
+/// every other tuple is `Unknown` (an unexplored representative might
+/// still produce it).
+pub fn maybe_answers_governed(
+    setting: &Setting,
+    q: &Query,
+    t: &Instance,
+    pool: &[Symbol],
+    limits: &ModalLimits,
+    gov: &Governor,
+) -> Result<GovernedAnswers, ModalError> {
+    let nulls: Vec<_> = t.nulls().into_iter().collect();
+    let it = ValuationIter::new(nulls.iter().copied(), pool.to_vec());
+    if it.total() > limits.max_valuations {
+        return Err(ModalError::TooManyValuations {
+            nulls: nulls.len(),
+            pool: pool.len(),
+        });
+    }
+    let mut acc = Answers::new();
+    for v in it {
+        if let Err(i) = gov.check() {
+            return Ok(GovernedAnswers {
+                proven: acc,
+                refuted: Answers::new(),
+                undetermined: Answers::new(),
+                default: Verdict::Unknown(i.reason),
+                interrupt: Some(i),
+            });
+        }
+        let ground = v.apply(t);
+        if setting.satisfies_target(&ground) {
+            acc.extend(eval_query(q, &ground));
+        }
+    }
+    Ok(GovernedAnswers::complete(acc))
 }
 
 /// Lemma 7.7's polynomial fast path: for a plain UCQ `Q` and a
@@ -265,6 +429,92 @@ mod tests {
         let pool = answer_pool(&t, &q, []);
         let r = certain_answers(&d, &q, &t, &pool, &ModalLimits::default());
         assert!(matches!(r, Err(ModalError::TooManyValuations { .. })));
+    }
+
+    #[test]
+    fn governed_modal_matches_ungoverned_when_unlimited() {
+        let d = keyed_setting();
+        let t = parse_instance("F(a,_1). F(a,_2).").unwrap();
+        let q = parse_query("Q(x) :- F(a,x)").unwrap();
+        let pool = answer_pool(&t, &q, []);
+        let lim = ModalLimits::default();
+        let gov = Governor::unlimited();
+        let certain = certain_answers_governed(&d, &q, &t, &pool, &lim, &gov)
+            .unwrap()
+            .unwrap();
+        assert!(certain.is_complete());
+        assert_eq!(
+            certain.proven,
+            certain_answers(&d, &q, &t, &pool, &lim).unwrap().unwrap()
+        );
+        let gov = Governor::unlimited();
+        let maybe = maybe_answers_governed(&d, &q, &t, &pool, &lim, &gov).unwrap();
+        assert!(maybe.is_complete());
+        assert_eq!(
+            maybe.proven,
+            maybe_answers(&d, &q, &t, &pool, &lim).unwrap()
+        );
+    }
+
+    #[test]
+    fn interrupted_box_keeps_survivors_unknown() {
+        let d = free_setting();
+        // Boolean query true in every rep: after one rep the empty tuple
+        // survives; fuel 2 trips before the second rep, leaving it
+        // unknown rather than (wrongly) certain.
+        let t = parse_instance("F(a,_1).").unwrap();
+        let q = parse_query("Q() :- F(a,x)").unwrap();
+        let pool = answer_pool(&t, &q, []);
+        assert!(pool.len() >= 2);
+        let gov = Governor::unlimited().with_fuel(2);
+        let g = certain_answers_governed(&d, &q, &t, &pool, &ModalLimits::default(), &gov)
+            .unwrap()
+            .unwrap();
+        assert!(!g.is_complete());
+        assert!(g.proven.is_empty());
+        assert_eq!(g.undetermined, Answers::from([Vec::new()]));
+        assert!(g.verdict(&[]).is_unknown());
+    }
+
+    #[test]
+    fn interrupted_box_marks_dropped_tuples_false() {
+        let d = free_setting();
+        // Non-Boolean query: each rep answers with its own valuation of
+        // _1, so after two reps the first rep's tuple is refuted — a
+        // *definite* False that survives the interrupt at rep three.
+        let t = parse_instance("F(a,_1).").unwrap();
+        let q = parse_query("Q(x) :- F(a,x)").unwrap();
+        let pool = answer_pool(&t, &q, [Symbol::intern("b"), Symbol::intern("c")]);
+        assert!(pool.len() >= 3);
+        // Fuel 3: the first two reps are evaluated (ticks 1 and 2), the
+        // trip lands on the check before rep three.
+        let gov = Governor::unlimited().with_fuel(3);
+        let g = certain_answers_governed(&d, &q, &t, &pool, &ModalLimits::default(), &gov)
+            .unwrap()
+            .unwrap();
+        assert!(!g.is_complete());
+        assert_eq!(g.refuted.len(), 1);
+        let refuted = g.refuted.iter().next().unwrap().clone();
+        assert_eq!(g.verdict(&refuted), Verdict::False);
+        // Unseen tuples already failed a fully-evaluated rep: False.
+        assert_eq!(g.verdict(&[Value::konst("zzz")]), Verdict::False);
+    }
+
+    #[test]
+    fn interrupted_diamond_keeps_found_true_and_rest_unknown() {
+        let d = free_setting();
+        let t = parse_instance("F(a,_1).").unwrap();
+        let q = parse_query("Q(x) :- F(a,x)").unwrap();
+        let pool = answer_pool(&t, &q, [Symbol::intern("b")]);
+        // Fuel 2: exactly one rep is evaluated before the trip.
+        let gov = Governor::unlimited().with_fuel(2);
+        let g = maybe_answers_governed(&d, &q, &t, &pool, &ModalLimits::default(), &gov).unwrap();
+        assert!(!g.is_complete());
+        assert_eq!(g.proven.len(), 1, "one rep explored before the trip");
+        let found = g.proven.iter().next().unwrap().clone();
+        assert_eq!(g.verdict(&found), Verdict::True);
+        // Any other tuple might appear in an unexplored rep.
+        assert!(g.verdict(&[Value::konst("zzz")]).is_unknown());
     }
 
     #[test]

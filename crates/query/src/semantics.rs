@@ -16,11 +16,13 @@
 
 use crate::eval::Answers;
 use crate::modal::{
-    answer_pool, certain_answers, maybe_answers, ucq_certain_answers, ModalError, ModalLimits,
+    answer_pool, certain_answers, certain_answers_governed, maybe_answers, maybe_answers_governed,
+    ucq_certain_answers, GovernedAnswers, ModalError, ModalLimits,
 };
 use crate::possible::cq_is_maybe_answer;
 use dex_chase::{ChaseBudget, ChaseError};
-use dex_core::Instance;
+use dex_core::govern::{Governor, Verdict};
+use dex_core::{Instance, Value};
 use dex_cwa::{cansol, core_solution, EnumLimits};
 use dex_logic::{Query, Setting};
 use std::fmt;
@@ -141,12 +143,37 @@ impl<'a> AnswerEngine<'a> {
     }
 
     fn box_q(&self, q: &Query, t: &Instance) -> Result<Answers, AnswerError> {
+        self.box_q_impl(q, t, None).map(|g| g.proven)
+    }
+
+    fn box_q_impl(
+        &self,
+        q: &Query,
+        t: &Instance,
+        gov: Option<&Governor>,
+    ) -> Result<GovernedAnswers, AnswerError> {
         let pool = answer_pool(t, q, self.source.constants());
-        certain_answers(self.setting, q, t, &pool, &self.config.modal_limits)?
-            .ok_or(AnswerError::EmptyRep)
+        match gov {
+            None => certain_answers(self.setting, q, t, &pool, &self.config.modal_limits)?
+                .map(GovernedAnswers::complete)
+                .ok_or(AnswerError::EmptyRep),
+            Some(g) => {
+                certain_answers_governed(self.setting, q, t, &pool, &self.config.modal_limits, g)?
+                    .ok_or(AnswerError::EmptyRep)
+            }
+        }
     }
 
     fn diamond_q(&self, q: &Query, t: &Instance) -> Result<Answers, AnswerError> {
+        self.diamond_q_impl(q, t, None).map(|g| g.proven)
+    }
+
+    fn diamond_q_impl(
+        &self,
+        q: &Query,
+        t: &Instance,
+        gov: Option<&Governor>,
+    ) -> Result<GovernedAnswers, AnswerError> {
         let pool = answer_pool(t, q, self.source.constants());
         // Fast path: with no target dependencies `Rep(T)` is unconstrained,
         // so ◇-membership of each candidate tuple is decidable by the
@@ -158,19 +185,36 @@ impl<'a> AnswerEngine<'a> {
                 let total = (pool.len() as u128).saturating_pow(arity as u32);
                 if total <= self.config.modal_limits.max_valuations {
                     let mut out = Answers::new();
+                    let mut rejected = Answers::new();
                     let mut idx = vec![0usize; arity];
                     loop {
+                        if let Some(g) = gov {
+                            if let Err(i) = g.check() {
+                                // The membership test is per tuple, so
+                                // every examined tuple is decided; only
+                                // unexamined ones are unknown.
+                                return Ok(GovernedAnswers {
+                                    proven: out,
+                                    refuted: rejected,
+                                    undetermined: Answers::new(),
+                                    default: Verdict::Unknown(i.reason),
+                                    interrupt: Some(i),
+                                });
+                            }
+                        }
                         let tuple: Vec<dex_core::Value> = idx
                             .iter()
                             .map(|&i| dex_core::Value::Const(pool[i]))
                             .collect();
                         if disjuncts.iter().any(|cq| cq_is_maybe_answer(cq, t, &tuple)) {
                             out.insert(tuple);
+                        } else if gov.is_some() {
+                            rejected.insert(tuple);
                         }
                         let mut k = 0;
                         loop {
                             if k == arity {
-                                return Ok(out);
+                                return Ok(GovernedAnswers::complete(out));
                             }
                             idx[k] += 1;
                             if idx[k] < pool.len() {
@@ -183,13 +227,23 @@ impl<'a> AnswerEngine<'a> {
                 }
             }
         }
-        Ok(maybe_answers(
-            self.setting,
-            q,
-            t,
-            &pool,
-            &self.config.modal_limits,
-        )?)
+        match gov {
+            None => Ok(GovernedAnswers::complete(maybe_answers(
+                self.setting,
+                q,
+                t,
+                &pool,
+                &self.config.modal_limits,
+            )?)),
+            Some(g) => Ok(maybe_answers_governed(
+                self.setting,
+                q,
+                t,
+                &pool,
+                &self.config.modal_limits,
+                g,
+            )?),
+        }
     }
 
     /// All CWA-solutions, for the brute-force fallback.
@@ -258,6 +312,143 @@ impl<'a> AnswerEngine<'a> {
     /// Boolean-query convenience: is the empty tuple an answer?
     pub fn holds(&self, q: &Query, semantics: Semantics) -> Result<bool, AnswerError> {
         Ok(self.answers(q, semantics)?.contains(&Vec::new()))
+    }
+
+    /// [`Self::answers`] under a [`Governor`]: instead of running the
+    /// (co-NP/NP-hard) evaluation to completion or erroring, degrades
+    /// gracefully to three-valued per-tuple [`Verdict`]s. Tuples whose
+    /// status was settled before the governor tripped keep their definite
+    /// `True`/`False`; the rest are `Unknown` with the trip reason.
+    pub fn answers_governed(
+        &self,
+        q: &Query,
+        semantics: Semantics,
+        gov: &Governor,
+    ) -> Result<GovernedAnswers, AnswerError> {
+        match semantics {
+            Semantics::PotentialCertain => {
+                if q.is_plain_ucq() {
+                    // Lemma 7.7 is polynomial: always runs to completion.
+                    Ok(GovernedAnswers::complete(ucq_certain_answers(
+                        q, &self.core,
+                    )))
+                } else {
+                    self.box_q_impl(q, &self.core, Some(gov))
+                }
+            }
+            Semantics::PersistentMaybe => self.diamond_q_impl(q, &self.core, Some(gov)),
+            Semantics::Certain => {
+                if q.is_plain_ucq() {
+                    return Ok(GovernedAnswers::complete(ucq_certain_answers(
+                        q, &self.core,
+                    )));
+                }
+                if let Some(can) = &self.cansol {
+                    return self.box_q_impl(q, can, Some(gov));
+                }
+                // Brute force ⋂ over all CWA-solutions, folding partial
+                // verdicts: a tuple refuted by any fully-evaluated
+                // ⋂-factor is definitely False even after a trip.
+                let sols = self.all_solutions()?;
+                let mut candidates: Option<Answers> = None;
+                let mut refuted = Answers::new();
+                for t in &sols {
+                    let g = self.box_q_impl(q, t, Some(gov))?;
+                    if g.is_complete() {
+                        candidates = Some(match candidates.take() {
+                            None => g.proven,
+                            Some(prev) => {
+                                let kept: Answers = prev.intersection(&g.proven).cloned().collect();
+                                refuted.extend(prev.difference(&kept).cloned());
+                                kept
+                            }
+                        });
+                        continue;
+                    }
+                    // Interrupted inside this solution's □: classify the
+                    // surviving candidates through its partial verdicts.
+                    return Ok(match candidates.take() {
+                        None => {
+                            // First factor: its verdicts are exact for
+                            // this ⋂-prefix; no global bound exists yet
+                            // unless the factor itself established one.
+                            let mut undetermined = g.proven;
+                            undetermined.extend(g.undetermined);
+                            GovernedAnswers {
+                                proven: Answers::new(),
+                                refuted: g.refuted,
+                                undetermined,
+                                default: match g.default {
+                                    Verdict::True => unreachable!("□ never defaults to True"),
+                                    d => d,
+                                },
+                                interrupt: g.interrupt,
+                            }
+                        }
+                        Some(prev) => {
+                            let mut undetermined = Answers::new();
+                            for tuple in prev {
+                                match g.verdict(&tuple) {
+                                    Verdict::False => {
+                                        refuted.insert(tuple);
+                                    }
+                                    _ => {
+                                        undetermined.insert(tuple);
+                                    }
+                                }
+                            }
+                            GovernedAnswers {
+                                proven: Answers::new(),
+                                refuted,
+                                // A completed factor bounds the certain
+                                // set: tuples outside `prev` are False.
+                                undetermined,
+                                default: Verdict::False,
+                                interrupt: g.interrupt,
+                            }
+                        }
+                    });
+                }
+                Ok(GovernedAnswers::complete(
+                    candidates.expect("at least one CWA-solution"),
+                ))
+            }
+            Semantics::Maybe => {
+                if let Some(can) = &self.cansol {
+                    return self.diamond_q_impl(q, can, Some(gov));
+                }
+                let sols = self.all_solutions()?;
+                let mut proven = Answers::new();
+                for t in &sols {
+                    let g = self.diamond_q_impl(q, t, Some(gov))?;
+                    proven.extend(g.proven);
+                    if let Some(i) = g.interrupt {
+                        // Tuples found so far are maybe answers in some
+                        // solution; anything else might still appear in
+                        // an unexplored representative or solution.
+                        return Ok(GovernedAnswers {
+                            proven,
+                            refuted: Answers::new(),
+                            undetermined: Answers::new(),
+                            default: Verdict::Unknown(i.reason),
+                            interrupt: Some(i),
+                        });
+                    }
+                }
+                Ok(GovernedAnswers::complete(proven))
+            }
+        }
+    }
+
+    /// The three-valued verdict for a single tuple under `semantics`.
+    pub fn verdict(
+        &self,
+        q: &Query,
+        tuple: &[Value],
+        semantics: Semantics,
+        gov: &Governor,
+    ) -> Result<Verdict, AnswerError> {
+        Ok(self.answers_governed(q, semantics, gov)?.verdict(tuple))
     }
 }
 
@@ -424,6 +615,80 @@ mod tests {
                 maybe_answers(&d, &q, engine.core(), &pool, &ModalLimits::default()).unwrap();
             assert_eq!(fast, oracle, "query {qt}");
         }
+    }
+
+    /// An unlimited governor must not change any of the four semantics.
+    #[test]
+    fn governed_answers_match_ungoverned_when_unlimited() {
+        let d = example_2_1();
+        let s = parse_instance("M(a,b). N(a,b).").unwrap();
+        let engine = AnswerEngine::new(&d, &s, AnswerConfig::default()).unwrap();
+        // Non-UCQ so Certain/Maybe take the enumeration fold.
+        let q = parse_query("Q(x) :- E(x,y), F(x,z), y != z").unwrap();
+        for sem in [
+            Semantics::Certain,
+            Semantics::PotentialCertain,
+            Semantics::PersistentMaybe,
+            Semantics::Maybe,
+        ] {
+            let gov = Governor::unlimited();
+            let g = engine.answers_governed(&q, sem, &gov).unwrap();
+            assert!(g.is_complete(), "{sem:?}");
+            assert_eq!(g.proven, engine.answers(&q, sem).unwrap(), "{sem:?}");
+        }
+    }
+
+    /// A tripped governor may only degrade answers to `Unknown` — every
+    /// definite verdict it does emit must agree with the ungoverned run.
+    #[test]
+    fn tripped_governor_is_sound_for_every_semantics() {
+        let d = example_2_1();
+        let s = parse_instance("M(a,b). N(a,b).").unwrap();
+        let engine = AnswerEngine::new(&d, &s, AnswerConfig::default()).unwrap();
+        let q = parse_query("Q(x) :- E(x,y), F(x,z), y != z").unwrap();
+        for sem in [
+            Semantics::Certain,
+            Semantics::PotentialCertain,
+            Semantics::PersistentMaybe,
+            Semantics::Maybe,
+        ] {
+            let truth = engine.answers(&q, sem).unwrap();
+            for fuel in [1u64, 2, 3, 5, 8, 13, 50] {
+                let gov = Governor::unlimited().with_fuel(fuel);
+                let g = engine.answers_governed(&q, sem, &gov).unwrap();
+                for t in &g.proven {
+                    assert!(truth.contains(t), "{sem:?} fuel {fuel}: bogus True {t:?}");
+                }
+                for t in &g.refuted {
+                    assert!(!truth.contains(t), "{sem:?} fuel {fuel}: bogus False {t:?}");
+                }
+                if g.default == Verdict::False {
+                    // Everything the run left implicit must really be out.
+                    for t in &truth {
+                        assert!(
+                            g.proven.contains(t) || g.undetermined.contains(t),
+                            "{sem:?} fuel {fuel}: {t:?} defaulted to False"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-tuple three-valued verdicts through the engine.
+    #[test]
+    fn verdict_reports_unknown_with_trip_reason() {
+        let d = example_2_1();
+        let s = parse_instance("M(a,b). N(a,b).").unwrap();
+        let engine = AnswerEngine::new(&d, &s, AnswerConfig::default()).unwrap();
+        let q = parse_query("Q(x) :- E(x,y), F(x,z), y != z").unwrap();
+        let sem = Semantics::PersistentMaybe;
+        let gov = Governor::unlimited();
+        let v = engine.verdict(&q, &[c("a")], sem, &gov).unwrap();
+        assert!(v.is_true(), "got {v:?}");
+        let tripped = Governor::unlimited().with_fuel(1);
+        let v = engine.verdict(&q, &[c("a")], sem, &tripped).unwrap();
+        assert!(v.is_unknown(), "got {v:?}");
     }
 
     /// CanSol fast path: egds-only target class.

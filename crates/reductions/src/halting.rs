@@ -186,6 +186,10 @@ pub enum HaltProbe {
     /// halt (the problem is undecidable in general — the budget is the
     /// honest interface).
     Unknown { steps: usize },
+    /// The chase was stopped by the budget's deadline or cancel flag
+    /// before it could finish or exhaust its step/atom limits. Like
+    /// `Unknown`, this says nothing about `M`.
+    Interrupted(dex_core::govern::Interrupt),
 }
 
 /// Decides (within `budget`) whether a CWA-solution for `S_M` exists by
@@ -200,6 +204,7 @@ pub fn probe_halting(tm: &TuringMachine, budget: &ChaseBudget) -> HaltProbe {
             chase_steps: success.steps,
         },
         Err(ChaseError::BudgetExceeded { steps, .. }) => HaltProbe::Unknown { steps },
+        Err(ChaseError::Interrupted(i)) => HaltProbe::Interrupted(i),
         Err(e @ ChaseError::EgdConflict { .. }) => {
             unreachable!("D_halt has no egds: {e}")
         }

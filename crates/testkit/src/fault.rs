@@ -1,0 +1,97 @@
+//! Seeded fault-injection plans for governed searches.
+//!
+//! A [`FaultPlan`] is pure numbers — testkit depends on nothing, so the
+//! mapping from `reason_idx` to a concrete interrupt reason (and the
+//! construction of the governor itself, via `Governor::with_fault`)
+//! happens at the call site. What lives here is the deterministic
+//! derivation: the same seed always yields the same trip point, on every
+//! platform, so a failing fault-injection case can be replayed exactly
+//! by exporting `DEX_FAULT_SEED=<seed>`.
+
+use crate::rng::TestRng;
+
+/// How many distinct interrupt reasons a plan can select
+/// (fuel / deadline / memory / cancelled).
+pub const REASON_COUNT: u8 = 4;
+
+/// A deterministic plan for tripping a governor mid-search.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed the plan was derived from (reported on failure).
+    pub seed: u64,
+    /// Trip on the `trip_at`-th governor tick (1-based, so `1` trips
+    /// before any work is done).
+    pub trip_at: u64,
+    /// Which interrupt reason to report, in `0..REASON_COUNT`.
+    pub reason_idx: u8,
+}
+
+impl FaultPlan {
+    /// Derives a plan whose trip point lies in `1..=max_trip`.
+    pub fn from_seed(seed: u64, max_trip: u64) -> FaultPlan {
+        assert!(max_trip > 0, "max_trip must be positive");
+        let mut rng = TestRng::seed_from_u64(seed ^ 0xFA_017_FA_017);
+        FaultPlan {
+            seed,
+            trip_at: rng.gen_range(1..=max_trip),
+            reason_idx: rng.gen_range(0..u64::from(REASON_COUNT)) as u8,
+        }
+    }
+
+    /// The `DEX_FAULT_SEED` environment override, if set and parseable.
+    /// Tests that sweep many seeds should check this first so a single
+    /// failing case can be replayed in isolation.
+    pub fn env_seed() -> Option<u64> {
+        std::env::var("DEX_FAULT_SEED").ok()?.trim().parse().ok()
+    }
+
+    /// The seeds a sweep should run: `DEX_FAULT_SEED` alone when set,
+    /// otherwise `base..base + n`.
+    pub fn sweep(base: u64, n: u64) -> Vec<u64> {
+        match FaultPlan::env_seed() {
+            Some(s) => vec![s],
+            None => (base..base + n).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        for seed in 0..256u64 {
+            assert_eq!(
+                FaultPlan::from_seed(seed, 4096),
+                FaultPlan::from_seed(seed, 4096)
+            );
+        }
+    }
+
+    #[test]
+    fn trip_points_cover_the_range() {
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for seed in 0..512u64 {
+            let p = FaultPlan::from_seed(seed, 100);
+            assert!((1..=100).contains(&p.trip_at));
+            assert!(p.reason_idx < REASON_COUNT);
+            seen_low |= p.trip_at <= 10;
+            seen_high |= p.trip_at >= 90;
+        }
+        assert!(seen_low && seen_high, "derivation looks degenerate");
+    }
+
+    #[test]
+    fn reasons_are_all_reachable() {
+        let mut hit = [false; REASON_COUNT as usize];
+        for seed in 0..256u64 {
+            hit[FaultPlan::from_seed(seed, 16).reason_idx as usize] = true;
+        }
+        assert!(
+            hit.iter().all(|&h| h),
+            "some reason never selected: {hit:?}"
+        );
+    }
+}

@@ -11,15 +11,20 @@
 //!   seed, and greedy input shrinking for `Vec`-shaped inputs;
 //! - [`bench`]: a wall-clock bench harness (warmup + median/p95 over N
 //!   runs, text report) for the `harness = false` bench mains in
-//!   `crates/bench/benches/`.
+//!   `crates/bench/benches/`;
+//! - [`fault`]: seeded fault-injection plans (`FaultPlan`) that decide,
+//!   deterministically per seed, where a governed search gets tripped —
+//!   replayable via `DEX_FAULT_SEED`.
 //!
 //! Everything is deterministic given a seed; nothing here reads the
 //! system RNG or the clock except the bench timer.
 
 pub mod bench;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 
 pub use bench::Harness;
+pub use fault::FaultPlan;
 pub use prop::{Gen, Runner};
 pub use rng::TestRng;

@@ -50,6 +50,7 @@ fn main() {
             HaltProbe::Unknown { steps } => {
                 panic!("halting machine reported unknown after {steps} steps")
             }
+            HaltProbe::Interrupted(i) => panic!("no deadline was armed: {i}"),
         }
         println!();
     }
@@ -64,5 +65,6 @@ fn main() {
             println!("can decide this in general (Theorem 6.2: the problem is undecidable).");
         }
         HaltProbe::Halts { .. } => panic!("diverging machine cannot halt"),
+        HaltProbe::Interrupted(i) => panic!("no deadline was armed: {i}"),
     }
 }

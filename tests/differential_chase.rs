@@ -90,6 +90,8 @@ fn outcome_class(o: &AlphaOutcome) -> &'static str {
         AlphaOutcome::BudgetExceeded { .. } | AlphaOutcome::CycleDetected { .. } => {
             "nonterminating"
         }
+        // No deadline/cancel is armed in these scenarios.
+        AlphaOutcome::Interrupted(_) => "interrupted",
     }
 }
 
