@@ -22,9 +22,22 @@ for seed in 7 41; do
   DEX_FAULT_SEED=$seed cargo test -q --locked --offline -p dex-bench --test governed
 done
 
+echo "== trace smoke (JSONL trace reconciles with ChaseStats exactly) =="
+# The test itself parses every trace line and asserts the event counts
+# match the run's counters one-to-one; DEX_TRACE pins the output so a
+# failing run leaves the stream behind for inspection.
+mkdir -p target
+# Absolute path: cargo runs the test binary from the package dir, not the
+# workspace root.
+DEX_TRACE="$PWD/target/trace-smoke.jsonl" cargo test -q --locked --offline -p dex-bench --test trace_smoke
+test -s target/trace-smoke.jsonl || { echo "trace smoke left no target/trace-smoke.jsonl"; exit 1; }
+
 echo "== bench smoke (tiny sizes; any panic fails the run) =="
 # Includes the chase naive-vs-delta ablation, whose ChaseStats invariant
 # checks panic on violation — so stats consistency gates CI here too.
+# Smoke mode runs 3 timed iterations, so per-bench "p95_ns" is null in
+# BENCH_chase.json (full runs with >= 10 iterations emit numbers);
+# consumers must tolerate both shapes.
 DEX_BENCH_SMOKE=1 cargo bench -q --locked --offline -p dex-bench
 test -f BENCH_chase.json || { echo "chase bench did not write BENCH_chase.json"; exit 1; }
 

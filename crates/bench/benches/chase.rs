@@ -14,6 +14,7 @@ use dex_datagen::{
     example_2_1_scaled, layered_setting, random_source, LayeredConfig, SourceConfig,
 };
 use dex_logic::parse_setting;
+use dex_obs::JsonValue;
 use dex_reductions::halting::{probe_halting, right_walker, HaltProbe};
 use dex_reductions::PathSystem;
 use dex_testkit::bench::{sizes, Harness, Measurement};
@@ -278,67 +279,75 @@ fn bench_governed(h: &mut Harness) -> Vec<GovernedRow> {
     rows
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// One measurement as JSON. `p95_ns` is `null` when there are too few
+/// runs for a tail quantile to mean anything (smoke mode runs 3) —
+/// consumers must tolerate both shapes.
+fn measurement_json(m: &Measurement) -> JsonValue {
+    JsonValue::obj()
+        .with("name", JsonValue::str(m.name.clone()))
+        .with("median_ns", JsonValue::UInt(m.median_ns()))
+        .with(
+            "p95_ns",
+            m.p95_ns_checked().map_or(JsonValue::Null, JsonValue::UInt),
+        )
+        .with("runs", JsonValue::uint(m.samples_ns.len() as u64))
 }
 
-/// Hand-rolled (the workspace is dependency-free) dump of every
-/// measurement plus the ablation rows to `BENCH_chase.json` at the
-/// workspace root.
+/// Dump of every measurement plus the ablation and governed rows to
+/// `BENCH_chase.json` at the workspace root, via the shared
+/// [`dex_obs::JsonValue`] writer.
 fn dump_json(
     measurements: &[Measurement],
     rows: &[AblationRow],
     governed: &[GovernedRow],
     runs_hint: usize,
 ) {
-    let mut out = String::from("{\n  \"group\": \"chase\",\n  \"benches\": [\n");
-    for (i, m) in measurements.iter().enumerate() {
-        let sep = if i + 1 < measurements.len() { "," } else { "" };
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"median_ns\": {}, \"p95_ns\": {}, \"runs\": {}}}{sep}\n",
-            json_escape(&m.name),
-            m.median_ns(),
-            m.p95_ns(),
-            m.samples_ns.len(),
-        ));
-    }
-    out.push_str("  ],\n  \"ablation\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 < rows.len() { "," } else { "" };
-        let stats = |s: &Option<ChaseStats>| s.as_ref().map_or("null".into(), |s| s.to_json());
-        out.push_str(&format!(
-            concat!(
-                "    {{\"bench\": \"{}\", \"delta_median_ns\": {}, ",
-                "\"naive_median_ns\": {}, \"speedup\": {:.2}, ",
-                "\"delta_stats\": {}, \"naive_stats\": {}}}{}\n"
+    let stats = |s: &Option<ChaseStats>| s.as_ref().map_or(JsonValue::Null, ChaseStats::json_value);
+    let doc = JsonValue::obj()
+        .with("group", JsonValue::str("chase"))
+        .with(
+            "benches",
+            JsonValue::Arr(measurements.iter().map(measurement_json).collect()),
+        )
+        .with(
+            "ablation",
+            JsonValue::Arr(
+                rows.iter()
+                    .map(|r| {
+                        JsonValue::obj()
+                            .with("bench", JsonValue::str(r.bench.clone()))
+                            .with("delta_median_ns", JsonValue::UInt(r.delta_median_ns))
+                            .with("naive_median_ns", JsonValue::UInt(r.naive_median_ns))
+                            .with("speedup", JsonValue::Float(r.speedup()))
+                            .with("delta_stats", stats(&r.delta_stats))
+                            .with("naive_stats", stats(&r.naive_stats))
+                    })
+                    .collect(),
             ),
-            json_escape(&r.bench),
-            r.delta_median_ns,
-            r.naive_median_ns,
-            r.speedup(),
-            stats(&r.delta_stats),
-            stats(&r.naive_stats),
-            sep,
-        ));
-    }
-    out.push_str("  ],\n  \"governed\": [\n");
-    for (i, r) in governed.iter().enumerate() {
-        let sep = if i + 1 < governed.len() { "," } else { "" };
-        out.push_str(&format!(
-            concat!(
-                "    {{\"bench\": \"{}\", \"ungoverned_median_ns\": {}, ",
-                "\"governed_median_ns\": {}, \"overhead_pct\": {:.2}, ",
-                "\"governor_trips\": {}}}{}\n"
+        )
+        .with(
+            "governed",
+            JsonValue::Arr(
+                governed
+                    .iter()
+                    .map(|r| {
+                        JsonValue::obj()
+                            .with("bench", JsonValue::str(r.bench.clone()))
+                            .with(
+                                "ungoverned_median_ns",
+                                JsonValue::UInt(r.ungoverned_median_ns),
+                            )
+                            .with("governed_median_ns", JsonValue::UInt(r.governed_median_ns))
+                            .with("overhead_pct", JsonValue::Float(r.overhead_pct()))
+                            .with("governor_trips", JsonValue::uint(r.trips as u64))
+                    })
+                    .collect(),
             ),
-            json_escape(&r.bench),
-            r.ungoverned_median_ns,
-            r.governed_median_ns,
-            r.overhead_pct(),
-            r.trips,
-            sep,
-        ));
-    }
-    out.push_str(&format!("  ],\n  \"runs_default\": {runs_hint}\n}}\n"));
+        )
+        .with("runs_default", JsonValue::uint(runs_hint as u64));
+    let out = doc.pretty() + "\n";
+    // The writer must emit strict JSON — parse it back before writing.
+    dex_obs::parse(&out).expect("BENCH_chase.json must be valid JSON");
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_chase.json");

@@ -254,8 +254,45 @@ fn one_tick_fuel_trips_every_governed_api_cleanly() {
         Semantics::Maybe,
     ] {
         let g = engine.answers_governed(&q, sem, &fuel1()).unwrap();
+        g.validate().unwrap_or_else(|e| panic!("{sem:?}: {e}"));
         assert!(!g.is_complete(), "{sem:?}");
         assert!(g.proven.is_empty(), "{sem:?}: proved something in one tick");
+    }
+}
+
+/// EnumStats bookkeeping stays consistent across fault-perturbed
+/// enumeration runs: seeded tight step budgets and pre-raised cancel
+/// flags cover the complete / truncated / unfinished / interrupted
+/// outcome classes, and every outcome validates and serialises.
+#[test]
+fn faulted_enumeration_stats_stay_consistent() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let d = example_2_1();
+    let s = parse_instance("M(a,b). N(a,b).").unwrap();
+    for seed in FaultPlan::sweep(SEED_BASE, SEED_COUNT) {
+        let plan = FaultPlan::from_seed(seed, 96);
+        let mut budget = ChaseBudget::new(plan.trip_at as usize, 8_000);
+        if plan.reason_idx == 3 {
+            budget = budget.with_cancel(Arc::new(AtomicBool::new(true)));
+        }
+        let limits = dex_cwa::EnumLimits {
+            chase_budget: budget,
+            max_scripts: 200,
+            ..dex_cwa::EnumLimits::default()
+        };
+        let runs = [
+            dex_cwa::enumerate_cwa_presolutions(&d, &s, &limits).1,
+            dex_cwa::enumerate_cwa_solutions(&d, &s, &limits).1,
+        ];
+        for stats in runs {
+            stats
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed} (plan {}): {e}", plan.to_json().dump()));
+            let j = stats.to_json();
+            assert_eq!(dex_obs::parse(&j.dump()).unwrap(), j);
+        }
     }
 }
 
@@ -277,6 +314,9 @@ fn faulted_engine_verdicts_are_sound_per_seed() {
         for seed in FaultPlan::sweep(SEED_BASE, SEED_COUNT) {
             let plan = FaultPlan::from_seed(seed, 96);
             let g = engine.answers_governed(&q, sem, &fault_gov(&plan)).unwrap();
+            g.validate().unwrap_or_else(|e| {
+                panic!("{sem:?} seed {seed} (plan {}): {e}", plan.to_json().dump())
+            });
             for t in &g.proven {
                 assert!(truth.contains(t), "{sem:?} seed {seed}: bogus True {t:?}");
             }

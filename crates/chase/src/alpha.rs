@@ -166,6 +166,10 @@ pub struct AlphaSuccess {
     pub trace: Vec<ChaseStep>,
     /// Observability counters for the run.
     pub stats: ChaseStats,
+    /// Per-atom derivations, when the run was started with
+    /// [`crate::ChaseEngine::with_provenance`] (the naive driver never
+    /// records any).
+    pub provenance: Option<crate::provenance::Provenance>,
 }
 
 /// The three possible outcomes of a (budgeted) α-chase run.
@@ -385,6 +389,7 @@ pub fn alpha_chase_naive_clocked(
                     steps,
                     trace,
                     stats,
+                    provenance: None,
                 });
             }
         }

@@ -28,12 +28,14 @@
 
 use crate::alpha::{AlphaOutcome, AlphaSource, AlphaSuccess, ChaseStep, Justification};
 use crate::budget::ChaseBudget;
+use crate::provenance::Provenance;
 use crate::standard::{ChaseError, ChaseSuccess};
 use crate::stats::ChaseStats;
 use dex_core::govern::Clock;
 use dex_core::{merge_policy, Atom, DeltaCursor, Instance, NullGen, Symbol, Value, ValueUnionFind};
 use dex_logic::matcher;
 use dex_logic::{Assignment, Body, Setting, Tgd};
+use dex_obs::{EventKind, Tracer};
 use std::collections::{HashMap, HashSet};
 
 /// A reusable chase driver for one setting + budget.
@@ -41,11 +43,23 @@ use std::collections::{HashMap, HashSet};
 /// The engine reads all time — the budget's deadline *and* the
 /// [`ChaseStats`] phase timings — from one [`Clock`]
 /// ([`ChaseEngine::with_clock`] substitutes a mock), so deadline
-/// decisions and reported timings can never disagree.
+/// decisions and reported timings can never disagree. The same clock
+/// stamps every trace event, which is what makes two same-seed runs
+/// under a mock clock byte-identical.
 pub struct ChaseEngine<'a> {
     setting: &'a Setting,
     budget: ChaseBudget,
     clock: Clock,
+    tracer: Tracer,
+    provenance: bool,
+}
+
+/// The full trigger valuation of a body match, as (variable, value)
+/// pairs in the assignment's (sorted) order.
+fn valuation_of(env: &Assignment) -> Vec<(String, Value)> {
+    env.bindings()
+        .map(|(v, val)| (v.to_string(), val))
+        .collect()
 }
 
 fn state_hash(inst: &Instance) -> u64 {
@@ -111,6 +125,8 @@ impl<'a> ChaseEngine<'a> {
             setting,
             budget: budget.clone(),
             clock: Clock::real(),
+            tracer: Tracer::off(),
+            provenance: false,
         }
     }
 
@@ -118,6 +134,27 @@ impl<'a> ChaseEngine<'a> {
     pub fn with_clock(mut self, clock: Clock) -> ChaseEngine<'a> {
         self.clock = clock;
         self
+    }
+
+    /// Attaches a tracer. The default is off, in which case every
+    /// emission site reduces to one branch (no clock read, no payload).
+    pub fn with_tracer(mut self, tracer: Tracer) -> ChaseEngine<'a> {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Enables per-atom provenance recording: the run's result carries
+    /// a [`Provenance`] supporting `explain()` and the presolution
+    /// justification cross-check.
+    pub fn with_provenance(mut self, enabled: bool) -> ChaseEngine<'a> {
+        self.provenance = enabled;
+        self
+    }
+
+    /// Emits `kind` stamped with the engine clock (call sites gate on
+    /// `self.tracer.enabled()` before building the payload).
+    fn emit(&self, kind: EventKind) {
+        self.tracer.emit(self.clock.now_ns(), kind);
     }
 
     fn t_body_rels(&self) -> HashSet<Symbol> {
@@ -180,20 +217,31 @@ impl<'a> ChaseEngine<'a> {
     /// Fires one restricted-chase trigger: fresh nulls for the
     /// existentials, head atoms inserted with the atom budget enforced
     /// per insertion (one wide head cannot overshoot unboundedly).
+    #[allow(clippy::too_many_arguments)]
     fn fire_standard(
         &self,
         tgd: &Tgd,
+        dep_index: usize,
         mut env: Assignment,
         inst: &mut Instance,
         nulls: &mut NullGen,
         steps: usize,
         stats: &mut ChaseStats,
+        prov: Option<&mut Provenance>,
     ) -> Result<(), ChaseError> {
+        // Premises come from the body match alone, so capture them
+        // before the existentials are bound (FO bodies decompose into
+        // no premise atoms).
+        let premises = prov
+            .as_ref()
+            .map(|_| tgd.body.instantiate(&env).unwrap_or_default());
         for &z in &tgd.exist_vars {
             env.bind(z, nulls.fresh_value());
         }
+        let mut atoms_added = 0usize;
         for atom in tgd.instantiate_head(&env) {
             if inst.insert(atom) {
+                atoms_added += 1;
                 stats.atoms_inserted += 1;
                 stats.peak_atoms = stats.peak_atoms.max(inst.len());
                 if inst.len() > self.budget.max_atoms {
@@ -204,12 +252,30 @@ impl<'a> ChaseEngine<'a> {
                 }
             }
         }
+        if let Some(p) = prov {
+            let valuation = valuation_of(&env);
+            let premises = premises.unwrap_or_default();
+            // Record every head atom: already-present ones keep their
+            // earlier derivation (`record_derived` is first-write-wins).
+            for atom in tgd.instantiate_head(&env) {
+                p.record_derived(atom, &tgd.name, dep_index, &valuation, &premises);
+            }
+        }
+        if self.tracer.enabled() {
+            self.emit(EventKind::TgdFired {
+                dep: tgd.name.clone(),
+                atoms_added,
+            });
+        }
         Ok(())
     }
 
     /// The standard restricted chase (same contract as [`crate::chase`]).
     pub fn run(&self, source: &Instance) -> Result<ChaseSuccess, ChaseError> {
-        let gov = self.budget.governor(&self.clock);
+        let gov = self
+            .budget
+            .governor(&self.clock)
+            .with_tracer(self.tracer.clone());
         let t_total = self.clock.now_ns();
         let mut stats = ChaseStats::default();
         let sigma_part = source.clone();
@@ -218,19 +284,40 @@ impl<'a> ChaseEngine<'a> {
         let mut nulls = NullGen::above(source.active_domain().iter());
         let mut uf = ValueUnionFind::new();
         let mut steps = 0usize;
+        let mut prov = self.provenance.then(|| Provenance::for_source(source));
+        if self.tracer.enabled() {
+            self.emit(EventKind::ChaseStarted {
+                driver: "delta_standard".to_string(),
+                atoms: inst.len(),
+            });
+        }
 
         // Phase A: s-t tgds. σ never changes, so each body is matched
         // exactly once (FO bodies compute their quantification domain
         // once inside `matches`); the restricted head check still runs
         // against the evolving instance.
         let t_phase = self.clock.now_ns();
-        for tgd in &self.setting.st_tgds {
+        for (ti, tgd) in self.setting.st_tgds.iter().enumerate() {
             for env in tgd.body.matches(&sigma_part) {
                 gov.check()?;
                 stats.triggers_examined += 1;
+                if self.tracer.enabled() {
+                    self.emit(EventKind::TriggerExamined {
+                        dep: tgd.name.clone(),
+                    });
+                }
                 if !tgd.head_holds(&inst, &env) {
                     self.check_steps(steps, &inst)?;
-                    self.fire_standard(tgd, env, &mut inst, &mut nulls, steps, &mut stats)?;
+                    self.fire_standard(
+                        tgd,
+                        ti,
+                        env,
+                        &mut inst,
+                        &mut nulls,
+                        steps,
+                        &mut stats,
+                        prov.as_mut(),
+                    )?;
                     steps += 1;
                     stats.tgd_steps += 1;
                     stats.triggers_fired += 1;
@@ -268,9 +355,21 @@ impl<'a> ChaseEngine<'a> {
                         })
                     }
                     Ok(Some(m)) => {
-                        stats.rows_rewritten += inst.merge_value(m.loser, m.winner);
+                        let rewritten = inst.merge_value(m.loser, m.winner);
+                        stats.rows_rewritten += rewritten;
                         steps += 1;
                         stats.egd_steps += 1;
+                        if let Some(p) = prov.as_mut() {
+                            p.record_merge(&egd, m.loser, m.winner);
+                        }
+                        if self.tracer.enabled() {
+                            self.emit(EventKind::EgdMerged {
+                                dep: egd.clone(),
+                                loser: m.loser.to_string(),
+                                winner: m.winner.to_string(),
+                                rows_rewritten: rewritten,
+                            });
+                        }
                     }
                     // Same class but both still live cannot happen (losers
                     // are rewritten out of every live row); bail defensively.
@@ -294,7 +393,9 @@ impl<'a> ChaseEngine<'a> {
             let round_rows: usize = delta.values().map(Vec::len).sum();
             stats.delta_rows_processed += round_rows;
             stats.max_round_delta_rows = stats.max_round_delta_rows.max(round_rows);
-            for tgd in &self.setting.t_tgds {
+            let st_count = self.setting.st_tgds.len();
+            for (ti, tgd) in self.setting.t_tgds.iter().enumerate() {
+                let dep_index = st_count + ti;
                 match &tgd.body {
                     Body::Conj(atoms) => {
                         let mut row_envs: Vec<Assignment> = Vec::new();
@@ -318,6 +419,11 @@ impl<'a> ChaseEngine<'a> {
                                 for env in row_envs.drain(..) {
                                     gov.check()?;
                                     stats.triggers_examined += 1;
+                                    if self.tracer.enabled() {
+                                        self.emit(EventKind::TriggerExamined {
+                                            dep: tgd.name.clone(),
+                                        });
+                                    }
                                     if !tgd.head_holds(&inst, &env) {
                                         self.check_steps(steps, &inst).map_err(|e| {
                                             stats.tgd_time_ns +=
@@ -325,7 +431,14 @@ impl<'a> ChaseEngine<'a> {
                                             e
                                         })?;
                                         self.fire_standard(
-                                            tgd, env, &mut inst, &mut nulls, steps, &mut stats,
+                                            tgd,
+                                            dep_index,
+                                            env,
+                                            &mut inst,
+                                            &mut nulls,
+                                            steps,
+                                            &mut stats,
+                                            prov.as_mut(),
                                         )?;
                                         steps += 1;
                                         stats.tgd_steps += 1;
@@ -341,10 +454,22 @@ impl<'a> ChaseEngine<'a> {
                         for env in body.matches(&inst) {
                             gov.check()?;
                             stats.triggers_examined += 1;
+                            if self.tracer.enabled() {
+                                self.emit(EventKind::TriggerExamined {
+                                    dep: tgd.name.clone(),
+                                });
+                            }
                             if !tgd.head_holds(&inst, &env) {
                                 self.check_steps(steps, &inst)?;
                                 self.fire_standard(
-                                    tgd, env, &mut inst, &mut nulls, steps, &mut stats,
+                                    tgd,
+                                    dep_index,
+                                    env,
+                                    &mut inst,
+                                    &mut nulls,
+                                    steps,
+                                    &mut stats,
+                                    prov.as_mut(),
                                 )?;
                                 steps += 1;
                                 stats.tgd_steps += 1;
@@ -355,15 +480,28 @@ impl<'a> ChaseEngine<'a> {
                 }
             }
             stats.tgd_time_ns += (self.clock.now_ns() - t_phase) as u128;
+            if self.tracer.enabled() {
+                self.emit(EventKind::RoundCompleted {
+                    round: stats.rounds,
+                    delta_rows: round_rows,
+                });
+            }
         }
 
         stats.total_time_ns = (self.clock.now_ns() - t_total) as u128;
         let target = inst.difference(&sigma_part);
+        if self.tracer.enabled() {
+            self.emit(EventKind::ChaseCompleted {
+                atoms: inst.len(),
+                steps,
+            });
+        }
         Ok(ChaseSuccess {
             result: inst,
             target,
             steps,
             stats,
+            provenance: prov,
         })
     }
 
@@ -371,19 +509,31 @@ impl<'a> ChaseEngine<'a> {
     #[allow(clippy::too_many_arguments)]
     fn alpha_fire(
         &self,
-        tgd_name: &str,
+        tgd: &Tgd,
+        dep_index: usize,
+        env: &Assignment,
         head: Vec<Atom>,
         inst: &mut Instance,
         steps: &mut usize,
         trace: &mut Vec<ChaseStep>,
         seen: &mut HashSet<u64>,
         stats: &mut ChaseStats,
+        prov: Option<&mut Provenance>,
     ) -> Result<(), AlphaOutcome> {
         if *steps >= self.budget.max_steps {
             return Err(AlphaOutcome::BudgetExceeded {
                 steps: *steps,
                 atoms: inst.len(),
             });
+        }
+        if let Some(p) = prov {
+            // The α-justification is (d, ū, v̄): the body match alone —
+            // the z̄ witnesses come from the α-source, not the trigger.
+            let valuation = valuation_of(env);
+            let premises = tgd.body.instantiate(env).unwrap_or_default();
+            for a in &head {
+                p.record_derived(a.clone(), &tgd.name, dep_index, &valuation, &premises);
+            }
         }
         let mut added = Vec::new();
         for a in head {
@@ -402,8 +552,14 @@ impl<'a> ChaseEngine<'a> {
         *steps += 1;
         stats.tgd_steps += 1;
         stats.triggers_fired += 1;
+        if self.tracer.enabled() {
+            self.emit(EventKind::TgdFired {
+                dep: tgd.name.clone(),
+                atoms_added: added.len(),
+            });
+        }
         trace.push(ChaseStep::TgdApplied {
-            dep: tgd_name.to_owned(),
+            dep: tgd.name.clone(),
             added,
         });
         if !seen.insert(state_hash(inst)) {
@@ -415,7 +571,10 @@ impl<'a> ChaseEngine<'a> {
     /// The α-chase (same contract as [`crate::alpha_chase`]).
     pub fn run_alpha(&self, source: &Instance, alpha: &mut dyn AlphaSource) -> AlphaOutcome {
         debug_assert!(source.is_ground(), "α-chase starts from ground instances");
-        let gov = self.budget.governor(&self.clock);
+        let gov = self
+            .budget
+            .governor(&self.clock)
+            .with_tracer(self.tracer.clone());
         let t_total = self.clock.now_ns();
         let mut stats = ChaseStats::default();
         let sigma_part = source.clone();
@@ -426,6 +585,13 @@ impl<'a> ChaseEngine<'a> {
         let mut trace: Vec<ChaseStep> = Vec::new();
         let mut seen_states: HashSet<u64> = HashSet::new();
         seen_states.insert(state_hash(&inst));
+        let mut prov = self.provenance.then(|| Provenance::for_source(source));
+        if self.tracer.enabled() {
+            self.emit(EventKind::ChaseStarted {
+                driver: "delta_alpha".to_string(),
+                atoms: inst.len(),
+            });
+        }
 
         // σ is ground and merges only ever rewrite nulls, so the s-t
         // body matches are computed exactly once for the whole run.
@@ -475,9 +641,21 @@ impl<'a> ChaseEngine<'a> {
                         }
                     }
                     Ok(Some(m)) => {
-                        stats.rows_rewritten += inst.merge_value(m.loser, m.winner);
+                        let rewritten = inst.merge_value(m.loser, m.winner);
+                        stats.rows_rewritten += rewritten;
                         steps += 1;
                         stats.egd_steps += 1;
+                        if let Some(p) = prov.as_mut() {
+                            p.record_merge(&egd, m.loser, m.winner);
+                        }
+                        if self.tracer.enabled() {
+                            self.emit(EventKind::EgdMerged {
+                                dep: egd.clone(),
+                                loser: m.loser.to_string(),
+                                winner: m.winner.to_string(),
+                                rows_rewritten: rewritten,
+                            });
+                        }
                         trace.push(ChaseStep::EgdApplied {
                             dep: egd,
                             from: m.loser,
@@ -500,12 +678,19 @@ impl<'a> ChaseEngine<'a> {
                 // ᾱ-head is (still) present.
                 stats.total_time_ns = (self.clock.now_ns() - t_total) as u128;
                 let target = inst.difference(&sigma_part);
+                if self.tracer.enabled() {
+                    self.emit(EventKind::ChaseCompleted {
+                        atoms: inst.len(),
+                        steps,
+                    });
+                }
                 return AlphaOutcome::Success(AlphaSuccess {
                     result: inst,
                     target,
                     steps,
                     trace,
                     stats,
+                    provenance: prov,
                 });
             }
 
@@ -518,16 +703,24 @@ impl<'a> ChaseEngine<'a> {
                             return AlphaOutcome::Interrupted(i);
                         }
                         stats.triggers_examined += 1;
+                        if self.tracer.enabled() {
+                            self.emit(EventKind::TriggerExamined {
+                                dep: tgd.name.clone(),
+                            });
+                        }
                         let head = alpha_head(tgd, ti, env, alpha, &inst);
                         if head.iter().any(|a| !inst.contains(a)) {
                             if let Err(out) = self.alpha_fire(
-                                &tgd.name,
+                                tgd,
+                                ti,
+                                env,
                                 head,
                                 &mut inst,
                                 &mut steps,
                                 &mut trace,
                                 &mut seen_states,
                                 &mut stats,
+                                prov.as_mut(),
                             ) {
                                 return out;
                             }
@@ -574,21 +767,35 @@ impl<'a> ChaseEngine<'a> {
                             return AlphaOutcome::Interrupted(i);
                         }
                         stats.triggers_examined += 1;
+                        if self.tracer.enabled() {
+                            self.emit(EventKind::TriggerExamined {
+                                dep: tgd.name.clone(),
+                            });
+                        }
                         let head = alpha_head(tgd, dep, &env, alpha, &inst);
                         if head.iter().any(|a| !inst.contains(a)) {
                             if let Err(out) = self.alpha_fire(
-                                &tgd.name,
+                                tgd,
+                                dep,
+                                &env,
                                 head,
                                 &mut inst,
                                 &mut steps,
                                 &mut trace,
                                 &mut seen_states,
                                 &mut stats,
+                                prov.as_mut(),
                             ) {
                                 return out;
                             }
                         }
                     }
+                }
+                if self.tracer.enabled() {
+                    self.emit(EventKind::RoundCompleted {
+                        round: stats.rounds,
+                        delta_rows: round_rows,
+                    });
                 }
             }
             stats.tgd_time_ns += (self.clock.now_ns() - t_phase) as u128;

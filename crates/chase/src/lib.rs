@@ -15,6 +15,7 @@
 pub mod alpha;
 pub mod budget;
 pub mod engine;
+pub mod provenance;
 pub mod standard;
 pub mod stats;
 
@@ -24,6 +25,7 @@ pub use alpha::{
 };
 pub use budget::{ChaseBudget, ChaseLimitsExt};
 pub use engine::ChaseEngine;
+pub use provenance::{ChainStep, Derivation, JustificationChain, MergeRecord, Provenance};
 pub use standard::{
     canonical_universal_solution, chase, chase_naive, chase_naive_clocked, egd_step, ChaseError,
     ChaseSuccess, EgdRepair,

@@ -1,0 +1,366 @@
+//! Provenance for chase-derived atoms: which dependency, under which
+//! trigger valuation, put each atom into the instance — the paper's
+//! justification-by-trigger notion (§3) made inspectable.
+//!
+//! A [`Provenance`] maps every atom of the chase result to a
+//! [`Derivation`]: either [`Derivation::Source`] (the atom was in the
+//! σ-part) or [`Derivation::Tgd`] with the dependency name, the
+//! trigger valuation `ū ∪ v̄ ∪ z̄`, and the instantiated body atoms
+//! (the premises). Egd merges rewrite atoms in place, so the map is
+//! re-keyed through the same `loser ↦ winner` endomorphism the
+//! instance applies — provenance survives merging because the
+//! justifying trigger does (the head stays satisfied under the
+//! homomorphism, cf. the engine's soundness argument).
+//!
+//! [`Provenance::explain`] walks premises transitively and returns a
+//! [`JustificationChain`] whose leaves are source atoms;
+//! [`Provenance::verify_justified`] is the CWA-presolution
+//! cross-check: *every* atom of a claimed presolution must carry a
+//! recorded justification.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use dex_core::{Atom, Instance, Value};
+use dex_obs::JsonValue;
+
+/// How one atom got into the chase result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Derivation {
+    /// Present in the source (σ-part) before the chase ran.
+    Source,
+    /// Inserted by firing dependency `dep` under `valuation`.
+    Tgd {
+        /// The dependency's name (`d2`, …).
+        dep: String,
+        /// Its index in the setting's `st_tgds ++ t_tgds` order.
+        dep_index: usize,
+        /// The full trigger valuation: frontier, body-only and
+        /// existential variables, in variable-name order of recording.
+        valuation: Vec<(String, Value)>,
+        /// The instantiated body atoms (empty for FO bodies, which
+        /// have no canonical atom decomposition).
+        premises: Vec<Atom>,
+    },
+}
+
+impl Derivation {
+    pub fn is_source(&self) -> bool {
+        matches!(self, Derivation::Source)
+    }
+}
+
+/// An egd merge recorded during the run, in application order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeRecord {
+    /// The egd's name.
+    pub dep: String,
+    /// The value rewritten away (always a null).
+    pub loser: Value,
+    /// The value it was rewritten to.
+    pub winner: Value,
+}
+
+/// Per-atom derivations for one chase run.
+#[derive(Clone, Debug, Default)]
+pub struct Provenance {
+    how: HashMap<Atom, Derivation>,
+    merges: Vec<MergeRecord>,
+}
+
+impl Provenance {
+    /// Seeds the map: every source atom derives as [`Derivation::Source`].
+    pub fn for_source(source: &Instance) -> Provenance {
+        Provenance {
+            how: source.atoms().map(|a| (a, Derivation::Source)).collect(),
+            merges: Vec::new(),
+        }
+    }
+
+    /// Records a tgd-derived atom. First derivation wins: an atom
+    /// re-derivable by a later trigger keeps its original justification
+    /// (matching the chase, which never re-inserts a present atom).
+    pub fn record_derived(
+        &mut self,
+        atom: Atom,
+        dep: &str,
+        dep_index: usize,
+        valuation: &[(String, Value)],
+        premises: &[Atom],
+    ) {
+        self.how.entry(atom).or_insert_with(|| Derivation::Tgd {
+            dep: dep.to_string(),
+            dep_index,
+            valuation: valuation.to_vec(),
+            premises: premises.to_vec(),
+        });
+    }
+
+    /// Records an egd merge and re-keys every derivation through the
+    /// `loser ↦ winner` endomorphism, exactly as
+    /// `Instance::merge_value` rewrites the instance's rows.
+    pub fn record_merge(&mut self, dep: &str, loser: Value, winner: Value) {
+        self.merges.push(MergeRecord {
+            dep: dep.to_string(),
+            loser,
+            winner,
+        });
+        let subst = |v: Value| if v == loser { winner } else { v };
+        let old = std::mem::take(&mut self.how);
+        for (atom, mut derivation) in old {
+            let atom = atom.map_values(subst);
+            if let Derivation::Tgd {
+                premises,
+                valuation,
+                ..
+            } = &mut derivation
+            {
+                for p in premises.iter_mut() {
+                    *p = p.map_values(subst);
+                }
+                for (_, v) in valuation.iter_mut() {
+                    *v = subst(*v);
+                }
+            }
+            // Two atoms can collapse into one; keep the first-recorded
+            // derivation (either justifies the surviving atom).
+            self.how.entry(atom).or_insert(derivation);
+        }
+    }
+
+    /// Number of atoms with a recorded derivation.
+    pub fn len(&self) -> usize {
+        self.how.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.how.is_empty()
+    }
+
+    /// The egd merges applied, in order.
+    pub fn merges(&self) -> &[MergeRecord] {
+        &self.merges
+    }
+
+    /// The recorded derivation of `atom`, if any.
+    pub fn derivation(&self, atom: &Atom) -> Option<&Derivation> {
+        self.how.get(atom)
+    }
+
+    /// The justification chain of `atom`: the atom's own derivation
+    /// followed by those of its premises, transitively, ending in
+    /// source atoms. `None` if the atom — or any premise along the way
+    /// — has no recorded derivation (which [`Provenance::verify_justified`]
+    /// treats as a broken justification).
+    pub fn explain(&self, atom: &Atom) -> Option<JustificationChain> {
+        let mut steps = Vec::new();
+        let mut seen: HashSet<Atom> = HashSet::new();
+        let mut queue: VecDeque<Atom> = VecDeque::new();
+        queue.push_back(atom.clone());
+        while let Some(a) = queue.pop_front() {
+            if !seen.insert(a.clone()) {
+                continue;
+            }
+            let derivation = self.how.get(&a)?.clone();
+            if let Derivation::Tgd { premises, .. } = &derivation {
+                queue.extend(premises.iter().cloned());
+            }
+            steps.push(ChainStep {
+                atom: a,
+                derivation,
+            });
+        }
+        Some(JustificationChain { steps })
+    }
+
+    /// The presolution cross-check: every atom of `claimed` must have a
+    /// complete justification chain. Returns the first offender.
+    pub fn verify_justified(&self, claimed: &Instance) -> Result<(), String> {
+        for atom in claimed.atoms() {
+            if self.explain(&atom).is_none() {
+                return Err(format!("no recorded justification for {atom}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One step of a justification chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainStep {
+    pub atom: Atom,
+    pub derivation: Derivation,
+}
+
+/// The transitive justification of one atom: `steps[0]` is the atom
+/// itself; premises follow in breadth-first order; every leaf is a
+/// [`Derivation::Source`] step (guaranteed by construction — a missing
+/// link makes [`Provenance::explain`] return `None` instead).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JustificationChain {
+    pub steps: Vec<ChainStep>,
+}
+
+impl JustificationChain {
+    /// True iff every premise-less step is a source atom — i.e. the
+    /// chain bottoms out in the σ-part rather than in an FO body
+    /// (whose premises are not decomposable into atoms).
+    pub fn ends_in_sources(&self) -> bool {
+        self.steps.iter().all(|s| match &s.derivation {
+            Derivation::Source => true,
+            Derivation::Tgd { premises, .. } => !premises.is_empty(),
+        })
+    }
+
+    /// The source atoms the chain bottoms out in.
+    pub fn source_atoms(&self) -> Vec<&Atom> {
+        self.steps
+            .iter()
+            .filter(|s| s.derivation.is_source())
+            .map(|s| &s.atom)
+            .collect()
+    }
+
+    /// The chain as JSON: an array of step objects.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Arr(
+            self.steps
+                .iter()
+                .map(|s| {
+                    let mut o = JsonValue::obj().with("atom", JsonValue::str(s.atom.to_string()));
+                    match &s.derivation {
+                        Derivation::Source => {
+                            o.push("by", JsonValue::str("source"));
+                        }
+                        Derivation::Tgd {
+                            dep,
+                            dep_index,
+                            valuation,
+                            premises,
+                        } => {
+                            o.push("by", JsonValue::str(dep.clone()));
+                            o.push("dep_index", JsonValue::uint(*dep_index as u64));
+                            o.push(
+                                "valuation",
+                                JsonValue::Obj(
+                                    valuation
+                                        .iter()
+                                        .map(|(var, v)| {
+                                            (var.clone(), JsonValue::str(v.to_string()))
+                                        })
+                                        .collect(),
+                                ),
+                            );
+                            o.push(
+                                "premises",
+                                JsonValue::Arr(
+                                    premises
+                                        .iter()
+                                        .map(|p| JsonValue::str(p.to_string()))
+                                        .collect(),
+                                ),
+                            );
+                        }
+                    }
+                    o
+                })
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for JustificationChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            match &s.derivation {
+                Derivation::Source => write!(f, "{} <- source", s.atom)?,
+                Derivation::Tgd { dep, premises, .. } => {
+                    write!(f, "{} <- {}(", s.atom, dep)?;
+                    for (j, p) in premises.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{p}")?;
+                    }
+                    write!(f, ")")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(rel: &str, args: &[Value]) -> Atom {
+        Atom::of(rel, args.to_vec())
+    }
+
+    fn konst(s: &str) -> Value {
+        Value::konst(s)
+    }
+
+    #[test]
+    fn explain_walks_premises_to_sources() {
+        let a = atom("E", &[konst("a"), konst("b")]);
+        let source = Instance::from_atoms([a.clone()]);
+        let mut p = Provenance::for_source(&source);
+        let t = atom("T", &[konst("a"), konst("b")]);
+        p.record_derived(
+            t.clone(),
+            "d1",
+            0,
+            &[("x".into(), konst("a")), ("y".into(), konst("b"))],
+            std::slice::from_ref(&a),
+        );
+        let chain = p.explain(&t).unwrap();
+        assert_eq!(chain.steps.len(), 2);
+        assert_eq!(chain.steps[0].atom, t);
+        assert!(chain.ends_in_sources());
+        assert_eq!(chain.source_atoms(), vec![&a]);
+        // The chain renders and serialises.
+        assert!(chain.to_string().contains("<- d1"));
+        dex_obs::parse(&chain.to_json().dump()).unwrap();
+    }
+
+    #[test]
+    fn explain_fails_on_missing_links() {
+        let p = Provenance::default();
+        assert!(p.explain(&atom("T", &[konst("a")])).is_none());
+        let claimed = Instance::from_atoms([atom("T", &[konst("a")])]);
+        assert!(p.verify_justified(&claimed).is_err());
+    }
+
+    #[test]
+    fn merges_rekey_atoms_and_premises() {
+        let n0 = Value::null(0);
+        let n1 = Value::null(1);
+        let src = atom("M", &[konst("a")]);
+        let source = Instance::from_atoms([src.clone()]);
+        let mut p = Provenance::for_source(&source);
+        let f0 = atom("F", &[konst("a"), n0]);
+        let f1 = atom("F", &[konst("a"), n1]);
+        p.record_derived(f0.clone(), "d2", 1, &[("z".into(), n0)], &[src.clone()]);
+        p.record_derived(f1.clone(), "d2", 1, &[("z".into(), n1)], &[src.clone()]);
+        let g = atom("G", &[n1]);
+        p.record_derived(g.clone(), "d3", 2, &[("y".into(), n1)], &[f1.clone()]);
+        // d4 merges ⊥1 into ⊥0: F-atoms collapse, G(⊥1) becomes G(⊥0).
+        p.record_merge("d4", n1, n0);
+        assert_eq!(p.merges().len(), 1);
+        assert!(p.derivation(&f1).is_none());
+        assert!(p.derivation(&f0).is_some());
+        let g_after = atom("G", &[n0]);
+        let chain = p.explain(&g_after).unwrap();
+        assert!(chain.ends_in_sources());
+        // The premise was re-keyed too: it now names F(a,⊥0).
+        match &chain.steps[0].derivation {
+            Derivation::Tgd { premises, .. } => assert_eq!(premises, &[f0]),
+            other => panic!("unexpected derivation {other:?}"),
+        }
+    }
+}

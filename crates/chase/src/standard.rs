@@ -71,6 +71,10 @@ pub struct ChaseSuccess {
     pub steps: usize,
     /// Observability counters for the run.
     pub stats: ChaseStats,
+    /// Per-atom derivations, when the run was started with
+    /// [`crate::ChaseEngine::with_provenance`] (the naive drivers never
+    /// record any).
+    pub provenance: Option<crate::provenance::Provenance>,
 }
 
 /// One applied egd repair: the new instance and what was renamed.
@@ -279,6 +283,7 @@ pub fn chase_naive_clocked(
             target,
             steps,
             stats,
+            provenance: None,
         });
     }
 }

@@ -67,35 +67,99 @@ impl ChaseStats {
                 self.egd_time_ns, self.tgd_time_ns, self.total_time_ns
             ));
         }
+        if self.atoms_inserted > self.peak_atoms {
+            // Every insert raises the instance to a new size that peak
+            // immediately absorbs, and peak starts at the source size.
+            return Err(format!(
+                "atoms inserted ({}) > peak atoms ({})",
+                self.atoms_inserted, self.peak_atoms
+            ));
+        }
+        if self.rounds == 0 && self.delta_rows_processed > 0 {
+            // Only semi-naive rounds process delta rows; the naive
+            // drivers report 0 rounds and must report 0 delta rows.
+            return Err(format!(
+                "0 rounds but {} delta rows processed",
+                self.delta_rows_processed
+            ));
+        }
         Ok(())
     }
 
-    /// A flat JSON object with every counter (hand-rolled: the workspace
-    /// is dependency-free).
+    /// The counters as a flat JSON object.
+    pub fn json_value(&self) -> dex_obs::JsonValue {
+        use dex_obs::JsonValue;
+        JsonValue::obj()
+            .with("tgd_steps", JsonValue::uint(self.tgd_steps as u64))
+            .with("egd_steps", JsonValue::uint(self.egd_steps as u64))
+            .with(
+                "triggers_examined",
+                JsonValue::uint(self.triggers_examined as u64),
+            )
+            .with(
+                "triggers_fired",
+                JsonValue::uint(self.triggers_fired as u64),
+            )
+            .with("rounds", JsonValue::uint(self.rounds as u64))
+            .with(
+                "delta_rows_processed",
+                JsonValue::uint(self.delta_rows_processed as u64),
+            )
+            .with(
+                "max_round_delta_rows",
+                JsonValue::uint(self.max_round_delta_rows as u64),
+            )
+            .with(
+                "atoms_inserted",
+                JsonValue::uint(self.atoms_inserted as u64),
+            )
+            .with(
+                "rows_rewritten",
+                JsonValue::uint(self.rows_rewritten as u64),
+            )
+            .with("peak_atoms", JsonValue::uint(self.peak_atoms as u64))
+            .with("egd_time_ns", JsonValue::UInt(self.egd_time_ns))
+            .with("tgd_time_ns", JsonValue::UInt(self.tgd_time_ns))
+            .with("total_time_ns", JsonValue::UInt(self.total_time_ns))
+    }
+
+    /// [`ChaseStats::json_value`] serialised (the shape `BENCH_chase.json`
+    /// embeds).
     pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"tgd_steps\":{},\"egd_steps\":{},",
-                "\"triggers_examined\":{},\"triggers_fired\":{},",
-                "\"rounds\":{},\"delta_rows_processed\":{},",
-                "\"max_round_delta_rows\":{},\"atoms_inserted\":{},",
-                "\"rows_rewritten\":{},\"peak_atoms\":{},",
-                "\"egd_time_ns\":{},\"tgd_time_ns\":{},\"total_time_ns\":{}}}"
-            ),
-            self.tgd_steps,
-            self.egd_steps,
-            self.triggers_examined,
-            self.triggers_fired,
-            self.rounds,
-            self.delta_rows_processed,
-            self.max_round_delta_rows,
-            self.atoms_inserted,
-            self.rows_rewritten,
-            self.peak_atoms,
-            self.egd_time_ns,
-            self.tgd_time_ns,
-            self.total_time_ns,
-        )
+        self.json_value().dump()
+    }
+
+    /// Exports the counters as a view into a metrics registry under
+    /// `prefix` (e.g. `prefix = "chase"` yields `chase.rounds`), with
+    /// phase times recorded into log₂ latency histograms.
+    pub fn export_metrics(&self, registry: &mut dex_obs::MetricsRegistry, prefix: &str) {
+        let counters: [(&str, usize); 9] = [
+            ("tgd_steps", self.tgd_steps),
+            ("egd_steps", self.egd_steps),
+            ("triggers_examined", self.triggers_examined),
+            ("triggers_fired", self.triggers_fired),
+            ("rounds", self.rounds),
+            ("delta_rows_processed", self.delta_rows_processed),
+            ("max_round_delta_rows", self.max_round_delta_rows),
+            ("atoms_inserted", self.atoms_inserted),
+            ("rows_rewritten", self.rows_rewritten),
+        ];
+        for (name, v) in counters {
+            registry.inc(&format!("{prefix}.{name}"), v as u128);
+        }
+        registry.set_gauge(&format!("{prefix}.peak_atoms"), self.peak_atoms as i128);
+        registry.observe(
+            &format!("{prefix}.egd_time_ns"),
+            u64::try_from(self.egd_time_ns).unwrap_or(u64::MAX),
+        );
+        registry.observe(
+            &format!("{prefix}.tgd_time_ns"),
+            u64::try_from(self.tgd_time_ns).unwrap_or(u64::MAX),
+        );
+        registry.observe(
+            &format!("{prefix}.total_time_ns"),
+            u64::try_from(self.total_time_ns).unwrap_or(u64::MAX),
+        );
     }
 }
 
@@ -128,6 +192,79 @@ mod tests {
             ..Default::default()
         };
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn inserted_beyond_peak_is_invalid() {
+        let s = ChaseStats {
+            atoms_inserted: 5,
+            peak_atoms: 4,
+            ..Default::default()
+        };
+        assert!(s.validate().is_err());
+        let ok = ChaseStats {
+            atoms_inserted: 4,
+            peak_atoms: 4,
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn delta_rows_without_rounds_is_invalid() {
+        let s = ChaseStats {
+            rounds: 0,
+            delta_rows_processed: 3,
+            max_round_delta_rows: 3,
+            ..Default::default()
+        };
+        assert!(s.validate().is_err());
+        let ok = ChaseStats {
+            rounds: 1,
+            delta_rows_processed: 3,
+            max_round_delta_rows: 3,
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn json_value_parses_and_matches_dump() {
+        let s = ChaseStats {
+            tgd_steps: 2,
+            triggers_fired: 2,
+            triggers_examined: 3,
+            peak_atoms: 9,
+            atoms_inserted: 4,
+            total_time_ns: u128::from(u64::MAX) + 7,
+            ..Default::default()
+        };
+        let parsed = dex_obs::parse(&s.to_json()).unwrap();
+        assert_eq!(parsed, s.json_value());
+        // u128 counters survive without rounding through f64.
+        assert_eq!(
+            parsed.get("total_time_ns").unwrap().as_u128(),
+            Some(u128::from(u64::MAX) + 7)
+        );
+    }
+
+    #[test]
+    fn export_metrics_views_the_counters() {
+        let s = ChaseStats {
+            tgd_steps: 2,
+            triggers_fired: 2,
+            triggers_examined: 3,
+            rounds: 1,
+            peak_atoms: 9,
+            atoms_inserted: 4,
+            total_time_ns: 1000,
+            ..Default::default()
+        };
+        let mut reg = dex_obs::MetricsRegistry::new();
+        s.export_metrics(&mut reg, "chase");
+        assert_eq!(reg.counter("chase.triggers_examined"), 3);
+        assert_eq!(reg.gauge("chase.peak_atoms"), Some(9));
+        assert_eq!(reg.histogram("chase.total_time_ns").unwrap().count(), 1);
     }
 
     #[test]

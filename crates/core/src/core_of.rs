@@ -153,6 +153,20 @@ impl GovernedCore {
     }
 }
 
+/// Emits a `RetractFound` trace event through the governor's tracer.
+fn emit_retract(gov: &Governor, atoms_before: usize, atoms_after: usize) {
+    let tracer = gov.tracer();
+    if tracer.enabled() {
+        tracer.emit(
+            gov.clock().now_ns(),
+            dex_obs::EventKind::RetractFound {
+                atoms_before,
+                atoms_after,
+            },
+        );
+    }
+}
+
 /// `retract_step` under a governor: `Err` means the hom search was
 /// interrupted before any retract of the current instance was found.
 fn retract_step_governed(inst: &Instance, gov: &Governor) -> Result<Option<Instance>, Interrupt> {
@@ -171,6 +185,7 @@ fn retract_step_governed(inst: &Instance, gov: &Governor) -> Result<Option<Insta
                         out.insert(a);
                     }
                 }
+                emit_retract(gov, inst.len(), out.len());
                 return Ok(Some(out));
             }
         }
@@ -228,6 +243,7 @@ pub fn core_with_hom_governed(inst: &Instance, gov: &Governor) -> (GovernedCore,
                             }
                         }
                         acc = acc.then(&h);
+                        emit_retract(gov, t.len(), out.len());
                         t = out;
                         advanced = true;
                         break 'comp;

@@ -26,6 +26,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+use dex_obs::{EventKind, JsonValue, MetricsRegistry, Tracer};
+
 /// Ticks between full (deadline/cancel) evaluations in
 /// [`Governor::check`]. A power of two so the test is a mask.
 pub const CHECK_INTERVAL: u64 = 1024;
@@ -43,6 +45,18 @@ pub enum InterruptReason {
     Memory,
     /// The cooperative cancel flag was raised.
     Cancelled,
+}
+
+impl InterruptReason {
+    /// The stable snake_case tag used in trace events and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            InterruptReason::Fuel => "fuel",
+            InterruptReason::Deadline => "deadline",
+            InterruptReason::Memory => "memory",
+            InterruptReason::Cancelled => "cancelled",
+        }
+    }
 }
 
 impl fmt::Display for InterruptReason {
@@ -76,6 +90,18 @@ pub struct Progress {
 pub struct Interrupt {
     pub reason: InterruptReason,
     pub progress: Progress,
+}
+
+impl Interrupt {
+    /// The interrupt as a flat JSON object (for `EnumStats` /
+    /// `GovernedAnswers` exports).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .with("reason", JsonValue::str(self.reason.tag()))
+            .with("ticks", JsonValue::uint(self.progress.ticks))
+            .with("checks", JsonValue::uint(self.progress.checks))
+            .with("mem_peak", JsonValue::uint(self.progress.mem_peak as u64))
+    }
 }
 
 impl fmt::Display for Interrupt {
@@ -228,9 +254,11 @@ pub struct Governor {
     deadline_ns: u64,
     mem_limit: usize,
     cancel: Option<Arc<AtomicBool>>,
+    tracer: Tracer,
     ticks: Cell<u64>,
     checks: Cell<u64>,
     mem_peak: Cell<usize>,
+    trips: Cell<u64>,
 }
 
 impl fmt::Debug for Governor {
@@ -272,9 +300,11 @@ impl Governor {
             deadline_ns: u64::MAX,
             mem_limit: usize::MAX,
             cancel: None,
+            tracer: Tracer::off(),
             ticks: Cell::new(0),
             checks: Cell::new(0),
             mem_peak: Cell::new(0),
+            trips: Cell::new(0),
         }
     }
 
@@ -317,6 +347,19 @@ impl Governor {
         self
     }
 
+    /// Attaches a tracer: every trip emits a `GovernorTripped` event.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Governor {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer attached to this governor (off by default). Searches
+    /// that take a governor but no engine handle (hom/core) emit their
+    /// events through this.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// The clock this governor (and anything sharing it) reads.
     pub fn clock(&self) -> &Clock {
         &self.clock
@@ -347,8 +390,35 @@ impl Governor {
         }
     }
 
+    /// Interrupts constructed (trips). More than one is possible when
+    /// a caller probes a tripped governor again via `force_check`.
+    pub fn trips(&self) -> u64 {
+        self.trips.get()
+    }
+
+    /// Exports this governor's counters into a metrics registry under
+    /// `prefix` (e.g. `prefix = "governor"` yields `governor.ticks`).
+    pub fn export_metrics(&self, registry: &mut MetricsRegistry, prefix: &str) {
+        registry.inc(&format!("{prefix}.ticks"), u128::from(self.ticks.get()));
+        registry.inc(&format!("{prefix}.checks"), u128::from(self.checks.get()));
+        registry.inc(&format!("{prefix}.trips"), u128::from(self.trips.get()));
+        registry.set_gauge(&format!("{prefix}.mem_peak"), self.mem_peak.get() as i128);
+    }
+
     /// Builds the [`Interrupt`] this governor would report for `reason`.
+    /// This is the single construction point for interrupts, so it is
+    /// also where trips are counted and the trip event is emitted.
     pub fn interrupt(&self, reason: InterruptReason) -> Interrupt {
+        self.trips.set(self.trips.get() + 1);
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                self.clock.now_ns(),
+                EventKind::GovernorTripped {
+                    reason: reason.tag().to_string(),
+                    ticks: self.ticks.get(),
+                },
+            );
+        }
         Interrupt {
             reason,
             progress: self.progress(),
@@ -530,6 +600,44 @@ mod tests {
         let u = Verdict::Unknown(InterruptReason::Deadline);
         assert!(u.is_unknown());
         assert_eq!(format!("{u}"), "unknown (deadline passed)");
+    }
+
+    #[test]
+    fn trips_are_counted_and_traced() {
+        use dex_obs::RingRecorder;
+        let ring = Arc::new(RingRecorder::new(8));
+        let (clock, mock) = Clock::mock();
+        mock.set_ns(99);
+        let g = Governor::with_clock_now(clock)
+            .with_tracer(Tracer::new(ring.clone()))
+            .with_fuel(2);
+        g.check().unwrap();
+        assert_eq!(g.trips(), 0);
+        g.check().unwrap_err();
+        assert_eq!(g.trips(), 1);
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].at_ns, 99);
+        assert_eq!(
+            events[0].kind,
+            EventKind::GovernorTripped {
+                reason: "fuel".into(),
+                ticks: 2
+            }
+        );
+        let mut reg = MetricsRegistry::new();
+        g.export_metrics(&mut reg, "gov");
+        assert_eq!(reg.counter("gov.ticks"), 2);
+        assert_eq!(reg.counter("gov.trips"), 1);
+    }
+
+    #[test]
+    fn interrupt_json_is_flat() {
+        let g = Governor::unlimited().with_fuel(1);
+        let err = g.check().unwrap_err();
+        let j = err.to_json();
+        assert_eq!(j.get("reason").unwrap().as_str(), Some("fuel"));
+        assert_eq!(j.get("ticks").unwrap().as_u128(), Some(1));
     }
 
     #[test]

@@ -334,6 +334,17 @@ impl SearchState<'_> {
                 }
             }
             if let Some(newly) = self.try_unify(atom, &row) {
+                if let Some(gov) = self.gov {
+                    let tracer = gov.tracer();
+                    if tracer.enabled() {
+                        tracer.emit(
+                            gov.clock().now_ns(),
+                            dex_obs::EventKind::HomExtended {
+                                depth: self.atoms.len() - pending.len(),
+                            },
+                        );
+                    }
+                }
                 keep_going = self.solve(pending, f);
                 self.undo(&newly);
                 if !matches!(keep_going, Ok(true)) {

@@ -455,6 +455,18 @@ impl Instance {
         v.sort();
         v
     }
+
+    /// The instance as a JSON array of atom strings, sorted — the
+    /// canonical export shape (deterministic across runs up to null
+    /// naming).
+    pub fn to_json(&self) -> dex_obs::JsonValue {
+        dex_obs::JsonValue::Arr(
+            self.sorted_atoms()
+                .iter()
+                .map(|a| dex_obs::JsonValue::str(a.to_string()))
+                .collect(),
+        )
+    }
 }
 
 impl PartialEq for Instance {

@@ -162,6 +162,67 @@ impl EnumStats {
     pub fn is_complete(&self) -> bool {
         !self.truncated && self.chases_unfinished == 0 && self.interrupted.is_none()
     }
+
+    /// Internal consistency invariants; the governed test sweep asserts
+    /// this on every enumeration outcome.
+    pub fn validate(&self) -> Result<(), String> {
+        let outcomes = self.chases_succeeded
+            + self.chases_failed
+            + self.chases_unfinished
+            + self.chases_interrupted;
+        // Every script accounts for at most one outcome; the solutions
+        // path can add one more for the canonical-solution chase, which
+        // runs without a script of its own.
+        if outcomes > self.scripts_explored + 1 {
+            return Err(format!(
+                "{outcomes} chase outcomes from {} scripts (max {})",
+                self.scripts_explored,
+                self.scripts_explored + 1
+            ));
+        }
+        if (self.chases_interrupted > 0) != self.interrupted.is_some() {
+            return Err(format!(
+                "chases_interrupted = {} but interrupted = {:?}",
+                self.chases_interrupted, self.interrupted
+            ));
+        }
+        if self.interrupted.is_some() && self.is_complete() {
+            return Err("interrupted run claims completeness".to_string());
+        }
+        Ok(())
+    }
+
+    /// The counters as a flat JSON object; `interrupted` is `null` or
+    /// the interrupt's own object shape.
+    pub fn to_json(&self) -> dex_obs::JsonValue {
+        use dex_obs::JsonValue;
+        JsonValue::obj()
+            .with(
+                "scripts_explored",
+                JsonValue::uint(self.scripts_explored as u64),
+            )
+            .with(
+                "chases_succeeded",
+                JsonValue::uint(self.chases_succeeded as u64),
+            )
+            .with("chases_failed", JsonValue::uint(self.chases_failed as u64))
+            .with(
+                "chases_unfinished",
+                JsonValue::uint(self.chases_unfinished as u64),
+            )
+            .with(
+                "chases_interrupted",
+                JsonValue::uint(self.chases_interrupted as u64),
+            )
+            .with("truncated", JsonValue::Bool(self.truncated))
+            .with("complete", JsonValue::Bool(self.is_complete()))
+            .with(
+                "interrupted",
+                self.interrupted
+                    .as_ref()
+                    .map_or(JsonValue::Null, Interrupt::to_json),
+            )
+    }
 }
 
 /// Enumerates the CWA-presolutions for `source` under `setting`, up to
@@ -472,6 +533,45 @@ mod tests {
         let (sols, stats) = enumerate_cwa_solutions(&d, &s, &limits);
         assert!(!sols.is_empty());
         assert!(stats.is_complete());
+    }
+
+    /// `EnumStats::validate` accepts every real enumeration outcome and
+    /// rejects books that don't balance.
+    #[test]
+    fn enum_stats_validate_and_json() {
+        let d = example_5_3();
+        let s = parse_instance("P(1).").unwrap();
+        let limits = EnumLimits {
+            nulls_only: true,
+            ..EnumLimits::default()
+        };
+        let (_, stats) = enumerate_cwa_solutions(&d, &s, &limits);
+        stats.validate().expect("real run validates");
+        let j = stats.to_json();
+        assert_eq!(
+            j.get("scripts_explored").and_then(|v| v.as_u128()),
+            Some(stats.scripts_explored as u128)
+        );
+        assert_eq!(j.get("interrupted"), Some(&dex_obs::JsonValue::Null));
+        // The JSON round-trips through the in-tree parser.
+        assert_eq!(dex_obs::parse(&j.dump()).unwrap(), j);
+        // More outcomes than scripts (+1 for the canonical chase) is
+        // inconsistent bookkeeping.
+        let bad = EnumStats {
+            scripts_explored: 1,
+            chases_succeeded: 2,
+            chases_failed: 1,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        // An interrupt count without the interrupt itself (or vice versa)
+        // is inconsistent.
+        let bad = EnumStats {
+            scripts_explored: 3,
+            chases_interrupted: 1,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub use enumerate::{
     enumerate_cwa_presolutions, enumerate_cwa_solutions, maximal_under_image, EnumLimits, EnumStats,
 };
 pub use presolution::{
-    is_cwa_presolution, is_cwa_presolution_governed, presolution_alpha_table, SearchLimits,
+    is_cwa_presolution, is_cwa_presolution_governed, presolution_alpha_table,
+    presolution_justifications, SearchLimits,
 };
 pub use solution::{
     core_solution, core_solution_governed, cwa_solution_exists, is_cwa_solution,

@@ -219,6 +219,30 @@ pub fn presolution_alpha_table(
     Some(table)
 }
 
+/// The justification cross-check of Definition 4.6 made executable:
+/// extract a witnessing α-table for `target`, replay it through the
+/// provenance-recording delta engine, and verify that *every* atom of
+/// the replayed result `S ∪ T` carries a recorded justification chain.
+/// Returns the provenance on success; `None` if `target` is not a
+/// presolution (or the search hit its limits). A `Some` answer is
+/// strictly stronger than [`is_cwa_presolution`] returning `Some(true)`:
+/// the witnessing α has actually been replayed and audited atom by atom.
+pub fn presolution_justifications(
+    setting: &Setting,
+    source: &Instance,
+    target: &Instance,
+    limits: &SearchLimits,
+) -> Option<dex_chase::Provenance> {
+    let table = presolution_alpha_table(setting, source, target, limits)?;
+    let mut alpha = dex_chase::TableAlpha::new(table);
+    let engine = dex_chase::ChaseEngine::new(setting, &dex_chase::ChaseBudget::default())
+        .with_provenance(true);
+    let success = engine.run_alpha(source, &mut alpha).success()?;
+    let prov = success.provenance.expect("provenance was enabled");
+    prov.verify_justified(&success.result).ok()?;
+    Some(prov)
+}
+
 /// Head options together with the existential witness tuples `w̄`.
 fn head_options_with_witnesses(
     tgd: &Tgd,
@@ -507,6 +531,25 @@ mod tests {
         let out = dex_chase::alpha_chase(&d, &s, &mut alpha, &dex_chase::ChaseBudget::default());
         let success = out.success().expect("replay succeeds");
         assert_eq!(success.target, t2);
+    }
+
+    /// The provenance cross-check: replaying T₂'s witnessing α records a
+    /// justification chain for every atom of S ∪ T₂, each bottoming out
+    /// in source atoms.
+    #[test]
+    fn presolution_justifications_audit_t2() {
+        let d = example_2_1();
+        let s = s_star();
+        let t2 = parse_instance("E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).").unwrap();
+        let prov = presolution_justifications(&d, &s, &t2, &SearchLimits::default())
+            .expect("T2 is a presolution with a full justification audit");
+        for atom in s.union(&t2).atoms() {
+            let chain = prov.explain(&atom).expect("every atom is justified");
+            assert!(chain.ends_in_sources(), "chain for {atom} has dead ends");
+        }
+        // A non-presolution yields no audit at all.
+        let t_bad = parse_instance("E(a,b). E(_3,b). F(b,_1). G(_1,_2).").unwrap();
+        assert!(presolution_justifications(&d, &s, &t_bad, &SearchLimits::default()).is_none());
     }
 
     /// Settings without target dependencies coincide with Libkin's notion:

@@ -91,6 +91,32 @@ impl Body {
         }
     }
 
+    /// Instantiates a conjunctive body under `env` (which must bind all
+    /// free variables) into ground premise atoms — the `B` of a
+    /// justification `(d, ū, v̄)` with `B ⊆ instance`. FO bodies have no
+    /// canonical atom decomposition and return `None`.
+    pub fn instantiate(&self, env: &Assignment) -> Option<Vec<Atom>> {
+        match self {
+            Body::Conj(atoms) => Some(
+                atoms
+                    .iter()
+                    .map(|a| {
+                        let args: Vec<Value> = a
+                            .args
+                            .iter()
+                            .map(|&t| {
+                                env.term(t)
+                                    .expect("unbound variable instantiating tgd body")
+                            })
+                            .collect();
+                        Atom::new(a.rel, args)
+                    })
+                    .collect(),
+            ),
+            Body::Fo(_) => None,
+        }
+    }
+
     /// The quantification domain FO bodies enumerate over in `inst`;
     /// `None` for plain conjunctive bodies (which never need one).
     pub fn fo_domain(&self, inst: &Instance) -> Option<Vec<Value>> {

@@ -1,0 +1,309 @@
+//! Collectors and the [`Tracer`] handle engines hold.
+//!
+//! The contract that keeps tracing honest about cost: a [`Tracer`] is
+//! either *off* (`sink == None`, the default everywhere) or carries an
+//! `Arc<dyn Collector>`. Emission sites in hot loops are written as
+//!
+//! ```ignore
+//! if tracer.enabled() {
+//!     tracer.emit(clock.now_ns(), EventKind::TgdFired { .. });
+//! }
+//! ```
+//!
+//! so the disabled path costs one branch on an `Option` and never
+//! formats a value or reads a clock — that is the `NullCollector`
+//! configuration the <5% bench-regression acceptance bound is
+//! measured against (strictly, "null collector" is a tracer with no
+//! collector at all).
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, EventKind};
+
+/// A sink for trace events. Implementations must tolerate being
+/// shared across threads (`RingRecorder` and `JsonlWriter` lock
+/// internally; `NullCollector` has nothing to protect).
+pub trait Collector: Send + Sync {
+    fn record(&self, event: &Event);
+}
+
+/// Drops every event. Exists so a collector can be named explicitly
+/// in configuration tables; `Tracer::off()` short-circuits earlier
+/// and is what engines default to.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    fn record(&self, _event: &Event) {}
+}
+
+/// A fixed-capacity replay buffer: keeps the most recent `capacity`
+/// events and counts the ones it had to drop. Determinism tests
+/// compare two recorders' [`RingRecorder::to_jsonl`] byte-for-byte.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    pub fn new(capacity: usize) -> RingRecorder {
+        assert!(capacity > 0, "a zero-capacity ring records nothing");
+        RingRecorder {
+            capacity,
+            inner: Mutex::new(RingInner::default()),
+        }
+    }
+
+    /// A snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().events.iter().cloned().collect()
+    }
+
+    /// How many events were evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// The retained events as JSONL — the byte-comparable stream form.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for e in &inner.events {
+            out.push_str(&e.to_json().dump());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Collector for RingRecorder {
+    fn record(&self, event: &Event) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event.clone());
+    }
+}
+
+/// Streams events as JSON Lines. Each line is flushed as written, so
+/// the file is valid even if the process aborts mid-run — this is the
+/// `DEX_TRACE=path` exporter CI's trace-smoke stage reads back.
+pub struct JsonlWriter {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlWriter {
+    /// Creates (truncates) `path` and streams to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlWriter> {
+        let file = File::create(path)?;
+        Ok(JsonlWriter::to_writer(BufWriter::new(file)))
+    }
+
+    /// Streams to an arbitrary writer (tests use `Vec<u8>` via a cursor).
+    pub fn to_writer(w: impl Write + Send + 'static) -> JsonlWriter {
+        JsonlWriter {
+            out: Mutex::new(Box::new(w)),
+        }
+    }
+}
+
+impl Collector for JsonlWriter {
+    fn record(&self, event: &Event) {
+        let mut out = self.out.lock().unwrap();
+        // I/O failure must not abort a chase; the trace is advisory.
+        let _ = writeln!(out, "{}", event.to_json().dump());
+        let _ = out.flush();
+    }
+}
+
+/// The cloneable handle engines carry. `Tracer::off()` (the
+/// `Default`) makes every operation a no-op.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<dyn Collector>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the default everywhere).
+    pub fn off() -> Tracer {
+        Tracer { sink: None }
+    }
+
+    /// A tracer over a shared collector (the caller usually keeps a
+    /// second `Arc` to read the collector back afterwards).
+    pub fn new(collector: Arc<dyn Collector>) -> Tracer {
+        Tracer {
+            sink: Some(collector),
+        }
+    }
+
+    /// A tracer over an owned collector.
+    pub fn to(collector: impl Collector + 'static) -> Tracer {
+        Tracer::new(Arc::new(collector))
+    }
+
+    /// Whether events will be recorded. Hot paths check this before
+    /// assembling an event payload or reading a clock.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records one event. Cheap no-op when disabled, but callers in
+    /// hot loops should still gate on [`Tracer::enabled`] to avoid
+    /// building the `EventKind` at all.
+    #[inline]
+    pub fn emit(&self, at_ns: u64, kind: EventKind) {
+        if let Some(sink) = &self.sink {
+            sink.record(&Event { at_ns, kind });
+        }
+    }
+
+    /// Opens a named span. The guard is closed explicitly with the
+    /// end timestamp (drop does nothing — obs has no clock to read).
+    pub fn span(&self, name: impl Into<String>, at_ns: u64) -> SpanGuard {
+        let name = name.into();
+        if self.enabled() {
+            self.emit(at_ns, EventKind::SpanOpened { name: name.clone() });
+        }
+        SpanGuard {
+            tracer: self.clone(),
+            name,
+            start_ns: at_ns,
+        }
+    }
+
+    /// Honors `DEX_TRACE=path`: a `JsonlWriter` tracer when the
+    /// variable is set and the file is creatable, otherwise off.
+    pub fn from_env() -> Tracer {
+        match std::env::var("DEX_TRACE") {
+            Ok(path) if !path.trim().is_empty() => match JsonlWriter::create(path.trim()) {
+                Ok(w) => Tracer::to(w),
+                Err(e) => {
+                    eprintln!("DEX_TRACE: cannot create {}: {e}", path.trim());
+                    Tracer::off()
+                }
+            },
+            _ => Tracer::off(),
+        }
+    }
+}
+
+/// An open span; emits `SpanClosed` on [`SpanGuard::close`].
+#[must_use = "close the span with an end timestamp"]
+pub struct SpanGuard {
+    tracer: Tracer,
+    name: String,
+    start_ns: u64,
+}
+
+impl SpanGuard {
+    /// Closes the span at `at_ns`, emitting its duration.
+    pub fn close(self, at_ns: u64) {
+        let dur_ns = at_ns.saturating_sub(self.start_ns);
+        let name = self.name;
+        self.tracer
+            .emit(at_ns, EventKind::SpanClosed { name, dur_ns });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_tracer_is_disabled_and_silent() {
+        let t = Tracer::off();
+        assert!(!t.enabled());
+        t.emit(0, EventKind::HomExtended { depth: 1 });
+        t.span("s", 0).close(5);
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let ring = Arc::new(RingRecorder::new(2));
+        let t = Tracer::new(ring.clone());
+        for depth in 0..5 {
+            t.emit(depth as u64, EventKind::HomExtended { depth });
+        }
+        assert_eq!(ring.dropped(), 3);
+        let kept = ring.events();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].kind, EventKind::HomExtended { depth: 3 });
+        assert_eq!(kept[1].kind, EventKind::HomExtended { depth: 4 });
+    }
+
+    #[test]
+    fn spans_pair_open_and_close() {
+        let ring = Arc::new(RingRecorder::new(8));
+        let t = Tracer::new(ring.clone());
+        let span = t.span("phase", 10);
+        t.emit(11, EventKind::TriggerExamined { dep: "d1".into() });
+        span.close(25);
+        let events = ring.events();
+        assert_eq!(
+            events[0].kind,
+            EventKind::SpanOpened {
+                name: "phase".into()
+            }
+        );
+        assert_eq!(
+            events[2].kind,
+            EventKind::SpanClosed {
+                name: "phase".into(),
+                dur_ns: 15
+            }
+        );
+    }
+
+    #[test]
+    fn jsonl_writer_streams_parseable_lines() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let t = Tracer::to(JsonlWriter::to_writer(Shared(buf.clone())));
+        t.emit(1, EventKind::TriggerExamined { dep: "d\"1".into() });
+        t.emit(
+            2,
+            EventKind::RoundCompleted {
+                round: 1,
+                delta_rows: 0,
+            },
+        );
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            crate::json::parse(line).unwrap();
+        }
+    }
+}

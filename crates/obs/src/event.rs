@@ -1,0 +1,194 @@
+//! Typed trace events.
+//!
+//! Events carry only primitives (names as `String`, counts as
+//! integers): `dex-obs` sits *below* `dex-core`, so it cannot name
+//! core's types, and keeping payloads flat is what makes the JSONL
+//! export line-per-event trivial. Timestamps are **caller-stamped**:
+//! every emitter reads its own `govern::Clock`, so a run under
+//! `MockClock` produces byte-identical streams.
+
+use crate::json::JsonValue;
+
+/// One timestamped trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the emitting engine's clock epoch
+    /// (`govern::Clock::now_ns` at the emission site; `0` when the
+    /// emitter runs ungoverned and has no clock).
+    pub at_ns: u64,
+    pub kind: EventKind,
+}
+
+/// What happened. Variants mirror the observable steps of the paper's
+/// machinery: trigger examination and firing (chase §2/§3), egd
+/// merging, semi-naive rounds, governor trips, and the two search
+/// primitives underneath (homomorphism extension, core retraction).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A chase driver started on `atoms` source atoms.
+    ChaseStarted { driver: String, atoms: usize },
+    /// A candidate trigger for dependency `dep` was examined.
+    TriggerExamined { dep: String },
+    /// A tgd trigger fired, inserting `atoms_added` new atoms.
+    TgdFired { dep: String, atoms_added: usize },
+    /// An egd merged `loser` into `winner`, rewriting `rows_rewritten` rows.
+    EgdMerged {
+        dep: String,
+        loser: String,
+        winner: String,
+        rows_rewritten: usize,
+    },
+    /// A semi-naive round finished having processed `delta_rows`.
+    RoundCompleted { round: usize, delta_rows: usize },
+    /// A chase driver finished with `atoms` atoms after `steps` steps.
+    ChaseCompleted { atoms: usize, steps: usize },
+    /// A governor raised an interrupt after `ticks` ticks.
+    GovernorTripped { reason: String, ticks: u64 },
+    /// The homomorphism search extended a partial map to `depth` atoms.
+    HomExtended { depth: usize },
+    /// The core search found a proper retract.
+    RetractFound {
+        atoms_before: usize,
+        atoms_after: usize,
+    },
+    /// A named span opened.
+    SpanOpened { name: String },
+    /// A named span closed after `dur_ns`.
+    SpanClosed { name: String, dur_ns: u64 },
+}
+
+impl EventKind {
+    /// The stable snake_case name used as the `"event"` key in JSONL.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::ChaseStarted { .. } => "chase_started",
+            EventKind::TriggerExamined { .. } => "trigger_examined",
+            EventKind::TgdFired { .. } => "tgd_fired",
+            EventKind::EgdMerged { .. } => "egd_merged",
+            EventKind::RoundCompleted { .. } => "round_completed",
+            EventKind::ChaseCompleted { .. } => "chase_completed",
+            EventKind::GovernorTripped { .. } => "governor_tripped",
+            EventKind::HomExtended { .. } => "hom_extended",
+            EventKind::RetractFound { .. } => "retract_found",
+            EventKind::SpanOpened { .. } => "span_opened",
+            EventKind::SpanClosed { .. } => "span_closed",
+        }
+    }
+}
+
+impl Event {
+    /// The event as one flat JSON object (one JSONL line, pre-newline).
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::obj()
+            .with("at_ns", JsonValue::uint(self.at_ns))
+            .with("event", JsonValue::str(self.kind.name()));
+        match &self.kind {
+            EventKind::ChaseStarted { driver, atoms } => {
+                o.push("driver", JsonValue::str(driver.clone()));
+                o.push("atoms", JsonValue::uint(*atoms as u64));
+            }
+            EventKind::TriggerExamined { dep } => {
+                o.push("dep", JsonValue::str(dep.clone()));
+            }
+            EventKind::TgdFired { dep, atoms_added } => {
+                o.push("dep", JsonValue::str(dep.clone()));
+                o.push("atoms_added", JsonValue::uint(*atoms_added as u64));
+            }
+            EventKind::EgdMerged {
+                dep,
+                loser,
+                winner,
+                rows_rewritten,
+            } => {
+                o.push("dep", JsonValue::str(dep.clone()));
+                o.push("loser", JsonValue::str(loser.clone()));
+                o.push("winner", JsonValue::str(winner.clone()));
+                o.push("rows_rewritten", JsonValue::uint(*rows_rewritten as u64));
+            }
+            EventKind::RoundCompleted { round, delta_rows } => {
+                o.push("round", JsonValue::uint(*round as u64));
+                o.push("delta_rows", JsonValue::uint(*delta_rows as u64));
+            }
+            EventKind::ChaseCompleted { atoms, steps } => {
+                o.push("atoms", JsonValue::uint(*atoms as u64));
+                o.push("steps", JsonValue::uint(*steps as u64));
+            }
+            EventKind::GovernorTripped { reason, ticks } => {
+                o.push("reason", JsonValue::str(reason.clone()));
+                o.push("ticks", JsonValue::uint(*ticks));
+            }
+            EventKind::HomExtended { depth } => {
+                o.push("depth", JsonValue::uint(*depth as u64));
+            }
+            EventKind::RetractFound {
+                atoms_before,
+                atoms_after,
+            } => {
+                o.push("atoms_before", JsonValue::uint(*atoms_before as u64));
+                o.push("atoms_after", JsonValue::uint(*atoms_after as u64));
+            }
+            EventKind::SpanOpened { name } => {
+                o.push("span", JsonValue::str(name.clone()));
+            }
+            EventKind::SpanClosed { name, dur_ns } => {
+                o.push("span", JsonValue::str(name.clone()));
+                o.push("dur_ns", JsonValue::uint(*dur_ns));
+            }
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_serialises_with_its_name() {
+        let kinds = vec![
+            EventKind::ChaseStarted {
+                driver: "delta".into(),
+                atoms: 3,
+            },
+            EventKind::TriggerExamined { dep: "d1".into() },
+            EventKind::TgdFired {
+                dep: "d2".into(),
+                atoms_added: 2,
+            },
+            EventKind::EgdMerged {
+                dep: "d4".into(),
+                loser: "⊥1".into(),
+                winner: "⊥0".into(),
+                rows_rewritten: 1,
+            },
+            EventKind::RoundCompleted {
+                round: 1,
+                delta_rows: 5,
+            },
+            EventKind::ChaseCompleted { atoms: 9, steps: 4 },
+            EventKind::GovernorTripped {
+                reason: "fuel".into(),
+                ticks: 64,
+            },
+            EventKind::HomExtended { depth: 2 },
+            EventKind::RetractFound {
+                atoms_before: 5,
+                atoms_after: 4,
+            },
+            EventKind::SpanOpened { name: "st".into() },
+            EventKind::SpanClosed {
+                name: "st".into(),
+                dur_ns: 10,
+            },
+        ];
+        for kind in kinds {
+            let name = kind.name();
+            let e = Event { at_ns: 7, kind };
+            let j = e.to_json();
+            assert_eq!(j.get("event").unwrap().as_str(), Some(name));
+            assert_eq!(j.get("at_ns").unwrap().as_u128(), Some(7));
+            // Each line must parse back on its own.
+            assert_eq!(crate::json::parse(&j.dump()).unwrap(), j);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # dex-obs
+//!
+//! Observability for the dex workspace: structured tracing
+//! ([`event`], [`collect`]), a unified metrics registry ([`metrics`])
+//! and the one shared JSON writer/parser ([`json`]).
+//!
+//! This crate has **zero dependencies** and sits below `dex-core`, so
+//! every layer — including core's homomorphism and core-of searches —
+//! can emit events without a dependency cycle. Events carry only
+//! primitives; timestamps are caller-stamped from `govern::Clock`,
+//! which is what makes traces byte-identical under `MockClock`.
+//!
+//! The chase engine's *provenance* pillar (per-atom justification
+//! records and `explain()`) lives in `dex-chase::provenance`, because
+//! it needs `Atom`/`Value`; the JSON it renders to comes from here.
+
+pub mod collect;
+pub mod event;
+pub mod json;
+pub mod metrics;
+
+pub use collect::{Collector, JsonlWriter, NullCollector, RingRecorder, SpanGuard, Tracer};
+pub use event::{Event, EventKind};
+pub use json::{parse, JsonParseError, JsonValue};
+pub use metrics::{Histogram, MetricsRegistry};

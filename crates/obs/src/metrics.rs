@@ -1,0 +1,268 @@
+//! A unified metrics registry: named counters, gauges and
+//! log₂-bucketed latency histograms.
+//!
+//! The stats structs scattered across the workspace (`ChaseStats`,
+//! `EnumStats`, `GovernedAnswers`, governor trip counts) each export
+//! *views* into one of these registries via their `export_metrics`
+//! methods, so a bench run can merge everything into a single JSON
+//! document. Histograms store only 65 bucket counts — p50/p95/p99 are
+//! derivable without retaining per-sample wall-clock data.
+
+use std::collections::BTreeMap;
+
+use crate::json::JsonValue;
+
+/// A latency histogram with power-of-two buckets. Bucket `k ≥ 1`
+/// counts samples in `[2^(k-1), 2^k - 1]`; bucket `0` counts zeros.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; 65],
+    total: u64,
+}
+
+// `[u64; 65]` has no derived `Default` (arrays cap at 32).
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: [0; 65],
+            total: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `k` (the value a quantile
+    /// query reports for samples landing in it).
+    fn bucket_hi(k: usize) -> u64 {
+        if k == 0 {
+            0
+        } else if k >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << k) - 1
+        }
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.counts[Histogram::bucket(value)] += 1;
+        self.total += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The nearest-rank quantile, reported as the upper bound of the
+    /// bucket the rank falls in (so it is an over-approximation by at
+    /// most 2x — the price of log₂ bucketing).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Histogram::bucket_hi(k));
+            }
+        }
+        unreachable!("total is the sum of the buckets");
+    }
+
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// `{"count":…, "p50":…, "p95":…, "p99":…, "buckets":[[k,count],…]}`
+    /// with only non-empty buckets listed.
+    pub fn to_json(&self) -> JsonValue {
+        let quant = |v: Option<u64>| v.map_or(JsonValue::Null, JsonValue::uint);
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| JsonValue::Arr(vec![JsonValue::uint(k as u64), JsonValue::uint(c)]))
+            .collect();
+        JsonValue::obj()
+            .with("count", JsonValue::uint(self.total))
+            .with("p50", quant(self.p50()))
+            .with("p95", quant(self.p95()))
+            .with("p99", quant(self.p99()))
+            .with("buckets", JsonValue::Arr(buckets))
+    }
+}
+
+/// Named counters, gauges and histograms. Key order is sorted
+/// (`BTreeMap`), so `to_json()` output is deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u128>,
+    gauges: BTreeMap<String, i128>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u128) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: i128) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one sample into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    pub fn counter(&self, name: &str) -> u128 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<i128> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges another registry: counters add, gauges last-write-win,
+    /// histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// `{"counters":{…},"gauges":{…},"histograms":{…}}`, keys sorted.
+    pub fn to_json(&self) -> JsonValue {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), JsonValue::UInt(v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, &v)| {
+                let v =
+                    i64::try_from(v).map_or_else(|_| JsonValue::Float(v as f64), JsonValue::Int);
+                (k.clone(), v)
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_json()))
+            .collect();
+        JsonValue::obj()
+            .with("counters", JsonValue::Obj(counters))
+            .with("gauges", JsonValue::Obj(gauges))
+            .with("histograms", JsonValue::Obj(histograms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 1);
+        assert_eq!(Histogram::bucket(2), 2);
+        assert_eq!(Histogram::bucket(3), 2);
+        assert_eq!(Histogram::bucket(4), 3);
+        assert_eq!(Histogram::bucket(1023), 10);
+        assert_eq!(Histogram::bucket(1024), 11);
+        assert_eq!(Histogram::bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_over_approximate_by_at_most_2x() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50().unwrap();
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99().unwrap();
+        assert!((990..=1023).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), Some(1023));
+        assert_eq!(Histogram::new().p95(), None);
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_and_buckets() {
+        let mut a = MetricsRegistry::new();
+        a.inc("chase.rounds", 2);
+        a.observe("lat", 100);
+        a.set_gauge("peak", 5);
+        let mut b = MetricsRegistry::new();
+        b.inc("chase.rounds", 3);
+        b.observe("lat", 200);
+        b.set_gauge("peak", 9);
+        a.merge(&b);
+        assert_eq!(a.counter("chase.rounds"), 5);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        assert_eq!(a.gauge("peak"), Some(9));
+    }
+
+    #[test]
+    fn registry_json_is_sorted_and_parses() {
+        let mut r = MetricsRegistry::new();
+        r.inc("b.count", 1);
+        r.inc("a.count", 2);
+        r.observe("lat_ns", 7);
+        let j = r.to_json();
+        let dumped = j.dump();
+        assert!(dumped.find("\"a.count\"").unwrap() < dumped.find("\"b.count\"").unwrap());
+        assert_eq!(crate::json::parse(&dumped).unwrap(), j);
+    }
+}

@@ -198,6 +198,70 @@ impl GovernedAnswers {
             .map(|i| i.reason)
             .unwrap_or(InterruptReason::Fuel)
     }
+
+    /// Internal consistency invariants; the governed test sweep asserts
+    /// this on every modal evaluation outcome.
+    pub fn validate(&self) -> Result<(), String> {
+        for t in &self.proven {
+            if self.refuted.contains(t) || self.undetermined.contains(t) {
+                return Err(format!("tuple {t:?} has more than one verdict"));
+            }
+        }
+        for t in &self.refuted {
+            if self.undetermined.contains(t) {
+                return Err(format!("tuple {t:?} is both refuted and undetermined"));
+            }
+        }
+        if self.interrupt.is_none() {
+            // A complete run settles everything: no tuple is left
+            // undetermined and absent tuples are definitely out.
+            if !self.undetermined.is_empty() {
+                return Err(format!(
+                    "complete run left {} tuples undetermined",
+                    self.undetermined.len()
+                ));
+            }
+            if self.default != Verdict::False {
+                return Err(format!(
+                    "complete run has non-False default {:?}",
+                    self.default
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The verdict sets as JSON; tuples render via `Value`'s display form.
+    pub fn to_json(&self) -> dex_obs::JsonValue {
+        use dex_obs::JsonValue;
+        let set = |answers: &Answers| {
+            JsonValue::Arr(
+                answers
+                    .iter()
+                    .map(|t| {
+                        JsonValue::Arr(t.iter().map(|v| JsonValue::str(v.to_string())).collect())
+                    })
+                    .collect(),
+            )
+        };
+        let default = match self.default {
+            Verdict::True => "true".to_string(),
+            Verdict::False => "false".to_string(),
+            Verdict::Unknown(r) => format!("unknown:{}", r.tag()),
+        };
+        JsonValue::obj()
+            .with("proven", set(&self.proven))
+            .with("refuted", set(&self.refuted))
+            .with("undetermined", set(&self.undetermined))
+            .with("default", JsonValue::str(default))
+            .with("complete", JsonValue::Bool(self.is_complete()))
+            .with(
+                "interrupt",
+                self.interrupt
+                    .as_ref()
+                    .map_or(JsonValue::Null, Interrupt::to_json),
+            )
+    }
 }
 
 /// [`certain_answers`] under a [`Governor`], ticked once per enumerated

@@ -81,6 +81,17 @@ impl fmt::Display for AnswerError {
 
 impl std::error::Error for AnswerError {}
 
+/// Debug-mode audit of every modal answer the engine hands out: the
+/// verdict sets must satisfy [`GovernedAnswers::validate`].
+fn checked(g: GovernedAnswers) -> GovernedAnswers {
+    debug_assert!(
+        g.validate().is_ok(),
+        "inconsistent governed answers: {:?}",
+        g.validate()
+    );
+    g
+}
+
 impl From<ChaseError> for AnswerError {
     fn from(e: ChaseError) -> AnswerError {
         AnswerError::Chase(e)
@@ -162,6 +173,7 @@ impl<'a> AnswerEngine<'a> {
                     .ok_or(AnswerError::EmptyRep)
             }
         }
+        .map(checked)
     }
 
     fn diamond_q(&self, q: &Query, t: &Instance) -> Result<Answers, AnswerError> {
@@ -193,13 +205,13 @@ impl<'a> AnswerEngine<'a> {
                                 // The membership test is per tuple, so
                                 // every examined tuple is decided; only
                                 // unexamined ones are unknown.
-                                return Ok(GovernedAnswers {
+                                return Ok(checked(GovernedAnswers {
                                     proven: out,
                                     refuted: rejected,
                                     undetermined: Answers::new(),
                                     default: Verdict::Unknown(i.reason),
                                     interrupt: Some(i),
-                                });
+                                }));
                             }
                         }
                         let tuple: Vec<dex_core::Value> = idx
@@ -214,7 +226,7 @@ impl<'a> AnswerEngine<'a> {
                         let mut k = 0;
                         loop {
                             if k == arity {
-                                return Ok(GovernedAnswers::complete(out));
+                                return Ok(checked(GovernedAnswers::complete(out)));
                             }
                             idx[k] += 1;
                             if idx[k] < pool.len() {
@@ -244,6 +256,7 @@ impl<'a> AnswerEngine<'a> {
                 g,
             )?),
         }
+        .map(checked)
     }
 
     /// All CWA-solutions, for the brute-force fallback.
@@ -320,6 +333,15 @@ impl<'a> AnswerEngine<'a> {
     /// status was settled before the governor tripped keep their definite
     /// `True`/`False`; the rest are `Unknown` with the trip reason.
     pub fn answers_governed(
+        &self,
+        q: &Query,
+        semantics: Semantics,
+        gov: &Governor,
+    ) -> Result<GovernedAnswers, AnswerError> {
+        self.answers_governed_impl(q, semantics, gov).map(checked)
+    }
+
+    fn answers_governed_impl(
         &self,
         q: &Query,
         semantics: Semantics,

@@ -56,6 +56,14 @@ impl Measurement {
         let idx = (self.samples_ns.len() * 95).div_ceil(100).max(1) - 1;
         self.samples_ns[idx.min(self.samples_ns.len() - 1)]
     }
+
+    /// [`Measurement::p95_ns`] only when there are enough samples for a
+    /// tail quantile to mean anything. With fewer than 10 runs the
+    /// nearest-rank p95 is just the maximum (or close to it) — report
+    /// `None` instead of a number that looks like a measured tail.
+    pub fn p95_ns_checked(&self) -> Option<u128> {
+        (self.samples_ns.len() >= 10).then(|| self.p95_ns())
+    }
 }
 
 fn fmt_ns(ns: u128) -> String {
@@ -176,6 +184,20 @@ mod tests {
         };
         assert_eq!(m.median_ns(), 42);
         assert_eq!(m.p95_ns(), 42);
+    }
+
+    #[test]
+    fn p95_needs_ten_samples() {
+        let m = Measurement {
+            name: "t".into(),
+            samples_ns: (0..3).collect(),
+        };
+        assert_eq!(m.p95_ns_checked(), None);
+        let m = Measurement {
+            name: "t".into(),
+            samples_ns: (0..10).collect(),
+        };
+        assert_eq!(m.p95_ns_checked(), Some(m.p95_ns()));
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Seeded fault-injection plans for governed searches.
 //!
-//! A [`FaultPlan`] is pure numbers — testkit depends on nothing, so the
-//! mapping from `reason_idx` to a concrete interrupt reason (and the
-//! construction of the governor itself, via `Governor::with_fault`)
-//! happens at the call site. What lives here is the deterministic
+//! A [`FaultPlan`] is pure numbers — testkit does not depend on
+//! dex-core, so the mapping from `reason_idx` to a concrete interrupt
+//! reason (and the construction of the governor itself, via
+//! `Governor::with_fault`) happens at the call site. What lives here is the deterministic
 //! derivation: the same seed always yields the same trip point, on every
 //! platform, so a failing fault-injection case can be replayed exactly
 //! by exporting `DEX_FAULT_SEED=<seed>`.
@@ -53,11 +53,29 @@ impl FaultPlan {
             None => (base..base + n).collect(),
         }
     }
+
+    /// The plan as a flat JSON object — what a failing sweep prints so
+    /// the case can be replayed via `DEX_FAULT_SEED`.
+    pub fn to_json(&self) -> dex_obs::JsonValue {
+        use dex_obs::JsonValue;
+        JsonValue::obj()
+            .with("seed", JsonValue::uint(self.seed))
+            .with("trip_at", JsonValue::uint(self.trip_at))
+            .with("reason_idx", JsonValue::uint(u64::from(self.reason_idx)))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn plan_json_round_trips() {
+        let p = FaultPlan::from_seed(7, 100);
+        let j = p.to_json();
+        assert_eq!(dex_obs::parse(&j.dump()).unwrap(), j);
+        assert_eq!(j.get("seed").and_then(|v| v.as_u128()), Some(7));
+    }
 
     #[test]
     fn same_seed_same_plan() {

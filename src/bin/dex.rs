@@ -3,6 +3,7 @@
 //! ```text
 //! dex analyze   <setting>                      acyclicity + classification
 //! dex chase     <setting> <source>             canonical universal solution
+//! dex explain   <setting> <source>             chase + justification chains (§4)
 //! dex core      <setting> <source>             minimal CWA-solution (Thm 5.1)
 //! dex cansol    <setting> <source>             maximal CWA-solution (Prop 5.4)
 //! dex check     <setting> <source> <target>    classify a target instance
@@ -12,6 +13,9 @@
 //!
 //! `<setting>`, `<source>`, `<target>` and `<query>` are file paths; if a
 //! path does not exist the argument itself is parsed as inline DSL text.
+//!
+//! `DEX_TRACE=<path>` makes `chase` and `explain` append a JSONL event
+//! trace of the run (see `dex-obs`).
 
 use cwa_dex::cwa::maximal_under_image;
 use cwa_dex::prelude::*;
@@ -34,6 +38,7 @@ fn usage() -> ExitCode {
         "usage:
   dex analyze   <setting>
   dex chase     <setting> <source>
+  dex explain   <setting> <source>
   dex core      <setting> <source>
   dex cansol    <setting> <source>
   dex check     <setting> <source> <target>
@@ -61,6 +66,7 @@ fn main() -> ExitCode {
     let result = match (cmd.as_str(), &args[1..]) {
         ("analyze", [setting]) => cmd_analyze(setting),
         ("chase", [setting, source]) => cmd_chase(setting, source),
+        ("explain", [setting, source]) => cmd_explain(setting, source),
         ("core", [setting, source]) => cmd_core(setting, source),
         ("cansol", [setting, source]) => cmd_cansol(setting, source),
         ("check", [setting, source, target]) => cmd_check(setting, source, target),
@@ -101,9 +107,42 @@ fn cmd_analyze(setting: &str) -> Result<(), String> {
 fn cmd_chase(setting: &str, source: &str) -> Result<(), String> {
     let d = parse_setting_arg(setting)?;
     let s = parse_instance_arg(source)?;
-    let out = chase(&d, &s, &ChaseBudget::default()).map_err(|e| e.to_string())?;
+    let budget = ChaseBudget::default();
+    let out = ChaseEngine::new(&d, &budget)
+        .with_tracer(cwa_dex::obs::Tracer::from_env())
+        .run(&s)
+        .map_err(|e| e.to_string())?;
     println!("steps: {}", out.steps);
     println!("{}", cwa_dex::logic::instance_to_dsl(&out.target));
+    Ok(())
+}
+
+fn cmd_explain(setting: &str, source: &str) -> Result<(), String> {
+    let d = parse_setting_arg(setting)?;
+    let s = parse_instance_arg(source)?;
+    let budget = ChaseBudget::default();
+    let out = ChaseEngine::new(&d, &budget)
+        .with_tracer(cwa_dex::obs::Tracer::from_env())
+        .with_provenance(true)
+        .run(&s)
+        .map_err(|e| e.to_string())?;
+    let prov = out
+        .provenance
+        .as_ref()
+        .expect("provenance was enabled on the engine");
+    for atom in out.target.sorted_atoms() {
+        let chain = prov
+            .explain(&atom)
+            .ok_or_else(|| format!("no justification chain for {atom}"))?;
+        println!("{chain}");
+        println!();
+    }
+    prov.verify_justified(&out.target)?;
+    println!(
+        "-- every atom justified ({} derivations, {} egd merges)",
+        prov.len(),
+        prov.merges().len()
+    );
     Ok(())
 }
 

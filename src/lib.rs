@@ -43,6 +43,7 @@ pub use dex_core as core;
 pub use dex_cwa as cwa;
 pub use dex_datagen as datagen;
 pub use dex_logic as logic;
+pub use dex_obs as obs;
 pub use dex_query as query;
 pub use dex_reductions as reductions;
 

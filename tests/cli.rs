@@ -45,6 +45,37 @@ fn chase_prints_canonical_solution() {
 }
 
 #[test]
+fn explain_prints_justification_chains_down_to_sources() {
+    let (ok, stdout, _) = dex(&["explain", SETTING, SOURCE]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("E(a,b) <- d1(M(a,b))"));
+    assert!(stdout.contains("M(a,b) <- source"));
+    assert!(stdout.contains("<- d3(F(a,_"));
+    assert!(stdout.contains("every atom justified"));
+}
+
+#[test]
+fn dex_trace_env_writes_a_jsonl_trace() {
+    let dir = std::env::temp_dir().join(format!("dex-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_dex"))
+        .args(["chase", SETTING, SOURCE])
+        .env("DEX_TRACE", &path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.lines().count() >= 4, "trace too short: {text}");
+    for line in text.lines() {
+        let v = cwa_dex::obs::parse(line).expect("trace line is valid JSON");
+        assert!(v.get("event").is_some(), "no event name in {line}");
+    }
+    assert!(text.contains("\"event\":\"chase_completed\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn core_is_smaller_than_chase_result() {
     let (_, chased, _) = dex(&["chase", SETTING, SOURCE]);
     let (ok, core, _) = dex(&["core", SETTING, SOURCE]);
