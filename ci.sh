@@ -32,6 +32,16 @@ mkdir -p target
 DEX_TRACE="$PWD/target/trace-smoke.jsonl" cargo test -q --locked --offline -p dex-bench --test trace_smoke
 test -s target/trace-smoke.jsonl || { echo "trace smoke left no target/trace-smoke.jsonl"; exit 1; }
 
+echo "== parallel smoke (DEX_THREADS=2; determinism mismatch fails) =="
+# The differential suite asserts parallel ≡ sequential per seed; running
+# it under DEX_THREADS=2 also routes the Pool::from_env() path through a
+# real 2-worker pool. The par scaling bench re-checks byte-identical
+# output at 1/2/4/8 threads on every measured configuration (its ≥2×
+# speedup gate only arms on machines reporting ≥4 CPUs, outside smoke).
+DEX_THREADS=2 cargo test -q --locked --offline -p dex-bench --test par
+DEX_BENCH_SMOKE=1 cargo bench -q --locked --offline -p dex-bench --bench par
+test -f BENCH_par.json || { echo "par bench did not write BENCH_par.json"; exit 1; }
+
 echo "== bench smoke (tiny sizes; any panic fails the run) =="
 # Includes the chase naive-vs-delta ablation, whose ChaseStats invariant
 # checks panic on violation — so stats consistency gates CI here too.

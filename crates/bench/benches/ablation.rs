@@ -2,7 +2,9 @@
 //!
 //! 1. the fail-first dynamic atom ordering in homomorphism search vs
 //!    static listing order;
-//! 2. iso-signature bucketing in isomorphism dedup vs pairwise checks.
+//! 2. iso-signature bucketing in isomorphism dedup vs pairwise checks;
+//! 3. the dense `Vec<Option<Value>>` binding slab in the backtracker's
+//!    bind/unbind/apply hot loop vs the tree-map it replaced.
 //!
 //! `cargo bench -p dex-bench --bench ablation`; set `DEX_BENCH_SMOKE=1`
 //! for a tiny-size smoke run (any panic exits nonzero).
@@ -90,9 +92,25 @@ fn bench_iso_dedup(h: &mut Harness) {
     }
 }
 
+fn bench_hom_bindings(h: &mut Harness) {
+    // Same chain-with-anchor family as the ordering ablation: the search
+    // does many bind/unbind/apply operations per solution, so the slab
+    // representation is what this measures.
+    for n in sizes(&[6, 8, 10], &[4]) {
+        let (from, to) = chain_with_anchor(n);
+        h.bench(&format!("hom_bindings/dense_slab/{n}"), || {
+            assert!(HomFinder::new(&from, &to).find().is_some());
+        });
+        h.bench(&format!("hom_bindings/tree_map/{n}"), || {
+            assert!(HomFinder::new(&from, &to).tree_bindings().find().is_some());
+        });
+    }
+}
+
 fn main() {
     let mut h = Harness::new("ablation");
     bench_hom_ordering(&mut h);
     bench_iso_dedup(&mut h);
+    bench_hom_bindings(&mut h);
     h.finish();
 }

@@ -1,0 +1,221 @@
+//! Scaling benchmarks for the deterministic worker pool (`dex-par`):
+//! the three fan-out hot paths — CWA-solution enumeration, core
+//! computation, and certain-answer evaluation — measured at 1/2/4/8
+//! threads on the same inputs, with the byte-identical-output contract
+//! asserted on every measured configuration.
+//!
+//! `cargo bench -p dex-bench --bench par`; set `DEX_BENCH_SMOKE=1` for a
+//! tiny-size smoke run (any panic exits nonzero). Every run dumps
+//! `BENCH_par.json` at the workspace root: per-bench medians plus a
+//! `scaling` table of median/speedup-vs-1-thread per workload × thread
+//! count. The ≥2× speedup gate at 4 threads only fires on machines that
+//! report ≥4 CPUs (and not in smoke mode, whose inputs are too small to
+//! amortize fan-out).
+
+use dex_chase::{canonical_universal_solution, ChaseBudget};
+use dex_core::{core_parallel, Instance, Pool};
+use dex_cwa::{enumerate_cwa_solutions_opts, EnumLimits, EnumOpts};
+use dex_logic::{parse_instance, parse_query, parse_setting};
+use dex_obs::JsonValue;
+use dex_query::{answer_pool, certain_answers_par, ModalLimits};
+use dex_testkit::bench::{smoke, Harness, Measurement};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One workload × thread-count cell of the scaling table.
+struct ScalingRow {
+    workload: String,
+    threads: usize,
+    median_ns: u128,
+}
+
+impl ScalingRow {
+    fn speedup_vs(&self, base_ns: u128) -> f64 {
+        if self.median_ns == 0 {
+            1.0
+        } else {
+            base_ns as f64 / self.median_ns as f64
+        }
+    }
+}
+
+/// Enumeration workload: Example 5.3's α-chase script tree, every script
+/// an independent chase replay — the widest fan-out in the engine.
+fn bench_enumeration(h: &mut Harness, rows: &mut Vec<ScalingRow>) {
+    let setting = parse_setting(
+        "source { P/1 }
+         target { E/3, F/3 }
+         st { d1: P(x) -> exists z1,z2,z3,z4 . E(x,z1,z3) & E(x,z2,z4); }
+         t { d2: E(x,x1,y) & E(x,x2,y) -> F(x,x1,x2); }",
+    )
+    .unwrap();
+    let n = if smoke() { 1 } else { 2 };
+    let atoms: String = (1..=n).map(|i| format!("P({i}). ")).collect();
+    let s = parse_instance(&atoms).unwrap();
+    let limits = EnumLimits {
+        nulls_only: true,
+        ..EnumLimits::default()
+    };
+    let baseline = enumerate_cwa_solutions_opts(&setting, &s, &limits, &EnumOpts::seq()).0;
+    for t in THREADS {
+        let opts = EnumOpts::seq().with_pool(Pool::new(t));
+        h.bench(&format!("enumerate_example_5_3/threads/{t}"), || {
+            let (sols, _) = enumerate_cwa_solutions_opts(&setting, &s, &limits, &opts);
+            assert_eq!(sols, baseline, "enumeration output differs at {t} threads");
+        });
+        rows.push(ScalingRow {
+            workload: "enumeration".into(),
+            threads: t,
+            median_ns: h.results().last().unwrap().median_ns(),
+        });
+    }
+}
+
+/// Core workload: retract-candidate evaluation over the canonical
+/// universal solution of the scaled Example 2.1 source.
+fn bench_core(h: &mut Harness, rows: &mut Vec<ScalingRow>) {
+    let setting = parse_setting(
+        "source { M/2, N/2 }
+         target { E/2, F/2, G/2 }
+         st {
+           d1: M(x1,x2) -> E(x1,x2);
+           d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2);
+         }
+         t {
+           d3: F(y,x) -> exists z . G(x,z);
+           d4: F(x,y) & F(x,z) -> y = z;
+         }",
+    )
+    .unwrap();
+    let n = if smoke() { 4 } else { 16 };
+    let s = dex_datagen::example_2_1_scaled(n);
+    let canon = canonical_universal_solution(&setting, &s, &ChaseBudget::default()).unwrap();
+    let baseline = core_parallel(&canon, &Pool::seq());
+    for t in THREADS {
+        let pool = Pool::new(t);
+        h.bench(&format!("core_of_canonical/threads/{t}"), || {
+            let c = core_parallel(&canon, &pool);
+            assert_eq!(c, baseline, "core differs at {t} threads");
+        });
+        rows.push(ScalingRow {
+            workload: "core".into(),
+            threads: t,
+            median_ns: h.results().last().unwrap().median_ns(),
+        });
+    }
+}
+
+/// Certain-answer workload: □Q over the full valuation space of a
+/// null-heavy target — the valuation ranges split across workers.
+fn bench_certain_answers(h: &mut Harness, rows: &mut Vec<ScalingRow>) {
+    let setting = parse_setting(
+        "source { P/1 }
+         target { F/2 }
+         st { P(x) -> exists z . F(x,z); }",
+    )
+    .unwrap();
+    let nulls = if smoke() { 2 } else { 6 };
+    let atoms: String = (1..=nulls).map(|i| format!("F(a,_{i}). ")).collect();
+    let t_inst: Instance = parse_instance(&atoms).unwrap();
+    let q = parse_query("Q(x) :- F(a,x)").unwrap();
+    let pool = answer_pool(&t_inst, &q, []);
+    let limits = ModalLimits::default();
+    let baseline = certain_answers_par(&setting, &q, &t_inst, &pool, &limits, &Pool::seq())
+        .unwrap()
+        .unwrap();
+    for t in THREADS {
+        let exec = Pool::new(t);
+        h.bench(&format!("certain_answers/threads/{t}"), || {
+            let ans = certain_answers_par(&setting, &q, &t_inst, &pool, &limits, &exec)
+                .unwrap()
+                .unwrap();
+            assert_eq!(ans, baseline, "certain answers differ at {t} threads");
+        });
+        rows.push(ScalingRow {
+            workload: "certain_answers".into(),
+            threads: t,
+            median_ns: h.results().last().unwrap().median_ns(),
+        });
+    }
+}
+
+fn measurement_json(m: &Measurement) -> JsonValue {
+    JsonValue::obj()
+        .with("name", JsonValue::str(m.name.clone()))
+        .with("median_ns", JsonValue::UInt(m.median_ns()))
+        .with(
+            "p95_ns",
+            m.p95_ns_checked().map_or(JsonValue::Null, JsonValue::UInt),
+        )
+        .with("runs", JsonValue::uint(m.samples_ns.len() as u64))
+}
+
+fn dump_json(measurements: &[Measurement], rows: &[ScalingRow], cpus: usize) {
+    let base = |workload: &str| {
+        rows.iter()
+            .find(|r| r.workload == workload && r.threads == 1)
+            .map(|r| r.median_ns)
+            .unwrap_or(0)
+    };
+    let doc = JsonValue::obj()
+        .with("group", JsonValue::str("par"))
+        .with("cpus", JsonValue::uint(cpus as u64))
+        .with("smoke", JsonValue::Bool(smoke()))
+        .with(
+            "benches",
+            JsonValue::Arr(measurements.iter().map(measurement_json).collect()),
+        )
+        .with(
+            "scaling",
+            JsonValue::Arr(
+                rows.iter()
+                    .map(|r| {
+                        JsonValue::obj()
+                            .with("workload", JsonValue::str(r.workload.clone()))
+                            .with("threads", JsonValue::uint(r.threads as u64))
+                            .with("median_ns", JsonValue::UInt(r.median_ns))
+                            .with(
+                                "speedup_vs_1",
+                                JsonValue::Float(r.speedup_vs(base(&r.workload))),
+                            )
+                    })
+                    .collect(),
+            ),
+        );
+    let out = doc.pretty() + "\n";
+    dex_obs::parse(&out).expect("BENCH_par.json must be valid JSON");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_par.json");
+    std::fs::write(&path, out).expect("write BENCH_par.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    // `with_min_runs` keeps p95 non-null for this group even in smoke
+    // mode: the scaling table is the artifact CI archives, and a null
+    // tail quantile there reads as a missing measurement.
+    let mut h = Harness::new("par").with_min_runs(10);
+    let mut rows: Vec<ScalingRow> = Vec::new();
+    bench_enumeration(&mut h, &mut rows);
+    bench_core(&mut h, &mut rows);
+    bench_certain_answers(&mut h, &mut rows);
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // The acceptance gate: ≥2× at 4 threads on enumeration — only
+    // meaningful with ≥4 real CPUs and full-size inputs.
+    if cpus >= 4 && !smoke() {
+        let median = |t: usize| {
+            rows.iter()
+                .find(|r| r.workload == "enumeration" && r.threads == t)
+                .unwrap()
+                .median_ns
+        };
+        let speedup = median(1) as f64 / median(4).max(1) as f64;
+        assert!(
+            speedup >= 2.0,
+            "enumeration speedup at 4 threads is {speedup:.2}x, expected >= 2x"
+        );
+    }
+    dump_json(h.results(), &rows, cpus);
+    h.finish();
+}

@@ -42,6 +42,7 @@ fn run_certain(setting: &Setting, source: &Instance, q: &Query) -> usize {
             max_valuations: 500_000_000,
         },
         enum_limits: Default::default(),
+        ..AnswerConfig::default()
     };
     let engine = AnswerEngine::new(setting, source, config).expect("solutions exist");
     engine

@@ -86,6 +86,30 @@ impl ChaseStats {
         Ok(())
     }
 
+    /// Folds another run's counters into this one. Used by `dex-cwa`'s
+    /// parallel enumerator to combine per-replay stats after a fan-out
+    /// join; every field merge is commutative and associative, so the
+    /// aggregate is independent of worker scheduling. Counters and phase
+    /// times sum. `peak_atoms` also sums: the replays ran concurrently,
+    /// so the sum of per-run peaks bounds the process-wide peak and
+    /// keeps `atoms_inserted <= peak_atoms` valid. `max_round_delta_rows`
+    /// takes the max (it is a per-round high-water mark, not a total).
+    pub fn merge(&mut self, other: &ChaseStats) {
+        self.tgd_steps += other.tgd_steps;
+        self.egd_steps += other.egd_steps;
+        self.triggers_examined += other.triggers_examined;
+        self.triggers_fired += other.triggers_fired;
+        self.rounds += other.rounds;
+        self.delta_rows_processed += other.delta_rows_processed;
+        self.max_round_delta_rows = self.max_round_delta_rows.max(other.max_round_delta_rows);
+        self.atoms_inserted += other.atoms_inserted;
+        self.rows_rewritten += other.rows_rewritten;
+        self.peak_atoms += other.peak_atoms;
+        self.egd_time_ns += other.egd_time_ns;
+        self.tgd_time_ns += other.tgd_time_ns;
+        self.total_time_ns += other.total_time_ns;
+    }
+
     /// The counters as a flat JSON object.
     pub fn json_value(&self) -> dex_obs::JsonValue {
         use dex_obs::JsonValue;
@@ -226,6 +250,56 @@ mod tests {
             ..Default::default()
         };
         assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn merge_preserves_validity_and_is_order_independent() {
+        let a = ChaseStats {
+            tgd_steps: 3,
+            triggers_fired: 3,
+            triggers_examined: 7,
+            rounds: 2,
+            delta_rows_processed: 10,
+            max_round_delta_rows: 6,
+            atoms_inserted: 3,
+            peak_atoms: 12,
+            egd_time_ns: 5,
+            tgd_time_ns: 7,
+            total_time_ns: 20,
+            ..Default::default()
+        };
+        let b = ChaseStats {
+            tgd_steps: 1,
+            triggers_fired: 1,
+            triggers_examined: 4,
+            egd_steps: 2,
+            rounds: 1,
+            delta_rows_processed: 4,
+            max_round_delta_rows: 4,
+            atoms_inserted: 1,
+            rows_rewritten: 2,
+            peak_atoms: 5,
+            egd_time_ns: 1,
+            tgd_time_ns: 2,
+            total_time_ns: 9,
+            ..Default::default()
+        };
+        assert!(a.validate().is_ok() && b.validate().is_ok());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert!(ab.validate().is_ok());
+        assert_eq!(ab.tgd_steps, 4);
+        assert_eq!(ab.rounds, 3);
+        assert_eq!(ab.max_round_delta_rows, 6); // max, not sum
+        assert_eq!(ab.peak_atoms, 17); // sum: replays run concurrently
+        assert_eq!(ab.total_time_ns, 29);
+        // Merging the default is the identity.
+        let mut id = a.clone();
+        id.merge(&ChaseStats::default());
+        assert_eq!(id, a);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::govern::{Governor, Interrupt};
 use crate::homomorphism::{HomFinder, Homomorphism};
 use crate::instance::Instance;
 use crate::value::NullId;
+use dex_par::Pool;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Union-find over null ids.
@@ -128,6 +129,66 @@ pub fn core(inst: &Instance) -> Instance {
     t
 }
 
+/// The flattened retract candidates of `inst`, in the exact order the
+/// sequential [`retract_step`] tries them: components in block order,
+/// atoms in component order. Shared by the parallel retract searches so
+/// the first-in-submission-order winner is the sequential winner.
+fn retract_candidates(inst: &Instance) -> (Vec<Instance>, Vec<(usize, Atom)>) {
+    let comps = atom_components(inst);
+    let comp_insts: Vec<Instance> = comps
+        .iter()
+        .map(|c| Instance::from_atoms(c.iter().cloned()))
+        .collect();
+    let candidates: Vec<(usize, Atom)> = comps
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, c)| c.iter().map(move |a| (ci, a.clone())))
+        .collect();
+    (comp_insts, candidates)
+}
+
+/// Applies the winning retract homomorphism: remap the component, keep
+/// the rest of the instance untouched.
+fn apply_retract(inst: &Instance, comp_inst: &Instance, h: &Homomorphism) -> Instance {
+    let mut out = Instance::new();
+    for a in inst.atoms() {
+        if comp_inst.contains(&a) {
+            out.insert(h.apply_atom(&a));
+        } else {
+            out.insert(a);
+        }
+    }
+    out
+}
+
+/// [`retract_step`] with the per-candidate hom searches fanned out on
+/// `pool`. Keeps the first-in-submission-order successful retract, so the
+/// step — and therefore the computed core — is identical to the
+/// sequential iteration for any thread count.
+fn retract_step_parallel(inst: &Instance, pool: &Pool) -> Option<Instance> {
+    let (comp_insts, candidates) = retract_candidates(inst);
+    let (idx, h) = pool.find_first(&candidates, |_, (ci, atom)| {
+        HomFinder::new(&comp_insts[*ci], inst)
+            .forbid_atom(atom)
+            .find()
+    })?;
+    let (ci, _) = &candidates[idx];
+    let out = apply_retract(inst, &comp_insts[*ci], &h);
+    debug_assert!(out.len() < inst.len());
+    debug_assert!(out.is_subinstance_of(inst));
+    Some(out)
+}
+
+/// [`core`] with every retract step's candidate searches run on `pool`.
+/// Byte-identical to [`core`] for any thread count.
+pub fn core_parallel(inst: &Instance, pool: &Pool) -> Instance {
+    let mut t = inst.clone();
+    while let Some(smaller) = retract_step_parallel(&t, pool) {
+        t = smaller;
+    }
+    t
+}
+
 /// Whether a governed core computation ran to the fixpoint.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CoreStatus {
@@ -191,6 +252,64 @@ fn retract_step_governed(inst: &Instance, gov: &Governor) -> Result<Option<Insta
         }
     }
     Ok(None)
+}
+
+/// [`retract_step_parallel`] under a shared [`Governor`]: every worker
+/// ticks the same budget. `Err` means the winning candidate — the
+/// first-in-submission-order one that returned anything — was interrupted
+/// before a retract of the current instance was found.
+fn retract_step_parallel_governed(
+    inst: &Instance,
+    gov: &Governor,
+    pool: &Pool,
+) -> Result<Option<Instance>, Interrupt> {
+    let (comp_insts, candidates) = retract_candidates(inst);
+    let winner = pool.find_first(&candidates, |_, (ci, atom)| {
+        match HomFinder::new(&comp_insts[*ci], inst)
+            .forbid_atom(atom)
+            .find_governed(gov)
+        {
+            Ok(Some(h)) => Some(Ok(h)),
+            Ok(None) => None,
+            Err(i) => Some(Err(i)),
+        }
+    });
+    match winner {
+        None => Ok(None),
+        Some((_, Err(i))) => Err(i),
+        Some((idx, Ok(h))) => {
+            let (ci, _) = &candidates[idx];
+            let out = apply_retract(inst, &comp_insts[*ci], &h);
+            emit_retract(gov, inst.len(), out.len());
+            Ok(Some(out))
+        }
+    }
+}
+
+/// [`core_governed`] with the candidate searches on `pool`, one governor
+/// budget shared by all workers via its atomic counters. Completed runs
+/// are byte-identical to the sequential core; interrupted runs degrade
+/// the same way [`core_governed`] does (best retract so far, tagged
+/// [`CoreStatus::MaybeNotMinimal`]).
+pub fn core_parallel_governed(inst: &Instance, gov: &Governor, pool: &Pool) -> GovernedCore {
+    let mut t = inst.clone();
+    loop {
+        match retract_step_parallel_governed(&t, gov, pool) {
+            Ok(Some(smaller)) => t = smaller,
+            Ok(None) => {
+                return GovernedCore {
+                    instance: t,
+                    status: CoreStatus::Minimal,
+                }
+            }
+            Err(i) => {
+                return GovernedCore {
+                    instance: t,
+                    status: CoreStatus::MaybeNotMinimal(i),
+                }
+            }
+        }
+    }
 }
 
 /// [`core`] under a [`Governor`]: graceful degradation instead of an
@@ -471,6 +590,63 @@ mod tests {
         // The degraded result is still a sound retract of the input.
         assert!(gc.instance.is_subinstance_of(&i));
         assert!(hom_equivalent(&gc.instance, &i));
+    }
+
+    #[test]
+    fn parallel_core_is_byte_identical_across_thread_counts() {
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![c("a"), c("b")]),
+            Atom::of("E", vec![c("a"), n(1)]),
+            Atom::of("E", vec![c("a"), n(2)]),
+            Atom::of("F", vec![c("a"), n(3)]),
+            Atom::of("G", vec![n(3), n(4)]),
+            Atom::of("E", vec![n(5), n(6)]),
+            Atom::of("E", vec![n(6), n(5)]),
+            Atom::of("E", vec![n(7), n(8)]),
+            Atom::of("E", vec![n(8), n(7)]),
+        ]);
+        let seq = core(&i);
+        for threads in [1, 2, 4, 8] {
+            let par = core_parallel(&i, &Pool::new(threads));
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_governed_core_completes_like_sequential() {
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![c("a"), c("b")]),
+            Atom::of("E", vec![c("a"), n(1)]),
+            Atom::of("F", vec![c("a"), n(3)]),
+            Atom::of("G", vec![n(3), n(4)]),
+        ]);
+        for threads in [1, 4] {
+            let gov = Governor::unlimited();
+            let gc = core_parallel_governed(&i, &gov, &Pool::new(threads));
+            assert!(gc.is_minimal());
+            assert_eq!(gc.instance, core(&i));
+        }
+    }
+
+    #[test]
+    fn parallel_governed_core_interrupts_with_same_reason() {
+        let i = Instance::from_atoms([
+            Atom::of("E", vec![c("a"), c("b")]),
+            Atom::of("E", vec![c("a"), n(1)]),
+            Atom::of("E", vec![c("a"), n(2)]),
+            Atom::of("F", vec![c("a"), n(3)]),
+            Atom::of("G", vec![n(3), n(4)]),
+        ]);
+        for threads in [1, 2, 8] {
+            let gov = Governor::unlimited().with_fault(3, crate::govern::InterruptReason::Memory);
+            let gc = core_parallel_governed(&i, &gov, &Pool::new(threads));
+            let CoreStatus::MaybeNotMinimal(int) = &gc.status else {
+                panic!("fault must interrupt: {:?}", gc.status)
+            };
+            assert_eq!(int.reason, crate::govern::InterruptReason::Memory);
+            assert!(gc.instance.is_subinstance_of(&i));
+            assert!(hom_equivalent(&gc.instance, &i));
+        }
     }
 
     #[test]

@@ -20,9 +20,8 @@
 //! and the chase drivers' phase timings, so tests can fabricate
 //! deadlines without sleeping.
 
-use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -255,10 +254,17 @@ pub struct Governor {
     mem_limit: usize,
     cancel: Option<Arc<AtomicBool>>,
     tracer: Tracer,
-    ticks: Cell<u64>,
-    checks: Cell<u64>,
-    mem_peak: Cell<usize>,
-    trips: Cell<u64>,
+    // Relaxed atomics, not `Cell`s, so one governor budget can be shared
+    // by a `dex-par` worker pool (`&Governor` is `Sync`). Counters use
+    // plain load + store — exact when single-threaded (the trip tick is
+    // deterministic, which fault-plan replay relies on); under sharing,
+    // concurrent increments may be lost, so the counts are approximate
+    // lower bounds but each limit still trips within a bounded overshoot
+    // (every worker's own increments are observed by its own checks).
+    ticks: AtomicU64,
+    checks: AtomicU64,
+    mem_peak: AtomicUsize,
+    trips: AtomicU64,
 }
 
 impl fmt::Debug for Governor {
@@ -269,7 +275,7 @@ impl fmt::Debug for Governor {
             .field("deadline_ns", &self.deadline_ns)
             .field("mem_limit", &self.mem_limit)
             .field("cancelled", &self.is_cancelled())
-            .field("ticks", &self.ticks.get())
+            .field("ticks", &self.ticks())
             .finish()
     }
 }
@@ -301,10 +307,10 @@ impl Governor {
             mem_limit: usize::MAX,
             cancel: None,
             tracer: Tracer::off(),
-            ticks: Cell::new(0),
-            checks: Cell::new(0),
-            mem_peak: Cell::new(0),
-            trips: Cell::new(0),
+            ticks: AtomicU64::new(0),
+            checks: AtomicU64::new(0),
+            mem_peak: AtomicUsize::new(0),
+            trips: AtomicU64::new(0),
         }
     }
 
@@ -367,12 +373,12 @@ impl Governor {
 
     /// Ticks consumed so far.
     pub fn ticks(&self) -> u64 {
-        self.ticks.get()
+        self.ticks.load(Ordering::Relaxed)
     }
 
     /// Full (deadline/cancel) evaluations performed so far.
     pub fn checks(&self) -> u64 {
-        self.checks.get()
+        self.checks.load(Ordering::Relaxed)
     }
 
     /// True iff an attached cancel flag is raised.
@@ -384,38 +390,41 @@ impl Governor {
 
     fn progress(&self) -> Progress {
         Progress {
-            ticks: self.ticks.get(),
-            checks: self.checks.get(),
-            mem_peak: self.mem_peak.get(),
+            ticks: self.ticks(),
+            checks: self.checks(),
+            mem_peak: self.mem_peak.load(Ordering::Relaxed),
         }
     }
 
     /// Interrupts constructed (trips). More than one is possible when
     /// a caller probes a tripped governor again via `force_check`.
     pub fn trips(&self) -> u64 {
-        self.trips.get()
+        self.trips.load(Ordering::Relaxed)
     }
 
     /// Exports this governor's counters into a metrics registry under
     /// `prefix` (e.g. `prefix = "governor"` yields `governor.ticks`).
     pub fn export_metrics(&self, registry: &mut MetricsRegistry, prefix: &str) {
-        registry.inc(&format!("{prefix}.ticks"), u128::from(self.ticks.get()));
-        registry.inc(&format!("{prefix}.checks"), u128::from(self.checks.get()));
-        registry.inc(&format!("{prefix}.trips"), u128::from(self.trips.get()));
-        registry.set_gauge(&format!("{prefix}.mem_peak"), self.mem_peak.get() as i128);
+        registry.inc(&format!("{prefix}.ticks"), u128::from(self.ticks()));
+        registry.inc(&format!("{prefix}.checks"), u128::from(self.checks()));
+        registry.inc(&format!("{prefix}.trips"), u128::from(self.trips()));
+        registry.set_gauge(
+            &format!("{prefix}.mem_peak"),
+            self.mem_peak.load(Ordering::Relaxed) as i128,
+        );
     }
 
     /// Builds the [`Interrupt`] this governor would report for `reason`.
     /// This is the single construction point for interrupts, so it is
     /// also where trips are counted and the trip event is emitted.
     pub fn interrupt(&self, reason: InterruptReason) -> Interrupt {
-        self.trips.set(self.trips.get() + 1);
+        self.trips.fetch_add(1, Ordering::Relaxed);
         if self.tracer.enabled() {
             self.tracer.emit(
                 self.clock.now_ns(),
                 EventKind::GovernorTripped {
                     reason: reason.tag().to_string(),
-                    ticks: self.ticks.get(),
+                    ticks: self.ticks(),
                 },
             );
         }
@@ -431,8 +440,8 @@ impl Governor {
     /// of work — callers tick per *cheap* unit, not per phase).
     #[inline]
     pub fn check(&self) -> Result<(), Interrupt> {
-        let t = self.ticks.get() + 1;
-        self.ticks.set(t);
+        let t = self.ticks.load(Ordering::Relaxed) + 1;
+        self.ticks.store(t, Ordering::Relaxed);
         if t >= self.trip_at {
             let reason = if t >= self.fault_at {
                 self.fault_reason
@@ -452,9 +461,7 @@ impl Governor {
     /// fails if it exceeds the limit. Evaluated unconditionally — call
     /// at allocation-ish granularity, not per instruction.
     pub fn check_mem(&self, mem: usize) -> Result<(), Interrupt> {
-        if mem > self.mem_peak.get() {
-            self.mem_peak.set(mem);
-        }
+        self.mem_peak.fetch_max(mem, Ordering::Relaxed);
         if mem > self.mem_limit {
             return Err(self.interrupt(InterruptReason::Memory));
         }
@@ -464,8 +471,8 @@ impl Governor {
     /// Evaluates deadline and cancel immediately, bypassing the
     /// amortization (for phase boundaries and coarse outer loops).
     pub fn force_check(&self) -> Result<(), Interrupt> {
-        if self.ticks.get() >= self.trip_at {
-            let reason = if self.ticks.get() >= self.fault_at {
+        if self.ticks() >= self.trip_at {
+            let reason = if self.ticks() >= self.fault_at {
                 self.fault_reason
             } else {
                 InterruptReason::Fuel
@@ -477,7 +484,7 @@ impl Governor {
 
     #[cold]
     fn slow_check(&self) -> Result<(), Interrupt> {
-        self.checks.set(self.checks.get() + 1);
+        self.checks.fetch_add(1, Ordering::Relaxed);
         if self.is_cancelled() {
             return Err(self.interrupt(InterruptReason::Cancelled));
         }

@@ -98,10 +98,14 @@ pub fn dedup_up_to_iso(instances: Vec<Instance>) -> Vec<Instance> {
 }
 
 /// An online deduplicator for streams of instances, up to isomorphism.
+/// Representatives keep *insertion order* — the hash buckets are only an
+/// index — so a deterministic input stream yields a deterministic output
+/// list (the parallel enumerator's byte-identical guarantee relies on
+/// this; `HashMap` iteration order would be seed-dependent).
 #[derive(Default)]
 pub struct IsoDeduper {
-    buckets: std::collections::HashMap<u64, Vec<Instance>>,
-    count: usize,
+    buckets: std::collections::HashMap<u64, Vec<usize>>,
+    reps: Vec<Instance>,
 }
 
 impl IsoDeduper {
@@ -113,26 +117,27 @@ impl IsoDeduper {
     pub fn insert(&mut self, inst: Instance) -> bool {
         let sig = iso_signature(&inst);
         let bucket = self.buckets.entry(sig).or_default();
-        if bucket.iter().any(|j| isomorphic(j, &inst)) {
+        if bucket.iter().any(|&k| isomorphic(&self.reps[k], &inst)) {
             return false;
         }
-        bucket.push(inst);
-        self.count += 1;
+        bucket.push(self.reps.len());
+        self.reps.push(inst);
         true
     }
 
     /// Number of distinct classes seen.
     pub fn len(&self) -> usize {
-        self.count
+        self.reps.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.count == 0
+        self.reps.is_empty()
     }
 
-    /// Consumes the deduper, returning one representative per class.
+    /// Consumes the deduper, returning one representative per class, in
+    /// first-insertion order.
     pub fn into_representatives(self) -> Vec<Instance> {
-        self.buckets.into_values().flatten().collect()
+        self.reps
     }
 }
 
@@ -242,5 +247,25 @@ mod tests {
         assert!(d.insert(Instance::from_atoms([Atom::of("G", vec![n(1), n(1)])])));
         assert_eq!(d.len(), 2);
         assert_eq!(d.into_representatives().len(), 2);
+    }
+
+    #[test]
+    fn iso_deduper_preserves_first_insertion_order() {
+        // Three pairwise non-isomorphic instances interleaved with
+        // duplicates: representatives must come back in the order their
+        // classes were first seen, independent of hash-bucket layout.
+        let one = Instance::from_atoms([Atom::of("G", vec![n(1), n(2)])]);
+        let two = Instance::from_atoms([Atom::of("G", vec![n(1), n(1)])]);
+        let three = Instance::from_atoms([Atom::of("G", vec![c("a"), n(1)])]);
+        let mut d = IsoDeduper::new();
+        d.insert(two.clone());
+        d.insert(one.clone());
+        d.insert(Instance::from_atoms([Atom::of("G", vec![n(9), n(9)])]));
+        d.insert(three.clone());
+        let reps = d.into_representatives();
+        assert_eq!(reps.len(), 3);
+        assert!(isomorphic(&reps[0], &two));
+        assert!(isomorphic(&reps[1], &one));
+        assert!(isomorphic(&reps[2], &three));
     }
 }

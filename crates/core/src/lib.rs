@@ -28,9 +28,12 @@ pub mod value;
 
 pub use atom::Atom;
 pub use core_of::{
-    core, core_governed, core_with_hom, core_with_hom_governed, is_core, null_blocks, CoreStatus,
-    GovernedCore,
+    core, core_governed, core_parallel, core_parallel_governed, core_with_hom,
+    core_with_hom_governed, is_core, null_blocks, CoreStatus, GovernedCore,
 };
+// Re-exported so higher layers can size worker pools without a separate
+// `dex-par` dependency line.
+pub use dex_par::{chunk_ranges, Pool};
 pub use govern::{
     Clock, Governor, Interrupt, InterruptReason, MockClock, Progress, Verdict, CHECK_INTERVAL,
 };

@@ -105,6 +105,36 @@ impl ValuationIter {
     pub fn total(&self) -> u128 {
         (self.pool.len() as u128).saturating_pow(self.nulls.len() as u32)
     }
+
+    /// The iterator positioned at the `start`-th valuation of the
+    /// odometer order (so it yields `total() - start` valuations, or
+    /// none if `start >= total()`). Parallel drivers use this to split
+    /// the valuation space into contiguous index ranges: the `k`-th
+    /// valuation has digit `i` equal to `(k / pool^i) % pool`, digit 0
+    /// fastest — exactly the order [`ValuationIter::new`] yields.
+    pub fn from_index(
+        nulls: impl IntoIterator<Item = NullId>,
+        pool: Vec<Symbol>,
+        start: u128,
+    ) -> ValuationIter {
+        let mut it = ValuationIter::new(nulls, pool);
+        if start == 0 {
+            return it;
+        }
+        if start >= it.total() {
+            it.digits = None;
+            return it;
+        }
+        let p = it.pool.len() as u128;
+        if let Some(digits) = &mut it.digits {
+            let mut rest = start;
+            for d in digits.iter_mut() {
+                *d = (rest % p) as usize;
+                rest /= p;
+            }
+        }
+        it
+    }
 }
 
 impl Iterator for ValuationIter {
@@ -210,6 +240,36 @@ mod tests {
     fn empty_pool_with_nulls_yields_nothing() {
         let vals: Vec<Valuation> = ValuationIter::new([NullId(0)], vec![]).collect();
         assert!(vals.is_empty());
+    }
+
+    #[test]
+    fn from_index_agrees_with_skip() {
+        let nulls = [NullId(0), NullId(1), NullId(2)];
+        let pool = vec![c("a"), c("b"), c("x")];
+        let all: Vec<Valuation> = ValuationIter::new(nulls, pool.clone()).collect();
+        assert_eq!(all.len(), 27);
+        for start in [0usize, 1, 2, 3, 8, 13, 26, 27, 100] {
+            let tail: Vec<Valuation> =
+                ValuationIter::from_index(nulls, pool.clone(), start as u128).collect();
+            assert_eq!(tail, all[start.min(all.len())..].to_vec(), "start {start}");
+        }
+    }
+
+    #[test]
+    fn chunked_ranges_cover_the_valuation_space_exactly() {
+        let nulls = [NullId(3), NullId(9)];
+        let pool = vec![c("a"), c("b"), c("x"), c("y")];
+        let all: Vec<Valuation> = ValuationIter::new(nulls, pool.clone()).collect();
+        for parts in [1usize, 2, 3, 5, 16, 100] {
+            let mut glued: Vec<Valuation> = Vec::new();
+            for (lo, hi) in crate::chunk_ranges(all.len() as u64, parts) {
+                glued.extend(
+                    ValuationIter::from_index(nulls, pool.clone(), lo as u128)
+                        .take((hi - lo) as usize),
+                );
+            }
+            assert_eq!(glued, all, "parts {parts}");
+        }
     }
 
     #[test]

@@ -14,12 +14,23 @@
 //! entry. By Lemma 4.5 the result per α is strategy-independent, so
 //! enumerating scripts enumerates all CWA-presolutions (up to iso) within
 //! the limits.
+//!
+//! Replays are independent — each is a pure function of its script — so
+//! the enumerator fans waves of pending scripts out over a [`Pool`]
+//! ([`EnumOpts`]). The wave size is a fixed constant and outcomes are
+//! consumed strictly in submission order, so results, stats and traces
+//! are byte-identical for every thread count.
 
-use dex_chase::{alpha_chase, AlphaOutcome, AlphaSource, ChaseBudget, ChaseError, Justification};
+use dex_chase::{
+    alpha_chase, AlphaOutcome, AlphaSource, ChaseBudget, ChaseEngine, ChaseError, ChaseStats,
+    Justification,
+};
 use dex_core::govern::Interrupt;
-use dex_core::{has_homomorphism, Instance, IsoDeduper, NullGen, Symbol, Value};
+use dex_core::{has_homomorphism, Instance, IsoDeduper, NullGen, Pool, Symbol, Value};
 use dex_logic::Setting;
+use dex_obs::{RingRecorder, Tracer};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Limits for the enumeration.
 #[derive(Clone, Debug)]
@@ -46,6 +57,66 @@ impl Default for EnumLimits {
         }
     }
 }
+
+/// Execution options for the enumerator, kept separate from the logical
+/// [`EnumLimits`]: which worker pool script replays run on, and where
+/// their trace events go. The default is sequential and untraced, so the
+/// plain entry points behave exactly as before.
+#[derive(Clone, Debug)]
+pub struct EnumOpts {
+    /// Pool that α-chase replays are fanned out on. Any thread count
+    /// produces byte-identical results; see [`WAVE`].
+    pub pool: Pool,
+    /// Sink for chase trace events. When enabled, each replay records
+    /// into a private ring re-emitted after the join in submission
+    /// order, so the stream is deterministic under parallelism.
+    pub tracer: Tracer,
+}
+
+impl Default for EnumOpts {
+    fn default() -> EnumOpts {
+        EnumOpts {
+            pool: Pool::seq(),
+            tracer: Tracer::off(),
+        }
+    }
+}
+
+impl EnumOpts {
+    /// Sequential, untraced (the default).
+    pub fn seq() -> EnumOpts {
+        EnumOpts::default()
+    }
+
+    /// Pool sized from `DEX_THREADS` / available parallelism, untraced.
+    pub fn from_env() -> EnumOpts {
+        EnumOpts {
+            pool: Pool::from_env(),
+            tracer: Tracer::off(),
+        }
+    }
+
+    pub fn with_pool(mut self, pool: Pool) -> EnumOpts {
+        self.pool = pool;
+        self
+    }
+
+    pub fn with_tracer(mut self, tracer: Tracer) -> EnumOpts {
+        self.tracer = tracer;
+        self
+    }
+}
+
+/// Scripts replayed per fan-out wave. Deliberately a constant — never
+/// derived from the pool's thread count — so the set of scripts explored
+/// (and therefore results and stats) is identical for every
+/// `DEX_THREADS`, and big enough to keep 8 workers busy per wave.
+const WAVE: usize = 64;
+
+/// Events retained per replay's private trace ring. Oversized replays
+/// drop their oldest events exactly as a shared ring of the same
+/// capacity would.
+const REPLAY_RING_CAPACITY: usize = 4096;
 
 /// An α driven by a finite choice script. Each *new* justification
 /// consumes one script entry indexing into the menu
@@ -153,6 +224,10 @@ pub struct EnumStats {
     /// (either inside a replay or, for [`enumerate_cwa_solutions`], while
     /// computing the canonical universal solution).
     pub interrupted: Option<Interrupt>,
+    /// Per-replay [`ChaseStats`] of every *successful* chase, merged via
+    /// [`ChaseStats::merge`] in submission order. Counter fields are
+    /// deterministic across thread counts; `*_time_ns` are wall-clock.
+    pub chase: ChaseStats,
 }
 
 impl EnumStats {
@@ -189,6 +264,9 @@ impl EnumStats {
         if self.interrupted.is_some() && self.is_complete() {
             return Err("interrupted run claims completeness".to_string());
         }
+        self.chase
+            .validate()
+            .map_err(|e| format!("merged chase stats: {e}"))?;
         Ok(())
     }
 
@@ -222,77 +300,158 @@ impl EnumStats {
                     .as_ref()
                     .map_or(JsonValue::Null, Interrupt::to_json),
             )
+            .with("chase", self.chase.json_value())
+    }
+}
+
+/// One replayed script's outcome as produced by a pool worker, ready to
+/// be consumed by the sequential bookkeeping loop.
+struct Replay {
+    outcome: AlphaOutcome,
+    overrun_menu: Option<usize>,
+    ring: Option<Arc<RingRecorder>>,
+}
+
+/// Replays one choice script through the α-chase. Pure in `script` for
+/// fixed setting/source/limits — this is what makes wave fan-out safe:
+/// workers share nothing but read-only inputs. With `traced`, events go
+/// to a private ring for deterministic re-emission after the join.
+fn replay_script(
+    setting: &Setting,
+    source: &Instance,
+    script: &[usize],
+    pool: &[Symbol],
+    fresh_base: u32,
+    limits: &EnumLimits,
+    traced: bool,
+) -> Replay {
+    // Fresh nulls must start above the source's values.
+    let mut gen = NullGen::new();
+    for _ in 0..fresh_base {
+        gen.fresh();
+    }
+    let mut alpha = ScriptAlpha {
+        script,
+        pos: 0,
+        memo: HashMap::new(),
+        gen,
+        pool,
+        nulls_only: limits.nulls_only,
+        overrun_menu: None,
+    };
+    let (outcome, ring) = if traced {
+        let ring = Arc::new(RingRecorder::new(REPLAY_RING_CAPACITY));
+        let engine = ChaseEngine::new(setting, &limits.chase_budget)
+            .with_tracer(Tracer::new(Arc::clone(&ring) as _));
+        (engine.run_alpha(source, &mut alpha), Some(ring))
+    } else {
+        (
+            alpha_chase(setting, source, &mut alpha, &limits.chase_budget),
+            None,
+        )
+    };
+    Replay {
+        outcome,
+        overrun_menu: alpha.overrun_menu,
+        ring,
     }
 }
 
 /// Enumerates the CWA-presolutions for `source` under `setting`, up to
-/// isomorphism, within `limits`.
+/// isomorphism, within `limits`. Sequential and untraced; see
+/// [`enumerate_cwa_presolutions_opts`] for the pool-parametrized form.
 pub fn enumerate_cwa_presolutions(
     setting: &Setting,
     source: &Instance,
     limits: &EnumLimits,
 ) -> (Vec<Instance>, EnumStats) {
+    enumerate_cwa_presolutions_opts(setting, source, limits, &EnumOpts::default())
+}
+
+/// [`enumerate_cwa_presolutions`] with execution options: pending
+/// scripts are replayed in waves on `opts.pool` and their outcomes
+/// consumed strictly in submission order, so the result list, stats and
+/// trace stream are byte-identical for every thread count.
+pub fn enumerate_cwa_presolutions_opts(
+    setting: &Setting,
+    source: &Instance,
+    limits: &EnumLimits,
+    opts: &EnumOpts,
+) -> (Vec<Instance>, EnumStats) {
     let pool = vocabulary_constants(setting);
     let fresh_base = NullGen::above(source.active_domain().iter()).peek();
+    let traced = opts.tracer.enabled();
     let mut stats = EnumStats::default();
     let mut results = IsoDeduper::new();
     let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
-    while let Some(script) = stack.pop() {
+    'enumerate: while !stack.is_empty() {
         if stats.scripts_explored >= limits.max_scripts || results.len() >= limits.max_results {
             stats.truncated = true;
             break;
         }
-        stats.scripts_explored += 1;
-        // Fresh nulls must start above the source's values.
-        let mut gen = NullGen::new();
-        for _ in 0..fresh_base {
-            gen.fresh();
-        }
-        let mut alpha = ScriptAlpha {
-            script: &script,
-            pos: 0,
-            memo: HashMap::new(),
-            gen,
-            pool: &pool,
-            nulls_only: limits.nulls_only,
-            overrun_menu: None,
-        };
-        let outcome = alpha_chase(setting, source, &mut alpha, &limits.chase_budget);
-        if let Some(menu_size) = alpha.overrun_menu {
-            // The script was too short: fork one child per choice. Pushed
-            // in reverse so choice 0 (fresh) is explored first.
-            for choice in (0..menu_size).rev() {
-                let mut child = script.clone();
-                child.push(choice);
-                stack.push(child);
+        // Take a wave of scripts off the top of the stack and replay them
+        // on the pool. Capping the wave by the remaining script budget
+        // keeps speculative work bounded; capping by WAVE (a constant)
+        // keeps the exploration order thread-count independent.
+        let batch = stack
+            .len()
+            .min(WAVE)
+            .min(limits.max_scripts - stats.scripts_explored);
+        let wave: Vec<Vec<usize>> = (0..batch).map(|_| stack.pop().unwrap()).collect();
+        let replays = opts.pool.map(&wave, |_, script| {
+            replay_script(setting, source, script, &pool, fresh_base, limits, traced)
+        });
+        // Consume outcomes strictly in submission order — this loop is
+        // the sequential enumeration verbatim. Replays past a truncation
+        // or interrupt point are speculative work that is discarded
+        // without being counted anywhere.
+        for (script, replay) in wave.iter().zip(replays) {
+            if stats.scripts_explored >= limits.max_scripts || results.len() >= limits.max_results {
+                stats.truncated = true;
+                break 'enumerate;
             }
-            continue;
-        }
-        match outcome {
-            AlphaOutcome::Success(s) => {
-                stats.chases_succeeded += 1;
-                // Dedup up to isomorphism online: the raw result stream
-                // repeats each class many times (different scripts, same
-                // α up to renaming of nulls).
-                results.insert(s.target);
+            stats.scripts_explored += 1;
+            if let Some(ring) = &replay.ring {
+                ring.replay_into(&opts.tracer);
             }
-            // Both are definite negatives: a failing chase, or one that
-            // provably runs forever — either way this α admits no
-            // successful chase, hence no presolution (Definition 4.6).
-            AlphaOutcome::Failing { .. } | AlphaOutcome::CycleDetected { .. } => {
-                stats.chases_failed += 1
+            if let Some(menu_size) = replay.overrun_menu {
+                // The script was too short: fork one child per choice.
+                // Pushed in reverse so choice 0 (fresh) is explored first.
+                for choice in (0..menu_size).rev() {
+                    let mut child = script.clone();
+                    child.push(choice);
+                    stack.push(child);
+                }
+                continue;
             }
-            AlphaOutcome::BudgetExceeded { .. } => {
-                // Indeterminate: a presolution reachable only through
-                // this script may be missing from the results.
-                stats.chases_unfinished += 1;
-            }
-            AlphaOutcome::Interrupted(i) => {
-                // Deadline/cancel: stop the whole enumeration — every
-                // further replay would trip the same way.
-                stats.chases_interrupted += 1;
-                stats.interrupted = Some(i);
-                break;
+            match replay.outcome {
+                AlphaOutcome::Success(s) => {
+                    stats.chases_succeeded += 1;
+                    stats.chase.merge(&s.stats);
+                    // Dedup up to isomorphism online: the raw result
+                    // stream repeats each class many times (different
+                    // scripts, same α up to renaming of nulls).
+                    results.insert(s.target);
+                }
+                // Both are definite negatives: a failing chase, or one
+                // that provably runs forever — either way this α admits
+                // no successful chase, hence no presolution
+                // (Definition 4.6).
+                AlphaOutcome::Failing { .. } | AlphaOutcome::CycleDetected { .. } => {
+                    stats.chases_failed += 1
+                }
+                AlphaOutcome::BudgetExceeded { .. } => {
+                    // Indeterminate: a presolution reachable only through
+                    // this script may be missing from the results.
+                    stats.chases_unfinished += 1;
+                }
+                AlphaOutcome::Interrupted(i) => {
+                    // Deadline/cancel: stop the whole enumeration —
+                    // every further replay would trip the same way.
+                    stats.chases_interrupted += 1;
+                    stats.interrupted = Some(i);
+                    break 'enumerate;
+                }
             }
         }
     }
@@ -300,13 +459,25 @@ pub fn enumerate_cwa_presolutions(
 }
 
 /// Enumerates the CWA-*solutions* (Theorem 4.8: the universal ones among
-/// the presolutions), up to isomorphism.
+/// the presolutions), up to isomorphism. Sequential; see
+/// [`enumerate_cwa_solutions_opts`] for the pool-parametrized form.
 pub fn enumerate_cwa_solutions(
     setting: &Setting,
     source: &Instance,
     limits: &EnumLimits,
 ) -> (Vec<Instance>, EnumStats) {
-    let (pres, mut stats) = enumerate_cwa_presolutions(setting, source, limits);
+    enumerate_cwa_solutions_opts(setting, source, limits, &EnumOpts::default())
+}
+
+/// [`enumerate_cwa_solutions`] with execution options (the universality
+/// filter itself fans the per-presolution checks out on the pool).
+pub fn enumerate_cwa_solutions_opts(
+    setting: &Setting,
+    source: &Instance,
+    limits: &EnumLimits,
+    opts: &EnumOpts,
+) -> (Vec<Instance>, EnumStats) {
+    let (pres, mut stats) = enumerate_cwa_presolutions_opts(setting, source, limits, opts);
     // Theorem 4.8: filter to the universal presolutions. The canonical
     // universal solution is computed once; a presolution is universal iff
     // it is a solution mapping homomorphically into it.
@@ -331,9 +502,15 @@ pub fn enumerate_cwa_solutions(
             return (Vec::new(), stats);
         }
     };
+    // Each presolution's universality check is independent; fan them out
+    // and keep the original order (map preserves submission order).
+    let keep = opts.pool.map(&pres, |_, t| {
+        setting.is_solution(source, t) && has_homomorphism(t, &canon)
+    });
     let sols = pres
         .into_iter()
-        .filter(|t| setting.is_solution(source, t) && has_homomorphism(t, &canon))
+        .zip(keep)
+        .filter_map(|(t, k)| k.then_some(t))
         .collect();
     (sols, stats)
 }
@@ -572,6 +749,94 @@ mod tests {
             ..Default::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    /// The tentpole determinism property, locally: every thread count
+    /// yields byte-identical solutions and identical deterministic stat
+    /// counters (the cross-crate 64-seed sweep lives in dex-bench).
+    #[test]
+    fn parallel_enumeration_is_byte_identical_across_thread_counts() {
+        let d = example_5_3();
+        let s = parse_instance("P(1). P(2).").unwrap();
+        let limits = EnumLimits {
+            nulls_only: true,
+            ..EnumLimits::default()
+        };
+        let (base_sols, base_stats) =
+            enumerate_cwa_solutions_opts(&d, &s, &limits, &EnumOpts::default());
+        assert!(!base_sols.is_empty());
+        for threads in [2, 4, 8] {
+            let opts = EnumOpts::default().with_pool(dex_core::Pool::new(threads));
+            let (sols, stats) = enumerate_cwa_solutions_opts(&d, &s, &limits, &opts);
+            assert_eq!(sols, base_sols, "solutions differ at {threads} threads");
+            assert_eq!(stats.scripts_explored, base_stats.scripts_explored);
+            assert_eq!(stats.chases_succeeded, base_stats.chases_succeeded);
+            assert_eq!(stats.chases_failed, base_stats.chases_failed);
+            assert_eq!(stats.chases_unfinished, base_stats.chases_unfinished);
+            assert_eq!(stats.truncated, base_stats.truncated);
+            // Merged chase counters (not times) are deterministic too.
+            assert_eq!(stats.chase.tgd_steps, base_stats.chase.tgd_steps);
+            assert_eq!(stats.chase.atoms_inserted, base_stats.chase.atoms_inserted);
+            assert_eq!(stats.chase.peak_atoms, base_stats.chase.peak_atoms);
+            stats.validate().expect("parallel stats validate");
+        }
+    }
+
+    /// Truncation bookkeeping must also be thread-count independent:
+    /// speculative replays beyond the cut are discarded, not counted.
+    #[test]
+    fn parallel_truncation_is_thread_count_independent() {
+        let d = example_5_3();
+        let s = parse_instance("P(1). P(2). P(3).").unwrap();
+        let limits = EnumLimits {
+            max_scripts: 50,
+            nulls_only: true,
+            ..EnumLimits::default()
+        };
+        let (base, base_stats) =
+            enumerate_cwa_presolutions_opts(&d, &s, &limits, &EnumOpts::default());
+        assert!(base_stats.truncated);
+        assert_eq!(base_stats.scripts_explored, 50);
+        for threads in [2, 8] {
+            let opts = EnumOpts::default().with_pool(dex_core::Pool::new(threads));
+            let (pres, stats) = enumerate_cwa_presolutions_opts(&d, &s, &limits, &opts);
+            assert_eq!(pres, base);
+            assert_eq!(stats.scripts_explored, 50);
+            assert!(stats.truncated);
+        }
+    }
+
+    /// Tracing under parallel enumeration re-emits per-replay rings in
+    /// submission order: the stream is identical to the sequential one.
+    #[test]
+    fn parallel_trace_stream_matches_sequential() {
+        use dex_obs::RingRecorder;
+        use std::sync::Arc;
+        let d = example_5_3();
+        let s = parse_instance("P(1).").unwrap();
+        let limits = EnumLimits {
+            nulls_only: true,
+            ..EnumLimits::default()
+        };
+        let streams: Vec<String> = [1usize, 4]
+            .into_iter()
+            .map(|threads| {
+                let ring = Arc::new(RingRecorder::new(1 << 16));
+                let opts = EnumOpts::default()
+                    .with_pool(dex_core::Pool::new(threads))
+                    .with_tracer(dex_obs::Tracer::new(ring.clone()));
+                let _ = enumerate_cwa_presolutions_opts(&d, &s, &limits, &opts);
+                assert_eq!(ring.dropped(), 0);
+                // Timestamps are wall-clock; compare the event kinds.
+                ring.events()
+                    .into_iter()
+                    .map(|e| format!("{:?}", e.kind))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            })
+            .collect();
+        assert!(!streams[0].is_empty(), "tracing recorded nothing");
+        assert_eq!(streams[0], streams[1]);
     }
 
     #[test]

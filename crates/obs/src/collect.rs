@@ -75,6 +75,22 @@ impl RingRecorder {
         self.inner.lock().unwrap().dropped
     }
 
+    /// Re-emits every retained event, oldest first, into `sink`.
+    /// Parallel drivers give each worker its own private ring and call
+    /// this after the join, in submission order, so the caller's
+    /// collector sees one deterministic stream regardless of how the
+    /// workers interleaved. Returns how many events were replayed.
+    pub fn replay_into(&self, sink: &Tracer) -> usize {
+        if !sink.enabled() {
+            return 0;
+        }
+        let events = self.events();
+        for e in &events {
+            sink.emit(e.at_ns, e.kind.clone());
+        }
+        events.len()
+    }
+
     /// The retained events as JSONL — the byte-comparable stream form.
     pub fn to_jsonl(&self) -> String {
         let inner = self.inner.lock().unwrap();
@@ -275,6 +291,21 @@ mod tests {
                 dur_ns: 15
             }
         );
+    }
+
+    #[test]
+    fn replay_into_preserves_order_and_counts() {
+        let worker = Arc::new(RingRecorder::new(8));
+        let t = Tracer::new(worker.clone());
+        for depth in 0..3 {
+            t.emit(depth as u64, EventKind::HomExtended { depth });
+        }
+        let sink_ring = Arc::new(RingRecorder::new(8));
+        let sink = Tracer::new(sink_ring.clone());
+        assert_eq!(worker.replay_into(&sink), 3);
+        assert_eq!(sink_ring.to_jsonl(), worker.to_jsonl());
+        // Replaying into a disabled tracer is a cheap no-op.
+        assert_eq!(worker.replay_into(&Tracer::off()), 0);
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! # dex-par
+//!
+//! A deterministic scoped worker pool for the independent-subproblem
+//! searches of the engine (α-chase choice scripts, retract candidates,
+//! valuation chunks, root-row splits in the homomorphism search).
+//!
+//! The determinism contract: every task is submitted with an index, the
+//! workers pull indices from a shared injector (an atomic counter), and
+//! the results are re-assembled **in submission order** — so the value a
+//! combinator returns is a pure function of the task list, independent of
+//! the thread count or scheduling. Same-seed output is byte-identical for
+//! any `DEX_THREADS`.
+//!
+//! Two combinators cover every call site in the engine:
+//!
+//! - [`Pool::map`]: evaluate `f(i, &items[i])` for every item, return the
+//!   results in submission order (the parallel `items.iter().map(..)`).
+//! - [`Pool::find_first`]: evaluate `f(i, &items[i]) -> Option<R>` and
+//!   return the success with the **smallest index** — exactly the result
+//!   a sequential first-match loop produces. Workers skip indices beyond
+//!   the current best, so the tail is drained cheaply once a winner is
+//!   known; `f` may still be *evaluated* for indices past the final
+//!   winner (speculation), so `f`'s side effects must be tolerable to
+//!   run and discard.
+//!
+//! A pool of one thread executes inline on the caller's stack (no spawn),
+//! which is the sequential baseline the differential tests compare
+//! against. Panics in workers propagate to the caller when the scope
+//! joins, exactly like a panic in a sequential loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The hard cap on worker threads (a safety clamp for absurd
+/// `DEX_THREADS` values, not a tuning knob).
+pub const MAX_THREADS: usize = 256;
+
+/// Default upper bound when sizing from `available_parallelism`.
+const DEFAULT_THREAD_CAP: usize = 8;
+
+/// A deterministic fan-out/join pool. Cheap to copy and to carry in
+/// configuration structs; threads are scoped per combinator call, so an
+/// idle pool holds no OS resources.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    /// [`Pool::from_env`]: honors `DEX_THREADS`.
+    fn default() -> Pool {
+        Pool::from_env()
+    }
+}
+
+impl Pool {
+    /// A pool of exactly `threads` workers (clamped to `1..=MAX_THREADS`).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.clamp(1, MAX_THREADS),
+        }
+    }
+
+    /// The sequential pool: one worker, runs inline on the caller's stack.
+    pub fn seq() -> Pool {
+        Pool::new(1)
+    }
+
+    /// Sizes the pool from the environment: `DEX_THREADS=n` wins;
+    /// otherwise `available_parallelism` capped at 8.
+    pub fn from_env() -> Pool {
+        let threads = std::env::var("DEX_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get().min(DEFAULT_THREAD_CAP))
+                    .unwrap_or(1)
+            });
+        Pool::new(threads)
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True iff combinators will actually spawn threads.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Evaluates `f(i, &items[i])` for every item and returns the results
+    /// **in submission order**. Deterministic for any thread count: the
+    /// output is identical to `items.iter().enumerate().map(..).collect()`.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if !self.is_parallel() || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(items.len());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    *slots[i].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("every submitted index was filled by a worker")
+            })
+            .collect()
+    }
+
+    /// Evaluates `f(i, &items[i])` until the success with the smallest
+    /// index is known, and returns it as `(index, result)` — exactly the
+    /// answer of a sequential first-match loop, for any thread count.
+    ///
+    /// Every index below the returned one is guaranteed to have been
+    /// fully evaluated (and returned `None`); indices above it may or may
+    /// not have been evaluated (speculation that is discarded).
+    pub fn find_first<T, R, F>(&self, items: &[T], f: F) -> Option<(usize, R)>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> Option<R> + Sync,
+    {
+        if !self.is_parallel() || items.len() <= 1 {
+            for (i, t) in items.iter().enumerate() {
+                if let Some(r) = f(i, t) {
+                    return Some((i, r));
+                }
+            }
+            return None;
+        }
+        let next = AtomicUsize::new(0);
+        // Smallest successful index so far; only ever decreases.
+        let best = AtomicUsize::new(usize::MAX);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(items.len());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    // An index above the current best cannot win; the
+                    // best can only move *down*, so the skip is sound.
+                    if i > best.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    if let Some(r) = f(i, &items[i]) {
+                        *slots[i].lock().unwrap() = Some(r);
+                        best.fetch_min(i, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let winner = best.into_inner();
+        (winner != usize::MAX).then(|| {
+            let r = slots[winner]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("winning slot was filled before best was lowered");
+            (winner, r)
+        })
+    }
+}
+
+/// Splits `[0, total)` into at most `parts` contiguous half-open ranges
+/// of near-equal length, in ascending order. Deterministic; the chunk
+/// list depends only on `(total, parts)`, never on scheduling.
+pub fn chunk_ranges(total: u64, parts: usize) -> Vec<(u64, u64)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let parts = (parts.max(1) as u64).min(total);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut start = 0u64;
+    for i in 0..parts {
+        let len = base + u64::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_submission_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..37).map(|i| i * 7 % 13).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [2, 3, 8] {
+            let out = Pool::new(threads).map(&items, |_, &x| x * x + 1);
+            assert_eq!(out, seq);
+        }
+    }
+
+    #[test]
+    fn map_on_empty_and_singleton() {
+        let pool = Pool::new(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.map(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.map(&[5u32], |i, &x| (i, x)), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn find_first_returns_smallest_success_index() {
+        // Successes at 2 and 5; index 2 sleeps so a parallel run is
+        // tempted to finish 5 first — the combinator must still pick 2.
+        let items: Vec<usize> = (0..8).collect();
+        for threads in [1, 2, 8] {
+            let got = Pool::new(threads).find_first(&items, |_, &x| {
+                if x == 2 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                (x == 2 || x == 5).then_some(x * 10)
+            });
+            assert_eq!(got, Some((2, 20)), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn find_first_evaluates_everything_below_the_winner() {
+        let items: Vec<usize> = (0..50).collect();
+        for threads in [1, 4] {
+            let seen = AtomicU64::new(0);
+            let got = Pool::new(threads).find_first(&items, |_, &x| {
+                if x < 40 {
+                    seen.fetch_add(1, Ordering::Relaxed);
+                }
+                (x == 40).then_some(())
+            });
+            assert_eq!(got.map(|(i, ())| i), Some(40));
+            assert!(seen.into_inner() >= 40, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn find_first_none_when_no_success() {
+        let items: Vec<u8> = (0..20).collect();
+        for threads in [1, 4] {
+            assert_eq!(
+                Pool::new(threads).find_first(&items, |_, _| None::<()>),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..16).collect();
+        let res = std::panic::catch_unwind(|| {
+            Pool::new(4).map(&items, |_, &x| {
+                if x == 7 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn pool_clamps_and_reports_threads() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::new(4).threads(), 4);
+        assert_eq!(Pool::new(100_000).threads(), MAX_THREADS);
+        assert!(!Pool::seq().is_parallel());
+        assert!(Pool::new(2).is_parallel());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for total in [0u64, 1, 7, 8, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let chunks = chunk_ranges(total, parts);
+                let covered: u64 = chunks.iter().map(|&(a, b)| b - a).sum();
+                assert_eq!(covered, total, "total {total} parts {parts}");
+                // Contiguous and ascending.
+                let mut pos = 0;
+                for &(a, b) in &chunks {
+                    assert_eq!(a, pos);
+                    assert!(b > a);
+                    pos = b;
+                }
+                assert!(chunks.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn map_runs_closure_once_per_item() {
+        let items: Vec<usize> = (0..200).collect();
+        let calls = AtomicU64::new(0);
+        let out = Pool::new(8).map(&items, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 200);
+        assert_eq!(calls.into_inner(), 200);
+    }
+}

@@ -12,10 +12,11 @@
 
 use crate::eval::{drop_null_tuples, eval_query, Answers};
 use dex_core::govern::{Governor, Interrupt, InterruptReason, Verdict};
-use dex_core::{Instance, Symbol, ValuationIter, Value};
+use dex_core::{chunk_ranges, Instance, Pool, Symbol, ValuationIter, Value};
 use dex_logic::{Query, Setting};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Limits on the valuation enumeration.
 #[derive(Copy, Clone, Debug)]
@@ -114,14 +115,72 @@ pub fn certain_answers(
     pool: &[Symbol],
     limits: &ModalLimits,
 ) -> Result<Option<Answers>, ModalError> {
-    let mut acc: Option<Answers> = None;
-    for_each_rep(setting, t, pool, limits, &mut |r| {
-        let ans = eval_query(q, r);
-        acc = Some(match acc.take() {
-            None => ans,
-            Some(prev) => prev.intersection(&ans).cloned().collect(),
+    certain_answers_par(setting, q, t, pool, limits, &Pool::seq())
+}
+
+/// Contiguous valuation-index ranges for a worker pool. Oversplit 4×
+/// relative to the thread count so the work-stealing injector balances
+/// uneven ranges and the □ early-exit token takes effect sooner.
+fn valuation_ranges(exec: &Pool, total: u128) -> Vec<(u64, u64)> {
+    let total = u64::try_from(total).unwrap_or(u64::MAX);
+    chunk_ranges(total, exec.threads() * 4)
+}
+
+/// [`certain_answers`] with valuation ranges fanned out on `exec`.
+/// Intersection is commutative and associative, so per-range partial
+/// results merge to the same answer for every range layout and thread
+/// count. Early exit: once any range's running intersection hits ∅ the
+/// global answer is ∅ (⋂ only shrinks), so the worker flips a shared
+/// cancel token and every other worker stops at its next valuation.
+pub fn certain_answers_par(
+    setting: &Setting,
+    q: &Query,
+    t: &Instance,
+    pool: &[Symbol],
+    limits: &ModalLimits,
+    exec: &Pool,
+) -> Result<Option<Answers>, ModalError> {
+    let nulls: Vec<_> = t.nulls().into_iter().collect();
+    let total = ValuationIter::new(nulls.iter().copied(), pool.to_vec()).total();
+    if total > limits.max_valuations {
+        return Err(ModalError::TooManyValuations {
+            nulls: nulls.len(),
+            pool: pool.len(),
         });
-    })?;
+    }
+    let ranges = valuation_ranges(exec, total);
+    let cancel = AtomicBool::new(false);
+    let partials = exec.map(&ranges, |_, &(lo, hi)| {
+        let mut acc: Option<Answers> = None;
+        let vals = ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), lo as u128);
+        for v in vals.take((hi - lo) as usize) {
+            if cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            let ground = v.apply(t);
+            if setting.satisfies_target(&ground) {
+                let ans = eval_query(q, &ground);
+                let next: Answers = match acc.take() {
+                    None => ans,
+                    Some(prev) => prev.intersection(&ans).cloned().collect(),
+                };
+                let hit_bottom = next.is_empty();
+                acc = Some(next);
+                if hit_bottom {
+                    cancel.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        acc
+    });
+    let mut acc: Option<Answers> = None;
+    for p in partials.into_iter().flatten() {
+        acc = Some(match acc.take() {
+            None => p,
+            Some(prev) => prev.intersection(&p).cloned().collect(),
+        });
+    }
     Ok(acc)
 }
 
@@ -133,11 +192,45 @@ pub fn maybe_answers(
     pool: &[Symbol],
     limits: &ModalLimits,
 ) -> Result<Answers, ModalError> {
-    let mut acc = Answers::new();
-    for_each_rep(setting, t, pool, limits, &mut |r| {
-        acc.extend(eval_query(q, r));
-    })?;
-    Ok(acc)
+    maybe_answers_par(setting, q, t, pool, limits, &Pool::seq())
+}
+
+/// [`maybe_answers`] with valuation ranges fanned out on `exec`. Union
+/// is commutative, so the merged answer is range- and thread-count
+/// independent. No early exit: every representative can contribute.
+pub fn maybe_answers_par(
+    setting: &Setting,
+    q: &Query,
+    t: &Instance,
+    pool: &[Symbol],
+    limits: &ModalLimits,
+    exec: &Pool,
+) -> Result<Answers, ModalError> {
+    let nulls: Vec<_> = t.nulls().into_iter().collect();
+    let total = ValuationIter::new(nulls.iter().copied(), pool.to_vec()).total();
+    if total > limits.max_valuations {
+        return Err(ModalError::TooManyValuations {
+            nulls: nulls.len(),
+            pool: pool.len(),
+        });
+    }
+    let ranges = valuation_ranges(exec, total);
+    let partials = exec.map(&ranges, |_, &(lo, hi)| {
+        let mut acc = Answers::new();
+        let vals = ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), lo as u128);
+        for v in vals.take((hi - lo) as usize) {
+            let ground = v.apply(t);
+            if setting.satisfies_target(&ground) {
+                acc.extend(eval_query(q, &ground));
+            }
+        }
+        acc
+    });
+    let mut out = Answers::new();
+    for p in partials {
+        out.extend(p);
+    }
+    Ok(out)
 }
 
 /// Three-valued per-tuple answers from a governed modal evaluation: each
@@ -367,6 +460,181 @@ pub fn maybe_answers_governed(
     Ok(GovernedAnswers::complete(acc))
 }
 
+/// [`certain_answers_governed`] with valuation ranges fanned out on
+/// `exec`; the one `gov` budget is shared by every worker through its
+/// relaxed atomics. At one thread this *is* the sequential governed
+/// evaluation (same tick positions); under parallelism the trip point
+/// depends on worker interleaving, but every definite verdict handed out
+/// is still sound (a tuple is only refuted by a fully-evaluated
+/// representative) and the interrupt reason is merged deterministically
+/// (first in submission order).
+pub fn certain_answers_governed_par(
+    setting: &Setting,
+    q: &Query,
+    t: &Instance,
+    pool: &[Symbol],
+    limits: &ModalLimits,
+    gov: &Governor,
+    exec: &Pool,
+) -> Result<Option<GovernedAnswers>, ModalError> {
+    if !exec.is_parallel() {
+        return certain_answers_governed(setting, q, t, pool, limits, gov);
+    }
+    let nulls: Vec<_> = t.nulls().into_iter().collect();
+    let total = ValuationIter::new(nulls.iter().copied(), pool.to_vec()).total();
+    if total > limits.max_valuations {
+        return Err(ModalError::TooManyValuations {
+            nulls: nulls.len(),
+            pool: pool.len(),
+        });
+    }
+    struct BoxPartial {
+        acc: Option<Answers>,
+        refuted: Answers,
+        interrupt: Option<Interrupt>,
+    }
+    let ranges = valuation_ranges(exec, total);
+    let partials = exec.map(&ranges, |_, &(lo, hi)| {
+        let mut acc: Option<Answers> = None;
+        let mut refuted = Answers::new();
+        let vals = ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), lo as u128);
+        for v in vals.take((hi - lo) as usize) {
+            if let Err(i) = gov.check() {
+                return BoxPartial {
+                    acc,
+                    refuted,
+                    interrupt: Some(i),
+                };
+            }
+            let ground = v.apply(t);
+            if setting.satisfies_target(&ground) {
+                let ans = eval_query(q, &ground);
+                acc = Some(match acc.take() {
+                    None => ans,
+                    Some(prev) => {
+                        let kept: Answers = prev.intersection(&ans).cloned().collect();
+                        refuted.extend(prev.difference(&kept).cloned());
+                        kept
+                    }
+                });
+            }
+        }
+        BoxPartial {
+            acc,
+            refuted,
+            interrupt: None,
+        }
+    });
+    // Merge in submission order. Every chunk's `acc` is the intersection
+    // of its *fully evaluated* representatives, so cross-chunk drops are
+    // definite refutations even when some chunk was interrupted.
+    let mut acc: Option<Answers> = None;
+    let mut refuted = Answers::new();
+    let mut interrupt: Option<Interrupt> = None;
+    for p in partials {
+        refuted.extend(p.refuted);
+        if interrupt.is_none() {
+            interrupt = p.interrupt;
+        }
+        if let Some(part) = p.acc {
+            acc = Some(match acc.take() {
+                None => part,
+                Some(prev) => {
+                    let kept: Answers = prev.intersection(&part).cloned().collect();
+                    refuted.extend(prev.difference(&kept).cloned());
+                    refuted.extend(part.difference(&kept).cloned());
+                    kept
+                }
+            });
+        }
+    }
+    Ok(match interrupt {
+        None => acc.map(GovernedAnswers::complete),
+        Some(i) => Some(checked_box_partial(acc, refuted, i)),
+    })
+}
+
+/// Assembles the interrupted-□ verdicts: survivors of the partial
+/// intersection are unknown; with at least one fully-evaluated
+/// representative everything else already failed a ⋂-factor.
+fn checked_box_partial(acc: Option<Answers>, refuted: Answers, i: Interrupt) -> GovernedAnswers {
+    match acc {
+        Some(survivors) => GovernedAnswers {
+            proven: Answers::new(),
+            refuted,
+            undetermined: survivors,
+            default: Verdict::False,
+            interrupt: Some(i),
+        },
+        None => GovernedAnswers {
+            proven: Answers::new(),
+            refuted: Answers::new(),
+            undetermined: Answers::new(),
+            default: Verdict::Unknown(i.reason),
+            interrupt: Some(i),
+        },
+    }
+}
+
+/// [`maybe_answers_governed`] with valuation ranges fanned out on
+/// `exec`, sharing the one `gov` budget across workers. Sound for the
+/// same reason as the sequential version: everything proven was found
+/// in an explored representative, everything else stays unknown.
+pub fn maybe_answers_governed_par(
+    setting: &Setting,
+    q: &Query,
+    t: &Instance,
+    pool: &[Symbol],
+    limits: &ModalLimits,
+    gov: &Governor,
+    exec: &Pool,
+) -> Result<GovernedAnswers, ModalError> {
+    if !exec.is_parallel() {
+        return maybe_answers_governed(setting, q, t, pool, limits, gov);
+    }
+    let nulls: Vec<_> = t.nulls().into_iter().collect();
+    let total = ValuationIter::new(nulls.iter().copied(), pool.to_vec()).total();
+    if total > limits.max_valuations {
+        return Err(ModalError::TooManyValuations {
+            nulls: nulls.len(),
+            pool: pool.len(),
+        });
+    }
+    let ranges = valuation_ranges(exec, total);
+    let partials = exec.map(&ranges, |_, &(lo, hi)| {
+        let mut acc = Answers::new();
+        let vals = ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), lo as u128);
+        for v in vals.take((hi - lo) as usize) {
+            if let Err(i) = gov.check() {
+                return (acc, Some(i));
+            }
+            let ground = v.apply(t);
+            if setting.satisfies_target(&ground) {
+                acc.extend(eval_query(q, &ground));
+            }
+        }
+        (acc, None)
+    });
+    let mut proven = Answers::new();
+    let mut interrupt: Option<Interrupt> = None;
+    for (p, i) in partials {
+        proven.extend(p);
+        if interrupt.is_none() {
+            interrupt = i;
+        }
+    }
+    Ok(match interrupt {
+        None => GovernedAnswers::complete(proven),
+        Some(i) => GovernedAnswers {
+            proven,
+            refuted: Answers::new(),
+            undetermined: Answers::new(),
+            default: Verdict::Unknown(i.reason),
+            interrupt: Some(i),
+        },
+    })
+}
+
 /// Lemma 7.7's polynomial fast path: for a plain UCQ `Q` and a
 /// CWA-solution `T`, `□Q(T) = Q(T)↓` (naive evaluation, then drop tuples
 /// with nulls). Only sound when `t` is a CWA-solution.
@@ -579,6 +847,89 @@ mod tests {
         assert_eq!(g.verdict(&found), Verdict::True);
         // Any other tuple might appear in an unexplored rep.
         assert!(g.verdict(&[Value::konst("zzz")]).is_unknown());
+    }
+
+    /// □/◇ over chunked valuation ranges agree with the sequential
+    /// reference at every thread count, including the early-exit path
+    /// (□ hitting an empty intersection).
+    #[test]
+    fn parallel_modal_answers_match_sequential() {
+        let keyed = keyed_setting();
+        let free = free_setting();
+        let cases = [
+            (&keyed, "F(a,_1). F(a,_2).", "Q(x) :- F(a,x)"),
+            (&keyed, "F(a,_1). F(a,_2).", "Q() :- F(a,x), F(a,y), x != y"),
+            (&free, "F(a,_1). G(_1,_2).", "Q(x) :- F(a,x)"),
+            // Empty certain set exercises the cancel-token early exit.
+            (&free, "F(a,_1). F(b,_2).", "Q(x) :- F(x,y), F(x,z), y != z"),
+        ];
+        let lim = ModalLimits::default();
+        for (d, inst, query) in cases {
+            let t = parse_instance(inst).unwrap();
+            let q = parse_query(query).unwrap();
+            let pool = answer_pool(&t, &q, [Symbol::intern("b")]);
+            let certain_seq = certain_answers(d, &q, &t, &pool, &lim).unwrap();
+            let maybe_seq = maybe_answers(d, &q, &t, &pool, &lim).unwrap();
+            for threads in [2usize, 4, 8] {
+                let exec = Pool::new(threads);
+                let certain = certain_answers_par(d, &q, &t, &pool, &lim, &exec).unwrap();
+                assert_eq!(certain, certain_seq, "□ {query} at {threads} threads");
+                let maybe = maybe_answers_par(d, &q, &t, &pool, &lim, &exec).unwrap();
+                assert_eq!(maybe, maybe_seq, "◇ {query} at {threads} threads");
+            }
+        }
+    }
+
+    /// Governed parallel □/◇ with an unlimited governor are complete and
+    /// equal to the ungoverned answers; with a tripping governor every
+    /// definite verdict stays sound and the interrupt reason matches.
+    #[test]
+    fn governed_parallel_modal_is_sound_and_complete_when_unlimited() {
+        let d = keyed_setting();
+        let t = parse_instance("F(a,_1). F(a,_2).").unwrap();
+        let q = parse_query("Q(x) :- F(a,x)").unwrap();
+        let pool = answer_pool(&t, &q, []);
+        let lim = ModalLimits::default();
+        let truth_certain = certain_answers(&d, &q, &t, &pool, &lim).unwrap().unwrap();
+        let truth_maybe = maybe_answers(&d, &q, &t, &pool, &lim).unwrap();
+        for threads in [1usize, 2, 8] {
+            let exec = Pool::new(threads);
+            let gov = Governor::unlimited();
+            let g = certain_answers_governed_par(&d, &q, &t, &pool, &lim, &gov, &exec)
+                .unwrap()
+                .unwrap();
+            g.validate().unwrap();
+            assert!(g.is_complete());
+            assert_eq!(g.proven, truth_certain);
+            let gov = Governor::unlimited();
+            let g = maybe_answers_governed_par(&d, &q, &t, &pool, &lim, &gov, &exec).unwrap();
+            g.validate().unwrap();
+            assert!(g.is_complete());
+            assert_eq!(g.proven, truth_maybe);
+            // A tripping budget: no bogus definite verdicts, same reason.
+            for fuel in [1u64, 2, 5, 13] {
+                let gov = Governor::unlimited().with_fuel(fuel);
+                let g = certain_answers_governed_par(&d, &q, &t, &pool, &lim, &gov, &exec)
+                    .unwrap()
+                    .unwrap();
+                g.validate().unwrap();
+                for tuple in &g.proven {
+                    assert!(truth_certain.contains(tuple));
+                }
+                for tuple in &g.refuted {
+                    assert!(!truth_certain.contains(tuple), "bogus refute {tuple:?}");
+                }
+                if let Some(i) = g.interrupt {
+                    assert_eq!(i.reason, InterruptReason::Fuel);
+                }
+                let gov = Governor::unlimited().with_fuel(fuel);
+                let g = maybe_answers_governed_par(&d, &q, &t, &pool, &lim, &gov, &exec).unwrap();
+                g.validate().unwrap();
+                for tuple in &g.proven {
+                    assert!(truth_maybe.contains(tuple));
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,8 +16,8 @@
 
 use crate::eval::Answers;
 use crate::modal::{
-    answer_pool, certain_answers, certain_answers_governed, maybe_answers, maybe_answers_governed,
-    ucq_certain_answers, GovernedAnswers, ModalError, ModalLimits,
+    answer_pool, certain_answers_governed_par, certain_answers_par, maybe_answers_governed_par,
+    maybe_answers_par, ucq_certain_answers, GovernedAnswers, ModalError, ModalLimits,
 };
 use crate::possible::cq_is_maybe_answer;
 use dex_chase::{ChaseBudget, ChaseError};
@@ -41,12 +41,27 @@ pub enum Semantics {
 }
 
 /// Configuration for the answer engine.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct AnswerConfig {
     pub chase_budget: ChaseBudget,
     pub modal_limits: ModalLimits,
     /// Limits for the CWA-solution enumeration fallback.
     pub enum_limits: EnumLimits,
+    /// Worker pool for the valuation sweeps (□/◇ over `Rep_D(T)`) and
+    /// the enumeration fallback. Sequential by default; any thread count
+    /// yields the same answers.
+    pub pool: dex_core::Pool,
+}
+
+impl Default for AnswerConfig {
+    fn default() -> AnswerConfig {
+        AnswerConfig {
+            chase_budget: ChaseBudget::default(),
+            modal_limits: ModalLimits::default(),
+            enum_limits: EnumLimits::default(),
+            pool: dex_core::Pool::seq(),
+        }
+    }
 }
 
 /// Errors from the answer engine.
@@ -165,13 +180,26 @@ impl<'a> AnswerEngine<'a> {
     ) -> Result<GovernedAnswers, AnswerError> {
         let pool = answer_pool(t, q, self.source.constants());
         match gov {
-            None => certain_answers(self.setting, q, t, &pool, &self.config.modal_limits)?
-                .map(GovernedAnswers::complete)
-                .ok_or(AnswerError::EmptyRep),
-            Some(g) => {
-                certain_answers_governed(self.setting, q, t, &pool, &self.config.modal_limits, g)?
-                    .ok_or(AnswerError::EmptyRep)
-            }
+            None => certain_answers_par(
+                self.setting,
+                q,
+                t,
+                &pool,
+                &self.config.modal_limits,
+                &self.config.pool,
+            )?
+            .map(GovernedAnswers::complete)
+            .ok_or(AnswerError::EmptyRep),
+            Some(g) => certain_answers_governed_par(
+                self.setting,
+                q,
+                t,
+                &pool,
+                &self.config.modal_limits,
+                g,
+                &self.config.pool,
+            )?
+            .ok_or(AnswerError::EmptyRep),
         }
         .map(checked)
     }
@@ -240,20 +268,22 @@ impl<'a> AnswerEngine<'a> {
             }
         }
         match gov {
-            None => Ok(GovernedAnswers::complete(maybe_answers(
+            None => Ok(GovernedAnswers::complete(maybe_answers_par(
                 self.setting,
                 q,
                 t,
                 &pool,
                 &self.config.modal_limits,
+                &self.config.pool,
             )?)),
-            Some(g) => Ok(maybe_answers_governed(
+            Some(g) => Ok(maybe_answers_governed_par(
                 self.setting,
                 q,
                 t,
                 &pool,
                 &self.config.modal_limits,
                 g,
+                &self.config.pool,
             )?),
         }
         .map(checked)
@@ -261,8 +291,13 @@ impl<'a> AnswerEngine<'a> {
 
     /// All CWA-solutions, for the brute-force fallback.
     fn all_solutions(&self) -> Result<Vec<Instance>, AnswerError> {
-        let (sols, stats) =
-            dex_cwa::enumerate_cwa_solutions(self.setting, self.source, &self.config.enum_limits);
+        let opts = dex_cwa::EnumOpts::seq().with_pool(self.config.pool);
+        let (sols, stats) = dex_cwa::enumerate_cwa_solutions_opts(
+            self.setting,
+            self.source,
+            &self.config.enum_limits,
+            &opts,
+        );
         if stats.truncated {
             return Err(AnswerError::EnumerationTruncated);
         }
@@ -634,7 +669,8 @@ mod tests {
             // Oracle on the same core instance.
             let pool = answer_pool(engine.core(), &q, s.constants());
             let oracle =
-                maybe_answers(&d, &q, engine.core(), &pool, &ModalLimits::default()).unwrap();
+                crate::modal::maybe_answers(&d, &q, engine.core(), &pool, &ModalLimits::default())
+                    .unwrap();
             assert_eq!(fast, oracle, "query {qt}");
         }
     }
@@ -657,6 +693,41 @@ mod tests {
             let g = engine.answers_governed(&q, sem, &gov).unwrap();
             assert!(g.is_complete(), "{sem:?}");
             assert_eq!(g.proven, engine.answers(&q, sem).unwrap(), "{sem:?}");
+        }
+    }
+
+    /// An engine configured with a worker pool answers every semantics
+    /// identically to the sequential default, governed or not.
+    #[test]
+    fn parallel_engine_matches_sequential_for_every_semantics() {
+        let d = example_2_1();
+        let s = parse_instance("M(a,b). N(a,b).").unwrap();
+        let seq = AnswerEngine::new(&d, &s, AnswerConfig::default()).unwrap();
+        // Non-UCQ so Certain/Maybe take the enumeration fold, which also
+        // exercises the parallel enumerator inside `all_solutions`.
+        let q = parse_query("Q(x) :- E(x,y), F(x,z), y != z").unwrap();
+        for threads in [2usize, 8] {
+            let cfg = AnswerConfig {
+                pool: dex_core::Pool::new(threads),
+                ..AnswerConfig::default()
+            };
+            let par = AnswerEngine::new(&d, &s, cfg).unwrap();
+            for sem in [
+                Semantics::Certain,
+                Semantics::PotentialCertain,
+                Semantics::PersistentMaybe,
+                Semantics::Maybe,
+            ] {
+                assert_eq!(
+                    par.answers(&q, sem).unwrap(),
+                    seq.answers(&q, sem).unwrap(),
+                    "{sem:?} at {threads} threads"
+                );
+                let gov = Governor::unlimited();
+                let g = par.answers_governed(&q, sem, &gov).unwrap();
+                assert!(g.is_complete(), "{sem:?} at {threads} threads");
+                assert_eq!(g.proven, seq.answers(&q, sem).unwrap(), "{sem:?}");
+            }
         }
     }
 

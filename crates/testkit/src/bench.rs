@@ -117,6 +117,14 @@ impl Harness {
         self
     }
 
+    /// Raises the timed-run count to at least `n`, even in smoke mode.
+    /// Groups whose consumers need a real tail quantile (p95 is `null`
+    /// below 10 samples) use this so their JSON dump always carries one.
+    pub fn with_min_runs(mut self, n: usize) -> Harness {
+        self.runs = self.runs.max(n);
+        self
+    }
+
     /// Times `f`, printing one report line immediately.
     pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
         for _ in 0..self.warmup {
@@ -210,6 +218,16 @@ mod tests {
         assert!(count > 0);
         assert_eq!(h.results().len(), 1);
         assert!(h.results()[0].samples_ns.len() >= 1);
+    }
+
+    #[test]
+    fn min_runs_floor_guarantees_p95_samples() {
+        let mut h = Harness::new("t").with_budget(0, 1).with_min_runs(10);
+        h.bench("noop", || {});
+        // The floor wins over every budget/smoke override, so the dump
+        // always has enough samples for a non-null p95.
+        assert!(h.results()[0].samples_ns.len() >= 10);
+        assert!(h.results()[0].p95_ns_checked().is_some());
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //!
 //! `DEX_TRACE=<path>` makes `chase` and `explain` append a JSONL event
 //! trace of the run (see `dex-obs`).
+//!
+//! `core`, `answer` and `enumerate` accept `--threads N` to run their
+//! search on a deterministic worker pool (`dex-par`); with no flag the
+//! `DEX_THREADS` environment variable decides (default: sequential).
+//! Output is byte-identical for every thread count.
 
 use cwa_dex::cwa::maximal_under_image;
 use cwa_dex::prelude::*;
@@ -39,13 +44,15 @@ fn usage() -> ExitCode {
   dex analyze   <setting>
   dex chase     <setting> <source>
   dex explain   <setting> <source>
-  dex core      <setting> <source>
+  dex core      <setting> <source> [--threads N]
   dex cansol    <setting> <source>
   dex check     <setting> <source> <target>
-  dex answer    <setting> <source> <query> [--semantics certain|potential|persistent|maybe]
-  dex enumerate <setting> <source> [--nulls-only] [--max N]
+  dex answer    <setting> <source> <query> [--semantics certain|potential|persistent|maybe] [--threads N]
+  dex enumerate <setting> <source> [--nulls-only] [--max N] [--threads N]
 
-Arguments are file paths, or inline DSL when no such file exists."
+Arguments are file paths, or inline DSL when no such file exists.
+--threads defaults to $DEX_THREADS (sequential when unset); results are
+identical for every thread count."
     );
     ExitCode::from(1)
 }
@@ -58,6 +65,20 @@ fn parse_instance_arg(arg: &str) -> Result<Instance, String> {
     parse_instance(&load(arg)).map_err(|e| format!("instance: {e}"))
 }
 
+/// Parses a `--threads` value into a worker pool.
+fn parse_threads_arg(it: &mut std::slice::Iter<'_, String>) -> Result<cwa_dex::core::Pool, String> {
+    let Some(v) = it.next() else {
+        return Err("--threads needs a value".into());
+    };
+    let n: usize = v
+        .parse()
+        .map_err(|_| "invalid --threads value".to_owned())?;
+    if n == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok(cwa_dex::core::Pool::new(n))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -67,7 +88,7 @@ fn main() -> ExitCode {
         ("analyze", [setting]) => cmd_analyze(setting),
         ("chase", [setting, source]) => cmd_chase(setting, source),
         ("explain", [setting, source]) => cmd_explain(setting, source),
-        ("core", [setting, source]) => cmd_core(setting, source),
+        ("core", [setting, source, rest @ ..]) => cmd_core(setting, source, rest),
         ("cansol", [setting, source]) => cmd_cansol(setting, source),
         ("check", [setting, source, target]) => cmd_check(setting, source, target),
         ("answer", [setting, source, query, rest @ ..]) => cmd_answer(setting, source, query, rest),
@@ -146,10 +167,20 @@ fn cmd_explain(setting: &str, source: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_core(setting: &str, source: &str) -> Result<(), String> {
+fn cmd_core(setting: &str, source: &str, rest: &[String]) -> Result<(), String> {
     let d = parse_setting_arg(setting)?;
     let s = parse_instance_arg(source)?;
-    let core = core_solution(&d, &s, &ChaseBudget::default()).map_err(|e| e.to_string())?;
+    let mut pool = cwa_dex::core::Pool::from_env();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threads" => pool = parse_threads_arg(&mut it)?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let canon =
+        canonical_universal_solution(&d, &s, &ChaseBudget::default()).map_err(|e| e.to_string())?;
+    let core = cwa_dex::core::core_parallel(&canon, &pool);
     println!("{}", cwa_dex::logic::instance_to_dsl(&core));
     Ok(())
 }
@@ -202,6 +233,7 @@ fn cmd_answer(setting: &str, source: &str, query: &str, rest: &[String]) -> Resu
     let s = parse_instance_arg(source)?;
     let q = parse_query(&load(query)).map_err(|e| format!("query: {e}"))?;
     let mut semantics = Semantics::Certain;
+    let mut pool = cwa_dex::core::Pool::from_env();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -217,10 +249,17 @@ fn cmd_answer(setting: &str, source: &str, query: &str, rest: &[String]) -> Resu
                     other => return Err(format!("unknown semantics `{other}`")),
                 };
             }
+            "--threads" => pool = parse_threads_arg(&mut it)?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    let ans = answers(&d, &s, &q, semantics).map_err(|e| e.to_string())?;
+    let config = AnswerConfig {
+        pool,
+        ..AnswerConfig::default()
+    };
+    let ans = AnswerEngine::new(&d, &s, config)
+        .and_then(|engine| engine.answers(&q, semantics))
+        .map_err(|e| e.to_string())?;
     if q.arity() == 0 {
         println!("{}", !ans.is_empty());
     } else {
@@ -237,6 +276,7 @@ fn cmd_enumerate(setting: &str, source: &str, rest: &[String]) -> Result<(), Str
     let d = parse_setting_arg(setting)?;
     let s = parse_instance_arg(source)?;
     let mut limits = EnumLimits::default();
+    let mut pool = cwa_dex::core::Pool::from_env();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -247,10 +287,12 @@ fn cmd_enumerate(setting: &str, source: &str, rest: &[String]) -> Result<(), Str
                 };
                 limits.max_results = v.parse().map_err(|_| "invalid --max value".to_owned())?;
             }
+            "--threads" => pool = parse_threads_arg(&mut it)?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    let (sols, stats) = enumerate_cwa_solutions(&d, &s, &limits);
+    let opts = cwa_dex::cwa::EnumOpts::seq().with_pool(pool);
+    let (sols, stats) = cwa_dex::cwa::enumerate_cwa_solutions_opts(&d, &s, &limits, &opts);
     let maximal = maximal_under_image(&sols);
     for t in &sols {
         let is_max = maximal.iter().any(|m| isomorphic(m, t));
