@@ -32,15 +32,22 @@ mkdir -p target
 DEX_TRACE="$PWD/target/trace-smoke.jsonl" cargo test -q --locked --offline -p dex-bench --test trace_smoke
 test -s target/trace-smoke.jsonl || { echo "trace smoke left no target/trace-smoke.jsonl"; exit 1; }
 
-echo "== parallel smoke (DEX_THREADS=2; determinism mismatch fails) =="
+echo "== parallel smoke (DEX_THREADS=2 and 8; determinism mismatch fails) =="
 # The differential suite asserts parallel ≡ sequential per seed; running
-# it under DEX_THREADS=2 also routes the Pool::from_env() path through a
-# real 2-worker pool. The par scaling bench re-checks byte-identical
-# output at 1/2/4/8 threads on every measured configuration (its ≥2×
-# speedup gate only arms on machines reporting ≥4 CPUs, outside smoke).
+# it under DEX_THREADS=2 and 8 also routes the Pool::from_env() path
+# through real worker pools (the suite forces the inline threshold to
+# zero, so workers are exercised even on paper-sized inputs). The par
+# scaling bench re-checks byte-identical output at 1/2/4/8 threads on
+# every measured configuration (its ≥2× speedup gate only arms on
+# machines reporting ≥4 CPUs, outside smoke).
 DEX_THREADS=2 cargo test -q --locked --offline -p dex-bench --test par
-DEX_BENCH_SMOKE=1 cargo bench -q --locked --offline -p dex-bench --bench par
-test -f BENCH_par.json || { echo "par bench did not write BENCH_par.json"; exit 1; }
+DEX_THREADS=8 cargo test -q --locked --offline -p dex-bench --test par
+# Smoke bench dumps go to target/bench-smoke — never the workspace root,
+# where the committed full-run baselines live.
+DEX_BENCH_SMOKE=1 DEX_BENCH_OUT="$PWD/target/bench-smoke" \
+  cargo bench -q --locked --offline -p dex-bench --bench par
+test -f target/bench-smoke/BENCH_par.json || { echo "par bench did not write target/bench-smoke/BENCH_par.json"; exit 1; }
+grep -q '"cpus"' BENCH_par.json || { echo "committed BENCH_par.json does not record the CPU count"; exit 1; }
 
 echo "== bench smoke (tiny sizes; any panic fails the run) =="
 # Includes the chase naive-vs-delta ablation, whose ChaseStats invariant
@@ -48,7 +55,14 @@ echo "== bench smoke (tiny sizes; any panic fails the run) =="
 # Smoke mode runs 3 timed iterations, so per-bench "p95_ns" is null in
 # BENCH_chase.json (full runs with >= 10 iterations emit numbers);
 # consumers must tolerate both shapes.
-DEX_BENCH_SMOKE=1 cargo bench -q --locked --offline -p dex-bench
-test -f BENCH_chase.json || { echo "chase bench did not write BENCH_chase.json"; exit 1; }
+DEX_BENCH_SMOKE=1 DEX_BENCH_OUT="$PWD/target/bench-smoke" \
+  cargo bench -q --locked --offline -p dex-bench
+test -f target/bench-smoke/BENCH_chase.json || { echo "chase bench did not write target/bench-smoke/BENCH_chase.json"; exit 1; }
+
+echo "== committed baselines untouched =="
+# The smoke stages above must never clobber the committed full-run
+# baselines (that was a real bug: smoke dumps used to overwrite them).
+git diff --exit-code -- BENCH_par.json BENCH_chase.json \
+  || { echo "a bench stage modified a committed BENCH_*.json baseline"; exit 1; }
 
 echo "CI OK"

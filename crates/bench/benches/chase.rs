@@ -348,9 +348,8 @@ fn dump_json(
     let out = doc.pretty() + "\n";
     // The writer must emit strict JSON — parse it back before writing.
     dex_obs::parse(&out).expect("BENCH_chase.json must be valid JSON");
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_chase.json");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = dex_testkit::bench::bench_out_path(&root, "BENCH_chase.json");
     std::fs::write(&path, out).expect("write BENCH_chase.json");
     println!("wrote {}", path.display());
 }

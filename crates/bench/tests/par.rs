@@ -32,8 +32,17 @@ use dex_testkit::FaultPlan;
 const SEED_BASE: u64 = 0;
 const SEED_COUNT: u64 = 64;
 
+/// The differential pools force `threshold_ns = 0`: the seeded workloads
+/// are paper-sized, so under the production threshold every one of them
+/// would fall back inline and the suite would stop exercising the worker
+/// pool at all. Threshold zero routes every multi-item job through real
+/// workers, which is the configuration this determinism contract is about.
 fn pools() -> [Pool; 3] {
-    [Pool::new(1), Pool::new(2), Pool::new(8)]
+    [
+        Pool::new(1).with_threshold_ns(0),
+        Pool::new(2).with_threshold_ns(0),
+        Pool::new(8).with_threshold_ns(0),
+    ]
 }
 
 fn reason_for(idx: u8) -> InterruptReason {
@@ -315,11 +324,14 @@ fn env_configured_pool_matches_sequential() {
         ..EnumLimits::default()
     };
     let (sols_ref, _) = enumerate_cwa_solutions_opts(&d, &s, &limits, &EnumOpts::seq());
-    let opts = EnumOpts::from_env();
+    // Threshold zero: the CI workload is paper-sized, and the point of
+    // this test is the `DEX_THREADS` worker path, not the inline fallback.
+    let exec = Pool::from_env().with_threshold_ns(0);
+    let opts = EnumOpts::seq().with_pool(exec);
     let (sols, stats) = enumerate_cwa_solutions_opts(&d, &s, &limits, &opts);
     assert_eq!(sols, sols_ref, "DEX_THREADS enumeration differs");
     stats.validate().unwrap();
 
     let canon = canonical_universal_solution(&d, &s, &ChaseBudget::default()).unwrap();
-    assert_eq!(core_parallel(&canon, &Pool::from_env()), core(&canon));
+    assert_eq!(core_parallel(&canon, &exec), core(&canon));
 }

@@ -17,7 +17,7 @@ use crate::govern::{Governor, Interrupt};
 use crate::homomorphism::{HomFinder, Homomorphism};
 use crate::instance::Instance;
 use crate::value::NullId;
-use dex_par::Pool;
+use dex_par::{Cost, Pool};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Union-find over null ids.
@@ -147,6 +147,14 @@ fn retract_candidates(inst: &Instance) -> (Vec<Instance>, Vec<(usize, Atom)>) {
     (comp_insts, candidates)
 }
 
+/// Work-size hint for one retract candidate: a hom search local to a
+/// component but screening against the whole instance — grows with the
+/// instance, so paper-example-sized cores (µs of total work) stay
+/// inline while large instances fan out.
+fn retract_cost(inst: &Instance) -> Cost {
+    Cost::EstimateNs(inst.len() as u64)
+}
+
 /// Applies the winning retract homomorphism: remap the component, keep
 /// the rest of the instance untouched.
 fn apply_retract(inst: &Instance, comp_inst: &Instance, h: &Homomorphism) -> Instance {
@@ -167,7 +175,7 @@ fn apply_retract(inst: &Instance, comp_inst: &Instance, h: &Homomorphism) -> Ins
 /// sequential iteration for any thread count.
 fn retract_step_parallel(inst: &Instance, pool: &Pool) -> Option<Instance> {
     let (comp_insts, candidates) = retract_candidates(inst);
-    let (idx, h) = pool.find_first(&candidates, |_, (ci, atom)| {
+    let (idx, h) = pool.find_first(&candidates, retract_cost(inst), |_, (ci, atom)| {
         HomFinder::new(&comp_insts[*ci], inst)
             .forbid_atom(atom)
             .find()
@@ -264,16 +272,19 @@ fn retract_step_parallel_governed(
     pool: &Pool,
 ) -> Result<Option<Instance>, Interrupt> {
     let (comp_insts, candidates) = retract_candidates(inst);
-    let winner = pool.find_first(&candidates, |_, (ci, atom)| {
-        match HomFinder::new(&comp_insts[*ci], inst)
-            .forbid_atom(atom)
-            .find_governed(gov)
-        {
-            Ok(Some(h)) => Some(Ok(h)),
-            Ok(None) => None,
-            Err(i) => Some(Err(i)),
-        }
-    });
+    let winner =
+        pool.find_first(
+            &candidates,
+            retract_cost(inst),
+            |_, (ci, atom)| match HomFinder::new(&comp_insts[*ci], inst)
+                .forbid_atom(atom)
+                .find_governed(gov)
+            {
+                Ok(Some(h)) => Some(Ok(h)),
+                Ok(None) => None,
+                Err(i) => Some(Err(i)),
+            },
+        );
     match winner {
         None => Ok(None),
         Some((_, Err(i))) => Err(i),

@@ -22,7 +22,7 @@ use crate::atom::Atom;
 use crate::govern::{Governor, Interrupt};
 use crate::instance::Instance;
 use crate::value::{NullId, Value};
-use dex_par::Pool;
+use dex_par::{Cost, Pool};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
@@ -229,11 +229,12 @@ impl<'a> HomFinder<'a> {
     /// through the first-in-submission-order successful row, so the
     /// result is identical for any thread count (including 1).
     pub fn find_parallel(self, pool: &Pool) -> Option<Homomorphism> {
+        let cost = self.row_cost();
         match self.root_split() {
             RootSplit::Fail => None,
             RootSplit::Done(h) => Some(h),
             RootSplit::Split { root, rows } => pool
-                .find_first(&rows, |_, row| {
+                .find_first(&rows, cost, |_, row| {
                     let preset = self.bind_root(&root, row)?;
                     self.sub(preset).find()
                 })
@@ -251,11 +252,12 @@ impl<'a> HomFinder<'a> {
         pool: &Pool,
         gov: &Governor,
     ) -> Result<Option<Homomorphism>, Interrupt> {
+        let cost = self.row_cost();
         match self.root_split() {
             RootSplit::Fail => Ok(None),
             RootSplit::Done(h) => Ok(Some(h)),
             RootSplit::Split { root, rows } => pool
-                .find_first(&rows, |_, row| {
+                .find_first(&rows, cost, |_, row| {
                     let preset = self.bind_root(&root, row)?;
                     match self.sub(preset).find_governed(gov) {
                         Ok(Some(h)) => Some(Ok(h)),
@@ -266,6 +268,13 @@ impl<'a> HomFinder<'a> {
                 .map(|(_, r)| r)
                 .transpose(),
         }
+    }
+
+    /// Work-size hint for one root-row sub-search: a backtracking join
+    /// over the remaining pattern atoms. Tiny patterns (paper examples)
+    /// stay inline; row splits over large instances fan out.
+    fn row_cost(&self) -> Cost {
+        Cost::EstimateNs((self.from.len() as u64).saturating_mul(100))
     }
 
     /// A sub-finder sharing every flag of `self` but with its own preset.

@@ -33,7 +33,12 @@ pub use core_of::{
 };
 // Re-exported so higher layers can size worker pools without a separate
 // `dex-par` dependency line.
-pub use dex_par::{chunk_ranges, Pool};
+#[doc(hidden)]
+pub use dex_par::scoped_map_for_ablation;
+pub use dex_par::{
+    chunk_ranges, jobs_dispatched as par_jobs_dispatched, workers_spawned as par_workers_spawned,
+    Cost, Pool,
+};
 pub use govern::{
     Clock, Governor, Interrupt, InterruptReason, MockClock, Progress, Verdict, CHECK_INTERVAL,
 };

@@ -398,7 +398,9 @@ pub fn enumerate_cwa_presolutions_opts(
             .min(WAVE)
             .min(limits.max_scripts - stats.scripts_explored);
         let wave: Vec<Vec<usize>> = (0..batch).map(|_| stack.pop().unwrap()).collect();
-        let replays = opts.pool.map(&wave, |_, script| {
+        // Each wave item is a full α-chase replay — heavy enough that
+        // any multi-script wave clears the pool's inline threshold.
+        let replays = opts.pool.map(&wave, dex_core::Cost::Heavy, |_, script| {
             replay_script(setting, source, script, &pool, fresh_base, limits, traced)
         });
         // Consume outcomes strictly in submission order — this loop is
@@ -504,7 +506,12 @@ pub fn enumerate_cwa_solutions_opts(
     };
     // Each presolution's universality check is independent; fan them out
     // and keep the original order (map preserves submission order).
-    let keep = opts.pool.map(&pres, |_, t| {
+    // Per-presolution cost: a solution check plus a hom search into the
+    // canonical solution — scales with the instance size, so the handful
+    // of paper-example presolutions stay inline.
+    let keep_cost =
+        dex_core::Cost::EstimateNs((canon.len() as u64).saturating_mul(canon.len() as u64));
+    let keep = opts.pool.map(&pres, keep_cost, |_, t| {
         setting.is_solution(source, t) && has_homomorphism(t, &canon)
     });
     let sols = pres

@@ -13,4 +13,6 @@ pub mod workloads;
 pub use layered::{layered_setting, LayeredConfig};
 pub use scenarios::{mapping_scenario, ScenarioConfig};
 pub use sources::{random_source, SourceConfig};
-pub use workloads::{example_2_1_scaled, random_3cnf, random_path_system, sat_family};
+pub use workloads::{
+    example_2_1_scaled, random_3cnf, random_path_system, redundant_null_instance, sat_family,
+};

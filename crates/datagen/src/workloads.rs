@@ -20,6 +20,29 @@ pub fn example_2_1_scaled(n: usize) -> Instance {
     s
 }
 
+/// A large target instance with `blocks` independent null blocks, each a
+/// ground "hub" atom `R(a_i, b_i)` plus `width` redundant null atoms
+/// `R(a_i, ⊥)`. Every null folds onto its hub, so the core is exactly the
+/// `blocks` hub atoms while the retraction search evaluates
+/// `blocks × width` candidate nulls — the scalable workload for the core
+/// and homomorphism benchmarks (`blocks × width` up to ~10⁵ atoms).
+pub fn redundant_null_instance(blocks: usize, width: usize) -> Instance {
+    let mut t = Instance::new();
+    let mut next_null = 0u32;
+    for i in 0..blocks {
+        let hub = Value::konst(&format!("a{i}"));
+        t.insert(Atom::of(
+            "R",
+            vec![hub.clone(), Value::konst(&format!("b{i}"))],
+        ));
+        for _ in 0..width {
+            t.insert(Atom::of("R", vec![hub.clone(), Value::null(next_null)]));
+            next_null += 1;
+        }
+    }
+    t
+}
+
 /// A random 3-CNF with `num_vars` variables and `num_clauses` clauses
 /// (distinct variables per clause, random signs).
 pub fn random_3cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
@@ -99,6 +122,16 @@ mod tests {
         let s = example_2_1_scaled(5);
         assert_eq!(s.len(), 6);
         assert!(s.is_ground());
+    }
+
+    #[test]
+    fn redundant_null_instance_core_is_the_hubs() {
+        let t = redundant_null_instance(4, 3);
+        assert_eq!(t.len(), 4 * (1 + 3));
+        assert_eq!(t.nulls().len(), 12);
+        let core = dex_core::core(&t);
+        assert_eq!(core.len(), 4, "core should be exactly the ground hubs");
+        assert!(core.is_ground());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::eval::{drop_null_tuples, eval_query, Answers};
 use dex_core::govern::{Governor, Interrupt, InterruptReason, Verdict};
-use dex_core::{chunk_ranges, Instance, Pool, Symbol, ValuationIter, Value};
+use dex_core::{chunk_ranges, Cost, Instance, Pool, Symbol, ValuationIter, Value};
 use dex_logic::{Query, Setting};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -119,11 +119,25 @@ pub fn certain_answers(
 }
 
 /// Contiguous valuation-index ranges for a worker pool. Oversplit 4×
-/// relative to the thread count so the work-stealing injector balances
-/// uneven ranges and the □ early-exit token takes effect sooner.
+/// relative to the *effective* thread count (requested width capped at
+/// the machine's CPUs) so the work-stealing injector balances uneven
+/// ranges and the □ early-exit token takes effect sooner. Splitting by
+/// the requested width would be pure overhead past the cap: each extra
+/// range restarts the □ intersection accumulator, so oversplitting adds
+/// valuation work that no extra worker exists to absorb.
 fn valuation_ranges(exec: &Pool, total: u128) -> Vec<(u64, u64)> {
     let total = u64::try_from(total).unwrap_or(u64::MAX);
-    chunk_ranges(total, exec.threads() * 4)
+    chunk_ranges(total, exec.effective_threads() * 4)
+}
+
+/// Per-range cost hint for the pool's sequential fallback. Each valuation
+/// grounds the target and evaluates the query — around half a microsecond
+/// on paper-sized instances — so the hint is `valuations-per-range × 500ns`.
+/// Tiny valuation spaces (the worked examples) stay on the calling thread;
+/// anything with thousands of valuations per range goes to the pool.
+fn range_cost(ranges: &[(u64, u64)]) -> Cost {
+    let widest = ranges.iter().map(|&(lo, hi)| hi - lo).max().unwrap_or(0);
+    Cost::EstimateNs(widest.saturating_mul(500))
 }
 
 /// [`certain_answers`] with valuation ranges fanned out on `exec`.
@@ -150,7 +164,7 @@ pub fn certain_answers_par(
     }
     let ranges = valuation_ranges(exec, total);
     let cancel = AtomicBool::new(false);
-    let partials = exec.map(&ranges, |_, &(lo, hi)| {
+    let partials = exec.map(&ranges, range_cost(&ranges), |_, &(lo, hi)| {
         let mut acc: Option<Answers> = None;
         let vals = ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), lo as u128);
         for v in vals.take((hi - lo) as usize) {
@@ -215,7 +229,7 @@ pub fn maybe_answers_par(
         });
     }
     let ranges = valuation_ranges(exec, total);
-    let partials = exec.map(&ranges, |_, &(lo, hi)| {
+    let partials = exec.map(&ranges, range_cost(&ranges), |_, &(lo, hi)| {
         let mut acc = Answers::new();
         let vals = ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), lo as u128);
         for v in vals.take((hi - lo) as usize) {
@@ -494,7 +508,7 @@ pub fn certain_answers_governed_par(
         interrupt: Option<Interrupt>,
     }
     let ranges = valuation_ranges(exec, total);
-    let partials = exec.map(&ranges, |_, &(lo, hi)| {
+    let partials = exec.map(&ranges, range_cost(&ranges), |_, &(lo, hi)| {
         let mut acc: Option<Answers> = None;
         let mut refuted = Answers::new();
         let vals = ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), lo as u128);
@@ -601,7 +615,7 @@ pub fn maybe_answers_governed_par(
         });
     }
     let ranges = valuation_ranges(exec, total);
-    let partials = exec.map(&ranges, |_, &(lo, hi)| {
+    let partials = exec.map(&ranges, range_cost(&ranges), |_, &(lo, hi)| {
         let mut acc = Answers::new();
         let vals = ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), lo as u128);
         for v in vals.take((hi - lo) as usize) {

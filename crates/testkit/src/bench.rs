@@ -29,6 +29,24 @@ pub fn smoke() -> bool {
         .unwrap_or(false)
 }
 
+/// Where a bench main should write its JSON artifact named `file`.
+///
+/// `DEX_BENCH_OUT=<dir>` routes the dump into `<dir>` (created on
+/// demand) — `ci.sh` points smoke runs at `target/bench-smoke` so they
+/// never clobber the committed baselines at the workspace root. Without
+/// the override the dump lands in `workspace_root` (the committed
+/// baseline location, used when re-baselining on a quiet machine).
+pub fn bench_out_path(workspace_root: &std::path::Path, file: &str) -> std::path::PathBuf {
+    match std::env::var("DEX_BENCH_OUT") {
+        Ok(dir) if !dir.is_empty() => {
+            let dir = std::path::PathBuf::from(dir);
+            std::fs::create_dir_all(&dir).expect("create DEX_BENCH_OUT directory");
+            dir.join(file)
+        }
+        _ => workspace_root.join(file),
+    }
+}
+
 /// Picks `full` sizes normally, `tiny` sizes under [`smoke`] mode.
 pub fn sizes(full: &[usize], tiny: &[usize]) -> Vec<usize> {
     if smoke() {
