@@ -48,6 +48,24 @@ DEX_BENCH_SMOKE=1 DEX_BENCH_OUT="$PWD/target/bench-smoke" \
   cargo bench -q --locked --offline -p dex-bench --bench par
 test -f target/bench-smoke/BENCH_par.json || { echo "par bench did not write target/bench-smoke/BENCH_par.json"; exit 1; }
 grep -q '"cpus"' BENCH_par.json || { echo "committed BENCH_par.json does not record the CPU count"; exit 1; }
+# The ≥2× speedup gate silently never arming (e.g. a baseline recorded on
+# a 1-CPU machine) must be loud: the dump records whether it fired, and a
+# committed unarmed baseline is flagged on every CI run.
+grep -q '"gate_armed"' BENCH_par.json || { echo "committed BENCH_par.json does not record gate_armed"; exit 1; }
+if grep -q '"gate_armed": false' BENCH_par.json; then
+  echo "GATE UNARMED: committed BENCH_par.json was recorded without the >=2x speedup gate (cpus < 4 or smoke run)"
+fi
+
+echo "== query bench smoke (propagation vs oracle agreement asserted) =="
+# The queries bench asserts propagation == oracle on the paper's worked
+# example and on the small keyed configuration as part of every run —
+# a disagreement panics and fails CI here.
+DEX_BENCH_SMOKE=1 DEX_BENCH_OUT="$PWD/target/bench-smoke" \
+  cargo bench -q --locked --offline -p dex-bench --bench queries
+test -f target/bench-smoke/BENCH_query.json || { echo "queries bench did not write target/bench-smoke/BENCH_query.json"; exit 1; }
+grep -q '"example_2_1_agreement": true' target/bench-smoke/BENCH_query.json \
+  || { echo "query bench smoke did not record propagation-vs-oracle agreement"; exit 1; }
+grep -q '"propagation"' BENCH_query.json || { echo "committed BENCH_query.json does not record propagation reports"; exit 1; }
 
 echo "== bench smoke (tiny sizes; any panic fails the run) =="
 # Includes the chase naive-vs-delta ablation, whose ChaseStats invariant
@@ -62,7 +80,7 @@ test -f target/bench-smoke/BENCH_chase.json || { echo "chase bench did not write
 echo "== committed baselines untouched =="
 # The smoke stages above must never clobber the committed full-run
 # baselines (that was a real bug: smoke dumps used to overwrite them).
-git diff --exit-code -- BENCH_par.json BENCH_chase.json \
+git diff --exit-code -- BENCH_par.json BENCH_chase.json BENCH_query.json \
   || { echo "a bench stage modified a committed BENCH_*.json baseline"; exit 1; }
 
 echo "CI OK"

@@ -36,8 +36,8 @@ pub use core_of::{
 #[doc(hidden)]
 pub use dex_par::scoped_map_for_ablation;
 pub use dex_par::{
-    chunk_ranges, jobs_dispatched as par_jobs_dispatched, workers_spawned as par_workers_spawned,
-    Cost, Pool,
+    chunk_ranges, jobs_dispatched as par_jobs_dispatched, range_cost,
+    workers_spawned as par_workers_spawned, Cost, Pool,
 };
 pub use govern::{
     Clock, Governor, Interrupt, InterruptReason, MockClock, Progress, Verdict, CHECK_INTERVAL,
@@ -50,5 +50,8 @@ pub use isomorphism::{dedup_up_to_iso, iso_signature, isomorphic, IsoDeduper};
 pub use schema::{Schema, SchemaError};
 pub use symbol::Symbol;
 pub use unionfind::{merge_policy, MergeOutcome, ValueUnionFind};
-pub use valuation::{fresh_constant_pool, standard_pool, Valuation, ValuationIter};
+pub use valuation::{
+    fresh_constant_pool, standard_pool, Bounded, BoundedExt, MixedRadixValuations, Valuation,
+    ValuationIter,
+};
 pub use value::{NullGen, NullId, Value};

@@ -166,6 +166,136 @@ impl Iterator for ValuationIter {
     }
 }
 
+/// An iterator truncated to at most `remaining` items, counted in `u64`.
+///
+/// Range-splitting drivers hand workers `(lo, hi)` index windows whose
+/// width is a `u64`; `Iterator::take` counts in `usize`, which silently
+/// truncates widths above `u32::MAX` on 32-bit targets — an unsound □ and
+/// incomplete ◇ (valuations past the truncation point are never visited).
+pub struct Bounded<I> {
+    inner: I,
+    remaining: u64,
+}
+
+impl<I: Iterator> Iterator for Bounded<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.inner.next()
+    }
+}
+
+/// Extension adapter: like `Iterator::take`, but counted in `u64` so the
+/// bound cannot be narrowed on 32-bit targets.
+pub trait BoundedExt: Iterator + Sized {
+    fn bounded(self, count: u64) -> Bounded<Self> {
+        Bounded {
+            inner: self,
+            remaining: count,
+        }
+    }
+}
+
+impl<I: Iterator + Sized> BoundedExt for I {}
+
+/// Exhaustive enumeration of valuations where each null draws from its
+/// *own* candidate domain — the residual cross product `∏ᵢ |Aᵢ|` left
+/// after constraint propagation has pruned per-null admissible sets
+/// (cf. `ValuationIter`, the uniform-pool special case). Same odometer
+/// order: digit 0 fastest, index decode via mixed radixes.
+pub struct MixedRadixValuations {
+    nulls: Vec<NullId>,
+    domains: Vec<Vec<Symbol>>,
+    /// Odometer digits; `None` once exhausted.
+    digits: Option<Vec<usize>>,
+}
+
+impl MixedRadixValuations {
+    /// `domains[i]` is the candidate set for `nulls[i]`; an empty domain
+    /// for any null makes the whole product empty.
+    pub fn new(nulls: Vec<NullId>, domains: Vec<Vec<Symbol>>) -> MixedRadixValuations {
+        assert_eq!(nulls.len(), domains.len());
+        let digits = if domains.iter().any(Vec::is_empty) {
+            None
+        } else {
+            Some(vec![0; nulls.len()])
+        };
+        MixedRadixValuations {
+            nulls,
+            domains,
+            digits,
+        }
+    }
+
+    /// Total number of valuations this iterator yields (saturating).
+    pub fn total(&self) -> u128 {
+        self.domains
+            .iter()
+            .map(|d| d.len() as u128)
+            .fold(1u128, u128::saturating_mul)
+    }
+
+    /// The iterator positioned at the `start`-th valuation in odometer
+    /// order: digit `i` of index `k` is `(k / ∏_{j<i} |Aⱼ|) % |Aᵢ|`.
+    pub fn from_index(
+        nulls: Vec<NullId>,
+        domains: Vec<Vec<Symbol>>,
+        start: u128,
+    ) -> MixedRadixValuations {
+        let mut it = MixedRadixValuations::new(nulls, domains);
+        if start == 0 {
+            return it;
+        }
+        if start >= it.total() {
+            it.digits = None;
+            return it;
+        }
+        if let Some(digits) = &mut it.digits {
+            let mut rest = start;
+            for (d, dom) in digits.iter_mut().zip(&it.domains) {
+                let radix = dom.len() as u128;
+                *d = (rest % radix) as usize;
+                rest /= radix;
+            }
+        }
+        it
+    }
+}
+
+impl Iterator for MixedRadixValuations {
+    type Item = Valuation;
+
+    fn next(&mut self) -> Option<Valuation> {
+        let digits = self.digits.as_mut()?;
+        let val = Valuation::from_bindings(
+            self.nulls
+                .iter()
+                .zip(digits.iter())
+                .zip(&self.domains)
+                .map(|((&n, &d), dom)| (n, dom[d])),
+        );
+        // Advance the mixed-radix odometer.
+        let mut i = 0;
+        loop {
+            if i == digits.len() {
+                self.digits = None;
+                break;
+            }
+            digits[i] += 1;
+            if digits[i] < self.domains[i].len() {
+                break;
+            }
+            digits[i] = 0;
+            i += 1;
+        }
+        Some(val)
+    }
+}
+
 /// Mints `k` fresh constants not in `avoid` (named `⊥fresh_i`, a name that
 /// never collides with user constants from the parser, which rejects `⊥`).
 pub fn fresh_constant_pool(k: usize, avoid: &BTreeSet<Symbol>) -> Vec<Symbol> {
@@ -270,6 +400,59 @@ mod tests {
             }
             assert_eq!(glued, all, "parts {parts}");
         }
+    }
+
+    #[test]
+    fn bounded_counts_in_u64() {
+        let pool = vec![c("a"), c("b")];
+        let nulls = [NullId(0), NullId(1)];
+        let taken: Vec<Valuation> = ValuationIter::new(nulls, pool.clone()).bounded(3).collect();
+        assert_eq!(taken.len(), 3);
+        // A bound past the end yields everything.
+        let all: Vec<Valuation> = ValuationIter::new(nulls, pool).bounded(u64::MAX).collect();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn mixed_radix_covers_the_product_exactly() {
+        let nulls = vec![NullId(0), NullId(1), NullId(2)];
+        let domains = vec![
+            vec![c("a"), c("b")],
+            vec![c("x")],
+            vec![c("p"), c("q"), c("r")],
+        ];
+        let it = MixedRadixValuations::new(nulls.clone(), domains.clone());
+        assert_eq!(it.total(), 6);
+        let all: Vec<Valuation> = it.collect();
+        assert_eq!(all.len(), 6);
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+        for v in &all {
+            assert_eq!(v.get(NullId(1)), Some(c("x")));
+        }
+        // from_index agrees with skipping.
+        for start in [0usize, 1, 3, 5, 6, 10] {
+            let tail: Vec<Valuation> =
+                MixedRadixValuations::from_index(nulls.clone(), domains.clone(), start as u128)
+                    .collect();
+            assert_eq!(tail, all[start.min(all.len())..].to_vec(), "start {start}");
+        }
+    }
+
+    #[test]
+    fn mixed_radix_empty_domain_is_empty() {
+        let it = MixedRadixValuations::new(vec![NullId(0), NullId(1)], vec![vec![c("a")], vec![]]);
+        assert_eq!(it.total(), 0);
+        assert_eq!(it.count(), 0);
+    }
+
+    #[test]
+    fn mixed_radix_no_nulls_yields_single_empty_valuation() {
+        let vals: Vec<Valuation> = MixedRadixValuations::new(vec![], vec![]).collect();
+        assert_eq!(vals, vec![Valuation::new()]);
     }
 
     #[test]

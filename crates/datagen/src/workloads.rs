@@ -43,6 +43,42 @@ pub fn redundant_null_instance(blocks: usize, width: usize) -> Instance {
     t
 }
 
+/// A target instance for the query-answering benchmarks: `pinned` blocks
+/// `F(a_i, ⊥_i). F(a_i, c_i).` whose nulls the key egd
+/// `F(x,y) ∧ F(x,z) → y = z` forces onto `c_i`, plus `free` atoms
+/// `G(b_j, ⊥_{pinned+j})` with genuinely unconstrained nulls. The
+/// brute-force oracle enumerates `|pool|^(pinned+free)` valuations;
+/// constraint propagation pins the `F`-nulls outright and only the
+/// `G`-nulls remain residual (zero, if `G` is also invisible to the
+/// query). Pair with [`keyed_pinned_setting`].
+pub fn keyed_pinned_instance(pinned: usize, free: usize) -> Instance {
+    let mut t = Instance::new();
+    for i in 0..pinned {
+        let key = Value::konst(&format!("a{i}"));
+        t.insert(Atom::of("F", vec![key.clone(), Value::null(i as u32)]));
+        t.insert(Atom::of("F", vec![key, Value::konst(&format!("c{i}"))]));
+    }
+    for j in 0..free {
+        t.insert(Atom::of(
+            "G",
+            vec![
+                Value::konst(&format!("b{j}")),
+                Value::null((pinned + j) as u32),
+            ],
+        ));
+    }
+    t
+}
+
+/// The setting the [`keyed_pinned_instance`] family lives in: a key egd
+/// on `F` and no other target dependencies.
+pub fn keyed_pinned_setting() -> &'static str {
+    "source { P/1 }
+     target { F/2, G/2 }
+     st { P(x) -> exists z . F(x,z); }
+     t { F(x,y) & F(x,z) -> y = z; }"
+}
+
 /// A random 3-CNF with `num_vars` variables and `num_clauses` clauses
 /// (distinct variables per clause, random signs).
 pub fn random_3cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
@@ -132,6 +168,20 @@ mod tests {
         let core = dex_core::core(&t);
         assert_eq!(core.len(), 4, "core should be exactly the ground hubs");
         assert!(core.is_ground());
+    }
+
+    #[test]
+    fn keyed_pinned_instance_shape() {
+        let t = keyed_pinned_instance(12, 2);
+        assert_eq!(t.len(), 12 * 2 + 2);
+        assert_eq!(t.nulls().len(), 14);
+        // The setting text parses and its egd pins every F-null.
+        let d = dex_logic::parse_setting(keyed_pinned_setting()).unwrap();
+        assert_eq!(d.egds.len(), 1);
+        assert!(!d.satisfies_target(&t.map_values(|v| match v {
+            Value::Null(_) => Value::konst("not-the-pin"),
+            v => v,
+        })));
     }
 
     #[test]

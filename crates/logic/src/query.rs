@@ -113,6 +113,21 @@ impl ConjunctiveQuery {
     pub fn relations(&self) -> BTreeSet<Symbol> {
         self.atoms.iter().map(|a| a.rel).collect()
     }
+
+    /// True iff every inequality mentions only *head* variables and
+    /// constants. On an all-constant head tuple such inequalities compare
+    /// fixed constants, so their truth is invariant under every valuation
+    /// of the instance's nulls — the property that lets Lemma 7.7's naive
+    /// evaluation extend beyond plain CQs (see
+    /// `dex_query::modal::ucq_certain_answers`).
+    pub fn inequalities_are_head_safe(&self) -> bool {
+        self.inequalities.iter().all(|(s, t)| {
+            [s, t].iter().all(|term| match term.as_var() {
+                Some(v) => self.head_vars.contains(&v),
+                None => true,
+            })
+        })
+    }
 }
 
 impl fmt::Display for ConjunctiveQuery {
@@ -267,6 +282,21 @@ impl Query {
             Query::Fo(_) => false,
         }
     }
+
+    /// True iff the query is a UCQ whose inequalities (if any) mention
+    /// only head variables and constants — the largest fragment the
+    /// Lemma 7.7 naive-evaluation fast path soundly covers. Strictly
+    /// contains the plain UCQs: with an all-constant answer tuple the
+    /// head-safe inequalities are const/const comparisons preserved by
+    /// every valuation (soundness) and by the injective fresh valuation
+    /// and homomorphisms between CWA-solutions (completeness).
+    pub fn is_head_safe_ucq(&self) -> bool {
+        match self {
+            Query::Cq(q) => q.inequalities_are_head_safe(),
+            Query::Ucq(q) => q.disjuncts.iter().all(|d| d.inequalities_are_head_safe()),
+            Query::Fo(_) => false,
+        }
+    }
 }
 
 impl fmt::Display for Query {
@@ -379,6 +409,45 @@ mod tests {
         )
         .unwrap();
         assert!(!Query::Cq(with_neq).is_plain_ucq());
+    }
+
+    #[test]
+    fn head_safe_fragment_classification() {
+        // Plain CQs are trivially head-safe.
+        let plain =
+            ConjunctiveQuery::new(vec![v("x")], vec![FAtom::new("P", vec![t("x")])], vec![])
+                .unwrap();
+        assert!(Query::Cq(plain).is_head_safe_ucq());
+        // head-var ≠ constant: head-safe but not plain.
+        let head_const = ConjunctiveQuery::new(
+            vec![v("x")],
+            vec![FAtom::new("P", vec![t("x")])],
+            vec![(t("x"), Term::konst("a"))],
+        )
+        .unwrap();
+        assert!(!Query::Cq(head_const.clone()).is_plain_ucq());
+        assert!(Query::Cq(head_const.clone()).is_head_safe_ucq());
+        // head-var ≠ head-var: head-safe.
+        let head_head = ConjunctiveQuery::new(
+            vec![v("x"), v("y")],
+            vec![FAtom::new("E", vec![t("x"), t("y")])],
+            vec![(t("x"), t("y"))],
+        )
+        .unwrap();
+        assert!(Query::Cq(head_head).is_head_safe_ucq());
+        // An inequality touching a non-head (existential) variable is not.
+        let existential = ConjunctiveQuery::new(
+            vec![v("x")],
+            vec![FAtom::new("E", vec![t("x"), t("y")])],
+            vec![(t("x"), t("y"))],
+        )
+        .unwrap();
+        assert!(!Query::Cq(existential.clone()).is_head_safe_ucq());
+        // A UCQ is head-safe iff every disjunct is.
+        let mixed = UnionQuery::new(vec![head_const.clone(), existential]).unwrap();
+        assert!(!Query::Ucq(mixed).is_head_safe_ucq());
+        let uniform = UnionQuery::new(vec![head_const.clone(), head_const]).unwrap();
+        assert!(Query::Ucq(uniform).is_head_safe_ucq());
     }
 
     #[test]

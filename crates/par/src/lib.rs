@@ -462,6 +462,17 @@ pub fn chunk_ranges(total: u64, parts: usize) -> Vec<(u64, u64)> {
     out
 }
 
+/// Cost hint for a batch of [`chunk_ranges`] windows processed at
+/// `per_item_ns` nanoseconds per index: the widest window bounds every
+/// worker's share, so the pool's sequential fallback compares that bound
+/// against its dispatch threshold. Tiny index spaces (the paper's worked
+/// examples) stay on the calling thread; ranges with thousands of items
+/// go to the workers.
+pub fn range_cost(ranges: &[(u64, u64)], per_item_ns: u64) -> Cost {
+    let widest = ranges.iter().map(|&(lo, hi)| hi - lo).max().unwrap_or(0);
+    Cost::EstimateNs(widest.saturating_mul(per_item_ns))
+}
+
 /// The previous per-call `std::thread::scope` implementation of `map`,
 /// retained **only** as the baseline of the dispatch-overhead ablation
 /// (`benches/par.rs`): it pays the thread-spawn floor on every call,

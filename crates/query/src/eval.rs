@@ -47,13 +47,12 @@ pub fn eval_ucq(q: &UnionQuery, inst: &Instance) -> Answers {
 
 /// Evaluates a first-order query on `inst` with active-domain semantics.
 pub fn eval_fo(q: &FoQuery, inst: &Instance) -> Answers {
-    let mut domain: Vec<Value> = inst.active_domain().into_iter().collect();
-    for c in q.formula.constants() {
-        let v = Value::Const(c);
-        if !domain.contains(&v) {
-            domain.push(v);
-        }
-    }
+    // Dedup through a set: this runs once per valuation in the modal hot
+    // loop, and a `Vec::contains` scan per formula constant is quadratic
+    // in the domain size.
+    let mut domain: BTreeSet<Value> = inst.active_domain();
+    domain.extend(q.formula.constants().into_iter().map(Value::Const));
+    let domain: Vec<Value> = domain.into_iter().collect();
     let mut out = Answers::new();
     let mut tuple = vec![Value::null(u32::MAX); q.head_vars.len()];
     enumerate(q, inst, &domain, 0, &mut tuple, &mut out);
@@ -102,6 +101,7 @@ pub fn drop_null_tuples(answers: &Answers) -> Answers {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dex_core::Atom;
     use dex_logic::{parse_instance, parse_query};
 
     fn q(text: &str) -> Query {
@@ -188,6 +188,22 @@ mod tests {
         let query = q("Q(x) := P(x) | exists y,z . (P(y) & E(y,z) & !P(z))");
         let ans = eval_query(&query, &inst);
         assert_eq!(ans.len(), 18);
+    }
+
+    #[test]
+    fn fo_eval_on_a_wide_domain() {
+        // A few thousand distinct values: the old Vec::contains dedup made
+        // domain construction quadratic, and this is inside the modal
+        // per-valuation hot loop. Also checks formula constants absent from
+        // the instance still enter the enumeration domain exactly once.
+        let mut inst = Instance::new();
+        for i in 0..3000 {
+            inst.insert(Atom::of("P", vec![Value::konst(&format!("v{i}"))]));
+        }
+        let query = q("Q(x) := P(x) & !P('outside')");
+        let ans = eval_query(&query, &inst);
+        assert_eq!(ans.len(), 3000);
+        assert!(!ans.contains(&vec![c("outside")]));
     }
 
     #[test]

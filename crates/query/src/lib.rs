@@ -16,6 +16,7 @@ pub mod classical;
 pub mod eval;
 pub mod modal;
 pub mod possible;
+pub mod propagate;
 pub mod semantics;
 
 pub use classical::{certain_upper_bound, classical_certain_ucq};
@@ -27,6 +28,10 @@ pub use modal::{
     ModalError, ModalLimits,
 };
 pub use possible::{cq_is_maybe_answer, cq_maybe_holds};
-pub use semantics::{answers, AnswerConfig, AnswerEngine, AnswerError, Semantics};
+pub use propagate::{
+    certain_answers_propagated, certain_answers_propagated_governed, certain_ground_witnesses,
+    maybe_answers_propagated, maybe_answers_propagated_governed, PropagationReport,
+};
+pub use semantics::{answers, AnswerConfig, AnswerEngine, AnswerError, EvalEngine, Semantics};
 
 pub use dex_core::govern::{Governor, Interrupt, InterruptReason, Verdict};

@@ -12,7 +12,9 @@
 
 use crate::eval::{drop_null_tuples, eval_query, Answers};
 use dex_core::govern::{Governor, Interrupt, InterruptReason, Verdict};
-use dex_core::{chunk_ranges, Cost, Instance, Pool, Symbol, ValuationIter, Value};
+use dex_core::{
+    chunk_ranges, range_cost, BoundedExt, Instance, Pool, Symbol, ValuationIter, Value,
+};
 use dex_logic::{Query, Setting};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -45,10 +47,29 @@ impl fmt::Display for ModalError {
         match self {
             ModalError::TooManyValuations { nulls, pool } => write!(
                 f,
-                "valuation space {pool}^{nulls} exceeds the configured limit"
+                "valuation space {pool}^{nulls} exceeds the configured limit \
+                 (or the u64 index space)"
             ),
         }
     }
+}
+
+/// Validates a valuation-space size against both the configured limit and
+/// the `u64` index domain the range-splitting drivers compute in. The
+/// second check is a hard soundness requirement, not a budget: totals
+/// above `u64::MAX` used to be silently clamped, so a caller who raised
+/// [`ModalLimits::max_valuations`] past `2^64` got answers over a
+/// silently-skipped suffix of `Rep_D(T)` — an unsound □ and incomplete ◇.
+pub(crate) fn checked_total(
+    total: u128,
+    nulls: usize,
+    pool: usize,
+    limits: &ModalLimits,
+) -> Result<u64, ModalError> {
+    if total > limits.max_valuations || total > u128::from(u64::MAX) {
+        return Err(ModalError::TooManyValuations { nulls, pool });
+    }
+    Ok(total as u64)
 }
 
 impl std::error::Error for ModalError {}
@@ -86,12 +107,7 @@ pub fn for_each_rep(
 ) -> Result<u64, ModalError> {
     let nulls: Vec<_> = t.nulls().into_iter().collect();
     let it = ValuationIter::new(nulls.iter().copied(), pool.to_vec());
-    if it.total() > limits.max_valuations {
-        return Err(ModalError::TooManyValuations {
-            nulls: nulls.len(),
-            pool: pool.len(),
-        });
-    }
+    checked_total(it.total(), nulls.len(), pool.len(), limits)?;
     let mut count = 0u64;
     for v in it {
         let ground = v.apply(t);
@@ -125,20 +141,17 @@ pub fn certain_answers(
 /// the requested width would be pure overhead past the cap: each extra
 /// range restarts the □ intersection accumulator, so oversplitting adds
 /// valuation work that no extra worker exists to absorb.
-fn valuation_ranges(exec: &Pool, total: u128) -> Vec<(u64, u64)> {
-    let total = u64::try_from(total).unwrap_or(u64::MAX);
+///
+/// `total` is a *checked* `u64` ([`checked_total`] rejects anything
+/// larger), so no clamping happens here.
+fn valuation_ranges(exec: &Pool, total: u64) -> Vec<(u64, u64)> {
     chunk_ranges(total, exec.effective_threads() * 4)
 }
 
-/// Per-range cost hint for the pool's sequential fallback. Each valuation
-/// grounds the target and evaluates the query — around half a microsecond
-/// on paper-sized instances — so the hint is `valuations-per-range × 500ns`.
-/// Tiny valuation spaces (the worked examples) stay on the calling thread;
-/// anything with thousands of valuations per range goes to the pool.
-fn range_cost(ranges: &[(u64, u64)]) -> Cost {
-    let widest = ranges.iter().map(|&(lo, hi)| hi - lo).max().unwrap_or(0);
-    Cost::EstimateNs(widest.saturating_mul(500))
-}
+/// Per-valuation cost estimate for [`dex_core::range_cost`] hints: each
+/// valuation grounds the target and evaluates the query — around half a
+/// microsecond on paper-sized instances.
+pub(crate) const VALUATION_COST_NS: u64 = 500;
 
 /// [`certain_answers`] with valuation ranges fanned out on `exec`.
 /// Intersection is commutative and associative, so per-range partial
@@ -156,38 +169,38 @@ pub fn certain_answers_par(
 ) -> Result<Option<Answers>, ModalError> {
     let nulls: Vec<_> = t.nulls().into_iter().collect();
     let total = ValuationIter::new(nulls.iter().copied(), pool.to_vec()).total();
-    if total > limits.max_valuations {
-        return Err(ModalError::TooManyValuations {
-            nulls: nulls.len(),
-            pool: pool.len(),
-        });
-    }
+    let total = checked_total(total, nulls.len(), pool.len(), limits)?;
     let ranges = valuation_ranges(exec, total);
     let cancel = AtomicBool::new(false);
-    let partials = exec.map(&ranges, range_cost(&ranges), |_, &(lo, hi)| {
-        let mut acc: Option<Answers> = None;
-        let vals = ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), lo as u128);
-        for v in vals.take((hi - lo) as usize) {
-            if cancel.load(Ordering::Relaxed) {
-                break;
-            }
-            let ground = v.apply(t);
-            if setting.satisfies_target(&ground) {
-                let ans = eval_query(q, &ground);
-                let next: Answers = match acc.take() {
-                    None => ans,
-                    Some(prev) => prev.intersection(&ans).cloned().collect(),
-                };
-                let hit_bottom = next.is_empty();
-                acc = Some(next);
-                if hit_bottom {
-                    cancel.store(true, Ordering::Relaxed);
+    let partials = exec.map(
+        &ranges,
+        range_cost(&ranges, VALUATION_COST_NS),
+        |_, &(lo, hi)| {
+            let mut acc: Option<Answers> = None;
+            let vals =
+                ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), u128::from(lo));
+            for v in vals.bounded(hi - lo) {
+                if cancel.load(Ordering::Relaxed) {
                     break;
                 }
+                let ground = v.apply(t);
+                if setting.satisfies_target(&ground) {
+                    let ans = eval_query(q, &ground);
+                    let next: Answers = match acc.take() {
+                        None => ans,
+                        Some(prev) => prev.intersection(&ans).cloned().collect(),
+                    };
+                    let hit_bottom = next.is_empty();
+                    acc = Some(next);
+                    if hit_bottom {
+                        cancel.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
             }
-        }
-        acc
-    });
+            acc
+        },
+    );
     let mut acc: Option<Answers> = None;
     for p in partials.into_iter().flatten() {
         acc = Some(match acc.take() {
@@ -222,24 +235,24 @@ pub fn maybe_answers_par(
 ) -> Result<Answers, ModalError> {
     let nulls: Vec<_> = t.nulls().into_iter().collect();
     let total = ValuationIter::new(nulls.iter().copied(), pool.to_vec()).total();
-    if total > limits.max_valuations {
-        return Err(ModalError::TooManyValuations {
-            nulls: nulls.len(),
-            pool: pool.len(),
-        });
-    }
+    let total = checked_total(total, nulls.len(), pool.len(), limits)?;
     let ranges = valuation_ranges(exec, total);
-    let partials = exec.map(&ranges, range_cost(&ranges), |_, &(lo, hi)| {
-        let mut acc = Answers::new();
-        let vals = ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), lo as u128);
-        for v in vals.take((hi - lo) as usize) {
-            let ground = v.apply(t);
-            if setting.satisfies_target(&ground) {
-                acc.extend(eval_query(q, &ground));
+    let partials = exec.map(
+        &ranges,
+        range_cost(&ranges, VALUATION_COST_NS),
+        |_, &(lo, hi)| {
+            let mut acc = Answers::new();
+            let vals =
+                ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), u128::from(lo));
+            for v in vals.bounded(hi - lo) {
+                let ground = v.apply(t);
+                if setting.satisfies_target(&ground) {
+                    acc.extend(eval_query(q, &ground));
+                }
             }
-        }
-        acc
-    });
+            acc
+        },
+    );
     let mut out = Answers::new();
     for p in partials {
         out.extend(p);
@@ -298,6 +311,37 @@ impl GovernedAnswers {
     /// beyond what `default` says).
     pub fn is_complete(&self) -> bool {
         self.interrupt.is_none()
+    }
+
+    /// The *sound* (under-approximating) half of the bound pair: every
+    /// tuple here is definitely in the exact answer, whatever fuel was
+    /// left. On a complete run this *is* the answer. (Calautti et al.,
+    /// "Querying Data Exchange Settings Beyond Positive Queries", use
+    /// such sound/complete pairs for the non-positive fragment; here
+    /// they fall out of the three-valued verdict partition.)
+    pub fn lower_bound(&self) -> &Answers {
+        &self.proven
+    }
+
+    /// The *complete* (over-approximating) half of the bound pair: the
+    /// exact answer is contained in the returned set. `None` when the
+    /// run was cut short with a non-`False` default — then no finite
+    /// over-approximation is known (an unexplored representative could
+    /// still produce any tuple). On a complete run the bound is tight:
+    /// `upper == lower == proven`.
+    pub fn upper_bound(&self) -> Option<Answers> {
+        match self.default {
+            Verdict::False => Some(self.proven.union(&self.undetermined).cloned().collect()),
+            _ => None,
+        }
+    }
+
+    /// True iff re-running with a larger budget can shrink the
+    /// `lower_bound()`/`upper_bound()` gap: the run was interrupted, so
+    /// some verdicts are still `Unknown`. Complete runs have nothing
+    /// left to refine.
+    pub fn is_refinable(&self) -> bool {
+        self.interrupt.is_some()
     }
 
     fn reason(&self) -> InterruptReason {
@@ -388,12 +432,7 @@ pub fn certain_answers_governed(
 ) -> Result<Option<GovernedAnswers>, ModalError> {
     let nulls: Vec<_> = t.nulls().into_iter().collect();
     let it = ValuationIter::new(nulls.iter().copied(), pool.to_vec());
-    if it.total() > limits.max_valuations {
-        return Err(ModalError::TooManyValuations {
-            nulls: nulls.len(),
-            pool: pool.len(),
-        });
-    }
+    checked_total(it.total(), nulls.len(), pool.len(), limits)?;
     let mut acc: Option<Answers> = None;
     let mut refuted = Answers::new();
     for v in it {
@@ -449,12 +488,7 @@ pub fn maybe_answers_governed(
 ) -> Result<GovernedAnswers, ModalError> {
     let nulls: Vec<_> = t.nulls().into_iter().collect();
     let it = ValuationIter::new(nulls.iter().copied(), pool.to_vec());
-    if it.total() > limits.max_valuations {
-        return Err(ModalError::TooManyValuations {
-            nulls: nulls.len(),
-            pool: pool.len(),
-        });
-    }
+    checked_total(it.total(), nulls.len(), pool.len(), limits)?;
     let mut acc = Answers::new();
     for v in it {
         if let Err(i) = gov.check() {
@@ -496,49 +530,49 @@ pub fn certain_answers_governed_par(
     }
     let nulls: Vec<_> = t.nulls().into_iter().collect();
     let total = ValuationIter::new(nulls.iter().copied(), pool.to_vec()).total();
-    if total > limits.max_valuations {
-        return Err(ModalError::TooManyValuations {
-            nulls: nulls.len(),
-            pool: pool.len(),
-        });
-    }
+    let total = checked_total(total, nulls.len(), pool.len(), limits)?;
     struct BoxPartial {
         acc: Option<Answers>,
         refuted: Answers,
         interrupt: Option<Interrupt>,
     }
     let ranges = valuation_ranges(exec, total);
-    let partials = exec.map(&ranges, range_cost(&ranges), |_, &(lo, hi)| {
-        let mut acc: Option<Answers> = None;
-        let mut refuted = Answers::new();
-        let vals = ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), lo as u128);
-        for v in vals.take((hi - lo) as usize) {
-            if let Err(i) = gov.check() {
-                return BoxPartial {
-                    acc,
-                    refuted,
-                    interrupt: Some(i),
-                };
+    let partials = exec.map(
+        &ranges,
+        range_cost(&ranges, VALUATION_COST_NS),
+        |_, &(lo, hi)| {
+            let mut acc: Option<Answers> = None;
+            let mut refuted = Answers::new();
+            let vals =
+                ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), u128::from(lo));
+            for v in vals.bounded(hi - lo) {
+                if let Err(i) = gov.check() {
+                    return BoxPartial {
+                        acc,
+                        refuted,
+                        interrupt: Some(i),
+                    };
+                }
+                let ground = v.apply(t);
+                if setting.satisfies_target(&ground) {
+                    let ans = eval_query(q, &ground);
+                    acc = Some(match acc.take() {
+                        None => ans,
+                        Some(prev) => {
+                            let kept: Answers = prev.intersection(&ans).cloned().collect();
+                            refuted.extend(prev.difference(&kept).cloned());
+                            kept
+                        }
+                    });
+                }
             }
-            let ground = v.apply(t);
-            if setting.satisfies_target(&ground) {
-                let ans = eval_query(q, &ground);
-                acc = Some(match acc.take() {
-                    None => ans,
-                    Some(prev) => {
-                        let kept: Answers = prev.intersection(&ans).cloned().collect();
-                        refuted.extend(prev.difference(&kept).cloned());
-                        kept
-                    }
-                });
+            BoxPartial {
+                acc,
+                refuted,
+                interrupt: None,
             }
-        }
-        BoxPartial {
-            acc,
-            refuted,
-            interrupt: None,
-        }
-    });
+        },
+    );
     // Merge in submission order. Every chunk's `acc` is the intersection
     // of its *fully evaluated* representatives, so cross-chunk drops are
     // definite refutations even when some chunk was interrupted.
@@ -571,7 +605,11 @@ pub fn certain_answers_governed_par(
 /// Assembles the interrupted-□ verdicts: survivors of the partial
 /// intersection are unknown; with at least one fully-evaluated
 /// representative everything else already failed a ⋂-factor.
-fn checked_box_partial(acc: Option<Answers>, refuted: Answers, i: Interrupt) -> GovernedAnswers {
+pub(crate) fn checked_box_partial(
+    acc: Option<Answers>,
+    refuted: Answers,
+    i: Interrupt,
+) -> GovernedAnswers {
     match acc {
         Some(survivors) => GovernedAnswers {
             proven: Answers::new(),
@@ -608,27 +646,27 @@ pub fn maybe_answers_governed_par(
     }
     let nulls: Vec<_> = t.nulls().into_iter().collect();
     let total = ValuationIter::new(nulls.iter().copied(), pool.to_vec()).total();
-    if total > limits.max_valuations {
-        return Err(ModalError::TooManyValuations {
-            nulls: nulls.len(),
-            pool: pool.len(),
-        });
-    }
+    let total = checked_total(total, nulls.len(), pool.len(), limits)?;
     let ranges = valuation_ranges(exec, total);
-    let partials = exec.map(&ranges, range_cost(&ranges), |_, &(lo, hi)| {
-        let mut acc = Answers::new();
-        let vals = ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), lo as u128);
-        for v in vals.take((hi - lo) as usize) {
-            if let Err(i) = gov.check() {
-                return (acc, Some(i));
+    let partials = exec.map(
+        &ranges,
+        range_cost(&ranges, VALUATION_COST_NS),
+        |_, &(lo, hi)| {
+            let mut acc = Answers::new();
+            let vals =
+                ValuationIter::from_index(nulls.iter().copied(), pool.to_vec(), u128::from(lo));
+            for v in vals.bounded(hi - lo) {
+                if let Err(i) = gov.check() {
+                    return (acc, Some(i));
+                }
+                let ground = v.apply(t);
+                if setting.satisfies_target(&ground) {
+                    acc.extend(eval_query(q, &ground));
+                }
             }
-            let ground = v.apply(t);
-            if setting.satisfies_target(&ground) {
-                acc.extend(eval_query(q, &ground));
-            }
-        }
-        (acc, None)
-    });
+            (acc, None)
+        },
+    );
     let mut proven = Answers::new();
     let mut interrupt: Option<Interrupt> = None;
     for (p, i) in partials {
@@ -649,11 +687,25 @@ pub fn maybe_answers_governed_par(
     })
 }
 
-/// Lemma 7.7's polynomial fast path: for a plain UCQ `Q` and a
-/// CWA-solution `T`, `□Q(T) = Q(T)↓` (naive evaluation, then drop tuples
-/// with nulls). Only sound when `t` is a CWA-solution.
+/// Lemma 7.7's polynomial fast path, generalized to the largest fragment
+/// it soundly covers: for a UCQ `Q` whose inequalities mention only head
+/// variables and constants ([`Query::is_head_safe_ucq`]; plain UCQs are
+/// the special case with no inequalities) and a CWA-solution `T`,
+/// `□Q(T) = Q(T)↓` (naive evaluation, then drop tuples with nulls).
+///
+/// Why the fragment is exactly this: on a surviving all-constant answer
+/// tuple, head-safe inequalities compare fixed constants, so their truth
+/// transfers unchanged along every valuation (soundness), along the
+/// injective fresh valuation, and along the homomorphisms connecting
+/// CWA-solutions (completeness — Lemma 7.7's argument verbatim). An
+/// inequality over an *existential* variable does not transfer: a
+/// valuation can collapse the two sides, which is the § 7.2 source of
+/// co-NP-hardness. Only sound when `t` is a CWA-solution.
 pub fn ucq_certain_answers(q: &Query, t: &Instance) -> Answers {
-    debug_assert!(q.is_plain_ucq(), "fast path requires a plain UCQ");
+    debug_assert!(
+        q.is_head_safe_ucq(),
+        "fast path requires a UCQ with head-safe inequalities"
+    );
     drop_null_tuples(&eval_query(q, t))
 }
 
@@ -720,10 +772,11 @@ mod tests {
     #[test]
     fn rep_filters_by_target_dependencies() {
         let d = keyed_setting();
-        // Two F-atoms with distinct nulls: valuations merging them into
-        // one value are the only ones satisfying the key... no wait — the
-        // egd requires equal second components given equal first: only
-        // valuations with v(_1) = v(_2) are in Rep.
+        // Two F-atoms sharing a key but carrying distinct nulls. The egd
+        // F(x,y) ∧ F(x,z) → y = z admits exactly the valuations with
+        // v(_1) = v(_2): every other valuation produces two F-rows with
+        // equal first and unequal second components, so Rep keeps only
+        // the collapsed instances.
         let t = parse_instance("F(a,_1). F(a,_2).").unwrap();
         let q = parse_query("Q() :- F(a,x), F(a,y), x != y").unwrap();
         let pool = answer_pool(&t, &q, []);
@@ -775,6 +828,56 @@ mod tests {
         let pool = answer_pool(&t, &q, []);
         let r = certain_answers(&d, &q, &t, &pool, &ModalLimits::default());
         assert!(matches!(r, Err(ModalError::TooManyValuations { .. })));
+    }
+
+    #[test]
+    fn raised_limit_cannot_silently_truncate_past_u64() {
+        // Regression: `valuation_ranges` used to clamp the u128 valuation
+        // total to u64::MAX, so with the limit raised past 2^64 the range
+        // layout silently dropped every valuation above the clamp — the
+        // suffix of Rep_D(T) was never visited (unsound □, incomplete ◇).
+        // Now any space that cannot be indexed in u64 is a hard error on
+        // every oracle entry point, governed or not, at any thread count.
+        let d = free_setting();
+        // 40 nulls over a pool of ≥41 constants: 41^40 ≈ 3.2·10^64 > 2^64.
+        let atoms: String = (0..40).map(|i| format!("G(_{i},_{i}). ")).collect();
+        let t = parse_instance(&atoms).unwrap();
+        let q = parse_query("Q() :- G(x,x)").unwrap();
+        let pool = answer_pool(&t, &q, []);
+        let total = ValuationIter::new(t.nulls().into_iter(), pool.clone()).total();
+        assert!(
+            total > u128::from(u64::MAX),
+            "test instance must overflow the u64 index space (got {total})"
+        );
+        let lim = ModalLimits {
+            max_valuations: u128::MAX,
+        };
+        let gov = Governor::unlimited();
+        let exec = Pool::new(2).with_threshold_ns(0);
+        assert!(matches!(
+            certain_answers_par(&d, &q, &t, &pool, &lim, &exec),
+            Err(ModalError::TooManyValuations { .. })
+        ));
+        assert!(matches!(
+            maybe_answers_par(&d, &q, &t, &pool, &lim, &exec),
+            Err(ModalError::TooManyValuations { .. })
+        ));
+        assert!(matches!(
+            certain_answers_governed_par(&d, &q, &t, &pool, &lim, &gov, &exec),
+            Err(ModalError::TooManyValuations { .. })
+        ));
+        assert!(matches!(
+            maybe_answers_governed_par(&d, &q, &t, &pool, &lim, &gov, &exec),
+            Err(ModalError::TooManyValuations { .. })
+        ));
+        assert!(matches!(
+            certain_answers_governed(&d, &q, &t, &pool, &lim, &gov),
+            Err(ModalError::TooManyValuations { .. })
+        ));
+        assert!(matches!(
+            for_each_rep(&d, &t, &pool, &lim, &mut |_| {}),
+            Err(ModalError::TooManyValuations { .. })
+        ));
     }
 
     #[test]

@@ -20,11 +20,16 @@ use crate::modal::{
     maybe_answers_par, ucq_certain_answers, GovernedAnswers, ModalError, ModalLimits,
 };
 use crate::possible::cq_is_maybe_answer;
+use crate::propagate::{
+    certain_answers_propagated, certain_answers_propagated_governed, maybe_answers_propagated,
+    maybe_answers_propagated_governed, PropagationReport,
+};
 use dex_chase::{ChaseBudget, ChaseError};
 use dex_core::govern::{Governor, Verdict};
 use dex_core::{Instance, Value};
 use dex_cwa::{cansol, core_solution, EnumLimits};
 use dex_logic::{Query, Setting};
+use std::cell::RefCell;
 use std::fmt;
 
 /// Which of the four semantics to compute.
@@ -40,6 +45,21 @@ pub enum Semantics {
     Maybe,
 }
 
+/// Which `□Q(T)` / `◇Q(T)` evaluator the engine uses.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum EvalEngine {
+    /// Constraint propagation over the null-labeled instance
+    /// ([`crate::propagate`]), falling back to the oracle above its
+    /// width cutoff. Answer-identical to the oracle on every input it
+    /// handles, exponentially cheaper on constrained instances.
+    #[default]
+    Propagate,
+    /// The brute-force `|pool|^|nulls|` valuation oracle of
+    /// [`crate::modal`] (Proposition 7.4 taken literally). Kept as the
+    /// differential-testing baseline.
+    Oracle,
+}
+
 /// Configuration for the answer engine.
 #[derive(Clone, Debug)]
 pub struct AnswerConfig {
@@ -51,6 +71,9 @@ pub struct AnswerConfig {
     /// the enumeration fallback. Sequential by default; any thread count
     /// yields the same answers.
     pub pool: dex_core::Pool,
+    /// Modal evaluator: constraint propagation (default) or the
+    /// brute-force oracle.
+    pub engine: EvalEngine,
 }
 
 impl Default for AnswerConfig {
@@ -60,6 +83,7 @@ impl Default for AnswerConfig {
             modal_limits: ModalLimits::default(),
             enum_limits: EnumLimits::default(),
             pool: dex_core::Pool::seq(),
+            engine: EvalEngine::default(),
         }
     }
 }
@@ -128,6 +152,10 @@ pub struct AnswerEngine<'a> {
     config: AnswerConfig,
     core: Instance,
     cansol: Option<Instance>,
+    /// What propagation did on the most recent modal evaluation, for
+    /// observability (the CLI prints it). `None` until the propagation
+    /// engine has run once.
+    last_report: RefCell<Option<PropagationReport>>,
 }
 
 impl<'a> AnswerEngine<'a> {
@@ -155,6 +183,7 @@ impl<'a> AnswerEngine<'a> {
             config,
             core,
             cansol,
+            last_report: RefCell::new(None),
         })
     }
 
@@ -168,6 +197,17 @@ impl<'a> AnswerEngine<'a> {
         self.cansol.as_ref()
     }
 
+    /// The [`PropagationReport`] of the most recent modal evaluation,
+    /// when the propagation engine ran (it does not under
+    /// [`EvalEngine::Oracle`] or the polynomial fast paths).
+    pub fn last_propagation(&self) -> Option<PropagationReport> {
+        self.last_report.borrow().clone()
+    }
+
+    fn record(&self, report: PropagationReport) {
+        *self.last_report.borrow_mut() = Some(report);
+    }
+
     fn box_q(&self, q: &Query, t: &Instance) -> Result<Answers, AnswerError> {
         self.box_q_impl(q, t, None).map(|g| g.proven)
     }
@@ -179,8 +219,34 @@ impl<'a> AnswerEngine<'a> {
         gov: Option<&Governor>,
     ) -> Result<GovernedAnswers, AnswerError> {
         let pool = answer_pool(t, q, self.source.constants());
-        match gov {
-            None => certain_answers_par(
+        match (self.config.engine, gov) {
+            (EvalEngine::Propagate, None) => {
+                let (ans, report) = certain_answers_propagated(
+                    self.setting,
+                    q,
+                    t,
+                    &pool,
+                    &self.config.modal_limits,
+                    &self.config.pool,
+                )?;
+                self.record(report);
+                ans.map(GovernedAnswers::complete)
+                    .ok_or(AnswerError::EmptyRep)
+            }
+            (EvalEngine::Propagate, Some(g)) => {
+                let (ans, report) = certain_answers_propagated_governed(
+                    self.setting,
+                    q,
+                    t,
+                    &pool,
+                    &self.config.modal_limits,
+                    g,
+                    &self.config.pool,
+                )?;
+                self.record(report);
+                ans.ok_or(AnswerError::EmptyRep)
+            }
+            (EvalEngine::Oracle, None) => certain_answers_par(
                 self.setting,
                 q,
                 t,
@@ -190,7 +256,7 @@ impl<'a> AnswerEngine<'a> {
             )?
             .map(GovernedAnswers::complete)
             .ok_or(AnswerError::EmptyRep),
-            Some(g) => certain_answers_governed_par(
+            (EvalEngine::Oracle, Some(g)) => certain_answers_governed_par(
                 self.setting,
                 q,
                 t,
@@ -267,8 +333,33 @@ impl<'a> AnswerEngine<'a> {
                 }
             }
         }
-        match gov {
-            None => Ok(GovernedAnswers::complete(maybe_answers_par(
+        match (self.config.engine, gov) {
+            (EvalEngine::Propagate, None) => {
+                let (ans, report) = maybe_answers_propagated(
+                    self.setting,
+                    q,
+                    t,
+                    &pool,
+                    &self.config.modal_limits,
+                    &self.config.pool,
+                )?;
+                self.record(report);
+                Ok(GovernedAnswers::complete(ans))
+            }
+            (EvalEngine::Propagate, Some(g)) => {
+                let (ans, report) = maybe_answers_propagated_governed(
+                    self.setting,
+                    q,
+                    t,
+                    &pool,
+                    &self.config.modal_limits,
+                    g,
+                    &self.config.pool,
+                )?;
+                self.record(report);
+                Ok(ans)
+            }
+            (EvalEngine::Oracle, None) => Ok(GovernedAnswers::complete(maybe_answers_par(
                 self.setting,
                 q,
                 t,
@@ -276,7 +367,7 @@ impl<'a> AnswerEngine<'a> {
                 &self.config.modal_limits,
                 &self.config.pool,
             )?)),
-            Some(g) => Ok(maybe_answers_governed_par(
+            (EvalEngine::Oracle, Some(g)) => Ok(maybe_answers_governed_par(
                 self.setting,
                 q,
                 t,
@@ -312,8 +403,9 @@ impl<'a> AnswerEngine<'a> {
         match semantics {
             // Theorem 7.1: certain⇑ = □Q(Core), maybe⇓ = ◇Q(Core).
             Semantics::PotentialCertain => {
-                if q.is_plain_ucq() {
-                    // Lemma 7.7: equal to Q(Core)↓, no valuations needed.
+                if q.is_head_safe_ucq() {
+                    // Lemma 7.7 (generalized to head-safe inequalities):
+                    // equal to Q(Core)↓, no valuations needed.
                     Ok(ucq_certain_answers(q, &self.core))
                 } else {
                     self.box_q(q, &self.core)
@@ -321,9 +413,9 @@ impl<'a> AnswerEngine<'a> {
             }
             Semantics::PersistentMaybe => self.diamond_q(q, &self.core),
             Semantics::Certain => {
-                if q.is_plain_ucq() {
-                    // Lemma 7.7: certain⇓ = certain⇑ = Q(T)↓ on any
-                    // CWA-solution; use the core.
+                if q.is_head_safe_ucq() {
+                    // Lemma 7.7 (generalized): certain⇓ = certain⇑ =
+                    // Q(T)↓ on any CWA-solution; use the core.
                     return Ok(ucq_certain_answers(q, &self.core));
                 }
                 if let Some(can) = &self.cansol {
@@ -384,8 +476,9 @@ impl<'a> AnswerEngine<'a> {
     ) -> Result<GovernedAnswers, AnswerError> {
         match semantics {
             Semantics::PotentialCertain => {
-                if q.is_plain_ucq() {
-                    // Lemma 7.7 is polynomial: always runs to completion.
+                if q.is_head_safe_ucq() {
+                    // Lemma 7.7 (generalized) is polynomial: always runs
+                    // to completion.
                     Ok(GovernedAnswers::complete(ucq_certain_answers(
                         q, &self.core,
                     )))
@@ -395,7 +488,7 @@ impl<'a> AnswerEngine<'a> {
             }
             Semantics::PersistentMaybe => self.diamond_q_impl(q, &self.core, Some(gov)),
             Semantics::Certain => {
-                if q.is_plain_ucq() {
+                if q.is_head_safe_ucq() {
                     return Ok(GovernedAnswers::complete(ucq_certain_answers(
                         q, &self.core,
                     )));
@@ -782,6 +875,78 @@ mod tests {
         let tripped = Governor::unlimited().with_fuel(1);
         let v = engine.verdict(&q, &[c("a")], sem, &tripped).unwrap();
         assert!(v.is_unknown(), "got {v:?}");
+    }
+
+    /// The two engines are answer-identical on every semantics, governed
+    /// or not — the propagation analysis only ever excludes valuations
+    /// provably outside `Rep_D(T)`.
+    #[test]
+    fn oracle_engine_matches_propagation_engine() {
+        let d = example_2_1();
+        let s = parse_instance("M(a,b). N(a,b). N(a,c).").unwrap();
+        let prop = AnswerEngine::new(&d, &s, AnswerConfig::default()).unwrap();
+        let oracle_cfg = AnswerConfig {
+            engine: EvalEngine::Oracle,
+            ..AnswerConfig::default()
+        };
+        let oracle = AnswerEngine::new(&d, &s, oracle_cfg).unwrap();
+        // An existential-inequality query stays off every fast path.
+        let q = parse_query("Q(x) :- E(x,y), F(x,z), y != z").unwrap();
+        for sem in [
+            Semantics::Certain,
+            Semantics::PotentialCertain,
+            Semantics::PersistentMaybe,
+            Semantics::Maybe,
+        ] {
+            assert_eq!(
+                prop.answers(&q, sem).unwrap(),
+                oracle.answers(&q, sem).unwrap(),
+                "{sem:?}"
+            );
+            let gov = Governor::unlimited();
+            let gp = prop.answers_governed(&q, sem, &gov).unwrap();
+            let gov = Governor::unlimited();
+            let go = oracle.answers_governed(&q, sem, &gov).unwrap();
+            assert_eq!(gp.proven, go.proven, "{sem:?}");
+        }
+        // The propagation engine records its report; the oracle does not.
+        assert!(prop.last_propagation().is_some());
+        assert!(oracle.last_propagation().is_none());
+    }
+
+    /// Interrupted propagated runs expose sound/complete bound pairs
+    /// around the exact answer at every fuel level.
+    #[test]
+    fn governed_bound_pairs_bracket_the_exact_answer() {
+        let d = example_2_1();
+        let s = parse_instance("M(a,b). N(a,b).").unwrap();
+        let engine = AnswerEngine::new(&d, &s, AnswerConfig::default()).unwrap();
+        let q = parse_query("Q(x) :- E(x,y), F(x,z), y != z").unwrap();
+        for sem in [
+            Semantics::Certain,
+            Semantics::PotentialCertain,
+            Semantics::PersistentMaybe,
+            Semantics::Maybe,
+        ] {
+            let exact = engine.answers(&q, sem).unwrap();
+            for fuel in [1u64, 2, 5, 13, 50] {
+                let gov = Governor::unlimited().with_fuel(fuel);
+                let g = engine.answers_governed(&q, sem, &gov).unwrap();
+                assert!(
+                    g.lower_bound().is_subset(&exact),
+                    "{sem:?} fuel {fuel}: lower ⊄ exact"
+                );
+                if let Some(upper) = g.upper_bound() {
+                    assert!(
+                        exact.is_subset(&upper),
+                        "{sem:?} fuel {fuel}: exact ⊄ upper"
+                    );
+                }
+                if !g.is_complete() {
+                    assert!(g.is_refinable(), "{sem:?} fuel {fuel}");
+                }
+            }
+        }
     }
 
     /// CanSol fast path: egds-only target class.

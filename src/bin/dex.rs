@@ -7,7 +7,7 @@
 //! dex core      <setting> <source>             minimal CWA-solution (Thm 5.1)
 //! dex cansol    <setting> <source>             maximal CWA-solution (Prop 5.4)
 //! dex check     <setting> <source> <target>    classify a target instance
-//! dex answer    <setting> <source> <query> [--semantics certain|potential|persistent|maybe]
+//! dex answer    <setting> <source> <query> [--semantics ...] [--engine propagate|oracle]
 //! dex enumerate <setting> <source> [--nulls-only] [--max N]
 //! ```
 //!
@@ -47,7 +47,7 @@ fn usage() -> ExitCode {
   dex core      <setting> <source> [--threads N]
   dex cansol    <setting> <source>
   dex check     <setting> <source> <target>
-  dex answer    <setting> <source> <query> [--semantics certain|potential|persistent|maybe] [--threads N]
+  dex answer    <setting> <source> <query> [--semantics certain|potential|persistent|maybe] [--threads N] [--engine propagate|oracle]
   dex enumerate <setting> <source> [--nulls-only] [--max N] [--threads N]
 
 Arguments are file paths, or inline DSL when no such file exists.
@@ -234,6 +234,7 @@ fn cmd_answer(setting: &str, source: &str, query: &str, rest: &[String]) -> Resu
     let q = parse_query(&load(query)).map_err(|e| format!("query: {e}"))?;
     let mut semantics = Semantics::Certain;
     let mut pool = cwa_dex::core::Pool::from_env();
+    let mut eval_engine = EvalEngine::default();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -250,16 +251,26 @@ fn cmd_answer(setting: &str, source: &str, query: &str, rest: &[String]) -> Resu
                 };
             }
             "--threads" => pool = parse_threads_arg(&mut it)?,
+            "--engine" => {
+                let Some(v) = it.next() else {
+                    return Err("--engine needs a value".into());
+                };
+                eval_engine = match v.as_str() {
+                    "propagate" => EvalEngine::Propagate,
+                    "oracle" => EvalEngine::Oracle,
+                    other => return Err(format!("unknown engine `{other}`")),
+                };
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     let config = AnswerConfig {
         pool,
+        engine: eval_engine,
         ..AnswerConfig::default()
     };
-    let ans = AnswerEngine::new(&d, &s, config)
-        .and_then(|engine| engine.answers(&q, semantics))
-        .map_err(|e| e.to_string())?;
+    let engine = AnswerEngine::new(&d, &s, config).map_err(|e| e.to_string())?;
+    let ans = engine.answers(&q, semantics).map_err(|e| e.to_string())?;
     if q.arity() == 0 {
         println!("{}", !ans.is_empty());
     } else {
@@ -268,6 +279,20 @@ fn cmd_answer(setting: &str, source: &str, query: &str, rest: &[String]) -> Resu
             println!("({})", row.join(", "));
         }
         println!("-- {} answers under {semantics:?}", ans.len());
+    }
+    // Diagnostics go to stderr so the answer stream stays machine-parsable
+    // (boolean queries print exactly `true`/`false` on stdout).
+    if let Some(r) = engine.last_propagation() {
+        eprintln!(
+            "-- propagation: {} nulls ({} merged, {} inert), residual {} of {} valuations, {} diseqs{}",
+            r.nulls,
+            r.merged,
+            r.inert,
+            r.residual_valuations,
+            r.oracle_valuations,
+            r.diseqs,
+            if r.fell_back { " [fell back to oracle]" } else { "" },
+        );
     }
     Ok(())
 }

@@ -65,5 +65,7 @@ pub mod prelude {
         is_richly_acyclic, is_weakly_acyclic, parse_dependency, parse_formula, parse_instance,
         parse_query, parse_setting, Query, Setting,
     };
-    pub use dex_query::{answers, AnswerConfig, AnswerEngine, Answers, Semantics};
+    pub use dex_query::{
+        answers, AnswerConfig, AnswerEngine, Answers, EvalEngine, PropagationReport, Semantics,
+    };
 }
