@@ -20,6 +20,7 @@ echo "== fault-injection smoke (fixed seeds; replay any failure with DEX_FAULT_S
 # so the single-seed reproduction machinery itself stays exercised.
 for seed in 7 41; do
   DEX_FAULT_SEED=$seed cargo test -q --locked --offline -p dex-bench --test governed
+  DEX_FAULT_SEED=$seed cargo test -q --locked --offline -p dex-bench --test repair
 done
 
 echo "== trace smoke (JSONL trace reconciles with ChaseStats exactly) =="
@@ -67,6 +68,34 @@ grep -q '"example_2_1_agreement": true' target/bench-smoke/BENCH_query.json \
   || { echo "query bench smoke did not record propagation-vs-oracle agreement"; exit 1; }
 grep -q '"propagation"' BENCH_query.json || { echo "committed BENCH_query.json does not record propagation reports"; exit 1; }
 
+echo "== repair smoke (inconsistent source degrades gracefully end-to-end) =="
+# A key-conflicted source must make `dex chase` fail with a diagnosis,
+# while `dex repair` and `dex answer --repair` still return validated
+# results — the graceful-degradation path exercised through the real CLI.
+REPAIR_SETTING='source { P/2, R/2 } target { F/2, G/2 } st { dP: P(x,y) -> F(x,y); dR: R(x,y) -> G(x,y); } t { key: F(x,y) & F(x,z) -> y = z; }'
+REPAIR_SOURCE='P(a,b). P(a,c). R(u,v).'
+DEX=target/release/dex
+if "$DEX" chase "$REPAIR_SETTING" "$REPAIR_SOURCE" >/dev/null 2>&1; then
+  echo "repair smoke: chase unexpectedly succeeded on a conflicted source"; exit 1
+fi
+# Outputs are captured, not piped into grep: `grep -q` closing the pipe
+# early makes the binary's next println panic on EPIPE (and the chase is
+# *supposed* to exit nonzero, which pipefail would also trip on).
+CHASE_OUT=$("$DEX" chase "$REPAIR_SETTING" "$REPAIR_SOURCE" 2>&1 || true)
+grep -q "source conflict set" <<< "$CHASE_OUT" \
+  || { echo "repair smoke: chase failure lacks the conflict witness"; exit 1; }
+REPAIR_OUT=$("$DEX" repair "$REPAIR_SETTING" "$REPAIR_SOURCE")
+grep -q "2 maximal repair(s)" <<< "$REPAIR_OUT" \
+  || { echo "repair smoke: dex repair did not find both repairs"; exit 1; }
+ANSWER_OUT=$("$DEX" answer "$REPAIR_SETTING" "$REPAIR_SOURCE" 'Q(x,y) :- G(x,y)' --repair)
+grep -q "(u, v)" <<< "$ANSWER_OUT" \
+  || { echo "repair smoke: dex answer --repair lost the unconflicted row"; exit 1; }
+# The repair bench asserts guided < naive candidate counts on every run.
+DEX_BENCH_SMOKE=1 DEX_BENCH_OUT="$PWD/target/bench-smoke" \
+  cargo bench -q --locked --offline -p dex-bench --bench repair
+test -f target/bench-smoke/BENCH_repair.json || { echo "repair bench did not write target/bench-smoke/BENCH_repair.json"; exit 1; }
+grep -q '"guidance_margin"' BENCH_repair.json || { echo "committed BENCH_repair.json does not record the guidance margin"; exit 1; }
+
 echo "== bench smoke (tiny sizes; any panic fails the run) =="
 # Includes the chase naive-vs-delta ablation, whose ChaseStats invariant
 # checks panic on violation — so stats consistency gates CI here too.
@@ -80,7 +109,7 @@ test -f target/bench-smoke/BENCH_chase.json || { echo "chase bench did not write
 echo "== committed baselines untouched =="
 # The smoke stages above must never clobber the committed full-run
 # baselines (that was a real bug: smoke dumps used to overwrite them).
-git diff --exit-code -- BENCH_par.json BENCH_chase.json BENCH_query.json \
+git diff --exit-code -- BENCH_par.json BENCH_chase.json BENCH_query.json BENCH_repair.json \
   || { echo "a bench stage modified a committed BENCH_*.json baseline"; exit 1; }
 
 echo "CI OK"

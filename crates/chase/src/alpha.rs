@@ -178,10 +178,10 @@ pub enum AlphaOutcome {
     /// Definition 4.2(1): finite, result satisfies Σ, no tgd α-applicable.
     Success(AlphaSuccess),
     /// Definition 4.2(2): an egd tried to identify distinct constants.
+    /// The witness is the same structured diagnosis the standard chase
+    /// reports (trigger assignment, premises, provenance chains).
     Failing {
-        dep: String,
-        left: Value,
-        right: Value,
+        witness: Box<crate::witness::ConflictWitness>,
         steps: usize,
     },
     /// Budget exhausted — with a correct budget for the setting class this
@@ -286,13 +286,8 @@ pub fn alpha_chase_naive_clocked(
         let egd_result = crate::standard::egd_step(setting, &inst);
         stats.egd_time_ns += (clock.now_ns() - t_phase) as u128;
         match egd_result {
-            Err(crate::standard::ChaseError::EgdConflict { egd, left, right }) => {
-                return AlphaOutcome::Failing {
-                    dep: egd,
-                    left,
-                    right,
-                    steps,
-                };
+            Err(crate::standard::ChaseError::EgdConflict { witness }) => {
+                return AlphaOutcome::Failing { witness, steps };
             }
             // `egd_step` performs a single bounded repair pass, so it can
             // never exhaust a step budget or trip a governor itself; still,
@@ -484,11 +479,12 @@ mod tests {
         ]);
         let out = alpha_chase(&d, &s_star(), &mut alpha, &ChaseBudget::default());
         match out {
-            AlphaOutcome::Failing {
-                dep, left, right, ..
-            } => {
-                assert_eq!(dep, "d4");
-                assert!(left.is_const() && right.is_const());
+            AlphaOutcome::Failing { witness, .. } => {
+                assert_eq!(witness.egd, "d4");
+                assert!(witness.left.is_const() && witness.right.is_const());
+                // The trigger assignment and premises are reported.
+                assert!(!witness.assignment.is_empty());
+                assert_eq!(witness.premises.len(), 2);
             }
             other => panic!("expected failing chase, got {other:?}"),
         }

@@ -31,6 +31,7 @@ use crate::budget::ChaseBudget;
 use crate::provenance::Provenance;
 use crate::standard::{ChaseError, ChaseSuccess};
 use crate::stats::ChaseStats;
+use crate::witness::ConflictWitness;
 use dex_core::govern::Clock;
 use dex_core::{merge_policy, Atom, DeltaCursor, Instance, NullGen, Symbol, Value, ValueUnionFind};
 use dex_logic::matcher;
@@ -60,6 +61,15 @@ fn valuation_of(env: &Assignment) -> Vec<(String, Value)> {
     env.bindings()
         .map(|(v, val)| (v.to_string(), val))
         .collect()
+}
+
+/// An egd trigger whose two sides are unequal, as found by
+/// [`ChaseEngine::find_violation_seeded`].
+struct EgdViolation {
+    egd_index: usize,
+    env: Assignment,
+    left: Value,
+    right: Value,
 }
 
 fn state_hash(inst: &Instance) -> u64 {
@@ -178,13 +188,9 @@ impl<'a> ChaseEngine<'a> {
     /// The first egd violation involving at least one row appended since
     /// `seed` (after an egd fixpoint every later violation must: new
     /// violations need a new or rewritten row). Returns the violating
-    /// values in body-match order.
-    fn find_violation_seeded(
-        &self,
-        inst: &Instance,
-        seed: &DeltaCursor,
-    ) -> Option<(String, Value, Value)> {
-        for egd in &self.setting.egds {
+    /// trigger: egd index, full body match, and the two unequal values.
+    fn find_violation_seeded(&self, inst: &Instance, seed: &DeltaCursor) -> Option<EgdViolation> {
+        for (ei, egd) in self.setting.egds.iter().enumerate() {
             for (i, batom) in egd.body.iter().enumerate() {
                 for row in inst.delta_rows(batom.rel, seed) {
                     let mut hit = None;
@@ -198,20 +204,43 @@ impl<'a> ChaseEngine<'a> {
                             let l = env.get(egd.lhs).expect("egd body binds lhs");
                             let r = env.get(egd.rhs).expect("egd body binds rhs");
                             if l != r {
-                                hit = Some((l, r));
+                                hit = Some((env.clone(), l, r));
                                 false
                             } else {
                                 true
                             }
                         },
                     );
-                    if let Some((l, r)) = hit {
-                        return Some((egd.name.clone(), l, r));
+                    if let Some((env, left, right)) = hit {
+                        return Some(EgdViolation {
+                            egd_index: ei,
+                            env,
+                            left,
+                            right,
+                        });
                     }
                 }
             }
         }
         None
+    }
+
+    /// Builds the structured conflict witness for an egd trigger that
+    /// equated the distinct constants `c` and `d`, with justification
+    /// chains when the run records provenance.
+    fn conflict_witness(
+        &self,
+        v: &EgdViolation,
+        c: Value,
+        d: Value,
+        prov: Option<&Provenance>,
+    ) -> Box<ConflictWitness> {
+        let egd = &self.setting.egds[v.egd_index];
+        let w = ConflictWitness::from_trigger(egd, v.egd_index, &v.env, c, d);
+        Box::new(match prov {
+            Some(p) => w.with_provenance(p),
+            None => w,
+        })
     }
 
     /// Fires one restricted-chase trigger: fresh nulls for the
@@ -340,27 +369,31 @@ impl<'a> ChaseEngine<'a> {
             // follow-on violations stay inside the window.
             let t_phase = self.clock.now_ns();
             let seed = egd_clean.take().unwrap_or_default();
-            while let Some((egd, l, r)) = self.find_violation_seeded(&inst, &seed) {
+            while let Some(v) = self.find_violation_seeded(&inst, &seed) {
                 gov.check()?;
                 self.check_steps(steps, &inst).map_err(|e| {
                     stats.egd_time_ns += (self.clock.now_ns() - t_phase) as u128;
                     e
                 })?;
-                match uf.union(l, r) {
+                match uf.union(v.left, v.right) {
                     Err((c, d)) => {
                         return Err(ChaseError::EgdConflict {
-                            egd,
-                            left: Value::Const(c),
-                            right: Value::Const(d),
+                            witness: self.conflict_witness(
+                                &v,
+                                Value::Const(c),
+                                Value::Const(d),
+                                prov.as_ref(),
+                            ),
                         })
                     }
                     Ok(Some(m)) => {
+                        let egd = &self.setting.egds[v.egd_index].name;
                         let rewritten = inst.merge_value(m.loser, m.winner);
                         stats.rows_rewritten += rewritten;
                         steps += 1;
                         stats.egd_steps += 1;
                         if let Some(p) = prov.as_mut() {
-                            p.record_merge(&egd, m.loser, m.winner);
+                            p.record_merge(egd, m.loser, m.winner);
                         }
                         if self.tracer.enabled() {
                             self.emit(EventKind::EgdMerged {
@@ -617,7 +650,7 @@ impl<'a> ChaseEngine<'a> {
             // cursor and the s-t examination.
             let t_phase = self.clock.now_ns();
             let seed = egd_clean.take().unwrap_or_default();
-            while let Some((egd, l, r)) = self.find_violation_seeded(&inst, &seed) {
+            while let Some(v) = self.find_violation_seeded(&inst, &seed) {
                 if let Err(i) = gov.check() {
                     return AlphaOutcome::Interrupted(i);
                 }
@@ -631,16 +664,20 @@ impl<'a> ChaseEngine<'a> {
                 // union-find: a fixed α can re-introduce a merged-away
                 // null (Example 4.4's α₃), which a union-find would treat
                 // as "already merged" and silently drop.
-                match merge_policy(l, r) {
-                    Err(_) => {
+                match merge_policy(v.left, v.right) {
+                    Err((c, d)) => {
                         return AlphaOutcome::Failing {
-                            dep: egd,
-                            left: l,
-                            right: r,
+                            witness: self.conflict_witness(
+                                &v,
+                                Value::Const(c),
+                                Value::Const(d),
+                                prov.as_ref(),
+                            ),
                             steps,
                         }
                     }
                     Ok(Some(m)) => {
+                        let egd = self.setting.egds[v.egd_index].name.clone();
                         let rewritten = inst.merge_value(m.loser, m.winner);
                         stats.rows_rewritten += rewritten;
                         steps += 1;

@@ -18,6 +18,7 @@ pub mod engine;
 pub mod provenance;
 pub mod standard;
 pub mod stats;
+pub mod witness;
 
 pub use alpha::{
     alpha_chase, alpha_chase_naive, alpha_chase_naive_clocked, canonical_presolution, AlphaOutcome,
@@ -31,3 +32,4 @@ pub use standard::{
     ChaseSuccess, EgdRepair,
 };
 pub use stats::ChaseStats;
+pub use witness::ConflictWitness;

@@ -11,6 +11,7 @@
 use crate::budget::ChaseBudget;
 use crate::engine::ChaseEngine;
 use crate::stats::ChaseStats;
+use crate::witness::ConflictWitness;
 use dex_core::govern::{Clock, Interrupt};
 use dex_core::{Instance, NullGen, Value};
 use dex_logic::{Assignment, Setting, Tgd, Var};
@@ -19,12 +20,10 @@ use std::fmt;
 /// Why a chase run did not produce a solution.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChaseError {
-    /// An egd tried to equate two distinct constants — no solution exists.
-    EgdConflict {
-        egd: String,
-        left: Value,
-        right: Value,
-    },
+    /// An egd tried to equate two distinct constants — no solution
+    /// exists. The witness carries the violating trigger and (when the
+    /// run recorded provenance) the source-atom conflict set.
+    EgdConflict { witness: Box<ConflictWitness> },
     /// The step/atom budget was exhausted; the chase may be
     /// non-terminating. (Enforced exactly, unlike `Interrupted`.)
     BudgetExceeded { steps: usize, atoms: usize },
@@ -35,10 +34,11 @@ pub enum ChaseError {
 impl fmt::Display for ChaseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ChaseError::EgdConflict { egd, left, right } => {
+            ChaseError::EgdConflict { witness } => {
                 write!(
                     f,
-                    "egd {egd} failed: cannot identify constants {left} and {right}"
+                    "egd {} failed: cannot identify constants {} and {}",
+                    witness.egd, witness.left, witness.right
                 )
             }
             ChaseError::BudgetExceeded { steps, atoms } => {
@@ -91,16 +91,14 @@ pub struct EgdRepair {
 /// - `Ok(None)` if no violation exists,
 /// - `Err(..)` if a violation equates distinct constants.
 pub fn egd_step(setting: &Setting, inst: &Instance) -> Result<Option<EgdRepair>, ChaseError> {
-    for egd in &setting.egds {
+    for (ei, egd) in setting.egds.iter().enumerate() {
         if let Some(env) = egd.first_violation(inst).as_ref() {
             let l = env.get(egd.lhs).expect("egd body binds lhs");
             let r = env.get(egd.rhs).expect("egd body binds rhs");
             let (from, to) = match (l, r) {
                 (Value::Const(_), Value::Const(_)) => {
                     return Err(ChaseError::EgdConflict {
-                        egd: egd.name.clone(),
-                        left: l,
-                        right: r,
+                        witness: Box::new(ConflictWitness::from_trigger(egd, ei, env, l, r)),
                     })
                 }
                 // Replace the null by the other value; when both are nulls

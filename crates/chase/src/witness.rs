@@ -1,0 +1,258 @@
+//! Structured egd-conflict witnesses: when a chase fails because an egd
+//! equates two distinct constants, the failure carries the violating
+//! egd, the full trigger assignment, the instantiated premise atoms,
+//! and — when the run recorded provenance — each premise's
+//! justification chain back to source atoms. The union of those chains'
+//! leaves is the *source-atom conflict set*: a subset of the source
+//! whose chase already fails, which is what repair search branches on
+//! (ten Cate/Halpert/Kolaitis exchange-repairs).
+
+use crate::provenance::{JustificationChain, Provenance};
+use dex_core::{Atom, Value};
+use dex_logic::{Assignment, Egd, Term};
+use dex_obs::JsonValue;
+use std::fmt;
+
+/// Why an egd application failed: the trigger that equated two distinct
+/// constants, with optional provenance chains tracing each premise back
+/// to the σ-part.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictWitness {
+    /// The violating egd's name.
+    pub egd: String,
+    /// Its index in the setting's `egds` order.
+    pub egd_index: usize,
+    /// The two distinct constants the egd tried to identify.
+    pub left: Value,
+    /// See `left`.
+    pub right: Value,
+    /// The trigger assignment, as (variable, value) pairs in the
+    /// assignment's sorted order.
+    pub assignment: Vec<(String, Value)>,
+    /// The instantiated egd body atoms under the trigger assignment.
+    pub premises: Vec<Atom>,
+    /// Per-premise justification chains back to source atoms, parallel
+    /// to `premises`. `None` when the run recorded no provenance or a
+    /// premise has no complete chain (e.g. an FO-bodied derivation).
+    pub chains: Vec<Option<JustificationChain>>,
+    /// The source atoms the chains bottom out in (sorted, deduped).
+    /// Chasing this subset of the source alone re-triggers the
+    /// conflict; empty unless [`ConflictWitness::grounded`].
+    pub conflict_set: Vec<Atom>,
+}
+
+impl ConflictWitness {
+    /// Builds a witness from the violating trigger alone (no chains).
+    pub fn from_trigger(
+        egd: &Egd,
+        egd_index: usize,
+        env: &Assignment,
+        left: Value,
+        right: Value,
+    ) -> ConflictWitness {
+        let premises = egd
+            .body
+            .iter()
+            .map(|fa| {
+                Atom::new(
+                    fa.rel,
+                    fa.args
+                        .iter()
+                        .map(|&t: &Term| env.term(t).expect("egd body match binds all terms"))
+                        .collect::<Vec<Value>>(),
+                )
+            })
+            .collect::<Vec<Atom>>();
+        let chains = vec![None; premises.len()];
+        ConflictWitness {
+            egd: egd.name.clone(),
+            egd_index,
+            left,
+            right,
+            assignment: env
+                .bindings()
+                .map(|(v, val)| (v.to_string(), val))
+                .collect(),
+            premises,
+            chains,
+            conflict_set: Vec::new(),
+        }
+    }
+
+    /// Fills the per-premise justification chains and the source-atom
+    /// conflict set from a run's recorded provenance.
+    pub fn with_provenance(mut self, prov: &Provenance) -> ConflictWitness {
+        self.chains = self.premises.iter().map(|p| prov.explain(p)).collect();
+        let mut sources: Vec<Atom> = self
+            .chains
+            .iter()
+            .flatten()
+            .flat_map(|c| c.source_atoms().into_iter().cloned())
+            .collect();
+        sources.sort();
+        sources.dedup();
+        self.conflict_set = sources;
+        self
+    }
+
+    /// True iff every premise has a chain bottoming out in source atoms
+    /// — exactly when `conflict_set` is a genuine failing source subset
+    /// that repair search can branch on.
+    pub fn grounded(&self) -> bool {
+        !self.chains.is_empty()
+            && self
+                .chains
+                .iter()
+                .all(|c| c.as_ref().is_some_and(|c| c.ends_in_sources()))
+    }
+
+    /// The witness as JSON (machine-readable failure diagnosis).
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::obj()
+            .with("egd", JsonValue::str(self.egd.clone()))
+            .with("egd_index", JsonValue::uint(self.egd_index as u64))
+            .with("left", JsonValue::str(self.left.to_string()))
+            .with("right", JsonValue::str(self.right.to_string()))
+            .with(
+                "assignment",
+                JsonValue::Obj(
+                    self.assignment
+                        .iter()
+                        .map(|(var, v)| (var.clone(), JsonValue::str(v.to_string())))
+                        .collect(),
+                ),
+            )
+            .with(
+                "premises",
+                JsonValue::Arr(
+                    self.premises
+                        .iter()
+                        .map(|p| JsonValue::str(p.to_string()))
+                        .collect(),
+                ),
+            )
+            .with(
+                "chains",
+                JsonValue::Arr(
+                    self.chains
+                        .iter()
+                        .map(|c| match c {
+                            Some(c) => c.to_json(),
+                            None => JsonValue::Null,
+                        })
+                        .collect(),
+                ),
+            );
+        o.push("grounded", JsonValue::Bool(self.grounded()));
+        o.push(
+            "conflict_set",
+            JsonValue::Arr(
+                self.conflict_set
+                    .iter()
+                    .map(|a| JsonValue::str(a.to_string()))
+                    .collect(),
+            ),
+        );
+        o
+    }
+}
+
+impl fmt::Display for ConflictWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "egd {} failed: cannot identify constants {} and {}",
+            self.egd, self.left, self.right
+        )?;
+        write!(f, "trigger:")?;
+        for (var, v) in &self.assignment {
+            write!(f, " {var}={v}")?;
+        }
+        for (i, p) in self.premises.iter().enumerate() {
+            writeln!(f)?;
+            write!(f, "premise {p}")?;
+            match &self.chains[i] {
+                Some(chain) => {
+                    for line in chain.to_string().lines() {
+                        writeln!(f)?;
+                        write!(f, "  {line}")?;
+                    }
+                }
+                None => write!(f, " (no recorded justification)")?,
+            }
+        }
+        if !self.conflict_set.is_empty() {
+            writeln!(f)?;
+            write!(f, "source conflict set: {{")?;
+            for (i, a) in self.conflict_set.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::ChaseBudget;
+    use crate::engine::ChaseEngine;
+    use crate::standard::ChaseError;
+    use dex_logic::{parse_instance, parse_setting};
+
+    #[test]
+    fn engine_conflict_carries_grounded_witness() {
+        let d = parse_setting(
+            "source { P/2 }
+             target { F/2 }
+             st { P(x,y) -> F(x,y); }
+             t { key: F(x,y) & F(x,z) -> y = z; }",
+        )
+        .unwrap();
+        let s = parse_instance("P(a,b). P(a,c).").unwrap();
+        let err = ChaseEngine::new(&d, &ChaseBudget::default())
+            .with_provenance(true)
+            .run(&s)
+            .unwrap_err();
+        let ChaseError::EgdConflict { witness } = err else {
+            panic!("expected egd conflict");
+        };
+        assert_eq!(witness.egd, "key");
+        assert_eq!(witness.egd_index, 0);
+        assert!(witness.left.is_const() && witness.right.is_const());
+        assert_eq!(witness.premises.len(), 2);
+        assert!(witness.grounded());
+        // The conflict set names the two clashing source atoms.
+        assert_eq!(witness.conflict_set.len(), 2);
+        assert!(witness.conflict_set.iter().all(|a| a.rel.as_str() == "P"));
+        // Renders and serialises.
+        assert!(witness.to_string().contains("source conflict set"));
+        dex_obs::parse(&witness.to_json().dump()).unwrap();
+    }
+
+    #[test]
+    fn witness_without_provenance_has_no_chains() {
+        let d = parse_setting(
+            "source { P/2 }
+             target { F/2 }
+             st { P(x,y) -> F(x,y); }
+             t { key: F(x,y) & F(x,z) -> y = z; }",
+        )
+        .unwrap();
+        let s = parse_instance("P(a,b). P(a,c).").unwrap();
+        let err = ChaseEngine::new(&d, &ChaseBudget::default())
+            .run(&s)
+            .unwrap_err();
+        let ChaseError::EgdConflict { witness } = err else {
+            panic!("expected egd conflict");
+        };
+        assert!(!witness.grounded());
+        assert!(witness.conflict_set.is_empty());
+        assert!(witness.chains.iter().all(Option::is_none));
+        dex_obs::parse(&witness.to_json().dump()).unwrap();
+    }
+}

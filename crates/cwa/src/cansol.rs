@@ -88,21 +88,27 @@ pub fn cansol(
                     });
                 }
                 let mut violation = None;
-                for egd in &setting.egds {
+                for (ei, egd) in setting.egds.iter().enumerate() {
                     if let Some(env) = egd.first_violation(&inst) {
                         let l = env.get(egd.lhs).expect("egd body binds lhs");
                         let r = env.get(egd.rhs).expect("egd body binds rhs");
-                        violation = Some((egd.name.clone(), l, r));
+                        violation = Some((ei, env, l, r));
                         break;
                     }
                 }
-                let Some((name, l, r)) = violation else { break };
+                let Some((ei, env, l, r)) = violation else {
+                    break;
+                };
                 match merge_policy(l, r) {
                     Err((c, d)) => {
                         return Err(ChaseError::EgdConflict {
-                            egd: name,
-                            left: Value::Const(c),
-                            right: Value::Const(d),
+                            witness: Box::new(dex_chase::ConflictWitness::from_trigger(
+                                &setting.egds[ei],
+                                ei,
+                                &env,
+                                Value::Const(c),
+                                Value::Const(d),
+                            )),
                         })
                     }
                     Ok(Some(m)) => {

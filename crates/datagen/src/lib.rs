@@ -14,6 +14,7 @@ pub use layered::{layered_setting, LayeredConfig};
 pub use scenarios::{mapping_scenario, ScenarioConfig};
 pub use sources::{random_source, SourceConfig};
 pub use workloads::{
-    example_2_1_scaled, keyed_pinned_instance, keyed_pinned_setting, random_3cnf,
-    random_path_system, redundant_null_instance, sat_family,
+    conflicting_keyed_instance, conflicting_keyed_setting, example_2_1_scaled,
+    keyed_pinned_instance, keyed_pinned_setting, random_3cnf, random_path_system,
+    redundant_null_instance, sat_family,
 };

@@ -79,6 +79,60 @@ pub fn keyed_pinned_setting() -> &'static str {
      t { F(x,y) & F(x,z) -> y = z; }"
 }
 
+/// The setting the [`conflicting_keyed_instance`] family lives in: two
+/// copy tgds and a key egd on `F`, so key-contested `P` atoms make the
+/// chase fail while `R` atoms flow through untouched.
+pub fn conflicting_keyed_setting() -> &'static str {
+    "source { P/2, R/2 }
+     target { F/2, G/2 }
+     st {
+       dP: P(x,y) -> F(x,y);
+       dR: R(x,y) -> G(x,y);
+     }
+     t { key: F(x,y) & F(x,z) -> y = z; }"
+}
+
+/// An inconsistent source for the repair benchmarks: `keys` base atoms
+/// `P(k_i, v_i)` plus `extra ≥ 1` contesting atoms `P(k_j, w)` with
+/// fresh values on seeded-random keys — each contester clashes with its
+/// key's base atom under [`conflicting_keyed_setting`]'s key egd, so
+/// the plain chase always fails — plus two innocent `R` atoms that
+/// survive into every repair.
+pub fn conflicting_keyed_instance(keys: usize, extra: usize, seed: u64) -> Instance {
+    assert!(keys >= 1 && extra >= 1);
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut s = Instance::new();
+    for i in 0..keys {
+        s.insert(Atom::of(
+            "P",
+            vec![
+                Value::konst(&format!("k{i}")),
+                Value::konst(&format!("v{i}")),
+            ],
+        ));
+    }
+    for e in 0..extra {
+        let key = rng.gen_range(0..keys);
+        s.insert(Atom::of(
+            "P",
+            vec![
+                Value::konst(&format!("k{key}")),
+                Value::konst(&format!("w{e}")),
+            ],
+        ));
+    }
+    for r in 0..2 {
+        s.insert(Atom::of(
+            "R",
+            vec![
+                Value::konst(&format!("u{r}")),
+                Value::konst(&format!("z{r}")),
+            ],
+        ));
+    }
+    s
+}
+
 /// A random 3-CNF with `num_vars` variables and `num_clauses` clauses
 /// (distinct variables per clause, random signs).
 pub fn random_3cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
@@ -182,6 +236,24 @@ mod tests {
             Value::Null(_) => Value::konst("not-the-pin"),
             v => v,
         })));
+    }
+
+    #[test]
+    fn conflicting_keyed_instance_always_clashes() {
+        let d = dex_logic::parse_setting(conflicting_keyed_setting()).unwrap();
+        for seed in 0..8 {
+            let s = conflicting_keyed_instance(4, 2, seed);
+            assert_eq!(s.len(), 4 + 2 + 2);
+            assert!(s.is_ground());
+            let err = dex_chase::ChaseEngine::new(&d, &dex_chase::ChaseBudget::default())
+                .run(&s)
+                .unwrap_err();
+            assert!(matches!(err, dex_chase::ChaseError::EgdConflict { .. }));
+        }
+        assert_eq!(
+            conflicting_keyed_instance(4, 2, 5),
+            conflicting_keyed_instance(4, 2, 5)
+        );
     }
 
     #[test]

@@ -55,6 +55,20 @@ pub enum EventKind {
     SpanOpened { name: String },
     /// A named span closed after `dur_ns`.
     SpanClosed { name: String, dur_ns: u64 },
+    /// A repair search started over `source_atoms` source atoms.
+    RepairSearchStarted { source_atoms: usize },
+    /// A repair candidate (source minus `removed` atoms) was re-chased;
+    /// `outcome` is `"success"`, `"conflict"` or `"budget"`.
+    RepairCandidateChased { removed: usize, outcome: String },
+    /// A ⊆-maximal repair was accepted, keeping `kept` source atoms.
+    RepairFound { removed: usize, kept: usize },
+    /// The repair search finished with `repairs` repairs after chasing
+    /// `candidates` candidates; `complete` is false on interrupt.
+    RepairSearchCompleted {
+        repairs: usize,
+        candidates: usize,
+        complete: bool,
+    },
 }
 
 impl EventKind {
@@ -72,6 +86,10 @@ impl EventKind {
             EventKind::RetractFound { .. } => "retract_found",
             EventKind::SpanOpened { .. } => "span_opened",
             EventKind::SpanClosed { .. } => "span_closed",
+            EventKind::RepairSearchStarted { .. } => "repair_search_started",
+            EventKind::RepairCandidateChased { .. } => "repair_candidate_chased",
+            EventKind::RepairFound { .. } => "repair_found",
+            EventKind::RepairSearchCompleted { .. } => "repair_search_completed",
         }
     }
 }
@@ -134,6 +152,26 @@ impl Event {
                 o.push("span", JsonValue::str(name.clone()));
                 o.push("dur_ns", JsonValue::uint(*dur_ns));
             }
+            EventKind::RepairSearchStarted { source_atoms } => {
+                o.push("source_atoms", JsonValue::uint(*source_atoms as u64));
+            }
+            EventKind::RepairCandidateChased { removed, outcome } => {
+                o.push("removed", JsonValue::uint(*removed as u64));
+                o.push("outcome", JsonValue::str(outcome.clone()));
+            }
+            EventKind::RepairFound { removed, kept } => {
+                o.push("removed", JsonValue::uint(*removed as u64));
+                o.push("kept", JsonValue::uint(*kept as u64));
+            }
+            EventKind::RepairSearchCompleted {
+                repairs,
+                candidates,
+                complete,
+            } => {
+                o.push("repairs", JsonValue::uint(*repairs as u64));
+                o.push("candidates", JsonValue::uint(*candidates as u64));
+                o.push("complete", JsonValue::Bool(*complete));
+            }
         }
         o
     }
@@ -179,6 +217,20 @@ mod tests {
             EventKind::SpanClosed {
                 name: "st".into(),
                 dur_ns: 10,
+            },
+            EventKind::RepairSearchStarted { source_atoms: 6 },
+            EventKind::RepairCandidateChased {
+                removed: 1,
+                outcome: "conflict".into(),
+            },
+            EventKind::RepairFound {
+                removed: 1,
+                kept: 5,
+            },
+            EventKind::RepairSearchCompleted {
+                repairs: 2,
+                candidates: 7,
+                complete: true,
             },
         ];
         for kind in kinds {

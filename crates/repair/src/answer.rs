@@ -1,0 +1,311 @@
+//! XR-certain answers: the fifth answering mode next to the four CWA
+//! semantics. A tuple is XR-certain iff it is a certain answer over
+//! *every* ⊆-maximal repair of the source — the exchange-repair
+//! certain answers of ten Cate/Halpert/Kolaitis, computed by
+//! intersecting [`Semantics::Certain`] across the repairs that
+//! [`RepairEngine`] enumerates. For a consistent source the single
+//! repair is the source itself, so XR-certain coincides with plain
+//! certain answers — the mode strictly generalises, never disagrees.
+
+use crate::engine::{RepairEngine, RepairOutcome};
+use dex_core::govern::{Governor, Interrupt, Verdict};
+use dex_core::{Instance, Pool};
+use dex_logic::{Query, Setting};
+use dex_obs::{JsonValue, Tracer};
+use dex_query::{AnswerConfig, AnswerEngine, AnswerError, Answers, GovernedAnswers, Semantics};
+use std::fmt;
+
+/// Errors from XR-certain answering.
+#[derive(Clone, Debug)]
+pub enum XrError {
+    /// A per-repair evaluation failed. Cannot be `NoSolutions` for an
+    /// actual repair (its chase succeeded); anything else propagates.
+    Answer(AnswerError),
+    /// The repair search was interrupted before finding any repair, so
+    /// there is nothing to intersect over.
+    NoRepairs(Option<Interrupt>),
+}
+
+impl fmt::Display for XrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XrError::Answer(e) => write!(f, "repair answering: {e}"),
+            XrError::NoRepairs(Some(i)) => {
+                write!(f, "repair search interrupted before any repair: {i}")
+            }
+            XrError::NoRepairs(None) => write!(f, "no repairs found"),
+        }
+    }
+}
+
+impl std::error::Error for XrError {}
+
+impl From<AnswerError> for XrError {
+    fn from(e: AnswerError) -> XrError {
+        XrError::Answer(e)
+    }
+}
+
+/// The XR answering engine: computes the repairs once (cached with
+/// their chase results), then answers any number of queries by
+/// intersecting certain answers across them.
+pub struct XrEngine<'a> {
+    setting: &'a Setting,
+    config: AnswerConfig,
+    outcome: RepairOutcome,
+}
+
+impl<'a> XrEngine<'a> {
+    /// Runs the repair search (governed by `gov`) and caches the
+    /// repairs. Fails only if the search was stopped before finding a
+    /// single repair; an incomplete-but-nonempty repair set is usable —
+    /// governed answering then reports every tuple as undetermined
+    /// rather than proven.
+    pub fn new(
+        setting: &'a Setting,
+        source: &Instance,
+        config: AnswerConfig,
+        gov: &Governor,
+    ) -> Result<XrEngine<'a>, XrError> {
+        XrEngine::with_tracer(setting, source, config, gov, Tracer::off())
+    }
+
+    /// [`XrEngine::new`] with a tracer attached to the repair search.
+    pub fn with_tracer(
+        setting: &'a Setting,
+        source: &Instance,
+        config: AnswerConfig,
+        gov: &Governor,
+        tracer: Tracer,
+    ) -> Result<XrEngine<'a>, XrError> {
+        let engine = RepairEngine::new(setting, &config.chase_budget)
+            .with_pool(pool_of(&config))
+            .with_tracer(tracer);
+        let outcome = engine.repairs_governed(source, gov);
+        if outcome.repairs.is_empty() {
+            return Err(XrError::NoRepairs(outcome.interrupt));
+        }
+        Ok(XrEngine {
+            setting,
+            config,
+            outcome,
+        })
+    }
+
+    /// The cached repair search result.
+    pub fn outcome(&self) -> &RepairOutcome {
+        &self.outcome
+    }
+
+    /// Number of repairs being intersected over.
+    pub fn repair_count(&self) -> usize {
+        self.outcome.repairs.len()
+    }
+
+    /// XR-certain answers: `⋂_repairs certain⇓(Q, repair)`. Requires a
+    /// complete repair set (the intersection over a partial set is only
+    /// an upper bound); returns the certain answers of each repair's
+    /// own answer engine, intersected.
+    pub fn certain(&self, q: &Query) -> Result<Answers, XrError> {
+        let mut acc: Option<Answers> = None;
+        for repair in &self.outcome.repairs {
+            let engine = AnswerEngine::new(self.setting, &repair.kept, self.config.clone())?;
+            let a = engine.answers(q, Semantics::Certain)?;
+            acc = Some(match acc.take() {
+                None => a,
+                Some(prev) => prev.intersection(&a).cloned().collect(),
+            });
+        }
+        Ok(acc.expect("XrEngine holds at least one repair"))
+    }
+
+    /// Governed XR-certain answers with sound three-valued partials:
+    /// a tuple is proven only when every repair of a *complete* repair
+    /// set certified it; refuted as soon as any fully-evaluated repair
+    /// rejects it (sound even over a partial repair set — adding
+    /// repairs only shrinks the intersection).
+    pub fn certain_governed(&self, q: &Query, gov: &Governor) -> Result<GovernedAnswers, XrError> {
+        let mut candidates: Option<Answers> = None;
+        let mut refuted = Answers::new();
+        for repair in &self.outcome.repairs {
+            let engine = AnswerEngine::new(self.setting, &repair.kept, self.config.clone())?;
+            let g = engine.answers_governed(q, Semantics::Certain, gov)?;
+            if g.is_complete() {
+                candidates = Some(match candidates.take() {
+                    None => g.proven,
+                    Some(prev) => {
+                        let kept: Answers = prev.intersection(&g.proven).cloned().collect();
+                        refuted.extend(prev.difference(&kept).cloned());
+                        kept
+                    }
+                });
+                continue;
+            }
+            // Interrupted inside this repair's evaluation: surviving
+            // candidates are undetermined; its own refutations stand.
+            let interrupt = g.interrupt.clone();
+            let mut undetermined = Answers::new();
+            match candidates.take() {
+                None => {
+                    undetermined.extend(g.proven);
+                    undetermined.extend(g.undetermined);
+                    refuted.extend(g.refuted);
+                }
+                Some(prev) => {
+                    for tuple in prev {
+                        match g.verdict(&tuple) {
+                            Verdict::False => {
+                                refuted.insert(tuple);
+                            }
+                            _ => {
+                                undetermined.insert(tuple);
+                            }
+                        }
+                    }
+                }
+            }
+            return Ok(GovernedAnswers {
+                proven: Answers::new(),
+                refuted,
+                undetermined,
+                default: Verdict::Unknown(
+                    interrupt
+                        .as_ref()
+                        .map(|i| i.reason)
+                        .unwrap_or(dex_core::govern::InterruptReason::Cancelled),
+                ),
+                interrupt,
+            });
+        }
+        let certain = candidates.expect("XrEngine holds at least one repair");
+        if self.outcome.complete {
+            let mut g = GovernedAnswers::complete(certain);
+            g.refuted = refuted;
+            return Ok(g);
+        }
+        // Partial repair set: unexplored repairs can only remove
+        // tuples, so the intersection so far is an upper bound —
+        // nothing is proven, survivors are undetermined.
+        Ok(GovernedAnswers {
+            proven: Answers::new(),
+            refuted,
+            undetermined: certain,
+            default: Verdict::Unknown(
+                self.outcome
+                    .interrupt
+                    .as_ref()
+                    .map(|i| i.reason)
+                    .unwrap_or(dex_core::govern::InterruptReason::Cancelled),
+            ),
+            interrupt: self.outcome.interrupt.clone(),
+        })
+    }
+
+    /// A JSON summary of the engine state (repairs + search stats).
+    pub fn to_json(&self) -> JsonValue {
+        self.outcome.to_json()
+    }
+}
+
+fn pool_of(config: &AnswerConfig) -> Pool {
+    config.pool
+}
+
+/// One-shot convenience: the XR-certain answers of `q` for `source`.
+pub fn xr_certain_answers(
+    setting: &Setting,
+    source: &Instance,
+    q: &Query,
+) -> Result<Answers, XrError> {
+    XrEngine::new(
+        setting,
+        source,
+        AnswerConfig::default(),
+        &Governor::unlimited(),
+    )?
+    .certain(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_core::Value;
+    use dex_logic::{parse_instance, parse_query, parse_setting};
+
+    fn keyed() -> Setting {
+        parse_setting(
+            "source { P/2, R/2 }
+             target { F/2, G/2 }
+             st {
+               dP: P(x,y) -> F(x,y);
+               dR: R(x,y) -> G(x,y);
+             }
+             t { key: F(x,y) & F(x,z) -> y = z; }",
+        )
+        .unwrap()
+    }
+
+    fn c(name: &str) -> Value {
+        Value::konst(name)
+    }
+
+    #[test]
+    fn xr_certain_keeps_unconflicted_facts() {
+        let d = keyed();
+        // a's F-successor is contested (b vs c); u's G-row is not.
+        let s = parse_instance("P(a,b). P(a,c). R(u,v).").unwrap();
+        let q = parse_query("Q(x,y) :- G(x,y)").unwrap();
+        let ans = xr_certain_answers(&d, &s, &q).unwrap();
+        assert_eq!(ans, Answers::from([vec![c("u"), c("v")]]));
+        // The contested fact is in no intersection.
+        let qf = parse_query("Q(x,y) :- F(x,y)").unwrap();
+        let ans = xr_certain_answers(&d, &s, &qf).unwrap();
+        assert!(ans.is_empty());
+    }
+
+    #[test]
+    fn consistent_source_matches_plain_certain() {
+        let d = keyed();
+        let s = parse_instance("P(a,b). R(u,v).").unwrap();
+        let q = parse_query("Q(x,y) :- F(x,y)").unwrap();
+        let xr = xr_certain_answers(&d, &s, &q).unwrap();
+        let plain = dex_query::answers(&d, &s, &q, Semantics::Certain).unwrap();
+        assert_eq!(xr, plain);
+    }
+
+    #[test]
+    fn governed_unlimited_matches_ungoverned() {
+        let d = keyed();
+        let s = parse_instance("P(a,b). P(a,c). R(u,v).").unwrap();
+        let engine =
+            XrEngine::new(&d, &s, AnswerConfig::default(), &Governor::unlimited()).unwrap();
+        let q = parse_query("Q(x,y) :- G(x,y)").unwrap();
+        let g = engine.certain_governed(&q, &Governor::unlimited()).unwrap();
+        assert!(g.is_complete());
+        assert_eq!(g.proven, engine.certain(&q).unwrap());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn interrupted_search_proves_nothing() {
+        let d = keyed();
+        let s = parse_instance("P(a,b). P(a,c). P(d,e). P(d,f). R(u,v).").unwrap();
+        // Enough fuel to find some repairs but not finish the search.
+        for fuel in 2u64..7 {
+            let gov = Governor::unlimited().with_fuel(fuel);
+            let Ok(engine) = XrEngine::new(&d, &s, AnswerConfig::default(), &gov) else {
+                continue; // no repair found before the trip
+            };
+            if engine.outcome().complete {
+                continue;
+            }
+            let q = parse_query("Q(x,y) :- G(x,y)").unwrap();
+            let g = engine.certain_governed(&q, &Governor::unlimited()).unwrap();
+            assert!(
+                g.proven.is_empty(),
+                "fuel {fuel}: partial set proved tuples"
+            );
+            g.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # dex-repair
+//!
+//! Exchange-repairs for inconsistent sources (ten Cate, Halpert &
+//! Kolaitis, *Exchange-Repairs: Managing Inconsistency in Data
+//! Exchange*): when the chase of a source fails because an egd equates
+//! two distinct constants, answer queries over the ⊆-maximal subsets
+//! of the source that *do* admit a CWA-solution instead of hard-failing.
+//!
+//! - [`engine`] enumerates the maximal repairs with a provenance-guided
+//!   hitting-set search (Reiter's HS-tree over the conflict sets that
+//!   [`dex_chase::ConflictWitness`] extracts from each failing chase),
+//!   governed and parallel;
+//! - [`answer`] computes XR-certain answers — the intersection of
+//!   certain answers across all repairs — as a fifth answering mode
+//!   next to the four CWA semantics.
+
+pub mod answer;
+pub mod engine;
+
+pub use answer::{xr_certain_answers, XrEngine, XrError};
+pub use engine::{naive_repairs, Repair, RepairEngine, RepairOutcome, RepairStats};

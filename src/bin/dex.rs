@@ -3,12 +3,13 @@
 //! ```text
 //! dex analyze   <setting>                      acyclicity + classification
 //! dex chase     <setting> <source>             canonical universal solution
-//! dex explain   <setting> <source>             chase + justification chains (§4)
+//! dex explain   <setting> <source> [--conflict] chase + justification chains (§4)
 //! dex core      <setting> <source>             minimal CWA-solution (Thm 5.1)
 //! dex cansol    <setting> <source>             maximal CWA-solution (Prop 5.4)
 //! dex check     <setting> <source> <target>    classify a target instance
-//! dex answer    <setting> <source> <query> [--semantics ...] [--engine propagate|oracle]
+//! dex answer    <setting> <source> <query> [--semantics ...] [--engine propagate|oracle] [--repair]
 //! dex enumerate <setting> <source> [--nulls-only] [--max N]
+//! dex repair    <setting> <source>             maximal consistent source subsets
 //! ```
 //!
 //! `<setting>`, `<source>`, `<target>` and `<query>` are file paths; if a
@@ -43,16 +44,21 @@ fn usage() -> ExitCode {
         "usage:
   dex analyze   <setting>
   dex chase     <setting> <source>
-  dex explain   <setting> <source>
+  dex explain   <setting> <source> [--conflict]
   dex core      <setting> <source> [--threads N]
   dex cansol    <setting> <source>
   dex check     <setting> <source> <target>
-  dex answer    <setting> <source> <query> [--semantics certain|potential|persistent|maybe] [--threads N] [--engine propagate|oracle]
+  dex answer    <setting> <source> <query> [--semantics certain|potential|persistent|maybe] [--threads N] [--engine propagate|oracle] [--repair]
   dex enumerate <setting> <source> [--nulls-only] [--max N] [--threads N]
+  dex repair    <setting> <source> [--threads N] [--json]
 
 Arguments are file paths, or inline DSL when no such file exists.
 --threads defaults to $DEX_THREADS (sequential when unset); results are
-identical for every thread count."
+identical for every thread count.
+`answer --repair` computes XR-certain answers (certain answers
+intersected over every maximal consistent subset of the source);
+`explain --conflict` prints the provenance-backed conflict witness of an
+inconsistent source."
     );
     ExitCode::from(1)
 }
@@ -87,12 +93,13 @@ fn main() -> ExitCode {
     let result = match (cmd.as_str(), &args[1..]) {
         ("analyze", [setting]) => cmd_analyze(setting),
         ("chase", [setting, source]) => cmd_chase(setting, source),
-        ("explain", [setting, source]) => cmd_explain(setting, source),
+        ("explain", [setting, source, rest @ ..]) => cmd_explain(setting, source, rest),
         ("core", [setting, source, rest @ ..]) => cmd_core(setting, source, rest),
         ("cansol", [setting, source]) => cmd_cansol(setting, source),
         ("check", [setting, source, target]) => cmd_check(setting, source, target),
         ("answer", [setting, source, query, rest @ ..]) => cmd_answer(setting, source, query, rest),
         ("enumerate", [setting, source, rest @ ..]) => cmd_enumerate(setting, source, rest),
+        ("repair", [setting, source, rest @ ..]) => cmd_repair(setting, source, rest),
         ("help" | "--help" | "-h", _) => return usage(),
         _ => return usage(),
     };
@@ -129,24 +136,57 @@ fn cmd_chase(setting: &str, source: &str) -> Result<(), String> {
     let d = parse_setting_arg(setting)?;
     let s = parse_instance_arg(source)?;
     let budget = ChaseBudget::default();
-    let out = ChaseEngine::new(&d, &budget)
+    // Provenance is on so an egd conflict comes back with the full
+    // witness (trigger, justification chains, source conflict set).
+    let out = match ChaseEngine::new(&d, &budget)
         .with_tracer(cwa_dex::obs::Tracer::from_env())
+        .with_provenance(true)
         .run(&s)
-        .map_err(|e| e.to_string())?;
+    {
+        Ok(out) => out,
+        Err(ChaseError::EgdConflict { witness }) => {
+            eprintln!("{witness}");
+            return Err("inconsistent source: no solution exists (diagnosis above; \
+                 `dex repair` enumerates the maximal consistent subsets)"
+                .to_owned());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     println!("steps: {}", out.steps);
     println!("{}", cwa_dex::logic::instance_to_dsl(&out.target));
     Ok(())
 }
 
-fn cmd_explain(setting: &str, source: &str) -> Result<(), String> {
+fn cmd_explain(setting: &str, source: &str, rest: &[String]) -> Result<(), String> {
     let d = parse_setting_arg(setting)?;
     let s = parse_instance_arg(source)?;
+    let mut conflict_mode = false;
+    for flag in rest {
+        match flag.as_str() {
+            "--conflict" => conflict_mode = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
     let budget = ChaseBudget::default();
-    let out = ChaseEngine::new(&d, &budget)
+    let run = ChaseEngine::new(&d, &budget)
         .with_tracer(cwa_dex::obs::Tracer::from_env())
         .with_provenance(true)
-        .run(&s)
-        .map_err(|e| e.to_string())?;
+        .run(&s);
+    if conflict_mode {
+        return match run {
+            Ok(_) => {
+                println!("consistent: the chase succeeds, no egd conflict");
+                Ok(())
+            }
+            Err(ChaseError::EgdConflict { witness }) => {
+                println!("{witness}");
+                println!("{}", witness.to_json());
+                Ok(())
+            }
+            Err(e) => Err(e.to_string()),
+        };
+    }
+    let out = run.map_err(|e| e.to_string())?;
     let prov = out
         .provenance
         .as_ref()
@@ -235,9 +275,12 @@ fn cmd_answer(setting: &str, source: &str, query: &str, rest: &[String]) -> Resu
     let mut semantics = Semantics::Certain;
     let mut pool = cwa_dex::core::Pool::from_env();
     let mut eval_engine = EvalEngine::default();
+    let mut repair_mode = false;
+    let mut semantics_set = false;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
+            "--repair" => repair_mode = true,
             "--semantics" => {
                 let Some(v) = it.next() else {
                     return Err("--semantics needs a value".into());
@@ -249,6 +292,7 @@ fn cmd_answer(setting: &str, source: &str, query: &str, rest: &[String]) -> Resu
                     "maybe" => Semantics::Maybe,
                     other => return Err(format!("unknown semantics `{other}`")),
                 };
+                semantics_set = true;
             }
             "--threads" => pool = parse_threads_arg(&mut it)?,
             "--engine" => {
@@ -269,6 +313,30 @@ fn cmd_answer(setting: &str, source: &str, query: &str, rest: &[String]) -> Resu
         engine: eval_engine,
         ..AnswerConfig::default()
     };
+    if repair_mode {
+        if semantics_set && semantics != Semantics::Certain {
+            return Err(
+                "--repair computes XR-certain answers; only `--semantics certain` applies".into(),
+            );
+        }
+        let gov = cwa_dex::core::govern::Governor::unlimited();
+        let xr = XrEngine::new(&d, &s, config, &gov).map_err(|e| e.to_string())?;
+        let ans = xr.certain(&q).map_err(|e| e.to_string())?;
+        if q.arity() == 0 {
+            println!("{}", !ans.is_empty());
+        } else {
+            for tuple in &ans {
+                let row: Vec<String> = tuple.iter().map(|v| v.to_string()).collect();
+                println!("({})", row.join(", "));
+            }
+            println!(
+                "-- {} XR-certain answers over {} repairs",
+                ans.len(),
+                xr.repair_count()
+            );
+        }
+        return Ok(());
+    }
     let engine = AnswerEngine::new(&d, &s, config).map_err(|e| e.to_string())?;
     let ans = engine.answers(&q, semantics).map_err(|e| e.to_string())?;
     if q.arity() == 0 {
@@ -332,6 +400,70 @@ fn cmd_enumerate(setting: &str, source: &str, rest: &[String]) -> Result<(), Str
         sols.len(),
         stats.scripts_explored,
         if stats.truncated { ", TRUNCATED" } else { "" }
+    );
+    Ok(())
+}
+
+fn cmd_repair(setting: &str, source: &str, rest: &[String]) -> Result<(), String> {
+    let d = parse_setting_arg(setting)?;
+    let s = parse_instance_arg(source)?;
+    let mut pool = cwa_dex::core::Pool::from_env();
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threads" => pool = parse_threads_arg(&mut it)?,
+            "--json" => json = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let engine = RepairEngine::new(&d, &ChaseBudget::default())
+        .with_pool(pool)
+        .with_tracer(cwa_dex::obs::Tracer::from_env());
+    let outcome = engine.repairs(&s);
+    outcome.validate(&s)?;
+    if json {
+        use cwa_dex::obs::JsonValue;
+        // The summary counts plus the repairs themselves (as the list of
+        // removed source atoms each — kept = source minus removed).
+        let removed = JsonValue::Arr(
+            outcome
+                .repairs
+                .iter()
+                .map(|r| {
+                    JsonValue::Arr(
+                        r.removed
+                            .iter()
+                            .map(|a| JsonValue::str(a.to_string()))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        println!("{}", outcome.to_json().with("removed", removed));
+        return Ok(());
+    }
+    for (i, repair) in outcome.repairs.iter().enumerate() {
+        let removed: Vec<String> = repair.removed.iter().map(|a| a.to_string()).collect();
+        println!(
+            "repair {i}: kept {} of {} atoms, removed {{ {} }}",
+            repair.kept.len(),
+            s.len(),
+            removed.join(", ")
+        );
+    }
+    let st = &outcome.stats;
+    println!(
+        "-- {} maximal repair(s){}; {} candidates chased, {} conflicts extracted, {} pruned",
+        outcome.repairs.len(),
+        if outcome.complete {
+            ""
+        } else {
+            " (INCOMPLETE)"
+        },
+        st.candidates_chased,
+        st.conflicts_extracted,
+        st.pruned_superset + st.pruned_duplicate,
     );
     Ok(())
 }

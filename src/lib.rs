@@ -46,6 +46,7 @@ pub use dex_logic as logic;
 pub use dex_obs as obs;
 pub use dex_query as query;
 pub use dex_reductions as reductions;
+pub use dex_repair as repair;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -68,4 +69,5 @@ pub mod prelude {
     pub use dex_query::{
         answers, AnswerConfig, AnswerEngine, Answers, EvalEngine, PropagationReport, Semantics,
     };
+    pub use dex_repair::{xr_certain_answers, Repair, RepairEngine, RepairOutcome, XrEngine};
 }

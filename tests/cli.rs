@@ -176,3 +176,89 @@ fn no_args_prints_usage() {
     assert!(!ok);
     assert!(stderr.contains("usage"));
 }
+
+const KEYED: &str = "source { P/2, R/2 }
+target { F/2, G/2 }
+st {
+  dP: P(x,y) -> F(x,y);
+  dR: R(x,y) -> G(x,y);
+}
+t { key: F(x,y) & F(x,z) -> y = z; }";
+
+const CONFLICTED: &str = "P(a,b). P(a,c). R(u,v).";
+
+#[test]
+fn chase_failure_prints_conflict_witness() {
+    let (ok, _, stderr) = dex(&["chase", KEYED, CONFLICTED]);
+    assert!(!ok);
+    assert!(stderr.contains("egd key failed"), "stderr: {stderr}");
+    assert!(stderr.contains("source conflict set: {P(a,b), P(a,c)}"));
+    assert!(stderr.contains("P(a,b) <- source"));
+    assert!(stderr.contains("dex repair"));
+}
+
+#[test]
+fn explain_conflict_prints_witness_and_json() {
+    let (ok, stdout, _) = dex(&["explain", KEYED, CONFLICTED, "--conflict"]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("egd key failed"));
+    let json_line = stdout
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("a JSON line");
+    let v = cwa_dex::obs::parse(json_line).expect("witness JSON parses");
+    assert!(
+        matches!(v.get("grounded"), Some(cwa_dex::obs::JsonValue::Bool(true))),
+        "witness should be grounded: {json_line}"
+    );
+    // Consistent sources report success instead.
+    let (ok, stdout, _) = dex(&["explain", KEYED, "P(a,b).", "--conflict"]);
+    assert!(ok);
+    assert!(stdout.contains("consistent"));
+}
+
+#[test]
+fn repair_lists_maximal_consistent_subsets() {
+    let (ok, stdout, _) = dex(&["repair", KEYED, CONFLICTED]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("removed { P(a,b) }"));
+    assert!(stdout.contains("removed { P(a,c) }"));
+    assert!(stdout.contains("2 maximal repair(s)"));
+    // --json emits one parsable object.
+    let (ok, stdout, _) = dex(&["repair", KEYED, CONFLICTED, "--json"]);
+    assert!(ok);
+    let v = cwa_dex::obs::parse(stdout.trim()).expect("repair JSON parses");
+    assert!(v.get("repairs").is_some(), "no repairs key: {stdout}");
+    let Some(cwa_dex::obs::JsonValue::Arr(removed)) = v.get("removed") else {
+        panic!("no removed list: {stdout}");
+    };
+    assert_eq!(removed.len(), 2, "one removed-set per repair: {stdout}");
+}
+
+#[test]
+fn answer_repair_intersects_over_repairs() {
+    // G(u,v) survives every repair; the contested F-row survives none.
+    let (ok, stdout, _) = dex(&["answer", KEYED, CONFLICTED, "Q(x,y) :- G(x,y)", "--repair"]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("(u, v)"));
+    assert!(stdout.contains("1 XR-certain answers over 2 repairs"));
+    let (ok, stdout, _) = dex(&["answer", KEYED, CONFLICTED, "Q(x,y) :- F(x,y)", "--repair"]);
+    assert!(ok);
+    assert!(stdout.contains("0 XR-certain answers"));
+    // Without --repair the same inconsistent source hard-fails.
+    let (ok, _, stderr) = dex(&["answer", KEYED, CONFLICTED, "Q(x,y) :- G(x,y)"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+    // --repair only pairs with certain semantics.
+    let (ok, _, stderr) = dex(&[
+        "answer",
+        KEYED,
+        CONFLICTED,
+        "Q(x,y) :- G(x,y)",
+        "--repair",
+        "--semantics",
+        "maybe",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("XR-certain"));
+}
