@@ -198,7 +198,6 @@ impl fmt::Display for ConflictWitness {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::budget::ChaseBudget;
     use crate::engine::ChaseEngine;
     use crate::standard::ChaseError;

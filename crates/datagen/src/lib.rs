@@ -15,6 +15,7 @@ pub use scenarios::{mapping_scenario, ScenarioConfig};
 pub use sources::{random_source, SourceConfig};
 pub use workloads::{
     conflicting_keyed_instance, conflicting_keyed_setting, example_2_1_scaled,
-    keyed_pinned_instance, keyed_pinned_setting, random_3cnf, random_path_system,
-    redundant_null_instance, sat_family,
+    keyed_pinned_instance, keyed_pinned_setting, overlapping_keyed_instance,
+    overlapping_keyed_setting, random_3cnf, random_path_system, redundant_null_instance,
+    sat_family,
 };

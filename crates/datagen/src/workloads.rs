@@ -133,6 +133,65 @@ pub fn conflicting_keyed_instance(keys: usize, extra: usize, seed: u64) -> Insta
     s
 }
 
+/// The two-key setting for overlapping-conflict repair tests: `P` rows
+/// copy into both `F` and (flipped) `G`, `R` rows into `G`, with a key
+/// egd on each target. One source atom can then sit in two distinct
+/// minimal conflict sets — the shape that exercises the repair search's
+/// cross-level superset pruning, which the clique-shaped single-key
+/// conflicts of [`conflicting_keyed_setting`] never produce.
+pub fn overlapping_keyed_setting() -> &'static str {
+    "source { P/2, R/2 }
+     target { F/2, G/2 }
+     st {
+       dF: P(x,y) -> F(x,y);
+       dG: P(x,y) -> G(y,x);
+       dR: R(x,y) -> G(x,y);
+     }
+     t {
+       kF: F(x,y) & F(x,z) -> y = z;
+       kG: G(x,y) & G(x,z) -> y = z;
+     }"
+}
+
+/// An inconsistent source whose minimal conflict sets overlap without
+/// coinciding: each of the `blocks` blocks holds an F-key clash
+/// `P(a_i,b_i), P(a_i,c_i)` plus, on seeded coin flips, an `R` row that
+/// G-key-clashes with one of the two `P` rows (that atom is then shared
+/// between two conflicts) and an innocent `R` row that survives every
+/// repair. Under [`overlapping_keyed_setting`] the plain chase fails on
+/// every seed.
+pub fn overlapping_keyed_instance(blocks: usize, seed: u64) -> Instance {
+    assert!(blocks >= 1);
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut s = Instance::new();
+    for i in 0..blocks {
+        let a = format!("a{i}");
+        let b = format!("b{i}");
+        let c = format!("c{i}");
+        s.insert(Atom::of("P", vec![Value::konst(&a), Value::konst(&b)]));
+        s.insert(Atom::of("P", vec![Value::konst(&a), Value::konst(&c)]));
+        if rng.gen_range(0..4) > 0 {
+            // R(v, q_i) → G(v, q_i) clashes with the G(v, a_i) derived
+            // from whichever P row carries v: an overlapping conflict.
+            let shared = if rng.gen_range(0..2) == 0 { &b } else { &c };
+            s.insert(Atom::of(
+                "R",
+                vec![Value::konst(shared), Value::konst(&format!("q{i}"))],
+            ));
+        }
+        if rng.gen_range(0..2) == 0 {
+            s.insert(Atom::of(
+                "R",
+                vec![
+                    Value::konst(&format!("u{i}")),
+                    Value::konst(&format!("z{i}")),
+                ],
+            ));
+        }
+    }
+    s
+}
+
 /// A random 3-CNF with `num_vars` variables and `num_clauses` clauses
 /// (distinct variables per clause, random signs).
 pub fn random_3cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
@@ -253,6 +312,23 @@ mod tests {
         assert_eq!(
             conflicting_keyed_instance(4, 2, 5),
             conflicting_keyed_instance(4, 2, 5)
+        );
+    }
+
+    #[test]
+    fn overlapping_keyed_instance_always_clashes() {
+        let d = dex_logic::parse_setting(overlapping_keyed_setting()).unwrap();
+        for seed in 0..8 {
+            let s = overlapping_keyed_instance(2, seed);
+            assert!(s.is_ground());
+            let err = dex_chase::ChaseEngine::new(&d, &dex_chase::ChaseBudget::default())
+                .run(&s)
+                .unwrap_err();
+            assert!(matches!(err, dex_chase::ChaseError::EgdConflict { .. }));
+        }
+        assert_eq!(
+            overlapping_keyed_instance(2, 5),
+            overlapping_keyed_instance(2, 5)
         );
     }
 

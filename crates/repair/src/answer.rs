@@ -24,6 +24,14 @@ pub enum XrError {
     /// The repair search was interrupted before finding any repair, so
     /// there is nothing to intersect over.
     NoRepairs(Option<Interrupt>),
+    /// The repair search returned a set violating its own invariants
+    /// (an engine bug): intersecting over it would be unsound.
+    Corrupt(String),
+    /// Exact XR-certain answers were requested over an incomplete
+    /// repair set — the intersection is only an upper bound there.
+    /// Use [`XrEngine::certain_governed`], which reports the partial
+    /// case soundly.
+    IncompleteRepairs(Option<Interrupt>),
 }
 
 impl fmt::Display for XrError {
@@ -34,6 +42,20 @@ impl fmt::Display for XrError {
                 write!(f, "repair search interrupted before any repair: {i}")
             }
             XrError::NoRepairs(None) => write!(f, "no repairs found"),
+            XrError::Corrupt(msg) => {
+                write!(f, "repair search produced an invalid repair set: {msg}")
+            }
+            XrError::IncompleteRepairs(Some(i)) => write!(
+                f,
+                "repair set is incomplete ({i}): exact XR-certain answers \
+                 need all repairs; use governed answering for a sound partial"
+            ),
+            XrError::IncompleteRepairs(None) => write!(
+                f,
+                "repair set is incomplete (a candidate chase exhausted its \
+                 budget): exact XR-certain answers need all repairs; use \
+                 governed answering for a sound partial"
+            ),
         }
     }
 }
@@ -85,6 +107,10 @@ impl<'a> XrEngine<'a> {
         if outcome.repairs.is_empty() {
             return Err(XrError::NoRepairs(outcome.interrupt));
         }
+        // A corrupted repair set (non-maximal entries, wrong kept sets)
+        // would silently poison every intersection below; fail loudly
+        // instead.
+        outcome.validate(source).map_err(XrError::Corrupt)?;
         Ok(XrEngine {
             setting,
             config,
@@ -104,9 +130,13 @@ impl<'a> XrEngine<'a> {
 
     /// XR-certain answers: `⋂_repairs certain⇓(Q, repair)`. Requires a
     /// complete repair set (the intersection over a partial set is only
-    /// an upper bound); returns the certain answers of each repair's
-    /// own answer engine, intersected.
+    /// an upper bound) and fails with [`XrError::IncompleteRepairs`]
+    /// otherwise; returns the certain answers of each repair's own
+    /// answer engine, intersected.
     pub fn certain(&self, q: &Query) -> Result<Answers, XrError> {
+        if !self.outcome.complete {
+            return Err(XrError::IncompleteRepairs(self.outcome.interrupt.clone()));
+        }
         let mut acc: Option<Answers> = None;
         for repair in &self.outcome.repairs {
             let engine = AnswerEngine::new(self.setting, &repair.kept, self.config.clone())?;
@@ -284,6 +314,28 @@ mod tests {
         assert!(g.is_complete());
         assert_eq!(g.proven, engine.certain(&q).unwrap());
         g.validate().unwrap();
+    }
+
+    #[test]
+    fn certain_rejects_incomplete_repair_set() {
+        let d = keyed();
+        let s = parse_instance("P(a,b). P(a,c). P(d,e). P(d,f). R(u,v).").unwrap();
+        let q = parse_query("Q(x,y) :- G(x,y)").unwrap();
+        for fuel in 2u64..7 {
+            let gov = Governor::unlimited().with_fuel(fuel);
+            let Ok(engine) = XrEngine::new(&d, &s, AnswerConfig::default(), &gov) else {
+                continue; // no repair found before the trip
+            };
+            if engine.outcome().complete {
+                continue;
+            }
+            // Exact intersection over a partial repair set is only an
+            // upper bound; certain() must refuse rather than report it.
+            assert!(matches!(
+                engine.certain(&q),
+                Err(XrError::IncompleteRepairs(_))
+            ));
+        }
     }
 
     #[test]

@@ -28,6 +28,13 @@
 //! count. Because BFS finishes level `k-1` before level `k` and
 //! same-level successes cannot dominate each other, every repair
 //! emitted before an interrupt is genuinely maximal — a sound partial.
+//!
+//! Superset pruning runs twice: once at child-generation time against
+//! the successes recorded so far, and once more on the assembled next
+//! level. The second pass is load-bearing — a child generated before a
+//! same-level sibling succeeds is not caught by the first pass, and by
+//! downward closure it would chase cleanly and surface as a
+//! non-maximal pseudo-repair.
 
 use dex_chase::{ChaseBudget, ChaseEngine, ChaseError, ChaseSuccess};
 use dex_core::govern::{Clock, Governor, Interrupt};
@@ -362,6 +369,19 @@ impl<'a> RepairEngine<'a> {
             // lexicographic index order within each level.
             next.sort();
             next.dedup();
+            // A child generated before a same-level sibling succeeded
+            // was never checked against that success; consistency is
+            // downward-closed, so such a child would chase cleanly and
+            // be emitted as a non-maximal pseudo-repair. Re-filter the
+            // whole level against every success recorded so far.
+            next.retain(|child| {
+                if success_removals.iter().any(|s| is_subset(s, child)) {
+                    stats.pruned_superset += 1;
+                    false
+                } else {
+                    true
+                }
+            });
             frontier = next;
             level += 1;
         }
@@ -539,6 +559,47 @@ mod tests {
                 assert!(isomorphic(&a.chase.target, &b.chase.target));
             }
             assert_eq!(par.stats, seq.stats);
+        }
+    }
+
+    #[test]
+    fn overlapping_conflicts_emit_only_maximal_repairs() {
+        // Two overlapping minimal conflict sets: {P(a,b), P(a,c)} via
+        // the F-key and {P(a,c), R(c,q)} via the G-key. At level 1 the
+        // candidate dropping P(a,b) fails on the G-key and spawns the
+        // child {P(a,b), P(a,c)} *before* its sibling (drop P(a,c))
+        // succeeds, so generation-time pruning misses it; without the
+        // level re-filter the child chases cleanly at level 2 and the
+        // non-maximal kept set {R(c,q)} is emitted.
+        let d = parse_setting(
+            "source { P/2, R/2 }
+             target { F/2, G/2 }
+             st {
+               dF: P(x,y) -> F(x,y);
+               dG: P(x,y) -> G(y,x);
+               dR: R(x,y) -> G(x,y);
+             }
+             t {
+               kF: F(x,y) & F(x,z) -> y = z;
+               kG: G(x,y) & G(x,z) -> y = z;
+             }",
+        )
+        .unwrap();
+        let s = parse_instance("P(a,b). P(a,c). R(c,q).").unwrap();
+        let out = RepairEngine::new(&d, &ChaseBudget::default()).repairs(&s);
+        assert!(out.complete);
+        out.validate(&s).unwrap();
+        // Exactly the hitting-set duals of the two conflicts: keep
+        // {P(a,b), R(c,q)} (remove P(a,c)) or keep {P(a,c)} alone.
+        assert_eq!(out.repairs.len(), 2);
+        let (naive, _) = naive_repairs(&d, &s, &ChaseBudget::default());
+        assert_eq!(naive.len(), 2);
+        for r in &out.repairs {
+            assert!(
+                naive.iter().any(|k| *k == r.kept),
+                "engine repair missing from naive: {:?}",
+                r.removed
+            );
         }
     }
 

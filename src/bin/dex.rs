@@ -321,6 +321,38 @@ fn cmd_answer(setting: &str, source: &str, query: &str, rest: &[String]) -> Resu
         }
         let gov = cwa_dex::core::govern::Governor::unlimited();
         let xr = XrEngine::new(&d, &s, config, &gov).map_err(|e| e.to_string())?;
+        if !xr.outcome().complete {
+            // The search was undecided (a candidate chase exhausted its
+            // budget), so maximal repairs may be missing and the
+            // intersection is only an upper bound. certain_governed
+            // reports that soundly: nothing proven, survivors
+            // undetermined — never print the upper bound as exact.
+            let g = xr.certain_governed(&q, &gov).map_err(|e| e.to_string())?;
+            if q.arity() == 0 {
+                // An empty upper bound refutes the boolean query;
+                // a non-empty one decides nothing.
+                println!(
+                    "{}",
+                    if g.proven.is_empty() && g.undetermined.is_empty() {
+                        "false"
+                    } else {
+                        "unknown"
+                    }
+                );
+            } else {
+                for tuple in &g.undetermined {
+                    let row: Vec<String> = tuple.iter().map(|v| v.to_string()).collect();
+                    println!("({})", row.join(", "));
+                }
+                println!(
+                    "-- {} candidate XR-certain answers over {} repairs \
+                     (INCOMPLETE: repair search undecided, upper bound only)",
+                    g.undetermined.len(),
+                    xr.repair_count()
+                );
+            }
+            return Ok(());
+        }
         let ans = xr.certain(&q).map_err(|e| e.to_string())?;
         if q.arity() == 0 {
             println!("{}", !ans.is_empty());
