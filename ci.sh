@@ -33,6 +33,30 @@ mkdir -p target
 DEX_TRACE="$PWD/target/trace-smoke.jsonl" cargo test -q --locked --offline -p dex-bench --test trace_smoke
 test -s target/trace-smoke.jsonl || { echo "trace smoke left no target/trace-smoke.jsonl"; exit 1; }
 
+echo "== trace analyze smoke (dex trace profiles a real DEX_TRACE run) =="
+# A traced chase through the real CLI, then the analyzer over its output:
+# the profile must carry the phase table and reconcile the chase counters
+# (one chase_started/chase_completed pair on a clean run).
+TRACE_SETTING='source { M/2, N/2 } target { E/2, F/2, G/2 } st { d1: M(x1,x2) -> E(x1,x2); d2: N(x,y) -> exists z1,z2 . E(x,z1) & F(x,z2); } t { d3: F(y,x) -> exists z . G(x,z); d4: F(x,y) & F(x,z) -> y = z; }'
+DEX=target/release/dex
+DEX_TRACE="$PWD/target/trace-analyze.jsonl" "$DEX" chase "$TRACE_SETTING" 'M(a,b). N(a,b). N(a,c).' >/dev/null
+test -s target/trace-analyze.jsonl || { echo "trace analyze smoke left no target/trace-analyze.jsonl"; exit 1; }
+TRACE_OUT=$("$DEX" trace target/trace-analyze.jsonl --tree)
+grep -q "phases (by total time):" <<< "$TRACE_OUT" \
+  || { echo "trace analyze smoke: no phase table in dex trace output"; exit 1; }
+grep -q "span tree:" <<< "$TRACE_OUT" \
+  || { echo "trace analyze smoke: --tree emitted no waterfall"; exit 1; }
+TRACE_JSON=$("$DEX" trace target/trace-analyze.jsonl --json)
+grep -q '"chase_started":1' <<< "$TRACE_JSON" \
+  || { echo "trace analyze smoke: profile does not reconcile chase_started"; exit 1; }
+grep -q '"chase_completed":1' <<< "$TRACE_JSON" \
+  || { echo "trace analyze smoke: profile does not reconcile chase_completed"; exit 1; }
+grep -q '"truncated":false' <<< "$TRACE_JSON" \
+  || { echo "trace analyze smoke: clean trace flagged as truncated"; exit 1; }
+TRACE_METRICS=$("$DEX" trace target/trace-analyze.jsonl --metrics)
+grep -q "# TYPE" <<< "$TRACE_METRICS" \
+  || { echo "trace analyze smoke: --metrics emitted no exposition text"; exit 1; }
+
 echo "== parallel smoke (DEX_THREADS=2 and 8; determinism mismatch fails) =="
 # The differential suite asserts parallel ≡ sequential per seed; running
 # it under DEX_THREADS=2 and 8 also routes the Pool::from_env() path
@@ -105,11 +129,16 @@ echo "== bench smoke (tiny sizes; any panic fails the run) =="
 DEX_BENCH_SMOKE=1 DEX_BENCH_OUT="$PWD/target/bench-smoke" \
   cargo bench -q --locked --offline -p dex-bench
 test -f target/bench-smoke/BENCH_chase.json || { echo "chase bench did not write target/bench-smoke/BENCH_chase.json"; exit 1; }
+test -f target/bench-smoke/BENCH_obs.json || { echo "obs bench did not write target/bench-smoke/BENCH_obs.json"; exit 1; }
+# The committed tracing-overhead baseline must carry an armed <5%
+# NullCollector gate — an unarmed (smoke) baseline reads as unverified.
+grep -q '"null_overhead_vs_off"' BENCH_obs.json || { echo "committed BENCH_obs.json does not record the NullCollector overhead"; exit 1; }
+grep -q '"gate_armed": true' BENCH_obs.json || { echo "committed BENCH_obs.json was recorded without the <5% overhead gate"; exit 1; }
 
 echo "== committed baselines untouched =="
 # The smoke stages above must never clobber the committed full-run
 # baselines (that was a real bug: smoke dumps used to overwrite them).
-git diff --exit-code -- BENCH_par.json BENCH_chase.json BENCH_query.json BENCH_repair.json \
+git diff --exit-code -- BENCH_par.json BENCH_chase.json BENCH_query.json BENCH_repair.json BENCH_obs.json \
   || { echo "a bench stage modified a committed BENCH_*.json baseline"; exit 1; }
 
 echo "CI OK"

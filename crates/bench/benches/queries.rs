@@ -14,7 +14,7 @@
 use dex_core::Pool;
 use dex_datagen::random_3cnf;
 use dex_logic::{parse_instance, parse_query};
-use dex_obs::JsonValue;
+use dex_obs::{JsonValue, Tracer};
 use dex_query::{
     answer_pool, answers, certain_answers, certain_answers_propagated, maybe_answers,
     maybe_answers_propagated, ModalLimits, PropagationReport, Semantics,
@@ -24,6 +24,10 @@ use dex_reductions::{
     two_cycles_with_p, unsat_via_certain_answers, PathSystem,
 };
 use dex_testkit::bench::{sizes, smoke, Harness, Measurement};
+
+fn tr() -> Tracer {
+    Tracer::off()
+}
 
 fn bench_ucq_certain_pathsys(h: &mut Harness) {
     for n in sizes(&[16, 32, 64], &[8]) {
@@ -132,11 +136,12 @@ fn bench_propagation_vs_oracle(h: &mut Harness, rows: &mut Vec<PropRow>) {
         let mut report = PropagationReport::default();
         h.bench(&format!("propagate_certain/{tag}/2p1f"), || {
             let (got, r) =
-                certain_answers_propagated(&setting, q, &t, &pool, &limits, &exec).unwrap();
+                certain_answers_propagated(&setting, q, &t, &pool, &limits, &exec, &tr()).unwrap();
             assert_eq!(got, oracle_box, "propagation disagrees with the oracle");
             report = r;
         });
-        let (dia, _) = maybe_answers_propagated(&setting, q, &t, &pool, &limits, &exec).unwrap();
+        let (dia, _) =
+            maybe_answers_propagated(&setting, q, &t, &pool, &limits, &exec, &tr()).unwrap();
         assert_eq!(dia, oracle_dia, "◇ propagation disagrees with the oracle");
         rows.push(PropRow {
             name: format!("propagate_certain/{tag}/2p1f"),
@@ -160,7 +165,7 @@ fn bench_propagation_vs_oracle(h: &mut Harness, rows: &mut Vec<PropRow>) {
         let mut report = PropagationReport::default();
         h.bench(&format!("propagate_certain/{tag}/{pinned}p{free}f"), || {
             let (got, r) =
-                certain_answers_propagated(&setting, q, &t, &pool, &limits, &exec).unwrap();
+                certain_answers_propagated(&setting, q, &t, &pool, &limits, &exec, &tr()).unwrap();
             let got = got.expect("Rep is nonempty");
             assert_eq!(got.len(), if tag == "F" { pinned } else { 0 });
             report = r;
@@ -213,10 +218,12 @@ fn assert_example_2_1_agreement() {
     ] {
         let q = parse_query(qt).unwrap();
         let pool = answer_pool(&t, &q, []);
-        let (pb, _) = certain_answers_propagated(&setting, &q, &t, &pool, &limits, &exec).unwrap();
+        let (pb, _) =
+            certain_answers_propagated(&setting, &q, &t, &pool, &limits, &exec, &tr()).unwrap();
         let ob = certain_answers(&setting, &q, &t, &pool, &limits).unwrap();
         assert_eq!(pb, ob, "□ disagreement on example 2.1 for {qt}");
-        let (pd, _) = maybe_answers_propagated(&setting, &q, &t, &pool, &limits, &exec).unwrap();
+        let (pd, _) =
+            maybe_answers_propagated(&setting, &q, &t, &pool, &limits, &exec, &tr()).unwrap();
         let od = maybe_answers(&setting, &q, &t, &pool, &limits).unwrap();
         assert_eq!(pd, od, "◇ disagreement on example 2.1 for {qt}");
     }

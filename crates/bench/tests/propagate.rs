@@ -115,16 +115,32 @@ fn propagation_matches_oracle_across_64_seeds() {
             let pool = answer_pool(&t, &q, []);
             let (oracle_box, oracle_dia) = exact_pair(&d, &q, &t, &pool, &limits);
             for exec in &execs {
-                let (pb, _) = certain_answers_propagated(&d, &q, &t, &pool, &limits, exec)
-                    .expect("propagated □");
+                let (pb, _) = certain_answers_propagated(
+                    &d,
+                    &q,
+                    &t,
+                    &pool,
+                    &limits,
+                    exec,
+                    &dex_obs::Tracer::off(),
+                )
+                .expect("propagated □");
                 assert_eq!(
                     pb,
                     oracle_box,
                     "□ mismatch: seed {seed}, query {qt}, threads {}",
                     exec.effective_threads()
                 );
-                let (pd, _) = maybe_answers_propagated(&d, &q, &t, &pool, &limits, exec)
-                    .expect("propagated ◇");
+                let (pd, _) = maybe_answers_propagated(
+                    &d,
+                    &q,
+                    &t,
+                    &pool,
+                    &limits,
+                    exec,
+                    &dex_obs::Tracer::off(),
+                )
+                .expect("propagated ◇");
                 assert_eq!(
                     pd,
                     oracle_dia,
@@ -137,9 +153,17 @@ fn propagation_matches_oracle_across_64_seeds() {
             for fuel in [1u64, 5, 23, u64::MAX] {
                 for exec in &execs {
                     let gov = Governor::unlimited().with_fuel(fuel);
-                    let (gb, _) =
-                        certain_answers_propagated_governed(&d, &q, &t, &pool, &limits, &gov, exec)
-                            .expect("governed □");
+                    let (gb, _) = certain_answers_propagated_governed(
+                        &d,
+                        &q,
+                        &t,
+                        &pool,
+                        &limits,
+                        &gov,
+                        exec,
+                        &dex_obs::Tracer::off(),
+                    )
+                    .expect("governed □");
                     match (&gb, &oracle_box) {
                         (None, None) => {}
                         (Some(g), None) => {
@@ -176,9 +200,17 @@ fn propagation_matches_oracle_across_64_seeds() {
                         }
                     }
                     let gov = Governor::unlimited().with_fuel(fuel);
-                    let (gd, _) =
-                        maybe_answers_propagated_governed(&d, &q, &t, &pool, &limits, &gov, exec)
-                            .expect("governed ◇");
+                    let (gd, _) = maybe_answers_propagated_governed(
+                        &d,
+                        &q,
+                        &t,
+                        &pool,
+                        &limits,
+                        &gov,
+                        exec,
+                        &dex_obs::Tracer::off(),
+                    )
+                    .expect("governed ◇");
                     gd.validate().unwrap();
                     assert!(
                         gd.lower_bound().is_subset(&oracle_dia),

@@ -326,6 +326,7 @@ impl<'a> ChaseEngine<'a> {
         // once inside `matches`); the restricted head check still runs
         // against the evolving instance.
         let t_phase = self.clock.now_ns();
+        let sp_st = self.tracer.span("st_tgds", t_phase);
         for (ti, tgd) in self.setting.st_tgds.iter().enumerate() {
             for env in tgd.body.matches(&sigma_part) {
                 gov.check()?;
@@ -353,6 +354,7 @@ impl<'a> ChaseEngine<'a> {
                 }
             }
         }
+        sp_st.close(self.clock.now_ns());
         stats.tgd_time_ns += (self.clock.now_ns() - t_phase) as u128;
 
         // Phase B: semi-naive fixpoint over egds and target tgds.
@@ -364,10 +366,15 @@ impl<'a> ChaseEngine<'a> {
             // amortized `check()` only reaches them every 1024 ticks,
             // too coarse for small instances.
             gov.force_check()?;
+            // Spans leak (stay open) when a governor interrupt or
+            // budget error unwinds out of the round; the analyzer
+            // treats that like a truncated trace.
+            let sp_round = self.tracer.span("round", self.clock.now_ns());
             // Egds first, to a fixpoint. The seed stays put while the
             // fixpoint runs: merges re-append the rows they rewrite, so
             // follow-on violations stay inside the window.
             let t_phase = self.clock.now_ns();
+            let sp_egd = self.tracer.span("egd_fixpoint", t_phase);
             let seed = egd_clean.take().unwrap_or_default();
             while let Some(v) = self.find_violation_seeded(&inst, &seed) {
                 gov.check()?;
@@ -410,9 +417,11 @@ impl<'a> ChaseEngine<'a> {
                 }
             }
             egd_clean = Some(inst.cursor());
+            sp_egd.close(self.clock.now_ns());
             stats.egd_time_ns += (self.clock.now_ns() - t_phase) as u128;
 
             if !inst.has_delta_since(&processed) {
+                sp_round.close(self.clock.now_ns());
                 break;
             }
 
@@ -420,6 +429,7 @@ impl<'a> ChaseEngine<'a> {
             // can be new, so seed the matcher with each delta row at
             // each body position.
             let t_phase = self.clock.now_ns();
+            let sp_tgd = self.tracer.span("tgd_round", t_phase);
             stats.rounds += 1;
             let delta = snapshot_delta(&inst, &processed, &t_rels);
             processed = inst.cursor();
@@ -512,6 +522,7 @@ impl<'a> ChaseEngine<'a> {
                     }
                 }
             }
+            sp_tgd.close(self.clock.now_ns());
             stats.tgd_time_ns += (self.clock.now_ns() - t_phase) as u128;
             if self.tracer.enabled() {
                 self.emit(EventKind::RoundCompleted {
@@ -519,6 +530,7 @@ impl<'a> ChaseEngine<'a> {
                     delta_rows: round_rows,
                 });
             }
+            sp_round.close(self.clock.now_ns());
         }
 
         stats.total_time_ns = (self.clock.now_ns() - t_total) as u128;
@@ -645,10 +657,15 @@ impl<'a> ChaseEngine<'a> {
             if let Err(i) = gov.force_check() {
                 return AlphaOutcome::Interrupted(i);
             }
+            // Spans leak on terminal outcomes mid-round (interrupt,
+            // budget, conflict, cycle) — the analyzer treats the trace
+            // like a truncated one.
+            let sp_round = self.tracer.span("round", self.clock.now_ns());
             // Egd applications, eagerly to a fixpoint. Any merge can
             // remove a fixed ᾱ-head, so it rewinds both the target
             // cursor and the s-t examination.
             let t_phase = self.clock.now_ns();
+            let sp_egd = self.tracer.span("egd_fixpoint", t_phase);
             let seed = egd_clean.take().unwrap_or_default();
             while let Some(v) = self.find_violation_seeded(&inst, &seed) {
                 if let Err(i) = gov.check() {
@@ -708,11 +725,13 @@ impl<'a> ChaseEngine<'a> {
                 }
             }
             egd_clean = Some(inst.cursor());
+            sp_egd.close(self.clock.now_ns());
             stats.egd_time_ns += (self.clock.now_ns() - t_phase) as u128;
 
             if !st_dirty && !inst.has_delta_since(&processed) {
                 // Fixpoint: egds hold and every examined trigger's
                 // ᾱ-head is (still) present.
+                sp_round.close(self.clock.now_ns());
                 stats.total_time_ns = (self.clock.now_ns() - t_total) as u128;
                 let target = inst.difference(&sigma_part);
                 if self.tracer.enabled() {
@@ -732,6 +751,7 @@ impl<'a> ChaseEngine<'a> {
             }
 
             let t_phase = self.clock.now_ns();
+            let sp_tgd = self.tracer.span("tgd_round", t_phase);
             if st_dirty {
                 st_dirty = false;
                 for (ti, tgd) in self.setting.st_tgds.iter().enumerate() {
@@ -835,7 +855,9 @@ impl<'a> ChaseEngine<'a> {
                     });
                 }
             }
+            sp_tgd.close(self.clock.now_ns());
             stats.tgd_time_ns += (self.clock.now_ns() - t_phase) as u128;
+            sp_round.close(self.clock.now_ns());
         }
     }
 }

@@ -239,6 +239,10 @@ fn emit_retract(gov: &Governor, atoms_before: usize, atoms_after: usize) {
 /// `retract_step` under a governor: `Err` means the hom search was
 /// interrupted before any retract of the current instance was found.
 fn retract_step_governed(inst: &Instance, gov: &Governor) -> Result<Option<Instance>, Interrupt> {
+    // One span per retract step groups its candidate hom searches; the
+    // span leaks open if the governor interrupts mid-step (the analyzer
+    // treats that like a truncated trace).
+    let sp = gov.tracer().span("retract_step", gov.clock().now_ns());
     for comp in atom_components(inst) {
         let comp_inst = Instance::from_atoms(comp.iter().cloned());
         for atom in &comp {
@@ -255,10 +259,12 @@ fn retract_step_governed(inst: &Instance, gov: &Governor) -> Result<Option<Insta
                     }
                 }
                 emit_retract(gov, inst.len(), out.len());
+                sp.close(gov.clock().now_ns());
                 return Ok(Some(out));
             }
         }
     }
+    sp.close(gov.clock().now_ns());
     Ok(None)
 }
 
@@ -272,6 +278,7 @@ fn retract_step_parallel_governed(
     pool: &Pool,
 ) -> Result<Option<Instance>, Interrupt> {
     let (comp_insts, candidates) = retract_candidates(inst);
+    let sp = gov.tracer().span("retract_step", gov.clock().now_ns());
     let winner =
         pool.find_first(
             &candidates,
@@ -285,6 +292,7 @@ fn retract_step_parallel_governed(
                 Err(i) => Some(Err(i)),
             },
         );
+    sp.close(gov.clock().now_ns());
     match winner {
         None => Ok(None),
         Some((_, Err(i))) => Err(i),

@@ -448,7 +448,10 @@ impl<'a> HomFinder<'a> {
                 _ => None,
             }
         };
-        match dense_range {
+        // A span per backtracking search groups the HomExtended events
+        // it emits; only governed searches carry a tracer.
+        let sp = gov.map(|g| g.tracer().span("hom_search", g.clock().now_ns()));
+        let result = match dense_range {
             Some((base, span)) => {
                 let mut assignment = DenseBindings::new(base, span);
                 for (n, v) in self.preset.bindings() {
@@ -479,7 +482,11 @@ impl<'a> HomFinder<'a> {
                 gov,
             }
             .solve(&mut pending, f),
+        };
+        if let (Some(sp), Some(g)) = (sp, gov) {
+            sp.close(g.clock().now_ns());
         }
+        result
     }
 }
 

@@ -36,7 +36,8 @@ pub use core_of::{
 #[doc(hidden)]
 pub use dex_par::scoped_map_for_ablation;
 pub use dex_par::{
-    chunk_ranges, jobs_dispatched as par_jobs_dispatched, range_cost,
+    chunk_ranges, export_metrics as par_export_metrics, jobs_dispatched as par_jobs_dispatched,
+    jobs_inline as par_jobs_inline, range_cost, set_pool_tracer,
     workers_spawned as par_workers_spawned, Cost, Pool,
 };
 pub use govern::{

@@ -26,7 +26,7 @@ use dex_chase::{
     Justification,
 };
 use dex_core::govern::Interrupt;
-use dex_core::{has_homomorphism, Instance, IsoDeduper, NullGen, Pool, Symbol, Value};
+use dex_core::{has_homomorphism, Clock, Instance, IsoDeduper, NullGen, Pool, Symbol, Value};
 use dex_logic::Setting;
 use dex_obs::{RingRecorder, Tracer};
 use std::collections::{BTreeSet, HashMap};
@@ -71,6 +71,10 @@ pub struct EnumOpts {
     /// into a private ring re-emitted after the join in submission
     /// order, so the stream is deterministic under parallelism.
     pub tracer: Tracer,
+    /// Clock stamping the replayed chases' trace events. Substituting
+    /// a mock makes the reassembled stream byte-identical across
+    /// reruns and thread counts (real timestamps never could be).
+    pub clock: Clock,
 }
 
 impl Default for EnumOpts {
@@ -78,6 +82,7 @@ impl Default for EnumOpts {
         EnumOpts {
             pool: Pool::seq(),
             tracer: Tracer::off(),
+            clock: Clock::real(),
         }
     }
 }
@@ -92,7 +97,7 @@ impl EnumOpts {
     pub fn from_env() -> EnumOpts {
         EnumOpts {
             pool: Pool::from_env(),
-            tracer: Tracer::off(),
+            ..EnumOpts::default()
         }
     }
 
@@ -103,6 +108,11 @@ impl EnumOpts {
 
     pub fn with_tracer(mut self, tracer: Tracer) -> EnumOpts {
         self.tracer = tracer;
+        self
+    }
+
+    pub fn with_clock(mut self, clock: Clock) -> EnumOpts {
+        self.clock = clock;
         self
     }
 }
@@ -324,6 +334,7 @@ fn replay_script(
     fresh_base: u32,
     limits: &EnumLimits,
     traced: bool,
+    clock: &Clock,
 ) -> Replay {
     // Fresh nulls must start above the source's values.
     let mut gen = NullGen::new();
@@ -341,9 +352,16 @@ fn replay_script(
     };
     let (outcome, ring) = if traced {
         let ring = Arc::new(RingRecorder::new(REPLAY_RING_CAPACITY));
+        let tracer = Tracer::new(Arc::clone(&ring) as _);
         let engine = ChaseEngine::new(setting, &limits.chase_budget)
-            .with_tracer(Tracer::new(Arc::clone(&ring) as _));
-        (engine.run_alpha(source, &mut alpha), Some(ring))
+            .with_clock(clock.clone())
+            .with_tracer(tracer.clone());
+        let outcome = engine.run_alpha(source, &mut alpha);
+        // A terminal outcome mid-round (budget, conflict, cycle) leaks
+        // the round's span guards; close them so every replayed ring is
+        // a well-formed stream.
+        tracer.close_open_spans(clock.now_ns());
+        (outcome, Some(ring))
     } else {
         (
             alpha_chase(setting, source, &mut alpha, &limits.chase_budget),
@@ -398,10 +416,24 @@ pub fn enumerate_cwa_presolutions_opts(
             .min(WAVE)
             .min(limits.max_scripts - stats.scripts_explored);
         let wave: Vec<Vec<usize>> = (0..batch).map(|_| stack.pop().unwrap()).collect();
+        // One span per wave wraps the replayed event stream. The
+        // enumerator has no clock (determinism across thread counts is
+        // the whole point), so wave spans carry timestamp 0; Option so
+        // every exit path below can close it exactly once.
+        let mut sp_wave = Some(opts.tracer.span("wave", 0));
         // Each wave item is a full α-chase replay — heavy enough that
         // any multi-script wave clears the pool's inline threshold.
         let replays = opts.pool.map(&wave, dex_core::Cost::Heavy, |_, script| {
-            replay_script(setting, source, script, &pool, fresh_base, limits, traced)
+            replay_script(
+                setting,
+                source,
+                script,
+                &pool,
+                fresh_base,
+                limits,
+                traced,
+                &opts.clock,
+            )
         });
         // Consume outcomes strictly in submission order — this loop is
         // the sequential enumeration verbatim. Replays past a truncation
@@ -410,6 +442,9 @@ pub fn enumerate_cwa_presolutions_opts(
         for (script, replay) in wave.iter().zip(replays) {
             if stats.scripts_explored >= limits.max_scripts || results.len() >= limits.max_results {
                 stats.truncated = true;
+                if let Some(sp) = sp_wave.take() {
+                    sp.close(0);
+                }
                 break 'enumerate;
             }
             stats.scripts_explored += 1;
@@ -452,9 +487,15 @@ pub fn enumerate_cwa_presolutions_opts(
                     // every further replay would trip the same way.
                     stats.chases_interrupted += 1;
                     stats.interrupted = Some(i);
+                    if let Some(sp) = sp_wave.take() {
+                        sp.close(0);
+                    }
                     break 'enumerate;
                 }
             }
+        }
+        if let Some(sp) = sp_wave.take() {
+            sp.close(0);
         }
     }
     (results.into_representatives(), stats)
@@ -829,17 +870,17 @@ mod tests {
             .into_iter()
             .map(|threads| {
                 let ring = Arc::new(RingRecorder::new(1 << 16));
+                // A mocked clock pins every timestamp and span duration,
+                // so the reassembled stream can be compared byte-for-byte.
+                let (clock, mc) = dex_core::Clock::mock();
+                mc.set_ns(42);
                 let opts = EnumOpts::default()
                     .with_pool(dex_core::Pool::new(threads))
-                    .with_tracer(dex_obs::Tracer::new(ring.clone()));
+                    .with_tracer(dex_obs::Tracer::new(ring.clone()))
+                    .with_clock(clock);
                 let _ = enumerate_cwa_presolutions_opts(&d, &s, &limits, &opts);
                 assert_eq!(ring.dropped(), 0);
-                // Timestamps are wall-clock; compare the event kinds.
-                ring.events()
-                    .into_iter()
-                    .map(|e| format!("{:?}", e.kind))
-                    .collect::<Vec<_>>()
-                    .join("\n")
+                ring.to_jsonl()
             })
             .collect();
         assert!(!streams[0].is_empty(), "tracing recorded nothing");

@@ -79,24 +79,59 @@ impl RingRecorder {
     /// Parallel drivers give each worker its own private ring and call
     /// this after the join, in submission order, so the caller's
     /// collector sees one deterministic stream regardless of how the
-    /// workers interleaved. Returns how many events were replayed.
+    /// workers interleaved. Span ids and parents are preserved
+    /// verbatim ([`Tracer::emit_raw`]) — replayed segments keep their
+    /// internal nesting rather than being re-attributed to whatever
+    /// span the sink has open. When the ring evicted events, an
+    /// `events_dropped` marker is appended so downstream profiles know
+    /// they are partial. Returns how many retained events were
+    /// replayed (the marker is not counted).
     pub fn replay_into(&self, sink: &Tracer) -> usize {
         if !sink.enabled() {
             return 0;
         }
-        let events = self.events();
+        let (events, dropped) = {
+            let inner = self.inner.lock().unwrap();
+            (
+                inner.events.iter().cloned().collect::<Vec<_>>(),
+                inner.dropped,
+            )
+        };
         for e in &events {
-            sink.emit(e.at_ns, e.kind.clone());
+            sink.emit_raw(e.clone());
+        }
+        if dropped > 0 {
+            let at_ns = events.last().map_or(0, |e| e.at_ns);
+            sink.emit_raw(Event {
+                at_ns,
+                span_id: 0,
+                parent: 0,
+                kind: EventKind::EventsDropped { count: dropped },
+            });
         }
         events.len()
     }
 
     /// The retained events as JSONL — the byte-comparable stream form.
+    /// A truncated ring appends one `events_dropped` line, mirroring
+    /// [`RingRecorder::replay_into`].
     pub fn to_jsonl(&self) -> String {
         let inner = self.inner.lock().unwrap();
         let mut out = String::new();
         for e in &inner.events {
             out.push_str(&e.to_json().dump());
+            out.push('\n');
+        }
+        if inner.dropped > 0 {
+            let marker = Event {
+                at_ns: inner.events.back().map_or(0, |e| e.at_ns),
+                span_id: 0,
+                parent: 0,
+                kind: EventKind::EventsDropped {
+                    count: inner.dropped,
+                },
+            };
+            out.push_str(&marker.to_json().dump());
             out.push('\n');
         }
         out
@@ -145,11 +180,36 @@ impl Collector for JsonlWriter {
     }
 }
 
+/// Span bookkeeping shared by every clone of a tracer: a monotone id
+/// counter (ids start at 1; 0 means "no span") and the stack of
+/// currently-open spans. Sharing through the tracer — not a global
+/// — is what keeps traces reproducible: a fresh tracer always numbers
+/// its first span 1, whatever ran before it in the process.
+#[derive(Debug, Default)]
+struct SpanState {
+    next: std::sync::atomic::AtomicU64,
+    open: Mutex<Vec<OpenSpan>>,
+}
+
+/// One entry of the open-span stack. The full record (not just the id)
+/// lives here so [`Tracer::close_open_spans`] can emit proper
+/// `span_closed` events for guards an error path never closed.
+#[derive(Debug)]
+struct OpenSpan {
+    id: u64,
+    parent: u64,
+    start_ns: u64,
+    name: String,
+}
+
 /// The cloneable handle engines carry. `Tracer::off()` (the
-/// `Default`) makes every operation a no-op.
+/// `Default`) makes every operation a no-op. Clones share both the
+/// sink and the span state, so spans opened through any clone nest
+/// correctly.
 #[derive(Clone, Default)]
 pub struct Tracer {
     sink: Option<Arc<dyn Collector>>,
+    spans: Arc<SpanState>,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -163,7 +223,7 @@ impl std::fmt::Debug for Tracer {
 impl Tracer {
     /// A tracer that records nothing (the default everywhere).
     pub fn off() -> Tracer {
-        Tracer { sink: None }
+        Tracer::default()
     }
 
     /// A tracer over a shared collector (the caller usually keeps a
@@ -171,6 +231,7 @@ impl Tracer {
     pub fn new(collector: Arc<dyn Collector>) -> Tracer {
         Tracer {
             sink: Some(collector),
+            spans: Arc::new(SpanState::default()),
         }
     }
 
@@ -186,27 +247,95 @@ impl Tracer {
         self.sink.is_some()
     }
 
-    /// Records one event. Cheap no-op when disabled, but callers in
-    /// hot loops should still gate on [`Tracer::enabled`] to avoid
-    /// building the `EventKind` at all.
+    /// Records one event, attributed to the innermost open span (or
+    /// none). Cheap no-op when disabled, but callers in hot loops
+    /// should still gate on [`Tracer::enabled`] to avoid building the
+    /// `EventKind` at all.
     #[inline]
     pub fn emit(&self, at_ns: u64, kind: EventKind) {
         if let Some(sink) = &self.sink {
-            sink.record(&Event { at_ns, kind });
+            let span_id = self.spans.open.lock().unwrap().last().map_or(0, |s| s.id);
+            sink.record(&Event {
+                at_ns,
+                span_id,
+                parent: 0,
+                kind,
+            });
         }
     }
 
-    /// Opens a named span. The guard is closed explicitly with the
-    /// end timestamp (drop does nothing — obs has no clock to read).
+    /// Records a fully-formed event verbatim, bypassing span
+    /// attribution. Replay paths use this so a worker's events keep
+    /// the span ids they were recorded under instead of being folded
+    /// into whatever span the sink currently has open.
+    #[inline]
+    pub fn emit_raw(&self, event: Event) {
+        if let Some(sink) = &self.sink {
+            sink.record(&event);
+        }
+    }
+
+    /// Opens a named span nested under the innermost open span. The
+    /// guard is closed explicitly with the end timestamp (drop does
+    /// nothing — obs has no clock to read). Disabled tracers hand
+    /// back an inert guard without consuming a span id.
     pub fn span(&self, name: impl Into<String>, at_ns: u64) -> SpanGuard {
         let name = name.into();
-        if self.enabled() {
-            self.emit(at_ns, EventKind::SpanOpened { name: name.clone() });
-        }
+        let (id, parent) = if self.enabled() {
+            let id = self
+                .spans
+                .next
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                + 1;
+            let mut open = self.spans.open.lock().unwrap();
+            let parent = open.last().map_or(0, |s| s.id);
+            open.push(OpenSpan {
+                id,
+                parent,
+                start_ns: at_ns,
+                name: name.clone(),
+            });
+            drop(open);
+            self.emit_raw(Event {
+                at_ns,
+                span_id: id,
+                parent,
+                kind: EventKind::SpanOpened { name: name.clone() },
+            });
+            (id, parent)
+        } else {
+            (0, 0)
+        };
         SpanGuard {
             tracer: self.clone(),
             name,
             start_ns: at_ns,
+            id,
+            parent,
+        }
+    }
+
+    /// Closes every still-open span, innermost first, at `at_ns`.
+    /// Drivers call this after a governed computation unwound past its
+    /// span guards (interrupt, budget error) so the recorded stream
+    /// stays well-formed — every `span_opened` gets its `span_closed`
+    /// — instead of leaking opens into the trace.
+    pub fn close_open_spans(&self, at_ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        loop {
+            let top = self.spans.open.lock().unwrap().pop();
+            let Some(s) = top else { break };
+            self.emit_raw(Event {
+                at_ns,
+                span_id: s.id,
+                parent: s.parent,
+                kind: EventKind::SpanClosed {
+                    name: s.name,
+                    dur_ns: at_ns.saturating_sub(s.start_ns),
+                },
+            });
         }
     }
 
@@ -232,15 +361,39 @@ pub struct SpanGuard {
     tracer: Tracer,
     name: String,
     start_ns: u64,
+    id: u64,
+    parent: u64,
 }
 
 impl SpanGuard {
-    /// Closes the span at `at_ns`, emitting its duration.
+    /// The span's id (`0` when the tracer was disabled at open time).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Closes the span at `at_ns`, emitting its duration under the
+    /// span's own id/parent and popping it from the open stack.
     pub fn close(self, at_ns: u64) {
+        if self.id == 0 {
+            return;
+        }
+        let mut open = self.tracer.spans.open.lock().unwrap();
+        // Guards are expected to close LIFO; removing by id (newest
+        // first) keeps the stack sane even if a caller drops order.
+        if let Some(pos) = open.iter().rposition(|s| s.id == self.id) {
+            open.remove(pos);
+        }
+        drop(open);
         let dur_ns = at_ns.saturating_sub(self.start_ns);
-        let name = self.name;
-        self.tracer
-            .emit(at_ns, EventKind::SpanClosed { name, dur_ns });
+        self.tracer.emit_raw(Event {
+            at_ns,
+            span_id: self.id,
+            parent: self.parent,
+            kind: EventKind::SpanClosed {
+                name: self.name,
+                dur_ns,
+            },
+        });
     }
 }
 
@@ -291,6 +444,91 @@ mod tests {
                 dur_ns: 15
             }
         );
+    }
+
+    #[test]
+    fn spans_nest_with_monotone_ids_and_parents() {
+        let ring = Arc::new(RingRecorder::new(16));
+        let t = Tracer::new(ring.clone());
+        let outer = t.span("outer", 1);
+        let inner = t.span("inner", 2);
+        t.emit(3, EventKind::HomExtended { depth: 1 });
+        inner.close(4);
+        t.emit(5, EventKind::HomExtended { depth: 2 });
+        outer.close(6);
+        t.emit(7, EventKind::HomExtended { depth: 3 });
+        let events = ring.events();
+        // outer: id 1 parent 0; inner: id 2 parent 1.
+        assert_eq!((events[0].span_id, events[0].parent), (1, 0));
+        assert_eq!((events[1].span_id, events[1].parent), (2, 1));
+        // Ordinary events carry the innermost open span.
+        assert_eq!((events[2].span_id, events[2].parent), (2, 0));
+        assert_eq!((events[3].span_id, events[3].parent), (2, 1)); // inner close
+        assert_eq!((events[4].span_id, events[4].parent), (1, 0));
+        assert_eq!((events[5].span_id, events[5].parent), (1, 0)); // outer close
+        assert_eq!((events[6].span_id, events[6].parent), (0, 0));
+        // A fresh tracer restarts numbering at 1 — determinism across
+        // reruns does not depend on process history.
+        let ring2 = Arc::new(RingRecorder::new(4));
+        let t2 = Tracer::new(ring2.clone());
+        t2.span("again", 0).close(1);
+        assert_eq!(ring2.events()[0].span_id, 1);
+    }
+
+    #[test]
+    fn replay_preserves_span_ids_and_flags_drops() {
+        let worker = Arc::new(RingRecorder::new(2));
+        let t = Tracer::new(worker.clone());
+        let s = t.span("wave", 1);
+        t.emit(2, EventKind::HomExtended { depth: 1 });
+        s.close(3);
+        // Capacity 2: the SpanOpened line was evicted.
+        assert_eq!(worker.dropped(), 1);
+        let sink_ring = Arc::new(RingRecorder::new(8));
+        let sink = Tracer::new(sink_ring.clone());
+        let outer = sink.span("outer", 0);
+        assert_eq!(worker.replay_into(&sink), 2);
+        outer.close(9);
+        let events = sink_ring.events();
+        // Replayed events keep their recorded span id (1, from the
+        // worker tracer) — not the sink's open span.
+        assert_eq!(events[1].span_id, 1);
+        assert_eq!(events[2].span_id, 1);
+        // The eviction surfaced as an events_dropped marker.
+        assert_eq!(events[3].kind, EventKind::EventsDropped { count: 1 });
+        // to_jsonl mirrors the marker.
+        assert!(worker.to_jsonl().contains("\"event\":\"events_dropped\""));
+    }
+
+    #[test]
+    fn close_open_spans_repairs_leaked_guards() {
+        let ring = Arc::new(RingRecorder::new(16));
+        let t = Tracer::new(ring.clone());
+        let _leaked_outer = t.span("outer", 1);
+        let _leaked_inner = t.span("inner", 2);
+        t.close_open_spans(10);
+        let events = ring.events();
+        assert_eq!(events.len(), 4);
+        // Innermost first, each under its own id/parent.
+        assert_eq!(
+            events[2].kind,
+            EventKind::SpanClosed {
+                name: "inner".into(),
+                dur_ns: 8
+            }
+        );
+        assert_eq!((events[2].span_id, events[2].parent), (2, 1));
+        assert_eq!(
+            events[3].kind,
+            EventKind::SpanClosed {
+                name: "outer".into(),
+                dur_ns: 9
+            }
+        );
+        assert_eq!((events[3].span_id, events[3].parent), (1, 0));
+        // Idempotent once the stack is empty.
+        t.close_open_spans(11);
+        assert_eq!(ring.events().len(), 4);
     }
 
     #[test]

@@ -16,6 +16,16 @@ pub struct Event {
     /// (`govern::Clock::now_ns` at the emission site; `0` when the
     /// emitter runs ungoverned and has no clock).
     pub at_ns: u64,
+    /// The span this event belongs to: for `SpanOpened`/`SpanClosed`
+    /// the span's own id, for ordinary events the innermost span open
+    /// on the emitting tracer. `0` means "no span" — ids are monotone
+    /// from a per-tracer counter starting at 1, so traces from a
+    /// fresh tracer are reproducible independent of global state.
+    pub span_id: u64,
+    /// For `SpanOpened`/`SpanClosed`: the enclosing span's id (`0` at
+    /// the root). Always `0` for non-span events — their nesting is
+    /// already carried by `span_id`.
+    pub parent: u64,
     pub kind: EventKind,
 }
 
@@ -69,6 +79,25 @@ pub enum EventKind {
         candidates: usize,
         complete: bool,
     },
+    /// A replay ring (or other lossy collector) evicted `count` events
+    /// before they reached this stream — the profile downstream is
+    /// partial and analyzers must say so.
+    EventsDropped { count: u64 },
+    /// The worker pool published a job to `width` participants after
+    /// `dispatch_ns` of setup (slot publication + unparking).
+    JobDispatched {
+        job: u64,
+        width: usize,
+        dispatch_ns: u64,
+    },
+    /// One participant finished its share of job `job` after waiting
+    /// `queue_ns` between publication and its body starting.
+    JobCompleted {
+        job: u64,
+        worker: usize,
+        busy_ns: u64,
+        queue_ns: u64,
+    },
 }
 
 impl EventKind {
@@ -90,6 +119,9 @@ impl EventKind {
             EventKind::RepairCandidateChased { .. } => "repair_candidate_chased",
             EventKind::RepairFound { .. } => "repair_found",
             EventKind::RepairSearchCompleted { .. } => "repair_search_completed",
+            EventKind::EventsDropped { .. } => "events_dropped",
+            EventKind::JobDispatched { .. } => "job_dispatched",
+            EventKind::JobCompleted { .. } => "job_completed",
         }
     }
 }
@@ -100,6 +132,14 @@ impl Event {
         let mut o = JsonValue::obj()
             .with("at_ns", JsonValue::uint(self.at_ns))
             .with("event", JsonValue::str(self.kind.name()));
+        // Span attribution is opt-in per event: omitting the zero case
+        // keeps span-free traces byte-identical to the pre-span format.
+        if self.span_id != 0 {
+            o.push("span_id", JsonValue::uint(self.span_id));
+        }
+        if self.parent != 0 {
+            o.push("parent", JsonValue::uint(self.parent));
+        }
         match &self.kind {
             EventKind::ChaseStarted { driver, atoms } => {
                 o.push("driver", JsonValue::str(driver.clone()));
@@ -172,6 +212,29 @@ impl Event {
                 o.push("candidates", JsonValue::uint(*candidates as u64));
                 o.push("complete", JsonValue::Bool(*complete));
             }
+            EventKind::EventsDropped { count } => {
+                o.push("count", JsonValue::uint(*count));
+            }
+            EventKind::JobDispatched {
+                job,
+                width,
+                dispatch_ns,
+            } => {
+                o.push("job", JsonValue::uint(*job));
+                o.push("width", JsonValue::uint(*width as u64));
+                o.push("dispatch_ns", JsonValue::uint(*dispatch_ns));
+            }
+            EventKind::JobCompleted {
+                job,
+                worker,
+                busy_ns,
+                queue_ns,
+            } => {
+                o.push("job", JsonValue::uint(*job));
+                o.push("worker", JsonValue::uint(*worker as u64));
+                o.push("busy_ns", JsonValue::uint(*busy_ns));
+                o.push("queue_ns", JsonValue::uint(*queue_ns));
+            }
         }
         o
     }
@@ -232,15 +295,51 @@ mod tests {
                 candidates: 7,
                 complete: true,
             },
+            EventKind::EventsDropped { count: 12 },
+            EventKind::JobDispatched {
+                job: 3,
+                width: 4,
+                dispatch_ns: 900,
+            },
+            EventKind::JobCompleted {
+                job: 3,
+                worker: 1,
+                busy_ns: 5_000,
+                queue_ns: 250,
+            },
         ];
         for kind in kinds {
             let name = kind.name();
-            let e = Event { at_ns: 7, kind };
+            let e = Event {
+                at_ns: 7,
+                span_id: 0,
+                parent: 0,
+                kind,
+            };
             let j = e.to_json();
             assert_eq!(j.get("event").unwrap().as_str(), Some(name));
             assert_eq!(j.get("at_ns").unwrap().as_u128(), Some(7));
+            // Zero span attribution is omitted from the line entirely.
+            assert!(j.get("span_id").is_none());
+            assert!(j.get("parent").is_none());
             // Each line must parse back on its own.
             assert_eq!(crate::json::parse(&j.dump()).unwrap(), j);
         }
+    }
+
+    #[test]
+    fn span_attribution_serialises_only_when_nonzero() {
+        let e = Event {
+            at_ns: 3,
+            span_id: 9,
+            parent: 2,
+            kind: EventKind::SpanOpened {
+                name: "round".into(),
+            },
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("span_id").unwrap().as_u128(), Some(9));
+        assert_eq!(j.get("parent").unwrap().as_u128(), Some(2));
+        assert_eq!(crate::json::parse(&j.dump()).unwrap(), j);
     }
 }

@@ -14,12 +14,14 @@
 //! records and `explain()`) lives in `dex-chase::provenance`, because
 //! it needs `Atom`/`Value`; the JSON it renders to comes from here.
 
+pub mod analyze;
 pub mod collect;
 pub mod event;
 pub mod json;
 pub mod metrics;
 
+pub use analyze::{check_spans_well_formed, parse_trace, TraceProfile};
 pub use collect::{Collector, JsonlWriter, NullCollector, RingRecorder, SpanGuard, Tracer};
 pub use event::{Event, EventKind};
 pub use json::{parse, JsonParseError, JsonValue};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{sanitize_metric_name, validate_prometheus_text, Histogram, MetricsRegistry};

@@ -280,6 +280,7 @@ impl Pool {
                 return out;
             }
         }
+        count_inline();
         items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
     }
 
@@ -304,6 +305,7 @@ impl Pool {
                 return out;
             }
         }
+        count_inline();
         for (i, t) in items.iter().enumerate() {
             if let Some(r) = f(i, t) {
                 return Some((i, r));
@@ -324,6 +326,40 @@ pub fn jobs_dispatched() -> u64 {
 /// high-water mark; parked workers are reused, never respawned).
 pub fn workers_spawned() -> u64 {
     pool_core::global().workers_spawned()
+}
+
+/// Combinator calls that ran inline instead of dispatching (below the
+/// work threshold, ≤1 item, or the core was busy) since process
+/// start. Together with [`jobs_dispatched`] this answers "is the pool
+/// actually being used?" for a given workload.
+pub fn jobs_inline() -> u64 {
+    JOBS_INLINE.load(Ordering::Relaxed)
+}
+
+static JOBS_INLINE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn count_inline() {
+    JOBS_INLINE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Installs the process-global pool tracer: every subsequently
+/// dispatched job emits `job_dispatched` and per-worker
+/// `job_completed` events into it. Off by default, and deliberately
+/// *not* wired to any engine tracer automatically — pool events are
+/// stamped on the pool's own real-time epoch, so deterministic
+/// (`MockClock`) trace comparisons must leave this unset. Passing a
+/// disabled tracer turns pool event emission back off.
+pub fn set_pool_tracer(tracer: dex_obs::Tracer) {
+    pool_core::set_tracer(tracer);
+}
+
+/// Folds the global pool's visibility counters into `reg`: the
+/// `pool.dispatch_latency_ns`/`pool.queue_wait_ns` histograms,
+/// dispatched/inline/spawned totals, and per-worker jobs/busy-ns
+/// counters.
+pub fn export_metrics(reg: &mut dex_obs::MetricsRegistry) {
+    pool_core::global().export_metrics_into(reg);
+    reg.inc("pool.jobs_inline", u128::from(jobs_inline()));
 }
 
 /// A write-once result slot. Each index is claimed by exactly one
@@ -790,5 +826,61 @@ mod tests {
             .map(|&o| inner.iter().map(|&i| o * 10 + i).sum())
             .collect();
         assert_eq!(out, want);
+    }
+
+    #[test]
+    fn exported_metrics_include_pool_histograms_after_a_dispatch() {
+        // Any dispatched job must leave dispatch-latency and queue-wait
+        // samples behind, and the exposition must pass the in-tree
+        // Prometheus grammar check. (Global counters are shared across
+        // tests, so assert presence, not exact values.)
+        let before = jobs_inline();
+        let items: Vec<usize> = (0..8).collect();
+        forced(4).map(&items, Cost::Heavy, |_, &x| x * 2);
+        Pool::seq().map(&items, Cost::Light, |_, &x| x); // inline path
+        assert!(jobs_inline() > before);
+
+        let mut reg = dex_obs::MetricsRegistry::new();
+        export_metrics(&mut reg);
+        let text = reg.expose_text();
+        dex_obs::validate_prometheus_text(&text).expect("exposition grammar");
+        assert!(text.contains("# TYPE pool_dispatch_latency_ns histogram"));
+        assert!(text.contains("# TYPE pool_queue_wait_ns histogram"));
+        assert!(text.contains("pool_dispatch_latency_ns_count"));
+        assert!(text.contains("pool_queue_wait_ns_count"));
+        assert!(text.contains("pool_jobs_dispatched"));
+        assert!(text.contains("pool_jobs_inline"));
+    }
+
+    #[test]
+    fn pool_tracer_emits_job_events_in_deterministic_slot_order() {
+        use dex_obs::{EventKind, RingRecorder, Tracer};
+        use std::sync::Arc;
+        let ring = Arc::new(RingRecorder::new(1 << 12));
+        set_pool_tracer(Tracer::new(ring.clone() as Arc<dyn dex_obs::Collector>));
+        let items: Vec<usize> = (0..8).collect();
+        forced(3).map(&items, Cost::Heavy, |_, &x| x + 1);
+        set_pool_tracer(Tracer::off()); // detach before other tests dispatch
+        let events = ring.events();
+        let dispatched: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::JobDispatched { .. }))
+            .collect();
+        assert!(!dispatched.is_empty(), "expected a job_dispatched event");
+        // Per-job completions arrive worker-slot-ordered from the caller
+        // thread; each carries the worker slot that ran the chunk.
+        let mut last_job = None;
+        let mut slots = Vec::new();
+        for e in &events {
+            if let EventKind::JobCompleted { job, worker, .. } = e.kind {
+                if last_job != Some(job) {
+                    slots.clear();
+                    last_job = Some(job);
+                }
+                slots.push(worker);
+                assert!(slots.windows(2).all(|w| w[0] < w[1]), "slot order");
+            }
+        }
+        assert!(last_job.is_some(), "expected job_completed events");
     }
 }

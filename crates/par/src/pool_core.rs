@@ -43,6 +43,40 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::thread::{JoinHandle, Thread};
 
+use dex_obs::{Event, EventKind, Histogram, MetricsRegistry, Tracer};
+
+/// Nanoseconds on the pool's own monotonic epoch (first use). The pool
+/// sits *below* `dex-core`, so it cannot read `govern::Clock`; its
+/// latency samples are therefore always real-time, even when the
+/// engines above run under `MockClock` — which is why deterministic
+/// trace sweeps leave the pool tracer unset.
+fn mono_ns() -> u64 {
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_nanos() as u64
+}
+
+/// The process-global pool tracer: off by default, opt-in via
+/// [`crate::set_pool_tracer`]. Dispatch paths check the flag before
+/// cloning, so the disabled cost is one relaxed load per job.
+static POOL_TRACER_ON: AtomicBool = AtomicBool::new(false);
+static POOL_TRACER: Mutex<Option<Tracer>> = Mutex::new(None);
+
+pub(crate) fn set_tracer(tracer: Tracer) {
+    let on = tracer.enabled();
+    *lock_ok(&POOL_TRACER) = on.then_some(tracer);
+    POOL_TRACER_ON.store(on, Ordering::SeqCst);
+}
+
+fn tracer() -> Option<Tracer> {
+    if !POOL_TRACER_ON.load(Ordering::Relaxed) {
+        return None;
+    }
+    lock_ok(&POOL_TRACER).clone()
+}
+
 /// Locks with poison recovery: a panic that unwound through `run_job`
 /// (deliberate re-propagation) may have poisoned a lock even though the
 /// protocol state it guards is consistent — the latch is always drained
@@ -79,6 +113,22 @@ struct JobSlot {
     caller: Option<Thread>,
 }
 
+/// Per-worker-slot instrumentation: cumulative totals for metrics
+/// exposition plus the last job's samples, which the submitter reads
+/// after the latch drains (no torn reads — the drain is the
+/// happens-after edge).
+#[derive(Default)]
+struct SlotStat {
+    /// Jobs this worker participated in (cumulative).
+    jobs: AtomicU64,
+    /// Total body nanoseconds (cumulative).
+    busy_ns: AtomicU64,
+    /// This job's body nanoseconds.
+    last_busy_ns: AtomicU64,
+    /// This job's publication→body-start wait.
+    last_queue_ns: AtomicU64,
+}
+
 /// State shared with the worker threads (kept alive by `Arc` so a
 /// dropped core cannot free it under a still-exiting worker).
 struct Shared {
@@ -91,6 +141,11 @@ struct Shared {
     shutdown: AtomicBool,
     /// First panic payload caught in a worker this job.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// `mono_ns` at the current job's publication — what worker
+    /// queue-wait is measured against.
+    published_ns: AtomicU64,
+    /// One entry per potential worker slot.
+    stats: Vec<SlotStat>,
 }
 
 struct Worker {
@@ -110,6 +165,14 @@ pub(crate) struct PoolCore {
     workers: Mutex<Vec<Worker>>,
     jobs_dispatched: AtomicU64,
     workers_spawned: AtomicU64,
+    /// Caller-participant body nanoseconds (cumulative; the caller is
+    /// not a worker slot, so its share is tracked separately).
+    caller_busy_ns: AtomicU64,
+    /// Submission-entry → job-publication latency per dispatched job.
+    dispatch_hist: Mutex<Histogram>,
+    /// Publication → worker-body-start wait, one sample per worker
+    /// participant per job.
+    queue_hist: Mutex<Histogram>,
 }
 
 impl PoolCore {
@@ -126,11 +189,16 @@ impl PoolCore {
                 outstanding: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
                 panic: Mutex::new(None),
+                published_ns: AtomicU64::new(0),
+                stats: (0..MAX_WORKERS).map(|_| SlotStat::default()).collect(),
             }),
             submit: Mutex::new(()),
             workers: Mutex::new(Vec::new()),
             jobs_dispatched: AtomicU64::new(0),
             workers_spawned: AtomicU64::new(0),
+            caller_busy_ns: AtomicU64::new(0),
+            dispatch_hist: Mutex::new(Histogram::new()),
+            queue_hist: Mutex::new(Histogram::new()),
         }
     }
 
@@ -198,22 +266,40 @@ impl PoolCore {
             return true;
         }
         self.jobs_dispatched.fetch_add(1, Ordering::Relaxed);
+        let t_enter = mono_ns();
         // SAFETY: erase the borrow's lifetime for storage. The slot is
         // cleared below before this function returns, and workers only
         // dereference while counted in `outstanding` — which this
         // function drains before returning — so the pointee outlives
         // every dereference.
         let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
-        {
+        let generation = {
             let mut job = lock_ok(&self.shared.job);
             job.generation += 1;
             job.body = Some(JobRef(erased as *const _));
             job.width = width;
             job.caller = Some(std::thread::current());
             self.shared.outstanding.store(width, Ordering::SeqCst);
+            self.shared.published_ns.store(mono_ns(), Ordering::Relaxed);
             // Publish: workers that load this generation find the slot
             // above fully written (release via SeqCst store).
             self.shared.epoch.store(job.generation, Ordering::SeqCst);
+            job.generation
+        };
+        let dispatch_ns = mono_ns().saturating_sub(t_enter);
+        lock_ok(&self.dispatch_hist).record(dispatch_ns);
+        let pool_tracer = tracer();
+        if let Some(t) = &pool_tracer {
+            t.emit_raw(Event {
+                at_ns: mono_ns(),
+                span_id: 0,
+                parent: 0,
+                kind: EventKind::JobDispatched {
+                    job: generation,
+                    width,
+                    dispatch_ns,
+                },
+            });
         }
         {
             let ws = lock_ok(&self.workers);
@@ -223,9 +309,42 @@ impl PoolCore {
         }
         // The caller is participant `width`; catch its panic so the
         // latch is always drained before unwinding past borrowed state.
+        let t_caller = mono_ns();
         let caller_res = catch_unwind(AssertUnwindSafe(|| body(width)));
+        self.caller_busy_ns
+            .fetch_add(mono_ns().saturating_sub(t_caller), Ordering::Relaxed);
         while self.shared.outstanding.load(Ordering::SeqCst) != 0 {
             std::thread::park();
+        }
+        // The latch drained, so every participant's last_* samples are
+        // final: fold the queue waits into the histogram and report
+        // completions in slot order (deterministic, single-threaded).
+        {
+            let mut qh = lock_ok(&self.queue_hist);
+            for slot in 0..width {
+                qh.record(
+                    self.shared.stats[slot]
+                        .last_queue_ns
+                        .load(Ordering::Relaxed),
+                );
+            }
+        }
+        if let Some(t) = &pool_tracer {
+            for slot in 0..width {
+                t.emit_raw(Event {
+                    at_ns: mono_ns(),
+                    span_id: 0,
+                    parent: 0,
+                    kind: EventKind::JobCompleted {
+                        job: generation,
+                        worker: slot,
+                        busy_ns: self.shared.stats[slot].last_busy_ns.load(Ordering::Relaxed),
+                        queue_ns: self.shared.stats[slot]
+                            .last_queue_ns
+                            .load(Ordering::Relaxed),
+                    },
+                });
+            }
         }
         {
             // Drop the erased borrow before returning control.
@@ -243,6 +362,38 @@ impl PoolCore {
             resume_unwind(p);
         }
         true
+    }
+
+    /// Folds this core's visibility counters into `reg`: job and
+    /// worker totals, the dispatch-latency and queue-wait histograms,
+    /// and per-worker jobs/busy-ns counters for every slot that ever
+    /// participated.
+    pub(crate) fn export_metrics_into(&self, reg: &mut MetricsRegistry) {
+        reg.inc(
+            "pool.jobs_dispatched",
+            u128::from(self.jobs_dispatched.load(Ordering::Relaxed)),
+        );
+        reg.inc(
+            "pool.workers_spawned",
+            u128::from(self.workers_spawned.load(Ordering::Relaxed)),
+        );
+        reg.inc(
+            "pool.caller_busy_ns",
+            u128::from(self.caller_busy_ns.load(Ordering::Relaxed)),
+        );
+        reg.merge_histogram("pool.dispatch_latency_ns", &lock_ok(&self.dispatch_hist));
+        reg.merge_histogram("pool.queue_wait_ns", &lock_ok(&self.queue_hist));
+        for (slot, stat) in self.shared.stats.iter().enumerate() {
+            let jobs = stat.jobs.load(Ordering::Relaxed);
+            if jobs == 0 {
+                continue;
+            }
+            reg.inc(&format!("pool.worker.{slot}.jobs"), u128::from(jobs));
+            reg.inc(
+                &format!("pool.worker.{slot}.busy_ns"),
+                u128::from(stat.busy_ns.load(Ordering::Relaxed)),
+            );
+        }
     }
 }
 
@@ -287,9 +438,17 @@ fn worker_loop(shared: Arc<Shared>, slot: usize, mut seen: u64) {
         let Some(JobRef(ptr)) = body else {
             continue;
         };
+        let t_start = mono_ns();
+        let queue_ns = t_start.saturating_sub(shared.published_ns.load(Ordering::Relaxed));
         // SAFETY: `run_job` blocks until `outstanding` drains, so the
         // pointee is alive until our decrement below.
         let res = catch_unwind(AssertUnwindSafe(|| unsafe { (*ptr)(slot) }));
+        let busy_ns = mono_ns().saturating_sub(t_start);
+        let stat = &shared.stats[slot];
+        stat.last_busy_ns.store(busy_ns, Ordering::Relaxed);
+        stat.last_queue_ns.store(queue_ns, Ordering::Relaxed);
+        stat.jobs.fetch_add(1, Ordering::Relaxed);
+        stat.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
         if let Err(payload) = res {
             let mut first = lock_ok(&shared.panic);
             first.get_or_insert(payload);

@@ -62,6 +62,7 @@ use dex_core::{
 use dex_logic::dependency::Body;
 use dex_logic::formula::Assignment;
 use dex_logic::{matcher, ConjunctiveQuery, Query, Setting};
+use dex_obs::Tracer;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -268,9 +269,24 @@ fn forced_diseqs(setting: &Setting, t: &Instance, nulls: &[NullId]) -> Vec<(usiz
     out
 }
 
+/// Timestamp for pipeline-stage spans: the governor's clock when one is
+/// available, otherwise 0 — the ungoverned path has no time source, so
+/// its spans carry structure (nesting, event counts) but zero duration.
+fn span_now(gov: Option<&Governor>) -> u64 {
+    gov.map_or(0, |g| g.clock().now_ns())
+}
+
 /// The symbolic analysis phase: merge fixpoint, inert elimination,
-/// admissible sets, forced disequalities.
-fn analyze(setting: &Setting, q: &Query, t: &Instance, pool: &[Symbol]) -> Analysis {
+/// admissible sets, forced disequalities. Each stage is wrapped in a
+/// span on `tracer` so `dex trace` can break propagation time down.
+fn analyze(
+    setting: &Setting,
+    q: &Query,
+    t: &Instance,
+    pool: &[Symbol],
+    tracer: &Tracer,
+    gov: Option<&Governor>,
+) -> Analysis {
     let all_nulls = t.nulls();
     let mut report = PropagationReport {
         nulls: all_nulls.len(),
@@ -287,10 +303,14 @@ fn analyze(setting: &Setting, q: &Query, t: &Instance, pool: &[Symbol]) -> Analy
         return Analysis::TooWide(report);
     }
     let mut tq = t.clone();
-    match merge_fixpoint(setting, &mut tq) {
+    let sp = tracer.span("merge_fixpoint", span_now(gov));
+    let merged = merge_fixpoint(setting, &mut tq);
+    sp.close(span_now(gov));
+    match merged {
         None => return Analysis::EmptyRep(report),
         Some(merged) => report.merged = merged,
     }
+    let sp = tracer.span("inert_elim", span_now(gov));
     let remaining: Vec<NullId> = tq.nulls().into_iter().collect();
     let mut residual_nulls = Vec::with_capacity(remaining.len());
     if let Some(obs) = observable_relations(setting, q) {
@@ -309,19 +329,29 @@ fn analyze(setting: &Setting, q: &Query, t: &Instance, pool: &[Symbol]) -> Analy
     } else {
         residual_nulls = remaining;
     }
+    sp.close(span_now(gov));
+    let sp = tracer.span("admissible_sets", span_now(gov));
     let mut domains = Vec::with_capacity(residual_nulls.len());
+    let mut empty_domain = false;
     for &nu in &residual_nulls {
         let dom = admissible(setting, &tq, nu, pool);
         if dom.is_empty() {
-            return Analysis::EmptyRep(report);
+            empty_domain = true;
+            break;
         }
         domains.push(dom);
     }
+    sp.close(span_now(gov));
+    if empty_domain {
+        return Analysis::EmptyRep(report);
+    }
+    let sp = tracer.span("forced_diseqs", span_now(gov));
     let diseqs = if residual_nulls.len() <= DISEQ_PAIR_CAP {
         forced_diseqs(setting, &tq, &residual_nulls)
     } else {
         Vec::new()
     };
+    sp.close(span_now(gov));
     report.residual_nulls = residual_nulls.len();
     report.diseqs = diseqs.len();
     let residual = Residual {
@@ -440,8 +470,9 @@ pub fn certain_answers_propagated(
     pool: &[Symbol],
     limits: &ModalLimits,
     exec: &Pool,
+    tracer: &Tracer,
 ) -> Result<(Option<Answers>, PropagationReport), ModalError> {
-    let r = match analyze(setting, q, t, pool) {
+    let r = match analyze(setting, q, t, pool, tracer, None) {
         Analysis::EmptyRep(report) => return Ok((None, report)),
         Analysis::TooWide(report) => {
             return certain_answers_par(setting, q, t, pool, limits, exec).map(|a| (a, report));
@@ -449,6 +480,7 @@ pub fn certain_answers_propagated(
         Analysis::Residual(r) => r,
     };
     let total = checked_total(r.total(), r.nulls.len(), pool.len(), limits)?;
+    let sp = tracer.span("residual_enum", 0);
     let ranges = chunk_ranges(total, exec.effective_threads() * 4);
     let cancel = AtomicBool::new(false);
     let partials = exec.map(
@@ -493,6 +525,7 @@ pub fn certain_answers_propagated(
             Some(prev) => prev.intersection(&p).cloned().collect(),
         });
     }
+    sp.close(0);
     Ok((acc, r.report))
 }
 
@@ -505,8 +538,9 @@ pub fn maybe_answers_propagated(
     pool: &[Symbol],
     limits: &ModalLimits,
     exec: &Pool,
+    tracer: &Tracer,
 ) -> Result<(Answers, PropagationReport), ModalError> {
-    let r = match analyze(setting, q, t, pool) {
+    let r = match analyze(setting, q, t, pool, tracer, None) {
         Analysis::EmptyRep(report) => return Ok((Answers::new(), report)),
         Analysis::TooWide(report) => {
             return maybe_answers_par(setting, q, t, pool, limits, exec).map(|a| (a, report));
@@ -514,6 +548,7 @@ pub fn maybe_answers_propagated(
         Analysis::Residual(r) => r,
     };
     let total = checked_total(r.total(), r.nulls.len(), pool.len(), limits)?;
+    let sp = tracer.span("residual_enum", 0);
     let ranges = chunk_ranges(total, exec.effective_threads() * 4);
     let partials = exec.map(
         &ranges,
@@ -541,6 +576,7 @@ pub fn maybe_answers_propagated(
     for p in partials {
         out.extend(p);
     }
+    sp.close(0);
     Ok((out, r.report))
 }
 
@@ -557,8 +593,9 @@ pub fn certain_answers_propagated_governed(
     limits: &ModalLimits,
     gov: &Governor,
     exec: &Pool,
+    tracer: &Tracer,
 ) -> Result<(Option<GovernedAnswers>, PropagationReport), ModalError> {
-    let r = match analyze(setting, q, t, pool) {
+    let r = match analyze(setting, q, t, pool, tracer, Some(gov)) {
         Analysis::EmptyRep(report) => return Ok((None, report)),
         Analysis::TooWide(report) => {
             let g = certain_answers_governed_par(setting, q, t, pool, limits, gov, exec)?;
@@ -568,6 +605,7 @@ pub fn certain_answers_propagated_governed(
         Analysis::Residual(r) => r,
     };
     let total = checked_total(r.total(), r.nulls.len(), pool.len(), limits)?;
+    let sp = tracer.span("residual_enum", span_now(Some(gov)));
     struct BoxPartial {
         acc: Option<Answers>,
         refuted: Answers,
@@ -636,6 +674,7 @@ pub fn certain_answers_propagated_governed(
             });
         }
     }
+    sp.close(span_now(Some(gov)));
     Ok(match interrupt {
         None => (acc.map(GovernedAnswers::complete), r.report),
         Some(i) => {
@@ -677,8 +716,9 @@ pub fn maybe_answers_propagated_governed(
     limits: &ModalLimits,
     gov: &Governor,
     exec: &Pool,
+    tracer: &Tracer,
 ) -> Result<(GovernedAnswers, PropagationReport), ModalError> {
-    let r = match analyze(setting, q, t, pool) {
+    let r = match analyze(setting, q, t, pool, tracer, Some(gov)) {
         Analysis::EmptyRep(report) => {
             return Ok((GovernedAnswers::complete(Answers::new()), report));
         }
@@ -689,6 +729,7 @@ pub fn maybe_answers_propagated_governed(
         Analysis::Residual(r) => r,
     };
     let total = checked_total(r.total(), r.nulls.len(), pool.len(), limits)?;
+    let sp = tracer.span("residual_enum", span_now(Some(gov)));
     let ranges = chunk_ranges(total, exec.effective_threads() * 4);
     let partials = exec.map(
         &ranges,
@@ -723,6 +764,7 @@ pub fn maybe_answers_propagated_governed(
             interrupt = i;
         }
     }
+    sp.close(span_now(Some(gov)));
     Ok(match interrupt {
         None => (GovernedAnswers::complete(proven), r.report),
         Some(i) => {
@@ -790,6 +832,10 @@ mod tests {
         Pool::seq()
     }
 
+    fn tr() -> Tracer {
+        Tracer::off()
+    }
+
     #[test]
     fn merge_fixpoint_pins_keyed_nulls() {
         let d = keyed_setting();
@@ -827,7 +873,8 @@ mod tests {
         let q = parse_query("Q(x,y) :- F(x,y)").unwrap();
         let pool = pool_for(&t, &q);
         let lim = ModalLimits::default();
-        let (prop, report) = certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec()).unwrap();
+        let (prop, report) =
+            certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec(), &tr()).unwrap();
         let oracle = crate::modal::certain_answers(&d, &q, &t, &pool, &lim).unwrap();
         assert_eq!(prop, oracle);
         // _1 pinned by the egd; _2 inert (G is not in the query or Σ_t
@@ -835,7 +882,8 @@ mod tests {
         assert_eq!(report.merged, 1);
         assert_eq!(report.inert, 1);
         assert_eq!(report.residual_valuations, 1);
-        let (prop_maybe, _) = maybe_answers_propagated(&d, &q, &t, &pool, &lim, &exec()).unwrap();
+        let (prop_maybe, _) =
+            maybe_answers_propagated(&d, &q, &t, &pool, &lim, &exec(), &tr()).unwrap();
         let oracle_maybe = crate::modal::maybe_answers(&d, &q, &t, &pool, &lim).unwrap();
         assert_eq!(prop_maybe, oracle_maybe);
     }
@@ -847,13 +895,13 @@ mod tests {
         let q = parse_query("Q(x) :- F(x,y)").unwrap();
         let pool = pool_for(&t, &q);
         let lim = ModalLimits::default();
-        let (ans, _) = certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec()).unwrap();
+        let (ans, _) = certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec(), &tr()).unwrap();
         assert_eq!(ans, None);
         assert_eq!(
             crate::modal::certain_answers(&d, &q, &t, &pool, &lim).unwrap(),
             None
         );
-        let (maybe, _) = maybe_answers_propagated(&d, &q, &t, &pool, &lim, &exec()).unwrap();
+        let (maybe, _) = maybe_answers_propagated(&d, &q, &t, &pool, &lim, &exec(), &tr()).unwrap();
         assert!(maybe.is_empty());
     }
 
@@ -872,7 +920,8 @@ mod tests {
         let pool = pool_for(&t, &q);
         let lim = ModalLimits::default();
         assert!(crate::modal::certain_answers(&d, &q, &t, &pool, &lim).is_err());
-        let (ans, report) = certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec()).unwrap();
+        let (ans, report) =
+            certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec(), &tr()).unwrap();
         let ans = ans.unwrap();
         assert_eq!(ans.len(), 12);
         assert_eq!(report.merged, 12);
@@ -889,11 +938,12 @@ mod tests {
         let q = parse_query("Q() :- F(x,b), F(x,d)").unwrap();
         let pool = pool_for(&t, &q);
         let lim = ModalLimits::default();
-        let (prop, report) = certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec()).unwrap();
+        let (prop, report) =
+            certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec(), &tr()).unwrap();
         assert_eq!(report.diseqs, 1);
         let oracle = crate::modal::certain_answers(&d, &q, &t, &pool, &lim).unwrap();
         assert_eq!(prop, oracle);
-        let (pm, _) = maybe_answers_propagated(&d, &q, &t, &pool, &lim, &exec()).unwrap();
+        let (pm, _) = maybe_answers_propagated(&d, &q, &t, &pool, &lim, &exec(), &tr()).unwrap();
         let om = crate::modal::maybe_answers(&d, &q, &t, &pool, &lim).unwrap();
         assert_eq!(pm, om);
     }
@@ -917,13 +967,16 @@ mod tests {
         let lim = ModalLimits::default();
         let exec = exec();
         // Exact answers for reference.
-        let (exact_box, _) = certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec).unwrap();
+        let (exact_box, _) =
+            certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec, &tr()).unwrap();
         let exact_box = exact_box.unwrap();
-        let (exact_dia, _) = maybe_answers_propagated(&d, &q, &t, &pool, &lim, &exec).unwrap();
+        let (exact_dia, _) =
+            maybe_answers_propagated(&d, &q, &t, &pool, &lim, &exec, &tr()).unwrap();
         for fuel in [1u64, 3, 7, 20] {
             let gov = Governor::unlimited().with_fuel(fuel);
             let (g, _) =
-                certain_answers_propagated_governed(&d, &q, &t, &pool, &lim, &gov, &exec).unwrap();
+                certain_answers_propagated_governed(&d, &q, &t, &pool, &lim, &gov, &exec, &tr())
+                    .unwrap();
             let g = g.unwrap();
             g.validate().unwrap();
             assert!(g.lower_bound().is_subset(&exact_box), "fuel {fuel}");
@@ -935,7 +988,8 @@ mod tests {
 
             let gov = Governor::unlimited().with_fuel(fuel);
             let (g, _) =
-                maybe_answers_propagated_governed(&d, &q, &t, &pool, &lim, &gov, &exec).unwrap();
+                maybe_answers_propagated_governed(&d, &q, &t, &pool, &lim, &gov, &exec, &tr())
+                    .unwrap();
             g.validate().unwrap();
             assert!(g.lower_bound().is_subset(&exact_dia), "fuel {fuel}");
             if let Some(upper) = g.upper_bound() {
@@ -947,7 +1001,8 @@ mod tests {
         // Unlimited fuel: complete and exact.
         let gov = Governor::unlimited();
         let (g, _) =
-            certain_answers_propagated_governed(&d, &q, &t, &pool, &lim, &gov, &exec).unwrap();
+            certain_answers_propagated_governed(&d, &q, &t, &pool, &lim, &gov, &exec, &tr())
+                .unwrap();
         let g = g.unwrap();
         assert!(g.is_complete() && !g.is_refinable());
         assert_eq!(g.proven, exact_box);
@@ -962,11 +1017,12 @@ mod tests {
         let q = parse_query("Q(x) := exists y . (F(x,y) & !G(y,x))").unwrap();
         let pool = pool_for(&t, &q);
         let lim = ModalLimits::default();
-        let (prop, report) = certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec()).unwrap();
+        let (prop, report) =
+            certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec(), &tr()).unwrap();
         assert_eq!(report.inert, 0);
         let oracle = crate::modal::certain_answers(&d, &q, &t, &pool, &lim).unwrap();
         assert_eq!(prop, oracle);
-        let (pm, _) = maybe_answers_propagated(&d, &q, &t, &pool, &lim, &exec()).unwrap();
+        let (pm, _) = maybe_answers_propagated(&d, &q, &t, &pool, &lim, &exec(), &tr()).unwrap();
         let om = crate::modal::maybe_answers(&d, &q, &t, &pool, &lim).unwrap();
         assert_eq!(pm, om);
     }
@@ -978,13 +1034,14 @@ mod tests {
         let q = parse_query("Q(x,y) :- G(x,y)").unwrap();
         let pool = pool_for(&t, &q);
         let lim = ModalLimits::default();
-        let seq = certain_answers_propagated(&d, &q, &t, &pool, &lim, &Pool::seq()).unwrap();
+        let seq = certain_answers_propagated(&d, &q, &t, &pool, &lim, &Pool::seq(), &tr()).unwrap();
         for threads in [2usize, 8] {
             let exec = Pool::new(threads).with_threshold_ns(0);
-            let par = certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec).unwrap();
+            let par = certain_answers_propagated(&d, &q, &t, &pool, &lim, &exec, &tr()).unwrap();
             assert_eq!(seq.0, par.0, "threads {threads}");
-            let sm = maybe_answers_propagated(&d, &q, &t, &pool, &lim, &Pool::seq()).unwrap();
-            let pm = maybe_answers_propagated(&d, &q, &t, &pool, &lim, &exec).unwrap();
+            let sm =
+                maybe_answers_propagated(&d, &q, &t, &pool, &lim, &Pool::seq(), &tr()).unwrap();
+            let pm = maybe_answers_propagated(&d, &q, &t, &pool, &lim, &exec, &tr()).unwrap();
             assert_eq!(sm.0, pm.0, "threads {threads}");
         }
     }

@@ -74,6 +74,10 @@ pub struct AnswerConfig {
     /// Modal evaluator: constraint propagation (default) or the
     /// brute-force oracle.
     pub engine: EvalEngine,
+    /// Trace sink: the propagation pipeline emits per-stage spans
+    /// (merge_fixpoint, inert_elim, admissible_sets, forced_diseqs,
+    /// residual_enum) through it. Disabled by default.
+    pub tracer: dex_obs::Tracer,
 }
 
 impl Default for AnswerConfig {
@@ -84,6 +88,7 @@ impl Default for AnswerConfig {
             enum_limits: EnumLimits::default(),
             pool: dex_core::Pool::seq(),
             engine: EvalEngine::default(),
+            tracer: dex_obs::Tracer::off(),
         }
     }
 }
@@ -228,6 +233,7 @@ impl<'a> AnswerEngine<'a> {
                     &pool,
                     &self.config.modal_limits,
                     &self.config.pool,
+                    &self.config.tracer,
                 )?;
                 self.record(report);
                 ans.map(GovernedAnswers::complete)
@@ -242,6 +248,7 @@ impl<'a> AnswerEngine<'a> {
                     &self.config.modal_limits,
                     g,
                     &self.config.pool,
+                    &self.config.tracer,
                 )?;
                 self.record(report);
                 ans.ok_or(AnswerError::EmptyRep)
@@ -342,6 +349,7 @@ impl<'a> AnswerEngine<'a> {
                     &pool,
                     &self.config.modal_limits,
                     &self.config.pool,
+                    &self.config.tracer,
                 )?;
                 self.record(report);
                 Ok(GovernedAnswers::complete(ans))
@@ -355,6 +363,7 @@ impl<'a> AnswerEngine<'a> {
                     &self.config.modal_limits,
                     g,
                     &self.config.pool,
+                    &self.config.tracer,
                 )?;
                 self.record(report);
                 Ok(ans)

@@ -75,6 +75,7 @@ pub struct XrEngine<'a> {
     setting: &'a Setting,
     config: AnswerConfig,
     outcome: RepairOutcome,
+    tracer: Tracer,
 }
 
 impl<'a> XrEngine<'a> {
@@ -100,9 +101,14 @@ impl<'a> XrEngine<'a> {
         gov: &Governor,
         tracer: Tracer,
     ) -> Result<XrEngine<'a>, XrError> {
+        // Thread the tracer into the per-repair answer engines too, so
+        // each factor's propagation stages show up under its xr_factor
+        // span in the trace.
+        let mut config = config;
+        config.tracer = tracer.clone();
         let engine = RepairEngine::new(setting, &config.chase_budget)
             .with_pool(pool_of(&config))
-            .with_tracer(tracer);
+            .with_tracer(tracer.clone());
         let outcome = engine.repairs_governed(source, gov);
         if outcome.repairs.is_empty() {
             return Err(XrError::NoRepairs(outcome.interrupt));
@@ -115,6 +121,7 @@ impl<'a> XrEngine<'a> {
             setting,
             config,
             outcome,
+            tracer,
         })
     }
 
@@ -137,15 +144,23 @@ impl<'a> XrEngine<'a> {
         if !self.outcome.complete {
             return Err(XrError::IncompleteRepairs(self.outcome.interrupt.clone()));
         }
+        // One span over the whole intersection, one per factor. The
+        // engine has no clock of its own, so span timestamps are 0 —
+        // the analyzer still recovers the tree shape and counts.
+        let sp_intersect = self.tracer.span("xr_intersect", 0);
         let mut acc: Option<Answers> = None;
         for repair in &self.outcome.repairs {
+            let sp_factor = self.tracer.span("xr_factor", 0);
             let engine = AnswerEngine::new(self.setting, &repair.kept, self.config.clone())?;
-            let a = engine.answers(q, Semantics::Certain)?;
+            let result = engine.answers(q, Semantics::Certain);
+            sp_factor.close(0);
+            let a = result?;
             acc = Some(match acc.take() {
                 None => a,
                 Some(prev) => prev.intersection(&a).cloned().collect(),
             });
         }
+        sp_intersect.close(0);
         Ok(acc.expect("XrEngine holds at least one repair"))
     }
 

@@ -251,6 +251,9 @@ impl<'a> RepairEngine<'a> {
                 interrupt = Some(i);
                 break 'search;
             }
+            // Span per BFS level; leaks open if the governor interrupts
+            // mid-level (the analyzer treats that like a truncated trace).
+            let sp_level = self.tracer.span("hs_level", self.clock.now_ns());
             // Chase the whole level in parallel; chase cost scales with
             // the kept-instance size, which is uniform across the level.
             let cost = Cost::EstimateNs(20_000u64.saturating_mul((n.max(1) - level) as u64));
@@ -383,6 +386,7 @@ impl<'a> RepairEngine<'a> {
                 }
             });
             frontier = next;
+            sp_level.close(self.clock.now_ns());
             level += 1;
         }
 

@@ -10,13 +10,15 @@
 //! dex answer    <setting> <source> <query> [--semantics ...] [--engine propagate|oracle] [--repair]
 //! dex enumerate <setting> <source> [--nulls-only] [--max N]
 //! dex repair    <setting> <source>             maximal consistent source subsets
+//! dex trace     <trace.jsonl> [--tree] [--json] [--metrics] [--top K]
 //! ```
 //!
 //! `<setting>`, `<source>`, `<target>` and `<query>` are file paths; if a
 //! path does not exist the argument itself is parsed as inline DSL text.
 //!
-//! `DEX_TRACE=<path>` makes `chase` and `explain` append a JSONL event
-//! trace of the run (see `dex-obs`).
+//! `DEX_TRACE=<path>` makes `chase`, `explain`, `core`, `answer`,
+//! `enumerate` and `repair` write a JSONL event trace of the run (see
+//! `dex-obs`); `dex trace <path>` aggregates it into a profile.
 //!
 //! `core`, `answer` and `enumerate` accept `--threads N` to run their
 //! search on a deterministic worker pool (`dex-par`); with no flag the
@@ -51,6 +53,7 @@ fn usage() -> ExitCode {
   dex answer    <setting> <source> <query> [--semantics certain|potential|persistent|maybe] [--threads N] [--engine propagate|oracle] [--repair]
   dex enumerate <setting> <source> [--nulls-only] [--max N] [--threads N]
   dex repair    <setting> <source> [--threads N] [--json]
+  dex trace     <trace.jsonl> [--tree] [--json] [--metrics] [--top K]
 
 Arguments are file paths, or inline DSL when no such file exists.
 --threads defaults to $DEX_THREADS (sequential when unset); results are
@@ -58,7 +61,11 @@ identical for every thread count.
 `answer --repair` computes XR-certain answers (certain answers
 intersected over every maximal consistent subset of the source);
 `explain --conflict` prints the provenance-backed conflict witness of an
-inconsistent source."
+inconsistent source;
+`trace` aggregates a DEX_TRACE=<path> JSONL trace into a profile
+(per-phase time, hottest dependencies, governor trips, pool stats);
+--tree adds the span waterfall, --metrics the Prometheus-style text
+exposition, --json the machine-readable profile."
     );
     ExitCode::from(1)
 }
@@ -100,6 +107,7 @@ fn main() -> ExitCode {
         ("answer", [setting, source, query, rest @ ..]) => cmd_answer(setting, source, query, rest),
         ("enumerate", [setting, source, rest @ ..]) => cmd_enumerate(setting, source, rest),
         ("repair", [setting, source, rest @ ..]) => cmd_repair(setting, source, rest),
+        ("trace", [file, rest @ ..]) => cmd_trace(file, rest),
         ("help" | "--help" | "-h", _) => return usage(),
         _ => return usage(),
     };
@@ -218,10 +226,19 @@ fn cmd_core(setting: &str, source: &str, rest: &[String]) -> Result<(), String> 
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    let canon =
-        canonical_universal_solution(&d, &s, &ChaseBudget::default()).map_err(|e| e.to_string())?;
-    let core = cwa_dex::core::core_parallel(&canon, &pool);
-    println!("{}", cwa_dex::logic::instance_to_dsl(&core));
+    // One tracer per run: `from_env` truncates the DEX_TRACE file, so
+    // the chase, the core search and the pool must share a clone.
+    let tracer = cwa_dex::obs::Tracer::from_env();
+    if tracer.enabled() {
+        cwa_dex::core::set_pool_tracer(tracer.clone());
+    }
+    let out = ChaseEngine::new(&d, &ChaseBudget::default())
+        .with_tracer(tracer.clone())
+        .run(&s)
+        .map_err(|e| e.to_string())?;
+    let gov = cwa_dex::core::govern::Governor::unlimited().with_tracer(tracer);
+    let gc = cwa_dex::core::core_parallel_governed(&out.target, &gov, &pool);
+    println!("{}", cwa_dex::logic::instance_to_dsl(&gc.instance));
     Ok(())
 }
 
@@ -308,9 +325,16 @@ fn cmd_answer(setting: &str, source: &str, query: &str, rest: &[String]) -> Resu
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    // One tracer per run: chase spans, propagation-stage spans, repair
+    // search and pool events all append to the same DEX_TRACE file.
+    let tracer = cwa_dex::obs::Tracer::from_env();
+    if tracer.enabled() {
+        cwa_dex::core::set_pool_tracer(tracer.clone());
+    }
     let config = AnswerConfig {
         pool,
         engine: eval_engine,
+        tracer: tracer.clone(),
         ..AnswerConfig::default()
     };
     if repair_mode {
@@ -319,8 +343,8 @@ fn cmd_answer(setting: &str, source: &str, query: &str, rest: &[String]) -> Resu
                 "--repair computes XR-certain answers; only `--semantics certain` applies".into(),
             );
         }
-        let gov = cwa_dex::core::govern::Governor::unlimited();
-        let xr = XrEngine::new(&d, &s, config, &gov).map_err(|e| e.to_string())?;
+        let gov = cwa_dex::core::govern::Governor::unlimited().with_tracer(tracer.clone());
+        let xr = XrEngine::with_tracer(&d, &s, config, &gov, tracer).map_err(|e| e.to_string())?;
         if !xr.outcome().complete {
             // The search was undecided (a candidate chase exhausted its
             // budget), so maximal repairs may be missing and the
@@ -416,7 +440,13 @@ fn cmd_enumerate(setting: &str, source: &str, rest: &[String]) -> Result<(), Str
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    let opts = cwa_dex::cwa::EnumOpts::seq().with_pool(pool);
+    let tracer = cwa_dex::obs::Tracer::from_env();
+    if tracer.enabled() {
+        cwa_dex::core::set_pool_tracer(tracer.clone());
+    }
+    let opts = cwa_dex::cwa::EnumOpts::seq()
+        .with_pool(pool)
+        .with_tracer(tracer);
     let (sols, stats) = cwa_dex::cwa::enumerate_cwa_solutions_opts(&d, &s, &limits, &opts);
     let maximal = maximal_under_image(&sols);
     for t in &sols {
@@ -497,5 +527,41 @@ fn cmd_repair(setting: &str, source: &str, rest: &[String]) -> Result<(), String
         st.conflicts_extracted,
         st.pruned_superset + st.pruned_duplicate,
     );
+    Ok(())
+}
+
+fn cmd_trace(file: &str, rest: &[String]) -> Result<(), String> {
+    let mut tree = false;
+    let mut json = false;
+    let mut metrics = false;
+    let mut top = 10usize;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--tree" => tree = true,
+            "--json" => json = true,
+            "--metrics" => metrics = true,
+            "--top" => {
+                let Some(v) = it.next() else {
+                    return Err("--top needs a value".into());
+                };
+                top = v.parse().map_err(|_| "invalid --top value".to_owned())?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let text =
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read trace {file}: {e}"))?;
+    let lines = cwa_dex::obs::parse_trace(&text)?;
+    let profile = cwa_dex::obs::TraceProfile::from_lines(&lines);
+    if json {
+        println!("{}", profile.to_json());
+        return Ok(());
+    }
+    if metrics {
+        print!("{}", profile.metrics.expose_text());
+        return Ok(());
+    }
+    print!("{}", profile.render_text(top, tree));
     Ok(())
 }

@@ -262,3 +262,181 @@ fn answer_repair_intersects_over_repairs() {
     assert!(!ok);
     assert!(stderr.contains("XR-certain"));
 }
+
+/// Runs `dex` with `DEX_TRACE` pointed at a fresh file and returns the
+/// trace text along with the command's output.
+fn dex_traced(args: &[&str], tag: &str) -> (bool, String, String, String) {
+    let dir = std::env::temp_dir().join(format!("dex-cli-trace-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_dex"))
+        .args(args)
+        .env("DEX_TRACE", &path)
+        .output()
+        .expect("binary runs");
+    let text = std::fs::read_to_string(&path).unwrap_or_default();
+    std::fs::remove_dir_all(&dir).ok();
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        text,
+    )
+}
+
+fn assert_valid_trace(text: &str) {
+    assert!(!text.is_empty(), "trace is empty");
+    for line in text.lines() {
+        let v = cwa_dex::obs::parse(line).expect("trace line is valid JSON");
+        assert!(v.get("event").is_some(), "no event name in {line}");
+    }
+}
+
+#[test]
+fn dex_trace_env_covers_core() {
+    let (ok, _, _, trace) = dex_traced(&["core", SETTING, SOURCE], "core");
+    assert!(ok);
+    assert_valid_trace(&trace);
+    // The chase phases and the core's retract search both land in one file.
+    assert!(trace.contains("\"st_tgds\""), "no chase spans: {trace}");
+    assert!(trace.contains("\"retract_step\""), "no core spans: {trace}");
+}
+
+#[test]
+fn dex_trace_env_covers_answer() {
+    // `maybe` goes through the ◇-propagation pipeline (the certain-UCQ
+    // shortcut of Lemma 7.7 needs no valuations and emits no spans).
+    let (ok, _, _, trace) = dex_traced(
+        &[
+            "answer",
+            SETTING,
+            SOURCE,
+            "Q(x) :- F(a,x)",
+            "--semantics",
+            "maybe",
+        ],
+        "answer",
+    );
+    assert!(ok);
+    assert_valid_trace(&trace);
+    for stage in [
+        "merge_fixpoint",
+        "inert_elim",
+        "admissible_sets",
+        "forced_diseqs",
+        "residual_enum",
+    ] {
+        assert!(
+            trace.contains(&format!("\"{stage}\"")),
+            "no {stage} span: {trace}"
+        );
+    }
+}
+
+#[test]
+fn dex_trace_env_covers_enumerate() {
+    let (ok, _, _, trace) = dex_traced(&["enumerate", SETTING, SOURCE, "--max", "4"], "enum");
+    assert!(ok);
+    assert_valid_trace(&trace);
+    // Wave spans from the enumerator plus replayed alpha-chase events.
+    assert!(trace.contains("\"wave\""), "no wave spans: {trace}");
+    assert!(
+        trace.contains("\"event\":\"span_closed\""),
+        "no spans: {trace}"
+    );
+}
+
+#[test]
+fn trace_subcommand_profiles_a_chase_run() {
+    let dir = std::env::temp_dir().join(format!("dex-cli-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_dex"))
+        .args(["chase", SETTING, SOURCE])
+        .env("DEX_TRACE", &path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let p = path.to_str().unwrap();
+
+    let (ok, stdout, _) = dex(&["trace", p]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("phases (by total time):"));
+    assert!(stdout.contains("st_tgds"));
+    assert!(stdout.contains("hottest dependencies"));
+    assert!(stdout.contains("chase_completed"));
+    assert!(!stdout.contains("span tree:"), "--tree is opt-in");
+
+    let (ok, with_tree, _) = dex(&["trace", p, "--tree"]);
+    assert!(ok);
+    assert!(with_tree.contains("span tree:"));
+
+    // --top caps the dependency table: d1 stays, d2 may be cut.
+    let (ok, top1, _) = dex(&["trace", p, "--top", "1"]);
+    assert!(ok);
+    assert!(top1.contains("hottest dependencies (top 1):"));
+
+    // --json is machine-readable and not truncated for a full trace.
+    let (ok, json, _) = dex(&["trace", p, "--json"]);
+    assert!(ok);
+    let v = cwa_dex::obs::parse(json.trim()).expect("profile is valid JSON");
+    assert_eq!(
+        v.get("truncated"),
+        Some(&cwa_dex::obs::JsonValue::Bool(false))
+    );
+    let events = v.get("events").expect("events object");
+    assert_eq!(
+        events.get("chase_started").and_then(|n| n.as_u128()),
+        Some(1)
+    );
+    assert_eq!(
+        events.get("chase_completed").and_then(|n| n.as_u128()),
+        Some(1)
+    );
+
+    // --metrics passes the in-tree exposition-format check.
+    let (ok, metrics, _) = dex(&["trace", p, "--metrics"]);
+    assert!(ok);
+    cwa_dex::obs::validate_prometheus_text(&metrics).expect("valid exposition text");
+    assert!(metrics.contains("# TYPE"));
+
+    let (ok, _, stderr) = dex(&["trace", p, "--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_subcommand_flags_truncated_traces() {
+    use std::sync::Arc;
+    let ring = Arc::new(cwa_dex::obs::RingRecorder::new(1));
+    let tracer = cwa_dex::obs::Tracer::new(Arc::clone(&ring) as _);
+    tracer.span("a", 1).close(2);
+    tracer.span("b", 3).close(4);
+    assert_eq!(ring.dropped(), 3);
+
+    let dir = std::env::temp_dir().join(format!("dex-cli-truncated-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    std::fs::write(&path, ring.to_jsonl()).unwrap();
+    let p = path.to_str().unwrap();
+
+    let (ok, stdout, _) = dex(&["trace", p]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(
+        stdout.contains("WARNING: 3 events dropped"),
+        "no truncation banner: {stdout}"
+    );
+
+    let (ok, json, _) = dex(&["trace", p, "--json"]);
+    assert!(ok);
+    let v = cwa_dex::obs::parse(json.trim()).expect("profile is valid JSON");
+    assert_eq!(
+        v.get("truncated"),
+        Some(&cwa_dex::obs::JsonValue::Bool(true))
+    );
+    assert_eq!(v.get("dropped").and_then(|n| n.as_u128()), Some(3));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
