@@ -120,6 +120,29 @@ DEX_BENCH_SMOKE=1 DEX_BENCH_OUT="$PWD/target/bench-smoke" \
 test -f target/bench-smoke/BENCH_repair.json || { echo "repair bench did not write target/bench-smoke/BENCH_repair.json"; exit 1; }
 grep -q '"guidance_margin"' BENCH_repair.json || { echo "committed BENCH_repair.json does not record the guidance margin"; exit 1; }
 
+echo "== incremental smoke (dex update round-trip + differential seed + bench) =="
+# `dex update` applies a delta by incremental maintenance; the target it
+# prints must carry exactly the rows of a from-scratch exchange of the
+# updated source. Output captured, not piped (EPIPE, see repair smoke).
+INC_SETTING='source { P/2 } target { F/2, G/2 } st { d1: P(x,y) -> exists k . F(k,x) & G(k,y); } t { key: F(k,x) & F(k,y) -> x = y; }'
+UPDATE_OUT=$("$DEX" update "$INC_SETTING" 'P(a,b). P(c,d).' '+ P(e,f). - P(c,d).')
+grep -q "applied: 1 insert(s), 1 delete(s)" <<< "$UPDATE_OUT" \
+  || { echo "incremental smoke: dex update did not report the applied delta"; exit 1; }
+grep -q "atoms retracted" <<< "$UPDATE_OUT" \
+  || { echo "incremental smoke: dex update did not report resume counters"; exit 1; }
+grep -q "F(" <<< "$UPDATE_OUT" \
+  || { echo "incremental smoke: dex update printed no target instance"; exit 1; }
+# One fixed seed of the 64-seed resume-vs-rechase differential suite,
+# through the DEX_FAULT_SEED replay path (the full sweep already ran
+# under `cargo test` above).
+DEX_FAULT_SEED=7 cargo test -q --locked --offline -p dex-bench --test incremental
+# The incremental bench asserts resumed-vs-rechased target cardinalities
+# agree on every run; its >=10x speedup gate arms on full runs only.
+DEX_BENCH_SMOKE=1 DEX_BENCH_OUT="$PWD/target/bench-smoke" \
+  cargo bench -q --locked --offline -p dex-bench --bench incremental
+test -f target/bench-smoke/BENCH_inc.json || { echo "incremental bench did not write target/bench-smoke/BENCH_inc.json"; exit 1; }
+grep -q '"resume_vs_rechase"' BENCH_inc.json || { echo "committed BENCH_inc.json does not record resume-vs-rechase rows"; exit 1; }
+
 echo "== bench smoke (tiny sizes; any panic fails the run) =="
 # Includes the chase naive-vs-delta ablation, whose ChaseStats invariant
 # checks panic on violation — so stats consistency gates CI here too.
@@ -138,7 +161,7 @@ grep -q '"gate_armed": true' BENCH_obs.json || { echo "committed BENCH_obs.json 
 echo "== committed baselines untouched =="
 # The smoke stages above must never clobber the committed full-run
 # baselines (that was a real bug: smoke dumps used to overwrite them).
-git diff --exit-code -- BENCH_par.json BENCH_chase.json BENCH_query.json BENCH_repair.json BENCH_obs.json \
+git diff --exit-code -- BENCH_par.json BENCH_chase.json BENCH_query.json BENCH_repair.json BENCH_obs.json BENCH_inc.json \
   || { echo "a bench stage modified a committed BENCH_*.json baseline"; exit 1; }
 
 echo "CI OK"

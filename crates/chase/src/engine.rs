@@ -33,9 +33,11 @@ use crate::standard::{ChaseError, ChaseSuccess};
 use crate::stats::ChaseStats;
 use crate::witness::ConflictWitness;
 use dex_core::govern::Clock;
-use dex_core::{merge_policy, Atom, DeltaCursor, Instance, NullGen, Symbol, Value, ValueUnionFind};
+use dex_core::{
+    merge_policy, Atom, DeltaCursor, Instance, NullGen, SourceDelta, Symbol, Value, ValueUnionFind,
+};
 use dex_logic::matcher;
-use dex_logic::{Assignment, Body, Setting, Tgd};
+use dex_logic::{Assignment, Body, FAtom, Setting, Term, Tgd};
 use dex_obs::{EventKind, Tracer};
 use std::collections::{HashMap, HashSet};
 
@@ -243,6 +245,24 @@ impl<'a> ChaseEngine<'a> {
         })
     }
 
+    /// The violating trigger's instantiated body atoms — the premises
+    /// whose continued support keeps the merge justified under
+    /// incremental deletion ([`Provenance::record_merge`]).
+    fn egd_premises(egd: &dex_logic::Egd, v: &EgdViolation) -> Vec<Atom> {
+        egd.body
+            .iter()
+            .map(|a| {
+                Atom::new(
+                    a.rel,
+                    a.args
+                        .iter()
+                        .map(|&t| v.env.term(t).expect("egd trigger env binds its body"))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
     /// Fires one restricted-chase trigger: fresh nulls for the
     /// existentials, head atoms inserted with the atom budget enforced
     /// per insertion (one wide head cannot overshoot unboundedly).
@@ -358,180 +378,17 @@ impl<'a> ChaseEngine<'a> {
         stats.tgd_time_ns += (self.clock.now_ns() - t_phase) as u128;
 
         // Phase B: semi-naive fixpoint over egds and target tgds.
-        let t_rels = self.t_body_rels();
-        let mut processed = DeltaCursor::origin();
-        let mut egd_clean: Option<DeltaCursor> = None;
-        loop {
-            // Per round, consult deadline/cancel unconditionally — the
-            // amortized `check()` only reaches them every 1024 ticks,
-            // too coarse for small instances.
-            gov.force_check()?;
-            // Spans leak (stay open) when a governor interrupt or
-            // budget error unwinds out of the round; the analyzer
-            // treats that like a truncated trace.
-            let sp_round = self.tracer.span("round", self.clock.now_ns());
-            // Egds first, to a fixpoint. The seed stays put while the
-            // fixpoint runs: merges re-append the rows they rewrite, so
-            // follow-on violations stay inside the window.
-            let t_phase = self.clock.now_ns();
-            let sp_egd = self.tracer.span("egd_fixpoint", t_phase);
-            let seed = egd_clean.take().unwrap_or_default();
-            while let Some(v) = self.find_violation_seeded(&inst, &seed) {
-                gov.check()?;
-                self.check_steps(steps, &inst).map_err(|e| {
-                    stats.egd_time_ns += (self.clock.now_ns() - t_phase) as u128;
-                    e
-                })?;
-                match uf.union(v.left, v.right) {
-                    Err((c, d)) => {
-                        return Err(ChaseError::EgdConflict {
-                            witness: self.conflict_witness(
-                                &v,
-                                Value::Const(c),
-                                Value::Const(d),
-                                prov.as_ref(),
-                            ),
-                        })
-                    }
-                    Ok(Some(m)) => {
-                        let egd = &self.setting.egds[v.egd_index].name;
-                        let rewritten = inst.merge_value(m.loser, m.winner);
-                        stats.rows_rewritten += rewritten;
-                        steps += 1;
-                        stats.egd_steps += 1;
-                        if let Some(p) = prov.as_mut() {
-                            p.record_merge(egd, m.loser, m.winner);
-                        }
-                        if self.tracer.enabled() {
-                            self.emit(EventKind::EgdMerged {
-                                dep: egd.clone(),
-                                loser: m.loser.to_string(),
-                                winner: m.winner.to_string(),
-                                rows_rewritten: rewritten,
-                            });
-                        }
-                    }
-                    // Same class but both still live cannot happen (losers
-                    // are rewritten out of every live row); bail defensively.
-                    Ok(None) => break,
-                }
-            }
-            egd_clean = Some(inst.cursor());
-            sp_egd.close(self.clock.now_ns());
-            stats.egd_time_ns += (self.clock.now_ns() - t_phase) as u128;
-
-            if !inst.has_delta_since(&processed) {
-                sp_round.close(self.clock.now_ns());
-                break;
-            }
-
-            // One semi-naive round: only triggers touching a delta row
-            // can be new, so seed the matcher with each delta row at
-            // each body position.
-            let t_phase = self.clock.now_ns();
-            let sp_tgd = self.tracer.span("tgd_round", t_phase);
-            stats.rounds += 1;
-            let delta = snapshot_delta(&inst, &processed, &t_rels);
-            processed = inst.cursor();
-            let round_rows: usize = delta.values().map(Vec::len).sum();
-            stats.delta_rows_processed += round_rows;
-            stats.max_round_delta_rows = stats.max_round_delta_rows.max(round_rows);
-            let st_count = self.setting.st_tgds.len();
-            for (ti, tgd) in self.setting.t_tgds.iter().enumerate() {
-                let dep_index = st_count + ti;
-                match &tgd.body {
-                    Body::Conj(atoms) => {
-                        let mut row_envs: Vec<Assignment> = Vec::new();
-                        for (i, batom) in atoms.iter().enumerate() {
-                            let Some(rows) = delta.get(&batom.rel) else {
-                                continue;
-                            };
-                            for row in rows {
-                                row_envs.clear();
-                                matcher::for_each_match_seeded(
-                                    atoms,
-                                    i,
-                                    row,
-                                    &inst,
-                                    &Assignment::new(),
-                                    &mut |env| {
-                                        row_envs.push(env.clone());
-                                        true
-                                    },
-                                );
-                                for env in row_envs.drain(..) {
-                                    gov.check()?;
-                                    stats.triggers_examined += 1;
-                                    if self.tracer.enabled() {
-                                        self.emit(EventKind::TriggerExamined {
-                                            dep: tgd.name.clone(),
-                                        });
-                                    }
-                                    if !tgd.head_holds(&inst, &env) {
-                                        self.check_steps(steps, &inst).map_err(|e| {
-                                            stats.tgd_time_ns +=
-                                                (self.clock.now_ns() - t_phase) as u128;
-                                            e
-                                        })?;
-                                        self.fire_standard(
-                                            tgd,
-                                            dep_index,
-                                            env,
-                                            &mut inst,
-                                            &mut nulls,
-                                            steps,
-                                            &mut stats,
-                                            prov.as_mut(),
-                                        )?;
-                                        steps += 1;
-                                        stats.tgd_steps += 1;
-                                        stats.triggers_fired += 1;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    // Target bodies are conjunctive by construction; if
-                    // one ever is not, fall back to a full examination.
-                    body => {
-                        for env in body.matches(&inst) {
-                            gov.check()?;
-                            stats.triggers_examined += 1;
-                            if self.tracer.enabled() {
-                                self.emit(EventKind::TriggerExamined {
-                                    dep: tgd.name.clone(),
-                                });
-                            }
-                            if !tgd.head_holds(&inst, &env) {
-                                self.check_steps(steps, &inst)?;
-                                self.fire_standard(
-                                    tgd,
-                                    dep_index,
-                                    env,
-                                    &mut inst,
-                                    &mut nulls,
-                                    steps,
-                                    &mut stats,
-                                    prov.as_mut(),
-                                )?;
-                                steps += 1;
-                                stats.tgd_steps += 1;
-                                stats.triggers_fired += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            sp_tgd.close(self.clock.now_ns());
-            stats.tgd_time_ns += (self.clock.now_ns() - t_phase) as u128;
-            if self.tracer.enabled() {
-                self.emit(EventKind::RoundCompleted {
-                    round: stats.rounds,
-                    delta_rows: round_rows,
-                });
-            }
-            sp_round.close(self.clock.now_ns());
-        }
+        self.run_fixpoint(
+            &gov,
+            &mut inst,
+            &mut nulls,
+            &mut uf,
+            &mut steps,
+            &mut stats,
+            &mut prov,
+            DeltaCursor::origin(),
+            None,
+        )?;
 
         stats.total_time_ns = (self.clock.now_ns() - t_total) as u128;
         let target = inst.difference(&sigma_part);
@@ -548,6 +405,558 @@ impl<'a> ChaseEngine<'a> {
             stats,
             provenance: prov,
         })
+    }
+
+    /// The semi-naive egd/target-tgd fixpoint (Phase B of [`run`] and
+    /// the continuation phase of [`resume`]): alternate an egd fixpoint
+    /// (seeded at `egd_clean`, or the origin when `None`) with one
+    /// seeded tgd round over the delta window past `processed`, until a
+    /// round adds nothing.
+    ///
+    /// [`run`]: ChaseEngine::run
+    /// [`resume`]: ChaseEngine::resume
+    #[allow(clippy::too_many_arguments)]
+    fn run_fixpoint(
+        &self,
+        gov: &dex_core::Governor,
+        mut inst: &mut Instance,
+        mut nulls: &mut NullGen,
+        uf: &mut ValueUnionFind,
+        steps_ref: &mut usize,
+        mut stats: &mut ChaseStats,
+        prov: &mut Option<Provenance>,
+        mut processed: DeltaCursor,
+        egd_seed: Option<DeltaCursor>,
+    ) -> Result<(), ChaseError> {
+        let mut steps = *steps_ref;
+        let mut egd_clean: Option<DeltaCursor> = egd_seed;
+        let out = (|| -> Result<(), ChaseError> {
+            let t_rels = self.t_body_rels();
+            loop {
+                // Per round, consult deadline/cancel unconditionally — the
+                // amortized `check()` only reaches them every 1024 ticks,
+                // too coarse for small instances.
+                gov.force_check()?;
+                // Spans leak (stay open) when a governor interrupt or
+                // budget error unwinds out of the round; the analyzer
+                // treats that like a truncated trace.
+                let sp_round = self.tracer.span("round", self.clock.now_ns());
+                // Egds first, to a fixpoint. The seed stays put while the
+                // fixpoint runs: merges re-append the rows they rewrite, so
+                // follow-on violations stay inside the window.
+                let t_phase = self.clock.now_ns();
+                let sp_egd = self.tracer.span("egd_fixpoint", t_phase);
+                let seed = egd_clean.take().unwrap_or_default();
+                while let Some(v) = self.find_violation_seeded(&inst, &seed) {
+                    gov.check()?;
+                    self.check_steps(steps, &inst).map_err(|e| {
+                        stats.egd_time_ns += (self.clock.now_ns() - t_phase) as u128;
+                        e
+                    })?;
+                    match uf.union(v.left, v.right) {
+                        Err((c, d)) => {
+                            return Err(ChaseError::EgdConflict {
+                                witness: self.conflict_witness(
+                                    &v,
+                                    Value::Const(c),
+                                    Value::Const(d),
+                                    prov.as_ref(),
+                                ),
+                            })
+                        }
+                        Ok(Some(m)) => {
+                            let egd = &self.setting.egds[v.egd_index].name;
+                            let rewritten = inst.merge_value(m.loser, m.winner);
+                            stats.rows_rewritten += rewritten;
+                            steps += 1;
+                            stats.egd_steps += 1;
+                            if let Some(p) = prov.as_mut() {
+                                let premises =
+                                    Self::egd_premises(&self.setting.egds[v.egd_index], &v);
+                                p.record_merge(egd, m.loser, m.winner, &premises);
+                            }
+                            if self.tracer.enabled() {
+                                self.emit(EventKind::EgdMerged {
+                                    dep: egd.clone(),
+                                    loser: m.loser.to_string(),
+                                    winner: m.winner.to_string(),
+                                    rows_rewritten: rewritten,
+                                });
+                            }
+                        }
+                        // Same class but both still live cannot happen (losers
+                        // are rewritten out of every live row); bail defensively.
+                        Ok(None) => break,
+                    }
+                }
+                egd_clean = Some(inst.cursor());
+                sp_egd.close(self.clock.now_ns());
+                stats.egd_time_ns += (self.clock.now_ns() - t_phase) as u128;
+
+                if !inst.has_delta_since(&processed) {
+                    sp_round.close(self.clock.now_ns());
+                    break;
+                }
+
+                // One semi-naive round: only triggers touching a delta row
+                // can be new, so seed the matcher with each delta row at
+                // each body position.
+                let t_phase = self.clock.now_ns();
+                let sp_tgd = self.tracer.span("tgd_round", t_phase);
+                stats.rounds += 1;
+                let delta = snapshot_delta(&inst, &processed, &t_rels);
+                processed = inst.cursor();
+                let round_rows: usize = delta.values().map(Vec::len).sum();
+                stats.delta_rows_processed += round_rows;
+                stats.max_round_delta_rows = stats.max_round_delta_rows.max(round_rows);
+                let st_count = self.setting.st_tgds.len();
+                for (ti, tgd) in self.setting.t_tgds.iter().enumerate() {
+                    let dep_index = st_count + ti;
+                    match &tgd.body {
+                        Body::Conj(atoms) => {
+                            let mut row_envs: Vec<Assignment> = Vec::new();
+                            for (i, batom) in atoms.iter().enumerate() {
+                                let Some(rows) = delta.get(&batom.rel) else {
+                                    continue;
+                                };
+                                for row in rows {
+                                    row_envs.clear();
+                                    matcher::for_each_match_seeded(
+                                        atoms,
+                                        i,
+                                        row,
+                                        &inst,
+                                        &Assignment::new(),
+                                        &mut |env| {
+                                            row_envs.push(env.clone());
+                                            true
+                                        },
+                                    );
+                                    for env in row_envs.drain(..) {
+                                        gov.check()?;
+                                        stats.triggers_examined += 1;
+                                        if self.tracer.enabled() {
+                                            self.emit(EventKind::TriggerExamined {
+                                                dep: tgd.name.clone(),
+                                            });
+                                        }
+                                        if !tgd.head_holds(&inst, &env) {
+                                            self.check_steps(steps, &inst).map_err(|e| {
+                                                stats.tgd_time_ns +=
+                                                    (self.clock.now_ns() - t_phase) as u128;
+                                                e
+                                            })?;
+                                            self.fire_standard(
+                                                tgd,
+                                                dep_index,
+                                                env,
+                                                &mut inst,
+                                                &mut nulls,
+                                                steps,
+                                                &mut stats,
+                                                prov.as_mut(),
+                                            )?;
+                                            steps += 1;
+                                            stats.tgd_steps += 1;
+                                            stats.triggers_fired += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        // Target bodies are conjunctive by construction; if
+                        // one ever is not, fall back to a full examination.
+                        body => {
+                            for env in body.matches(&inst) {
+                                gov.check()?;
+                                stats.triggers_examined += 1;
+                                if self.tracer.enabled() {
+                                    self.emit(EventKind::TriggerExamined {
+                                        dep: tgd.name.clone(),
+                                    });
+                                }
+                                if !tgd.head_holds(&inst, &env) {
+                                    self.check_steps(steps, &inst)?;
+                                    self.fire_standard(
+                                        tgd,
+                                        dep_index,
+                                        env,
+                                        &mut inst,
+                                        &mut nulls,
+                                        steps,
+                                        &mut stats,
+                                        prov.as_mut(),
+                                    )?;
+                                    steps += 1;
+                                    stats.tgd_steps += 1;
+                                    stats.triggers_fired += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                sp_tgd.close(self.clock.now_ns());
+                stats.tgd_time_ns += (self.clock.now_ns() - t_phase) as u128;
+                if self.tracer.enabled() {
+                    self.emit(EventKind::RoundCompleted {
+                        round: stats.rounds,
+                        delta_rows: round_rows,
+                    });
+                }
+                sp_round.close(self.clock.now_ns());
+            }
+            Ok(())
+        })();
+        *steps_ref = steps;
+        out
+    }
+
+    /// Incremental data exchange: continues a prior chase result under a
+    /// source delta instead of re-chasing from scratch.
+    ///
+    /// **Insertions** are exactly the semi-naive frontier the engine
+    /// already works with: the new source rows seed s-t trigger
+    /// discovery, and everything they cause lands in the delta window
+    /// the target fixpoint consumes. **Deletions** run DRed-style
+    /// propagation over the recorded justification graph
+    /// ([`Provenance::retract_sources`]): atoms whose every chain is
+    /// dead are retracted, then survivors are re-derived by re-firing
+    /// triggers whose premises still hold, seeded from the removed
+    /// atoms' head positions.
+    ///
+    /// The egd boundary: union-find merges are not invertible, so a
+    /// merge whose trigger lost support is handled by *over-deleting*
+    /// its value cone and letting re-derivation (plus the egd fixpoint
+    /// over the re-inserted rows) rebuild whatever still holds — the
+    /// result matches a full re-chase up to isomorphism, not atom-for-
+    /// atom.
+    ///
+    /// Falls back to a full re-chase of the updated source when
+    /// deletions are present but the prior run recorded no provenance,
+    /// or when any dependency has an FO body (FO derivations have no
+    /// premise decomposition to propagate deletions through).
+    ///
+    /// On `Err` the prior result is untouched (the engine works on
+    /// clones), so a governed/faulted resume leaves a sound state
+    /// behind.
+    pub fn resume(
+        &self,
+        prior: &ChaseSuccess,
+        delta: &SourceDelta,
+    ) -> Result<ChaseSuccess, ChaseError> {
+        let gov = self
+            .budget
+            .governor(&self.clock)
+            .with_tracer(self.tracer.clone());
+        let t_total = self.clock.now_ns();
+        let sp_resume = self.tracer.span("resume", t_total);
+
+        // The σ-part of the prior result. Source instances are ground
+        // and source/target schemas are disjoint, so egd merges never
+        // rewrote a σ-row: the difference recovers the chased source.
+        let sigma_old = prior.result.difference(&prior.target);
+
+        // Net the batch against the current source: deletes apply
+        // first, so delete∩insert of a present atom is a no-op, and
+        // absent deletes / already-present inserts drop out entirely.
+        let mut seen: HashSet<&Atom> = HashSet::new();
+        let net_deletes: Vec<Atom> = delta
+            .deletes
+            .iter()
+            .filter(|a| seen.insert(*a) && sigma_old.contains(a) && !delta.inserts.contains(a))
+            .cloned()
+            .collect();
+        seen.clear();
+        let net_inserts: Vec<Atom> = delta
+            .inserts
+            .iter()
+            .filter(|a| seen.insert(*a) && !sigma_old.contains(a))
+            .cloned()
+            .collect();
+        drop(seen);
+
+        let has_fo_body = self
+            .setting
+            .st_tgds
+            .iter()
+            .chain(&self.setting.t_tgds)
+            .any(|t| !matches!(t.body, Body::Conj(_)));
+        if !sigma_old.is_ground()
+            || (!net_deletes.is_empty() && (prior.provenance.is_none() || has_fo_body))
+        {
+            // Deletion propagation needs a justification graph with
+            // atom-decomposed premises; without one, correctness comes
+            // from a plain re-chase of the updated source.
+            let updated = delta.applied(&sigma_old);
+            sp_resume.close(self.clock.now_ns());
+            let fallback = ChaseEngine {
+                setting: self.setting,
+                budget: self.budget.clone(),
+                clock: self.clock.clone(),
+                tracer: self.tracer.clone(),
+                provenance: prior.provenance.is_some(),
+            };
+            return fallback.run(&updated);
+        }
+
+        let mut inst = prior.result.clone();
+        let mut prov = prior.provenance.clone();
+        let mut stats = ChaseStats::default();
+        stats.peak_atoms = inst.len();
+        let mut nulls = NullGen::above(prior.result.active_domain().iter());
+        let mut uf = ValueUnionFind::new();
+        let mut steps = 0usize;
+        if self.tracer.enabled() {
+            self.emit(EventKind::ChaseStarted {
+                driver: "resume".to_string(),
+                atoms: inst.len(),
+            });
+        }
+        // The updated σ-part, for FO s-t re-examination and the final
+        // target split.
+        let sigma_new = delta.applied(&sigma_old);
+        // Cursors taken before any mutation: every row this resume
+        // appends (re-derivations, new source rows, their consequences)
+        // is inside the windows the fixpoint consumes.
+        let processed = inst.cursor();
+        let egd_seed = inst.cursor();
+
+        // Deletions: retract everything whose justifications all died,
+        // then re-derive survivors head-first — each newly-unsatisfied
+        // trigger's prior head witness intersects the removed set, so
+        // seeding body matches from removed atoms' head positions
+        // reaches every such trigger.
+        let removed = if net_deletes.is_empty() {
+            Vec::new()
+        } else {
+            let p = prov
+                .as_mut()
+                .expect("fallback handled the provenance-free case");
+            let removed = p.retract_sources(&net_deletes);
+            for a in &removed {
+                inst.remove(a);
+            }
+            stats.atoms_retracted = removed.len();
+            removed
+        };
+        let inserted_before_refire = stats.atoms_inserted;
+        let st_count = self.setting.st_tgds.len();
+        for r in &removed {
+            let all = self.setting.st_tgds.iter().enumerate().chain(
+                self.setting
+                    .t_tgds
+                    .iter()
+                    .enumerate()
+                    .map(|(ti, t)| (st_count + ti, t)),
+            );
+            for (dep_index, tgd) in all {
+                let Body::Conj(body_atoms) = &tgd.body else {
+                    continue; // FO bodies forced the fallback above.
+                };
+                for h in &tgd.head {
+                    let Some(env0) = Self::seed_from_head(tgd, h, r) else {
+                        continue;
+                    };
+                    let mut envs: Vec<Assignment> = Vec::new();
+                    matcher::for_each_match(body_atoms, &inst, &env0, &mut |env| {
+                        envs.push(env.clone());
+                        true
+                    });
+                    for env in envs {
+                        gov.check()?;
+                        stats.triggers_examined += 1;
+                        if self.tracer.enabled() {
+                            self.emit(EventKind::TriggerExamined {
+                                dep: tgd.name.clone(),
+                            });
+                        }
+                        if !tgd.head_holds(&inst, &env) {
+                            self.check_steps(steps, &inst)?;
+                            self.fire_standard(
+                                tgd,
+                                dep_index,
+                                env,
+                                &mut inst,
+                                &mut nulls,
+                                steps,
+                                &mut stats,
+                                prov.as_mut(),
+                            )?;
+                            steps += 1;
+                            stats.tgd_steps += 1;
+                            stats.triggers_fired += 1;
+                        }
+                    }
+                }
+            }
+        }
+        stats.atoms_rederived = stats.atoms_inserted - inserted_before_refire;
+
+        // Insertions: add the new source rows, then seed s-t trigger
+        // discovery from exactly those rows (σ never changes otherwise,
+        // so no other s-t trigger can be new).
+        for a in &net_inserts {
+            if inst.insert(a.clone()) {
+                stats.peak_atoms = stats.peak_atoms.max(inst.len());
+                if let Some(p) = prov.as_mut() {
+                    p.record_source(a.clone());
+                }
+            }
+        }
+        for (ti, tgd) in self.setting.st_tgds.iter().enumerate() {
+            match &tgd.body {
+                Body::Conj(body_atoms) => {
+                    let mut row_envs: Vec<Assignment> = Vec::new();
+                    for (i, batom) in body_atoms.iter().enumerate() {
+                        for a in net_inserts.iter().filter(|a| a.rel == batom.rel) {
+                            row_envs.clear();
+                            matcher::for_each_match_seeded(
+                                body_atoms,
+                                i,
+                                &a.args,
+                                &inst,
+                                &Assignment::new(),
+                                &mut |env| {
+                                    row_envs.push(env.clone());
+                                    true
+                                },
+                            );
+                            for env in row_envs.drain(..) {
+                                gov.check()?;
+                                stats.triggers_examined += 1;
+                                if self.tracer.enabled() {
+                                    self.emit(EventKind::TriggerExamined {
+                                        dep: tgd.name.clone(),
+                                    });
+                                }
+                                if !tgd.head_holds(&inst, &env) {
+                                    self.check_steps(steps, &inst)?;
+                                    self.fire_standard(
+                                        tgd,
+                                        ti,
+                                        env,
+                                        &mut inst,
+                                        &mut nulls,
+                                        steps,
+                                        &mut stats,
+                                        prov.as_mut(),
+                                    )?;
+                                    steps += 1;
+                                    stats.tgd_steps += 1;
+                                    stats.triggers_fired += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                // FO s-t bodies have no seedable decomposition: new
+                // matches can only mention new constants, but finding
+                // them takes a full re-examination over the updated
+                // σ-part (quantification ranges over σ's domain only).
+                body => {
+                    if net_inserts.is_empty() {
+                        continue;
+                    }
+                    for env in body.matches(&sigma_new) {
+                        gov.check()?;
+                        stats.triggers_examined += 1;
+                        if self.tracer.enabled() {
+                            self.emit(EventKind::TriggerExamined {
+                                dep: tgd.name.clone(),
+                            });
+                        }
+                        if !tgd.head_holds(&inst, &env) {
+                            self.check_steps(steps, &inst)?;
+                            self.fire_standard(
+                                tgd,
+                                ti,
+                                env,
+                                &mut inst,
+                                &mut nulls,
+                                steps,
+                                &mut stats,
+                                prov.as_mut(),
+                            )?;
+                            steps += 1;
+                            stats.tgd_steps += 1;
+                            stats.triggers_fired += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Continue the target fixpoint over everything this resume
+        // appended — the same loop a from-scratch run uses, so governed
+        // interruption and budget behavior are identical.
+        self.run_fixpoint(
+            &gov,
+            &mut inst,
+            &mut nulls,
+            &mut uf,
+            &mut steps,
+            &mut stats,
+            &mut prov,
+            processed,
+            Some(egd_seed),
+        )?;
+
+        stats.total_time_ns = (self.clock.now_ns() - t_total) as u128;
+        let target = inst.difference(&sigma_new);
+        if self.tracer.enabled() {
+            self.emit(EventKind::ResumeApplied {
+                inserts: net_inserts.len(),
+                deletes: net_deletes.len(),
+                atoms_retracted: stats.atoms_retracted,
+                atoms_rederived: stats.atoms_rederived,
+            });
+            self.emit(EventKind::ChaseCompleted {
+                atoms: inst.len(),
+                steps,
+            });
+        }
+        sp_resume.close(self.clock.now_ns());
+        Ok(ChaseSuccess {
+            result: inst,
+            target,
+            steps,
+            stats,
+            provenance: prov,
+        })
+    }
+
+    /// Unifies the head atom `h` against the retracted ground atom `r`:
+    /// constants must agree, universal head variables bind into the
+    /// returned partial body match, and existential variables only need
+    /// internal consistency (a re-fired trigger re-witnesses them with
+    /// fresh nulls).
+    fn seed_from_head(tgd: &Tgd, h: &FAtom, r: &Atom) -> Option<Assignment> {
+        if h.rel != r.rel || h.args.len() != r.args.len() {
+            return None;
+        }
+        let mut env = Assignment::new();
+        let mut exist: HashMap<dex_logic::Var, Value> = HashMap::new();
+        for (&t, &v) in h.args.iter().zip(r.args.iter()) {
+            match t {
+                Term::Const(c) => {
+                    if Value::Const(c) != v {
+                        return None;
+                    }
+                }
+                Term::Var(x) if tgd.exist_vars.contains(&x) => match exist.get(&x) {
+                    Some(&old) if old != v => return None,
+                    _ => {
+                        exist.insert(x, v);
+                    }
+                },
+                Term::Var(x) => match env.get(x) {
+                    Some(old) if old != v => return None,
+                    Some(_) => {}
+                    None => env.bind(x, v),
+                },
+            }
+        }
+        Some(env)
     }
 
     /// Fires one ᾱ-trigger. `Err` carries the terminal outcome.
@@ -700,7 +1109,8 @@ impl<'a> ChaseEngine<'a> {
                         steps += 1;
                         stats.egd_steps += 1;
                         if let Some(p) = prov.as_mut() {
-                            p.record_merge(&egd, m.loser, m.winner);
+                            let premises = Self::egd_premises(&self.setting.egds[v.egd_index], &v);
+                            p.record_merge(&egd, m.loser, m.winner, &premises);
                         }
                         if self.tracer.enabled() {
                             self.emit(EventKind::EgdMerged {
@@ -934,5 +1344,196 @@ mod tests {
         assert!(hom_equivalent(&fast.target, &slow.target));
         assert_eq!(fast.target.rows_of_len("F".into()), 1);
         assert_eq!(fast.target.rows_of_len("G".into()), 1);
+    }
+
+    fn ground(rel: &str, args: &[&str]) -> Atom {
+        Atom::of(
+            rel,
+            args.iter().map(|a| Value::konst(a)).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn resume_insert_only_matches_rechase() {
+        let d = parse_setting(
+            "source { E/2 }
+             target { T/2 }
+             st { E(x,y) -> T(x,y); }
+             t { T(x,y) & T(y,z) -> T(x,z); }",
+        )
+        .unwrap();
+        let s = parse_instance("E(a,b). E(b,c). E(c,d).").unwrap();
+        let budget = ChaseBudget::default();
+        let eng = ChaseEngine::new(&d, &budget).with_provenance(true);
+        let prior = eng.run(&s).unwrap();
+        let mut delta = SourceDelta::new();
+        delta.insert(ground("E", &["d", "e"]));
+        let resumed = eng.resume(&prior, &delta).unwrap();
+        let rechased = eng.run(&delta.applied(&s)).unwrap();
+        assert!(dex_core::isomorphic(&resumed.target, &rechased.target));
+        assert!(resumed.stats.validate().is_ok());
+        assert_eq!(resumed.stats.atoms_retracted, 0);
+        // The new edge extends every closed path ending at d.
+        assert!(resumed.stats.atoms_inserted >= 4);
+        resumed
+            .provenance
+            .as_ref()
+            .unwrap()
+            .verify_justified(&resumed.result)
+            .unwrap();
+    }
+
+    #[test]
+    fn resume_delete_spares_atoms_with_a_second_chain() {
+        let d = parse_setting(
+            "source { P/1, Q/1 }
+             target { T/1, U/1 }
+             st {
+               P(x) -> T(x);
+               Q(x) -> T(x);
+             }
+             t { T(x) -> U(x); }",
+        )
+        .unwrap();
+        let s = parse_instance("P(a). Q(a). P(b).").unwrap();
+        let budget = ChaseBudget::default();
+        let eng = ChaseEngine::new(&d, &budget).with_provenance(true);
+        let prior = eng.run(&s).unwrap();
+        let mut delta = SourceDelta::new();
+        delta.delete(ground("P", &["a"]));
+        delta.delete(ground("P", &["b"]));
+        let resumed = eng.resume(&prior, &delta).unwrap();
+        // T(a)/U(a) survive through the Q-chain; T(b)/U(b) die.
+        assert!(resumed.target.contains(&ground("T", &["a"])));
+        assert!(resumed.target.contains(&ground("U", &["a"])));
+        assert!(!resumed.target.contains(&ground("T", &["b"])));
+        assert!(!resumed.target.contains(&ground("U", &["b"])));
+        assert!(resumed.stats.atoms_retracted >= 2);
+        let rechased = eng.run(&delta.applied(&s)).unwrap();
+        assert!(dex_core::isomorphic(&resumed.target, &rechased.target));
+        resumed
+            .provenance
+            .as_ref()
+            .unwrap()
+            .verify_justified(&resumed.result)
+            .unwrap();
+    }
+
+    #[test]
+    fn resume_over_deletes_across_dead_egd_merges() {
+        // The documented egd boundary: the prior run merged ⊥1 ↦ c, so
+        // F(a,c) carries both the Q-chain and the rekeyed P-chain.
+        // Deleting Q(a,c) kills the merge; the P-derived atom must come
+        // back as F(a,⊥fresh), not survive as F(a,c).
+        let d = parse_setting(
+            "source { P/1, Q/2 }
+             target { F/2 }
+             st {
+               P(x) -> exists z . F(x,z);
+               Q(x,y) -> F(x,y);
+             }
+             t { F(x,y) & F(x,z) -> y = z; }",
+        )
+        .unwrap();
+        let s = parse_instance("P(a). Q(a,c).").unwrap();
+        let budget = ChaseBudget::default();
+        let eng = ChaseEngine::new(&d, &budget).with_provenance(true);
+        let prior = eng.run(&s).unwrap();
+        assert!(prior.target.contains(&ground("F", &["a", "c"])));
+        let mut delta = SourceDelta::new();
+        delta.delete(ground("Q", &["a", "c"]));
+        let resumed = eng.resume(&prior, &delta).unwrap();
+        assert!(!resumed.target.contains(&ground("F", &["a", "c"])));
+        assert_eq!(resumed.target.len(), 1);
+        assert!(resumed.stats.atoms_rederived >= 1);
+        let rechased = eng.run(&delta.applied(&s)).unwrap();
+        assert!(dex_core::isomorphic(&resumed.target, &rechased.target));
+        // The dead merge left no record behind.
+        assert!(resumed.provenance.as_ref().unwrap().merges().is_empty());
+        resumed
+            .provenance
+            .as_ref()
+            .unwrap()
+            .verify_justified(&resumed.result)
+            .unwrap();
+    }
+
+    #[test]
+    fn resume_mixed_batch_matches_rechase() {
+        let d = parse_setting(
+            "source { E/2 }
+             target { T/2 }
+             st { E(x,y) -> T(x,y); }
+             t { T(x,y) & T(y,z) -> T(x,z); }",
+        )
+        .unwrap();
+        let s = parse_instance("E(a,b). E(b,c). E(c,d). E(d,e).").unwrap();
+        let budget = ChaseBudget::default();
+        let eng = ChaseEngine::new(&d, &budget).with_provenance(true);
+        let prior = eng.run(&s).unwrap();
+        let mut delta = SourceDelta::new();
+        delta.delete(ground("E", &["b", "c"]));
+        delta.insert(ground("E", &["b", "d"]));
+        // Delete + re-insert nets to a no-op; absent delete is dropped.
+        delta.delete(ground("E", &["a", "b"]));
+        delta.insert(ground("E", &["a", "b"]));
+        delta.delete(ground("E", &["z", "z"]));
+        let resumed = eng.resume(&prior, &delta).unwrap();
+        let rechased = eng.run(&delta.applied(&s)).unwrap();
+        assert!(dex_core::isomorphic(&resumed.target, &rechased.target));
+        assert!(resumed.stats.validate().is_ok());
+        resumed
+            .provenance
+            .as_ref()
+            .unwrap()
+            .verify_justified(&resumed.result)
+            .unwrap();
+    }
+
+    #[test]
+    fn resume_without_provenance_falls_back_on_deletions() {
+        let d = parse_setting(
+            "source { E/2 }
+             target { T/2 }
+             st { E(x,y) -> T(x,y); }
+             t { T(x,y) & T(y,z) -> T(x,z); }",
+        )
+        .unwrap();
+        let s = parse_instance("E(a,b). E(b,c). E(c,d).").unwrap();
+        let budget = ChaseBudget::default();
+        let eng = ChaseEngine::new(&d, &budget);
+        let prior = eng.run(&s).unwrap();
+        assert!(prior.provenance.is_none());
+        let mut delta = SourceDelta::new();
+        delta.delete(ground("E", &["b", "c"]));
+        let resumed = eng.resume(&prior, &delta).unwrap();
+        let rechased = eng.run(&delta.applied(&s)).unwrap();
+        assert!(dex_core::isomorphic(&resumed.target, &rechased.target));
+        // The fallback preserves the prior's provenance-lessness.
+        assert!(resumed.provenance.is_none());
+    }
+
+    #[test]
+    fn resume_honors_the_budget_and_leaves_prior_intact() {
+        let d = parse_setting(
+            "source { E/2 }
+             target { T/2 }
+             st { E(x,y) -> T(x,y); }
+             t { T(x,y) & T(y,z) -> T(x,z); }",
+        )
+        .unwrap();
+        let s = parse_instance("E(a,b). E(b,c). E(c,d). E(d,e).").unwrap();
+        let budget = ChaseBudget::default();
+        let eng = ChaseEngine::new(&d, &budget).with_provenance(true);
+        let prior = eng.run(&s).unwrap();
+        let before = prior.result.clone();
+        let mut delta = SourceDelta::new();
+        delta.insert(ground("E", &["e", "f"]));
+        let tight = ChaseBudget::new(1, 8000);
+        let starved = ChaseEngine::new(&d, &tight).with_provenance(true);
+        let err = starved.resume(&prior, &delta).unwrap_err();
+        assert!(matches!(err, ChaseError::BudgetExceeded { .. }));
+        // The engine worked on clones; the prior result is untouched.
+        assert_eq!(prior.result, before);
     }
 }

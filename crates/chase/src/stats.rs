@@ -29,6 +29,12 @@ pub struct ChaseStats {
     pub atoms_inserted: usize,
     /// Rows rewritten in place by egd merges.
     pub rows_rewritten: usize,
+    /// Atoms retracted by incremental deletion propagation (0 for
+    /// from-scratch runs).
+    pub atoms_retracted: usize,
+    /// Atoms re-inserted by re-firing triggers after a retraction
+    /// over-deleted them (0 for from-scratch runs).
+    pub atoms_rederived: usize,
     /// Largest instance size observed during the run.
     pub peak_atoms: usize,
     /// Wall time spent searching/applying egds.
@@ -75,6 +81,14 @@ impl ChaseStats {
                 self.atoms_inserted, self.peak_atoms
             ));
         }
+        if self.atoms_rederived > self.atoms_inserted {
+            // Re-derivation inserts through the same counted path, so
+            // it can never exceed the total insert count.
+            return Err(format!(
+                "atoms rederived ({}) > atoms inserted ({})",
+                self.atoms_rederived, self.atoms_inserted
+            ));
+        }
         if self.rounds == 0 && self.delta_rows_processed > 0 {
             // Only semi-naive rounds process delta rows; the naive
             // drivers report 0 rounds and must report 0 delta rows.
@@ -104,6 +118,8 @@ impl ChaseStats {
         self.max_round_delta_rows = self.max_round_delta_rows.max(other.max_round_delta_rows);
         self.atoms_inserted += other.atoms_inserted;
         self.rows_rewritten += other.rows_rewritten;
+        self.atoms_retracted += other.atoms_retracted;
+        self.atoms_rederived += other.atoms_rederived;
         self.peak_atoms += other.peak_atoms;
         self.egd_time_ns += other.egd_time_ns;
         self.tgd_time_ns += other.tgd_time_ns;
@@ -141,6 +157,14 @@ impl ChaseStats {
                 "rows_rewritten",
                 JsonValue::uint(self.rows_rewritten as u64),
             )
+            .with(
+                "atoms_retracted",
+                JsonValue::uint(self.atoms_retracted as u64),
+            )
+            .with(
+                "atoms_rederived",
+                JsonValue::uint(self.atoms_rederived as u64),
+            )
             .with("peak_atoms", JsonValue::uint(self.peak_atoms as u64))
             .with("egd_time_ns", JsonValue::UInt(self.egd_time_ns))
             .with("tgd_time_ns", JsonValue::UInt(self.tgd_time_ns))
@@ -157,7 +181,7 @@ impl ChaseStats {
     /// `prefix` (e.g. `prefix = "chase"` yields `chase.rounds`), with
     /// phase times recorded into log₂ latency histograms.
     pub fn export_metrics(&self, registry: &mut dex_obs::MetricsRegistry, prefix: &str) {
-        let counters: [(&str, usize); 9] = [
+        let counters: [(&str, usize); 11] = [
             ("tgd_steps", self.tgd_steps),
             ("egd_steps", self.egd_steps),
             ("triggers_examined", self.triggers_examined),
@@ -167,6 +191,8 @@ impl ChaseStats {
             ("max_round_delta_rows", self.max_round_delta_rows),
             ("atoms_inserted", self.atoms_inserted),
             ("rows_rewritten", self.rows_rewritten),
+            ("atoms_retracted", self.atoms_retracted),
+            ("atoms_rederived", self.atoms_rederived),
         ];
         for (name, v) in counters {
             registry.inc(&format!("{prefix}.{name}"), v as u128);
@@ -229,6 +255,25 @@ mod tests {
         let ok = ChaseStats {
             atoms_inserted: 4,
             peak_atoms: 4,
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn rederived_beyond_inserted_is_invalid() {
+        let s = ChaseStats {
+            atoms_rederived: 3,
+            atoms_inserted: 2,
+            peak_atoms: 2,
+            ..Default::default()
+        };
+        assert!(s.validate().is_err());
+        let ok = ChaseStats {
+            atoms_rederived: 2,
+            atoms_inserted: 2,
+            peak_atoms: 2,
+            atoms_retracted: 7,
             ..Default::default()
         };
         assert!(ok.validate().is_ok());
@@ -362,6 +407,8 @@ mod tests {
             "max_round_delta_rows",
             "atoms_inserted",
             "rows_rewritten",
+            "atoms_retracted",
+            "atoms_rederived",
             "peak_atoms",
             "egd_time_ns",
             "tgd_time_ns",

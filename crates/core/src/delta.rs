@@ -1,0 +1,137 @@
+//! Source deltas: typed batches of insertions and deletions against a
+//! source instance — the input of incremental data exchange
+//! (`ChaseEngine::resume` in `dex-chase`).
+//!
+//! A delta is applied deletions-first: the updated source is
+//! `(S ∖ deletes) ∪ inserts`. Deleting an absent atom and inserting a
+//! present one are no-ops, so deltas compose with `apply_to` without
+//! bookkeeping about what the base instance already contained.
+
+use crate::atom::Atom;
+use crate::instance::Instance;
+use std::fmt;
+
+/// A batch of source-instance updates: atoms to delete and atoms to
+/// insert, applied in that order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SourceDelta {
+    /// Atoms to insert (after the deletions are applied).
+    pub inserts: Vec<Atom>,
+    /// Atoms to delete (first).
+    pub deletes: Vec<Atom>,
+}
+
+impl SourceDelta {
+    /// The empty delta.
+    pub fn new() -> SourceDelta {
+        SourceDelta::default()
+    }
+
+    /// Queues an insertion.
+    pub fn insert(&mut self, atom: Atom) {
+        self.inserts.push(atom);
+    }
+
+    /// Queues a deletion.
+    pub fn delete(&mut self, atom: Atom) {
+        self.deletes.push(atom);
+    }
+
+    /// Total number of queued operations (including eventual no-ops).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Applies the delta to `inst` — deletions first, then insertions —
+    /// and returns `(deleted, inserted)` counts of operations that
+    /// actually changed the instance.
+    pub fn apply_to(&self, inst: &mut Instance) -> (usize, usize) {
+        let mut deleted = 0usize;
+        for a in &self.deletes {
+            if inst.remove(a) {
+                deleted += 1;
+            }
+        }
+        let mut inserted = 0usize;
+        for a in &self.inserts {
+            if inst.insert(a.clone()) {
+                inserted += 1;
+            }
+        }
+        (deleted, inserted)
+    }
+
+    /// The updated instance `(base ∖ deletes) ∪ inserts`.
+    pub fn applied(&self, base: &Instance) -> Instance {
+        let mut out = base.clone();
+        self.apply_to(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for SourceDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for a in &self.deletes {
+            writeln!(f, "- {a}.")?;
+        }
+        for a in &self.inserts {
+            writeln!(f, "+ {a}.")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn atom(rel: &str, args: &[&str]) -> Atom {
+        Atom::of(
+            rel,
+            args.iter().map(|s| Value::konst(s)).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn applies_deletes_before_inserts() {
+        let base = Instance::from_atoms([atom("P", &["a"]), atom("P", &["b"])]);
+        let mut d = SourceDelta::new();
+        d.delete(atom("P", &["a"]));
+        d.insert(atom("P", &["c"]));
+        // Delete-then-insert of the same atom nets out to present.
+        d.delete(atom("P", &["b"]));
+        d.insert(atom("P", &["b"]));
+        let out = d.applied(&base);
+        assert!(!out.contains(&atom("P", &["a"])));
+        assert!(out.contains(&atom("P", &["b"])));
+        assert!(out.contains(&atom("P", &["c"])));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn absent_deletes_and_present_inserts_are_noops() {
+        let base = Instance::from_atoms([atom("P", &["a"])]);
+        let mut d = SourceDelta::new();
+        d.delete(atom("P", &["zz"]));
+        d.insert(atom("P", &["a"]));
+        let mut inst = base.clone();
+        let (del, ins) = d.apply_to(&mut inst);
+        assert_eq!((del, ins), (0, 0));
+        assert_eq!(inst, base);
+    }
+
+    #[test]
+    fn renders_in_delta_file_syntax() {
+        let mut d = SourceDelta::new();
+        d.insert(atom("P", &["a"]));
+        d.delete(atom("Q", &["b", "c"]));
+        let s = d.to_string();
+        assert!(s.contains("- Q(b,c)."));
+        assert!(s.contains("+ P(a)."));
+    }
+}

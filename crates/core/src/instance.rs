@@ -72,6 +72,26 @@ impl Relation {
         row
     }
 
+    /// The row-log index of the live row equal to `row`, if present.
+    /// Probes the position-0 index bucket (every live row is in it);
+    /// arity-0 relations have no index and fall back to a log scan over
+    /// their at-most-one live row.
+    fn find_live_idx(&self, row: &[Value]) -> Option<u32> {
+        match row.first() {
+            Some(&v0) => self
+                .index
+                .get(&(0, v0))?
+                .iter()
+                .copied()
+                .find(|&i| self.rows[i as usize].as_deref() == Some(row)),
+            None => self
+                .rows
+                .iter()
+                .position(|r| r.as_deref() == Some(row))
+                .map(|i| i as u32),
+        }
+    }
+
     /// Exact number of candidate rows an index probe for `pattern` would
     /// visit: the smallest bound-position bucket, or the live row count
     /// when the pattern is all-wildcard.
@@ -347,6 +367,30 @@ impl Instance {
         rewritten
     }
 
+    /// Removes an atom *in place*, tombstoning its row. Returns `true`
+    /// iff the atom was present.
+    ///
+    /// Unlike [`Instance::merge_value`], nothing is re-appended: the
+    /// removed row does **not** re-enter any outstanding
+    /// [`DeltaCursor`]'s delta window (semi-naive chase loops only track
+    /// additions; deletion maintenance is the caller's job — see
+    /// `ChaseEngine::resume` in `dex-chase`).
+    pub fn remove(&mut self, atom: &Atom) -> bool {
+        let Some(rel) = self.rels.get_mut(&atom.rel) else {
+            return false;
+        };
+        if rel.arity != atom.args.len() || !rel.contains(&atom.args) {
+            return false;
+        }
+        let idx = rel
+            .find_live_idx(&atom.args)
+            .expect("set member has a live row");
+        rel.tombstone(idx);
+        self.atom_count -= 1;
+        self.generation += 1;
+        true
+    }
+
     /// The active domain `Dom(I)`.
     pub fn active_domain(&self) -> BTreeSet<Value> {
         self.values().collect()
@@ -559,6 +603,49 @@ mod tests {
         );
         assert!(!i.is_ground());
         assert_eq!(i.active_domain().len(), 4);
+    }
+
+    #[test]
+    fn remove_scrubs_set_index_and_counts() {
+        let mut i = sample();
+        let gen0 = i.generation();
+        assert!(i.remove(&Atom::of("E", vec![v("a"), v("b")])));
+        assert_eq!(i.len(), 2);
+        assert!(i.generation() > gen0);
+        assert!(!i.contains(&Atom::of("E", vec![v("a"), v("b")])));
+        // Index buckets no longer reach the removed row.
+        let pat = [Some(v("a")), None];
+        assert_eq!(i.rows_matching(Symbol::intern("E"), &pat).count(), 1);
+        assert_eq!(i.candidate_count(Symbol::intern("E"), &pat), 1);
+        // Removing again (or removing an absent/misshapen atom) is a no-op.
+        let gen1 = i.generation();
+        assert!(!i.remove(&Atom::of("E", vec![v("a"), v("b")])));
+        assert!(!i.remove(&Atom::of("Zzz", vec![v("a")])));
+        assert!(!i.remove(&Atom::of("E", vec![v("a")])));
+        assert_eq!(i.generation(), gen1);
+    }
+
+    #[test]
+    fn remove_is_invisible_to_delta_cursors() {
+        let mut i = sample();
+        let cur = i.cursor();
+        assert!(i.remove(&Atom::of("F", vec![v("a"), Value::null(2)])));
+        // Deletions never enter the delta window (only appends do).
+        assert!(!i.has_delta_since(&cur));
+        i.insert(Atom::of("F", vec![v("b"), v("b")]));
+        let delta: Vec<_> = i.delta_rows(Symbol::intern("F"), &cur).collect();
+        assert_eq!(delta, vec![&[v("b"), v("b")][..]]);
+    }
+
+    #[test]
+    fn remove_then_reinsert_round_trips() {
+        let mut i = sample();
+        let a = Atom::of("E", vec![v("a"), v("b")]);
+        assert!(i.remove(&a));
+        assert!(i.insert(a.clone()));
+        assert!(i.contains(&a));
+        assert_eq!(i.len(), 3);
+        assert_eq!(i, sample());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 pub mod atom;
 pub mod core_of;
+pub mod delta;
 pub mod govern;
 pub mod homomorphism;
 pub mod instance;
@@ -31,6 +32,7 @@ pub use core_of::{
     core, core_governed, core_parallel, core_parallel_governed, core_with_hom,
     core_with_hom_governed, is_core, null_blocks, CoreStatus, GovernedCore,
 };
+pub use delta::SourceDelta;
 // Re-exported so higher layers can size worker pools without a separate
 // `dex-par` dependency line.
 #[doc(hidden)]

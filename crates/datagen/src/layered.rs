@@ -24,6 +24,13 @@ pub struct LayeredConfig {
     pub up_tgds_per_layer: usize,
     /// Full (swap) tgds within each layer — creates harmless cycles.
     pub full_tgds_per_layer: usize,
+    /// Full *join* tgds per layer boundary,
+    /// `T_l(x,y) ∧ T_l'(y,z) → T_{l+1}(x,z)`: no existentials, but the
+    /// chase has a self-join to evaluate per boundary, so its work grows
+    /// superlinearly in the layer populations. This is the knob the
+    /// incremental-exchange benchmarks turn to separate chase work from
+    /// instance size.
+    pub join_tgds_per_layer: usize,
     /// Add a key egd on each layer-0 relation.
     pub with_egds: bool,
     /// Add one weakly-but-not-richly-acyclic gadget tgd.
@@ -39,6 +46,7 @@ impl Default for LayeredConfig {
             rels_per_layer: 2,
             up_tgds_per_layer: 2,
             full_tgds_per_layer: 1,
+            join_tgds_per_layer: 0,
             with_egds: false,
             rich_breaking: false,
             seed: 0,
@@ -95,6 +103,27 @@ pub fn layered_setting(cfg: &LayeredConfig) -> Setting {
                         Body::Conj(vec![FAtom::new(&from, vec![x(), y()])]),
                         vec![Var::new("z")],
                         vec![FAtom::new(&to, vec![y(), z()])],
+                    )
+                    .expect("well-formed"),
+                );
+            }
+        }
+        // Full join tgds across the boundary: no existential edges, so
+        // acyclicity is untouched, but the chase pays a self-join.
+        if layer + 1 < cfg.layers {
+            for k in 0..cfg.join_tgds_per_layer {
+                let a = rel_name(layer, rng.gen_range(0..cfg.rels_per_layer));
+                let b = rel_name(layer, rng.gen_range(0..cfg.rels_per_layer));
+                let to = rel_name(layer + 1, rng.gen_range(0..cfg.rels_per_layer));
+                t_tgds.push(
+                    Tgd::new(
+                        format!("join{layer}_{k}"),
+                        Body::Conj(vec![
+                            FAtom::new(&a, vec![x(), y()]),
+                            FAtom::new(&b, vec![y(), z()]),
+                        ]),
+                        vec![],
+                        vec![FAtom::new(&to, vec![x(), z()])],
                     )
                     .expect("well-formed"),
                 );
@@ -210,6 +239,29 @@ mod tests {
                 Err(dex_chase::ChaseError::EgdConflict { .. }) => {}
                 Err(e) => panic!("chase should terminate: {e}"),
             }
+        }
+    }
+
+    #[test]
+    fn join_tgds_preserve_acyclicity_and_termination() {
+        for seed in 0..5 {
+            let d = layered_setting(&LayeredConfig {
+                seed,
+                join_tgds_per_layer: 2,
+                ..LayeredConfig::default()
+            });
+            assert!(is_weakly_acyclic(&d), "seed {seed}");
+            assert!(is_richly_acyclic(&d), "seed {seed}");
+            let s = crate::sources::random_source(
+                &d.source,
+                &crate::sources::SourceConfig {
+                    num_constants: 6,
+                    tuples_per_relation: 8,
+                    seed,
+                },
+            );
+            let out = chase(&d, &s, &ChaseBudget::default()).expect("terminates");
+            assert!(d.is_solution(&s, &out.target), "seed {seed}");
         }
     }
 

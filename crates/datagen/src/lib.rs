@@ -8,11 +8,13 @@
 pub mod layered;
 pub mod scenarios;
 pub mod sources;
+pub mod updates;
 pub mod workloads;
 
 pub use layered::{layered_setting, LayeredConfig};
 pub use scenarios::{mapping_scenario, ScenarioConfig};
 pub use sources::{random_source, SourceConfig};
+pub use updates::{update_stream, UpdateStreamConfig};
 pub use workloads::{
     conflicting_keyed_instance, conflicting_keyed_setting, example_2_1_scaled,
     keyed_pinned_instance, keyed_pinned_setting, overlapping_keyed_instance,

@@ -1,0 +1,190 @@
+//! Seeded update streams: mixed insert/delete batches against an
+//! evolving source instance — the workload behind the incremental
+//! exchange differential suite and `BENCH_inc.json`.
+//!
+//! The generator walks an evolving copy of the base instance so every
+//! delta in the stream is *effective*: deletions pick live atoms,
+//! insertions draw fresh atoms not currently present. Batch sizes are
+//! a configurable fraction of the *current* instance, so a 1% stream
+//! stays a 1% stream as the instance drifts. Deterministic per seed.
+
+use crate::sources::SourceConfig;
+use dex_core::{Atom, Instance, Schema, SourceDelta, Value};
+use dex_testkit::rng::TestRng;
+
+/// Parameters for [`update_stream`].
+#[derive(Clone, Debug)]
+pub struct UpdateStreamConfig {
+    /// Number of deltas in the stream.
+    pub steps: usize,
+    /// Insertions per step, as a fraction of the current instance size
+    /// (at least one insertion per step while the rate is positive).
+    pub insert_rate: f64,
+    /// Deletions per step, as the same kind of fraction.
+    pub delete_rate: f64,
+    /// Constant pool for inserted tuples (`c0 … c{n-1}`), matching
+    /// [`SourceConfig::num_constants`].
+    pub num_constants: usize,
+    pub seed: u64,
+}
+
+impl Default for UpdateStreamConfig {
+    fn default() -> UpdateStreamConfig {
+        let src = SourceConfig::default();
+        UpdateStreamConfig {
+            steps: 10,
+            insert_rate: 0.01,
+            delete_rate: 0.01,
+            num_constants: src.num_constants,
+            seed: 0,
+        }
+    }
+}
+
+fn batch_size(rate: f64, current: usize) -> usize {
+    if rate <= 0.0 {
+        return 0;
+    }
+    (((current as f64) * rate).round() as usize).max(1)
+}
+
+/// Generates `cfg.steps` deltas against `base` (each applying on top of
+/// the previous one), over the relations of `schema`. Every returned
+/// delta is normalized: its deletions are present and its insertions
+/// absent at the point it applies, so applying the stream in order with
+/// [`SourceDelta::apply_to`] performs exactly `len()` effective
+/// operations per step.
+pub fn update_stream(
+    schema: &Schema,
+    base: &Instance,
+    cfg: &UpdateStreamConfig,
+) -> Vec<SourceDelta> {
+    let mut rng = TestRng::seed_from_u64(cfg.seed);
+    let mut current = base.clone();
+    let rels: Vec<_> = schema.relations().collect();
+    let mut out = Vec::with_capacity(cfg.steps);
+    for _ in 0..cfg.steps {
+        let mut delta = SourceDelta::new();
+        // Deletions first (mirroring apply order): sample live atoms
+        // without replacement.
+        let mut live: Vec<Atom> = current.sorted_atoms();
+        let deletes = batch_size(cfg.delete_rate, current.len()).min(live.len());
+        for _ in 0..deletes {
+            let i = rng.gen_range(0..live.len());
+            delta.delete(live.swap_remove(i));
+        }
+        // Insertions: draw fresh tuples, skipping collisions with the
+        // post-delete state (a bounded retry keeps this total even on
+        // saturated tiny domains).
+        let inserted_base = current.len();
+        let mut staged = current.clone();
+        for a in &delta.deletes {
+            staged.remove(a);
+        }
+        let inserts = batch_size(cfg.insert_rate, inserted_base);
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        while added < inserts && attempts < inserts * 20 + 100 {
+            attempts += 1;
+            let &(rel, arity) = rng.choose(&rels).expect("schema has relations");
+            let args: Vec<Value> = (0..arity)
+                .map(|_| Value::konst(&format!("c{}", rng.gen_range(0..cfg.num_constants))))
+                .collect();
+            let atom = Atom::new(rel, args);
+            if staged.insert(atom.clone()) {
+                delta.insert(atom);
+                added += 1;
+            }
+        }
+        current = staged;
+        out.push(delta);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::random_source;
+
+    fn setup() -> (Schema, Instance) {
+        let schema = Schema::of(&[("R", 2), ("S", 3)]);
+        let base = random_source(
+            &schema,
+            &SourceConfig {
+                num_constants: 12,
+                tuples_per_relation: 50,
+                seed: 7,
+            },
+        );
+        (schema, base)
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let (schema, base) = setup();
+        let cfg = UpdateStreamConfig {
+            steps: 5,
+            insert_rate: 0.05,
+            delete_rate: 0.05,
+            num_constants: 12,
+            seed: 3,
+        };
+        assert_eq!(
+            update_stream(&schema, &base, &cfg),
+            update_stream(&schema, &base, &cfg)
+        );
+        let other = update_stream(
+            &schema,
+            &base,
+            &UpdateStreamConfig {
+                seed: 4,
+                ..cfg.clone()
+            },
+        );
+        assert_ne!(update_stream(&schema, &base, &cfg), other);
+    }
+
+    #[test]
+    fn deltas_are_effective_and_apply_in_sequence() {
+        let (schema, base) = setup();
+        let cfg = UpdateStreamConfig {
+            steps: 8,
+            insert_rate: 0.02,
+            delete_rate: 0.02,
+            num_constants: 12,
+            seed: 11,
+        };
+        let stream = update_stream(&schema, &base, &cfg);
+        assert_eq!(stream.len(), 8);
+        let mut inst = base.clone();
+        for delta in &stream {
+            assert!(!delta.is_empty());
+            let (del, ins) = delta.apply_to(&mut inst);
+            // Normalized streams only carry effective operations.
+            assert_eq!(del, delta.deletes.len());
+            assert_eq!(ins, delta.inserts.len());
+            assert!(inst.is_ground());
+            assert!(inst.check_against(&schema).is_ok());
+        }
+    }
+
+    #[test]
+    fn rates_scale_the_batch_sizes() {
+        let (schema, base) = setup();
+        let stream = update_stream(
+            &schema,
+            &base,
+            &UpdateStreamConfig {
+                steps: 1,
+                insert_rate: 0.10,
+                delete_rate: 0.0,
+                num_constants: 12,
+                seed: 1,
+            },
+        );
+        assert!(stream[0].deletes.is_empty());
+        let expected = ((base.len() as f64) * 0.10).round() as usize;
+        assert_eq!(stream[0].inserts.len(), expected);
+    }
+}

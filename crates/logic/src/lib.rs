@@ -24,7 +24,8 @@ pub use formula::{
     eval, eval_with_domain, quantification_domain, Assignment, FAtom, Formula, Term, Var,
 };
 pub use parser::{
-    parse_dependency, parse_formula, parse_instance, parse_query, parse_setting, ParseError,
+    parse_delta, parse_dependency, parse_formula, parse_instance, parse_query, parse_setting,
+    ParseError,
 };
 pub use query::{ConjunctiveQuery, FoQuery, Query, QueryError, UnionQuery};
 pub use setting::{Setting, SettingError};

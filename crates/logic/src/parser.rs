@@ -32,7 +32,7 @@ use crate::dependency::{Body, Dependency, Egd, Tgd};
 use crate::formula::{FAtom, Formula, Term, Var};
 use crate::query::{ConjunctiveQuery, FoQuery, Query, UnionQuery};
 use crate::setting::Setting;
-use dex_core::{Atom, Instance, Schema, Value};
+use dex_core::{Atom, Instance, Schema, SourceDelta, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -79,6 +79,8 @@ enum Tok {
     Amp,
     Pipe,
     Bang,
+    Plus,
+    Minus,
 }
 
 impl fmt::Display for Tok {
@@ -105,6 +107,8 @@ impl fmt::Display for Tok {
             Tok::Amp => write!(f, "&"),
             Tok::Pipe => write!(f, "|"),
             Tok::Bang => write!(f, "!"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
         }
     }
 }
@@ -174,6 +178,14 @@ fn lex(input: &str) -> PResult<Vec<(Tok, usize)>> {
             '-' if bytes.get(i + 1) == Some(&b'>') => {
                 out.push((Tok::Arrow, i));
                 i += 2;
+            }
+            '-' => {
+                out.push((Tok::Minus, i));
+                i += 1;
+            }
+            '+' => {
+                out.push((Tok::Plus, i));
+                i += 1;
             }
             ':' if bytes.get(i + 1) == Some(&b'-') => {
                 out.push((Tok::ColonDash, i));
@@ -538,61 +550,105 @@ impl Parser {
 
     // ---- instances (identifiers are constants, `_x` are nulls) ----
 
-    fn instance(&mut self) -> PResult<Instance> {
-        let mut inst = Instance::new();
-        let mut null_ids: BTreeMap<String, u32> = BTreeMap::new();
-        // Numeric null names keep their number; named nulls get ids above
-        // the largest numeric one.
-        let mut next_named: u32 = self
-            .toks
+    /// Numeric null names keep their number; named nulls get ids above
+    /// the largest numeric one appearing anywhere in the input.
+    fn first_free_null_id(&self) -> u32 {
+        self.toks
             .iter()
             .filter_map(|(t, _)| match t {
                 Tok::NullName(s) => s.parse::<u32>().ok().map(|n| n + 1),
                 _ => None,
             })
             .max()
-            .unwrap_or(0);
-        while !self.at_end() {
-            let rel = self.ident()?;
-            self.expect(&Tok::LParen)?;
-            let mut args: Vec<Value> = Vec::new();
-            if !self.eat(&Tok::RParen) {
-                loop {
-                    let v = match self.next() {
-                        Some(Tok::Ident(s)) | Some(Tok::Quoted(s)) | Some(Tok::Number(s)) => {
-                            Value::konst(&s)
-                        }
-                        Some(Tok::NullName(s)) => {
-                            let id = match s.parse::<u32>() {
-                                Ok(n) => n,
-                                Err(_) => *null_ids.entry(s).or_insert_with(|| {
-                                    let id = next_named;
-                                    next_named += 1;
-                                    id
-                                }),
-                            };
-                            Value::null(id)
-                        }
-                        Some(t) => {
-                            return Err(ParseError {
-                                msg: format!("expected value, found `{t}`"),
-                                pos: self.here(),
-                            })
-                        }
-                        None => return self.err("expected value, found end of input"),
-                    };
-                    args.push(v);
-                    if self.eat(&Tok::RParen) {
-                        break;
+            .unwrap_or(0)
+    }
+
+    /// One ground atom `R(v, ...)` in instance notation (identifiers,
+    /// quoted strings and numbers are constants; `_k`/`_name` are
+    /// nulls, resolved through the shared `null_ids` map).
+    fn ground_atom(
+        &mut self,
+        null_ids: &mut BTreeMap<String, u32>,
+        next_named: &mut u32,
+    ) -> PResult<Atom> {
+        let rel = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut args: Vec<Value> = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let v = match self.next() {
+                    Some(Tok::Ident(s)) | Some(Tok::Quoted(s)) | Some(Tok::Number(s)) => {
+                        Value::konst(&s)
                     }
-                    self.expect(&Tok::Comma)?;
+                    Some(Tok::NullName(s)) => {
+                        let id = match s.parse::<u32>() {
+                            Ok(n) => n,
+                            Err(_) => *null_ids.entry(s).or_insert_with(|| {
+                                let id = *next_named;
+                                *next_named += 1;
+                                id
+                            }),
+                        };
+                        Value::null(id)
+                    }
+                    Some(t) => {
+                        return Err(ParseError {
+                            msg: format!("expected value, found `{t}`"),
+                            pos: self.here(),
+                        })
+                    }
+                    None => return self.err("expected value, found end of input"),
+                };
+                args.push(v);
+                if self.eat(&Tok::RParen) {
+                    break;
                 }
+                self.expect(&Tok::Comma)?;
             }
-            inst.insert(Atom::of(&rel, args));
+        }
+        Ok(Atom::of(&rel, args))
+    }
+
+    fn instance(&mut self) -> PResult<Instance> {
+        let mut inst = Instance::new();
+        let mut null_ids: BTreeMap<String, u32> = BTreeMap::new();
+        let mut next_named = self.first_free_null_id();
+        while !self.at_end() {
+            let atom = self.ground_atom(&mut null_ids, &mut next_named)?;
+            inst.insert(atom);
             // Atoms may be separated by `.`, `,`, `;`, or nothing.
             while self.eat(&Tok::Dot) || self.eat(&Tok::Comma) || self.eat(&Tok::Semi) {}
         }
         Ok(inst)
+    }
+
+    // ---- deltas (`+ P(a).` inserts, `- Q(b,c).` deletes) ----
+
+    fn delta(&mut self) -> PResult<SourceDelta> {
+        let mut out = SourceDelta::new();
+        let mut null_ids: BTreeMap<String, u32> = BTreeMap::new();
+        let mut next_named = self.first_free_null_id();
+        while !self.at_end() {
+            let insert = match self.next() {
+                Some(Tok::Plus) => true,
+                Some(Tok::Minus) => false,
+                Some(t) => {
+                    return Err(ParseError {
+                        msg: format!("expected `+` or `-` before atom, found `{t}`"),
+                        pos: self.here(),
+                    })
+                }
+                None => return self.err("expected `+` or `-`, found end of input"),
+            };
+            let atom = self.ground_atom(&mut null_ids, &mut next_named)?;
+            if insert {
+                out.insert(atom);
+            } else {
+                out.delete(atom);
+            }
+            while self.eat(&Tok::Dot) || self.eat(&Tok::Comma) || self.eat(&Tok::Semi) {}
+        }
+        Ok(out)
     }
 
     // ---- settings ----
@@ -784,6 +840,15 @@ pub fn parse_instance(text: &str) -> PResult<Instance> {
     Ok(i)
 }
 
+/// Parses a source delta: a sequence of signed atoms in instance
+/// notation — `+ P(a).` queues an insertion, `- Q(b,c).` a deletion.
+/// Separators follow the instance rules (`.`, `,`, `;`, or nothing).
+pub fn parse_delta(text: &str) -> PResult<SourceDelta> {
+    let mut p = Parser::new(text)?;
+    let d = p.delta()?;
+    Ok(d)
+}
+
 /// Parses a single dependency (tgd or egd); identifiers are variables,
 /// quoted/numeric literals are constants.
 pub fn parse_dependency(text: &str) -> PResult<Dependency> {
@@ -831,6 +896,28 @@ mod tests {
         assert_eq!(i.len(), 5);
         assert!(i.contains(&Atom::of("F", vec![Value::konst("a"), Value::null(1)])));
         assert!(i.contains(&Atom::of("G", vec![Value::null(1), Value::null(2)])));
+    }
+
+    #[test]
+    fn parses_signed_deltas() {
+        let d = parse_delta("+ P(a). - Q(b,c).\n# comment\n+E(d,e) - P(f);").unwrap();
+        assert_eq!(d.inserts.len(), 2);
+        assert_eq!(d.deletes.len(), 2);
+        assert_eq!(d.inserts[0], Atom::of("P", vec![Value::konst("a")]));
+        assert_eq!(
+            d.deletes[0],
+            Atom::of("Q", vec![Value::konst("b"), Value::konst("c")])
+        );
+        // Display round-trips through the parser.
+        let rendered = d.to_string();
+        assert_eq!(parse_delta(&rendered).unwrap(), d);
+    }
+
+    #[test]
+    fn delta_rejects_unsigned_atoms() {
+        assert!(parse_delta("P(a).").is_err());
+        assert!(parse_delta("+ ").is_err());
+        assert!(parse_delta("").unwrap().is_empty());
     }
 
     #[test]

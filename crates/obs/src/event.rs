@@ -52,6 +52,15 @@ pub enum EventKind {
     RoundCompleted { round: usize, delta_rows: usize },
     /// A chase driver finished with `atoms` atoms after `steps` steps.
     ChaseCompleted { atoms: usize, steps: usize },
+    /// An incremental resume applied a netted source delta: `inserts`
+    /// new and `deletes` retracted source atoms, with `atoms_retracted`
+    /// target atoms withdrawn and `atoms_rederived` re-fired back in.
+    ResumeApplied {
+        inserts: usize,
+        deletes: usize,
+        atoms_retracted: usize,
+        atoms_rederived: usize,
+    },
     /// A governor raised an interrupt after `ticks` ticks.
     GovernorTripped { reason: String, ticks: u64 },
     /// The homomorphism search extended a partial map to `depth` atoms.
@@ -110,6 +119,7 @@ impl EventKind {
             EventKind::EgdMerged { .. } => "egd_merged",
             EventKind::RoundCompleted { .. } => "round_completed",
             EventKind::ChaseCompleted { .. } => "chase_completed",
+            EventKind::ResumeApplied { .. } => "resume_applied",
             EventKind::GovernorTripped { .. } => "governor_tripped",
             EventKind::HomExtended { .. } => "hom_extended",
             EventKind::RetractFound { .. } => "retract_found",
@@ -170,6 +180,17 @@ impl Event {
             EventKind::ChaseCompleted { atoms, steps } => {
                 o.push("atoms", JsonValue::uint(*atoms as u64));
                 o.push("steps", JsonValue::uint(*steps as u64));
+            }
+            EventKind::ResumeApplied {
+                inserts,
+                deletes,
+                atoms_retracted,
+                atoms_rederived,
+            } => {
+                o.push("inserts", JsonValue::uint(*inserts as u64));
+                o.push("deletes", JsonValue::uint(*deletes as u64));
+                o.push("atoms_retracted", JsonValue::uint(*atoms_retracted as u64));
+                o.push("atoms_rederived", JsonValue::uint(*atoms_rederived as u64));
             }
             EventKind::GovernorTripped { reason, ticks } => {
                 o.push("reason", JsonValue::str(reason.clone()));
@@ -267,6 +288,12 @@ mod tests {
                 delta_rows: 5,
             },
             EventKind::ChaseCompleted { atoms: 9, steps: 4 },
+            EventKind::ResumeApplied {
+                inserts: 3,
+                deletes: 2,
+                atoms_retracted: 4,
+                atoms_rederived: 1,
+            },
             EventKind::GovernorTripped {
                 reason: "fuel".into(),
                 ticks: 64,

@@ -24,7 +24,7 @@ use crate::propagate::{
     certain_answers_propagated, certain_answers_propagated_governed, maybe_answers_propagated,
     maybe_answers_propagated_governed, PropagationReport,
 };
-use dex_chase::{ChaseBudget, ChaseError};
+use dex_chase::{ChaseBudget, ChaseError, ChaseSuccess};
 use dex_core::govern::{Governor, Verdict};
 use dex_core::{Instance, Value};
 use dex_cwa::{cansol, core_solution, EnumLimits};
@@ -207,6 +207,31 @@ impl<'a> AnswerEngine<'a> {
     /// [`EvalEngine::Oracle`] or the polynomial fast paths).
     pub fn last_propagation(&self) -> Option<PropagationReport> {
         self.last_report.borrow().clone()
+    }
+
+    /// Refreshes the engine after an incremental
+    /// [`dex_chase::ChaseEngine::resume`], instead of rebuilding it
+    /// (which re-chases from scratch). The core is recomputed directly
+    /// from the resumed target — resume already did the chase work —
+    /// while `CanSol` is rebuilt from the updated source (its
+    /// construction does not go through the standard chase result) and
+    /// the cached propagation report is invalidated. On error the
+    /// engine is left unchanged.
+    pub fn refresh_from_resume(
+        &mut self,
+        resumed: &ChaseSuccess,
+        source: &'a Instance,
+    ) -> Result<(), AnswerError> {
+        let cansol = match cansol(self.setting, source, &self.config.chase_budget) {
+            Ok(c) => c,
+            Err(ChaseError::EgdConflict { .. }) => return Err(AnswerError::NoSolutions),
+            Err(e) => return Err(e.into()),
+        };
+        self.core = dex_core::core(&resumed.target);
+        self.cansol = cansol;
+        self.source = source;
+        *self.last_report.borrow_mut() = None;
+        Ok(())
     }
 
     fn record(&self, report: PropagationReport) {
@@ -980,5 +1005,44 @@ mod tests {
         assert_eq!(ans, Answers::from([vec![c("c")]]));
         let maybe = engine.answers(&q, Semantics::Maybe).unwrap();
         assert_eq!(maybe, ans);
+    }
+
+    /// `refresh_from_resume` leaves the engine indistinguishable from
+    /// one built fresh on the updated source, and drops the stale
+    /// propagation report.
+    #[test]
+    fn refresh_from_resume_matches_a_fresh_engine() {
+        let d = example_2_1();
+        let s = parse_instance("M(a,b). N(a,b). N(a,c).").unwrap();
+        let budget = ChaseBudget::default();
+        let chaser = dex_chase::ChaseEngine::new(&d, &budget).with_provenance(true);
+        let prior = chaser.run(&s).unwrap();
+        let mut engine = AnswerEngine::new(&d, &s, AnswerConfig::default()).unwrap();
+        let q = parse_query("Q(x,y) :- E(x,y)").unwrap();
+        engine.answers(&q, Semantics::Certain).unwrap();
+
+        let mut delta = dex_core::SourceDelta::new();
+        let atom = |text: &str| parse_instance(text).unwrap().sorted_atoms().pop().unwrap();
+        delta.insert(atom("M(c,d)."));
+        delta.delete(atom("N(a,c)."));
+        let updated = delta.applied(&s);
+        let resumed = chaser.resume(&prior, &delta).unwrap();
+        engine.refresh_from_resume(&resumed, &updated).unwrap();
+        assert!(engine.last_propagation().is_none());
+
+        let fresh = AnswerEngine::new(&d, &updated, AnswerConfig::default()).unwrap();
+        assert!(dex_core::isomorphic(engine.core(), fresh.core()));
+        for sem in [
+            Semantics::Certain,
+            Semantics::PotentialCertain,
+            Semantics::PersistentMaybe,
+            Semantics::Maybe,
+        ] {
+            assert_eq!(
+                engine.answers(&q, sem).unwrap(),
+                fresh.answers(&q, sem).unwrap(),
+                "{sem:?}"
+            );
+        }
     }
 }

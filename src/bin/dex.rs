@@ -3,6 +3,7 @@
 //! ```text
 //! dex analyze   <setting>                      acyclicity + classification
 //! dex chase     <setting> <source>             canonical universal solution
+//! dex update    <setting> <source> <delta>     incremental re-exchange (resume)
 //! dex explain   <setting> <source> [--conflict] chase + justification chains (§4)
 //! dex core      <setting> <source>             minimal CWA-solution (Thm 5.1)
 //! dex cansol    <setting> <source>             maximal CWA-solution (Prop 5.4)
@@ -46,6 +47,7 @@ fn usage() -> ExitCode {
         "usage:
   dex analyze   <setting>
   dex chase     <setting> <source>
+  dex update    <setting> <source> <delta>
   dex explain   <setting> <source> [--conflict]
   dex core      <setting> <source> [--threads N]
   dex cansol    <setting> <source>
@@ -56,6 +58,9 @@ fn usage() -> ExitCode {
   dex trace     <trace.jsonl> [--tree] [--json] [--metrics] [--top K]
 
 Arguments are file paths, or inline DSL when no such file exists.
+`update` chases the source, then applies the delta (`+ P(a).` inserts,
+`- Q(b,c).` deletes) by incremental maintenance instead of re-chasing,
+and prints the updated target;
 --threads defaults to $DEX_THREADS (sequential when unset); results are
 identical for every thread count.
 `answer --repair` computes XR-certain answers (certain answers
@@ -100,6 +105,7 @@ fn main() -> ExitCode {
     let result = match (cmd.as_str(), &args[1..]) {
         ("analyze", [setting]) => cmd_analyze(setting),
         ("chase", [setting, source]) => cmd_chase(setting, source),
+        ("update", [setting, source, delta]) => cmd_update(setting, source, delta),
         ("explain", [setting, source, rest @ ..]) => cmd_explain(setting, source, rest),
         ("core", [setting, source, rest @ ..]) => cmd_core(setting, source, rest),
         ("cansol", [setting, source]) => cmd_cansol(setting, source),
@@ -162,6 +168,39 @@ fn cmd_chase(setting: &str, source: &str) -> Result<(), String> {
     };
     println!("steps: {}", out.steps);
     println!("{}", cwa_dex::logic::instance_to_dsl(&out.target));
+    Ok(())
+}
+
+fn cmd_update(setting: &str, source: &str, delta: &str) -> Result<(), String> {
+    let d = parse_setting_arg(setting)?;
+    let s = parse_instance_arg(source)?;
+    let delta = parse_delta(&load(delta)).map_err(|e| format!("delta: {e}"))?;
+    let budget = ChaseBudget::default();
+    let tracer = cwa_dex::obs::Tracer::from_env();
+    let engine = ChaseEngine::new(&d, &budget)
+        .with_tracer(tracer)
+        .with_provenance(true);
+    let describe = |e: ChaseError| match e {
+        ChaseError::EgdConflict { witness } => {
+            eprintln!("{witness}");
+            "inconsistent source: no solution exists (diagnosis above; \
+             `dex repair` enumerates the maximal consistent subsets)"
+                .to_owned()
+        }
+        e => e.to_string(),
+    };
+    let prior = engine.run(&s).map_err(describe)?;
+    let resumed = engine.resume(&prior, &delta).map_err(describe)?;
+    println!(
+        "applied: {} insert(s), {} delete(s)",
+        delta.inserts.len(),
+        delta.deletes.len()
+    );
+    println!(
+        "resume: {} steps, {} atoms retracted, {} re-derived",
+        resumed.steps, resumed.stats.atoms_retracted, resumed.stats.atoms_rederived
+    );
+    println!("{}", cwa_dex::logic::instance_to_dsl(&resumed.target));
     Ok(())
 }
 

@@ -56,15 +56,16 @@ pub mod prelude {
         FreshAlpha, Justification, TableAlpha,
     };
     pub use dex_core::{
-        core, hom_equivalent, isomorphic, Atom, Instance, NullGen, Schema, Symbol, Value,
+        core, hom_equivalent, isomorphic, Atom, Instance, NullGen, Schema, SourceDelta, Symbol,
+        Value,
     };
     pub use dex_cwa::{
         cansol, core_solution, cwa_solution_exists, enumerate_cwa_solutions, is_cwa_presolution,
         is_cwa_solution, is_universal_solution, EnumLimits, SearchLimits,
     };
     pub use dex_logic::{
-        is_richly_acyclic, is_weakly_acyclic, parse_dependency, parse_formula, parse_instance,
-        parse_query, parse_setting, Query, Setting,
+        is_richly_acyclic, is_weakly_acyclic, parse_delta, parse_dependency, parse_formula,
+        parse_instance, parse_query, parse_setting, Query, Setting,
     };
     pub use dex_query::{
         answers, AnswerConfig, AnswerEngine, Answers, EvalEngine, PropagationReport, Semantics,
